@@ -1,0 +1,258 @@
+// Package repro_test holds the top-level benchmark harness: one
+// benchmark per table/figure of the paper's evaluation (Sec. IX).
+// Estimated plan costs and savings are attached to each benchmark as
+// custom metrics, so `go test -bench=. -benchmem` regenerates the
+// numbers behind Fig. 7, Fig. 8, and the Sec. VIII round-count
+// results alongside the optimizer's own running time.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/logical"
+)
+
+// BenchmarkFig7 regenerates the paper's Fig. 7: for every evaluation
+// script, the estimated cost under conventional optimization and
+// under the CSE framework. Metrics: est_cost (plan cost in calibrated
+// units), saving_pct for the CSE variants; ns/op is optimization
+// time.
+func BenchmarkFig7(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	for _, w := range bench.Fig7Workloads() {
+		w := w
+		var convCost float64
+		b.Run(w.Name+"_Conventional", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunOne(w, false, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				convCost = res.Cost
+			}
+			b.ReportMetric(convCost, "est_cost")
+		})
+		b.Run(w.Name+"_ExploitCSE", func(b *testing.B) {
+			var cost float64
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunOne(w, true, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+				rounds = res.Stats.Rounds
+			}
+			b.ReportMetric(cost, "est_cost")
+			if convCost > 0 {
+				b.ReportMetric((1-cost/convCost)*100, "saving_pct")
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates the Fig. 8 plan pair for S1 (plan
+// extraction end to end); the est_cost metrics mirror the figure's
+// two bars.
+func BenchmarkFig8(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	var conv, cse string
+	for i := 0; i < b.N; i++ {
+		var err error
+		conv, cse, err = bench.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(conv)), "conv_plan_bytes")
+	b.ReportMetric(float64(len(cse)), "cse_plan_bytes")
+}
+
+// BenchmarkRoundsFig5 regenerates the Sec. VIII-A round reduction on
+// the Fig. 5 script: rounds evaluated with the independent-shared-
+// groups extension versus the full cartesian product.
+func BenchmarkRoundsFig5(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	for _, ablate := range []struct {
+		name    string
+		disable bool
+	}{{"Independent", false}, {"Cartesian", true}} {
+		ablate := ablate
+		b.Run(ablate.name, func(b *testing.B) {
+			c := cfg
+			c.DisableIndependence = ablate.disable
+			c.MaxRoundsPerLCA = 1 << 20
+			w := bench.Small("Fig5", bench.ScriptFig5)
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunOne(w, true, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkRankingBudget regenerates the Sec. VIII-B/C effect: plan
+// cost reached within a single re-optimization round with ranked
+// versus recording-order round generation.
+func BenchmarkRankingBudget(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{{"Ranked", false}, {"Unranked", true}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			c := cfg
+			c.DisableRanking = v.disable
+			c.MaxRoundsPerLCA = 1
+			c.UsePaperBudgets = false
+			w := bench.Small("Ranking", bench.ScriptRanking)
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunOne(w, true, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "est_cost_at_1_round")
+		})
+	}
+}
+
+// BenchmarkBaselines regenerates the related-work comparison: for
+// each micro-script, estimated cost under no sharing, local-optimal
+// sharing (the pre-paper techniques), and the paper's cost-based
+// framework.
+func BenchmarkBaselines(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	var rows []bench.BaselineRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Baselines(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Conv, r.Script+"_conv")
+		b.ReportMetric(r.LocalCSE, r.Script+"_local")
+		b.ReportMetric(r.PaperCSE, r.Script+"_costbased")
+	}
+}
+
+// BenchmarkExecution runs the optimized S1 plans on the simulated
+// cluster, reporting metered work — the executable counterpart of
+// Fig. 7's estimated comparison.
+func BenchmarkExecution(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	w := datagen.SmallWorkloadCols("S1", bench.ScriptS1, 20_000, 100_000, 11,
+		datagen.MicroScriptColumns())
+	for _, v := range []struct {
+		name string
+		cse  bool
+	}{{"Conventional", false}, {"ExploitCSE", true}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			res, err := bench.RunOne(w, v.cse, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var m exec.Metrics
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl := exec.NewCluster(5, w.FS)
+				if _, err := cl.Run(res.Plan); err != nil {
+					b.Fatal(err)
+				}
+				m = cl.Metrics()
+			}
+			b.ReportMetric(float64(m.RowsProcessed), "rows_processed")
+			b.ReportMetric(float64(m.NetBytes), "net_bytes")
+			b.ReportMetric(float64(m.Exchanges), "exchanges")
+		})
+	}
+}
+
+// BenchmarkIdentifyCSE measures Step 1 (fingerprints + spool
+// insertion, Alg. 1) on the LS2-sized memo.
+func BenchmarkIdentifyCSE(b *testing.B) {
+	w := datagen.LargeScript2()
+	for i := 0; i < b.N; i++ {
+		m, err := logical.BuildSource(w.Script, w.Cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.IdentifyCommonSubexpressions(m)
+	}
+}
+
+// BenchmarkPropagateLCA measures Step 3 (Alg. 3 propagation plus LCA
+// identification) on the LS2-sized memo.
+func BenchmarkPropagateLCA(b *testing.B) {
+	w := datagen.LargeScript2()
+	m, err := logical.BuildSource(w.Script, w.Cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.IdentifyCommonSubexpressions(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PropagateSharedGroups(m)
+	}
+}
+
+// BenchmarkIndependenceScaling sweeps the number of independent
+// shared pipelines under one LCA: with the Sec. VIII-A extension the
+// phase-2 rounds grow linearly in the number of shared groups; the
+// cartesian product grows exponentially (capped here by
+// MaxRoundsPerLCA, which is the point — the naive strategy blows the
+// budget immediately).
+func BenchmarkIndependenceScaling(b *testing.B) {
+	for _, pipelines := range []int{2, 4, 8} {
+		shape := datagen.LSShape{
+			Name:          "scale",
+			TargetOps:     0, // no filler
+			SharedFanouts: make([]int, pipelines),
+			PhysRows:      500,
+			StatScale:     100_000,
+			Seed:          int64(pipelines),
+		}
+		for i := range shape.SharedFanouts {
+			shape.SharedFanouts[i] = 2
+		}
+		w := datagen.LargeScript(shape)
+		for _, v := range []struct {
+			name    string
+			disable bool
+		}{{"Independent", false}, {"Cartesian", true}} {
+			v := v
+			b.Run(fmt.Sprintf("%s/pipelines=%d", v.name, pipelines), func(b *testing.B) {
+				cfg := bench.DefaultConfig()
+				cfg.DisableIndependence = v.disable
+				cfg.MaxRoundsPerLCA = 4096
+				cfg.UsePaperBudgets = false
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					res, err := bench.RunOne(w, true, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Stats.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+			})
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command benchrepro regenerates the paper's evaluation artifacts:
+//
+//	benchrepro -fig 7        Fig. 7 estimated-cost comparison table
+//	benchrepro -fig 8        Fig. 8 plan trees for S1
+//	benchrepro -fig rounds     Sec. VIII-A round-count reduction
+//	benchrepro -fig budget     Sec. VIII-B/C ranking under a budget
+//	benchrepro -fig baselines  conventional vs local-sharing vs cost-based
+//	benchrepro -fig all        everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, all")
+	flag.Parse()
+	cfg := bench.DefaultConfig()
+
+	run := map[string]func() error{
+		"7": func() error {
+			rows, err := bench.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig. 7 — estimated plan cost, conventional vs exploiting CSEs")
+			fmt.Println("(paper column = savings reported in the paper)")
+			fmt.Print(bench.FormatFig7(rows))
+			return nil
+		},
+		"8": func() error {
+			conv, cse, err := bench.Fig8(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig. 8(a) — S1, conventional optimization:")
+			fmt.Println(conv)
+			fmt.Println("Fig. 8(b) — S1, exploiting common subexpressions:")
+			fmt.Println(cse)
+			return nil
+		},
+		"rounds": func() error {
+			rows, err := bench.RoundsFig5(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Sec. VIII-A — rounds at the shared LCA of the Fig. 5 script")
+			fmt.Print(bench.FormatRounds(rows))
+			return nil
+		},
+		"baselines": func() error {
+			rows, err := bench.Baselines(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Related-work comparison — no sharing vs local-optimal sharing [10,11,12] vs cost-based (this paper)")
+			fmt.Print(bench.FormatBaselines(rows))
+			return nil
+		},
+		"budget": func() error {
+			rows, err := bench.RankingUnderBudget(bench.Small("Ranking", bench.ScriptRanking),
+				[]int{1, 2, 4, 1024}, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Sec. VIII-B/C — ranked vs recording-order rounds under a budget")
+			fmt.Print(bench.FormatBudget(rows))
+			return nil
+		},
+	}
+
+	var order []string
+	if *fig == "all" {
+		order = []string{"7", "8", "rounds", "budget", "baselines"}
+	} else {
+		order = []string{*fig}
+	}
+	for i, f := range order {
+		fn, ok := run[f]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchrepro: unknown figure %q\n", f)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrepro:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command scopefmt canonically formats SCOPE scripts: one statement
+// per line, canonical keyword casing, fully parenthesized
+// expressions. Reads the named files (or stdin with no arguments) and
+// prints the formatted script to stdout; -l lists files whose
+// formatting differs instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sqlparse"
+)
+
+func main() {
+	list := flag.Bool("l", false, "list files whose formatting differs")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		exitOn(err)
+		out, err := format(string(src))
+		exitOn(err)
+		fmt.Print(out)
+		return
+	}
+	differs := false
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		exitOn(err)
+		out, err := format(string(src))
+		if err != nil {
+			exitOn(fmt.Errorf("%s: %w", path, err))
+		}
+		if *list {
+			if out != string(src) {
+				fmt.Println(path)
+				differs = true
+			}
+			continue
+		}
+		fmt.Print(out)
+	}
+	if differs {
+		os.Exit(1)
+	}
+}
+
+func format(src string) (string, error) {
+	s, err := sqlparse.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return sqlparse.Format(s), nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scopefmt:", err)
+		os.Exit(1)
+	}
+}

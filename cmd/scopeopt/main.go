@@ -1,0 +1,116 @@
+// Command scopeopt optimizes a SCOPE script with and without the
+// common-subexpression framework and prints the plans and estimated
+// costs.
+//
+// Usage:
+//
+//	scopeopt -script s1            # one of: s1 s2 s3 s4 fig5 ls1 ls2
+//	scopeopt -file my.scope        # a script file (uses default stats)
+//	scopeopt -script s1 -dot       # emit Graphviz instead of trees
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+func main() {
+	script := flag.String("script", "s1", "builtin workload: s1 s2 s3 s4 fig5 ls1 ls2")
+	file := flag.String("file", "", "optimize a script file instead of a builtin")
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of plan trees")
+	cseOnly := flag.Bool("cse-only", false, "skip the conventional baseline")
+	showRounds := flag.Bool("rounds", false, "trace every phase-2 re-optimization round")
+	jsonOut := flag.String("json", "", "also write the CSE plan as JSON to this file")
+	flag.Parse()
+
+	w, err := workload(*script, *file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scopeopt:", err)
+		os.Exit(1)
+	}
+	cfg := bench.DefaultConfig()
+
+	if !*cseOnly {
+		conv, err := bench.RunOne(w, false, cfg)
+		exitOn(err)
+		show("conventional optimization (no CSE)", conv, *dot)
+	}
+	cse, err := bench.RunOne(w, true, cfg)
+	exitOn(err)
+	show("exploiting common subexpressions", cse, *dot)
+	fmt.Printf("stats: shared=%d rounds=%d naive=%d duration=%v\n",
+		cse.Stats.SharedGroups, cse.Stats.Rounds, cse.Stats.NaiveCombinations, cse.Duration)
+	if *jsonOut != "" {
+		data, err := plan.MarshalPlan(cse.Plan)
+		exitOn(err)
+		exitOn(os.WriteFile(*jsonOut, data, 0o644))
+		fmt.Printf("plan written to %s (%d bytes)\n", *jsonOut, len(data))
+	}
+	if *showRounds {
+		fmt.Println("\nphase-2 rounds (pins enforced at shared groups → DAG cost):")
+		for i, r := range cse.Rounds {
+			mark := " "
+			if r.Best {
+				mark = "*"
+			}
+			fmt.Printf("%s round %3d @G%-4d %-40s cost=%.0f\n", mark, i+1, r.LCA, r.Pins, r.Cost)
+		}
+	}
+}
+
+func workload(name, file string) (*datagen.Workload, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		w := &datagen.Workload{Name: file, Script: string(src), Cat: stats.NewCatalog()}
+		if _, err := logical.BuildSource(w.Script, w.Cat); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	switch name {
+	case "s1":
+		return bench.Small("S1", bench.ScriptS1), nil
+	case "s2":
+		return bench.Small("S2", bench.ScriptS2), nil
+	case "s3":
+		return bench.Small("S3", bench.ScriptS3), nil
+	case "s4":
+		return bench.Small("S4", bench.ScriptS4), nil
+	case "fig5":
+		return bench.Small("Fig5", bench.ScriptFig5), nil
+	case "ls1":
+		return datagen.LargeScript1(), nil
+	case "ls2":
+		return datagen.LargeScript2(), nil
+	default:
+		return nil, fmt.Errorf("unknown builtin script %q", name)
+	}
+}
+
+func show(title string, res *opt.Result, dot bool) {
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("estimated cost: %.0f (phase 1: %.0f)\n", res.Cost, res.Phase1Cost)
+	if dot {
+		fmt.Println(plan.DOT(res.Plan, title))
+	} else {
+		fmt.Println(plan.Format(res.Plan))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scopeopt:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command scoperun optimizes a builtin workload and executes both the
+// conventional and the CSE plan on the simulated shared-nothing
+// cluster, verifying the results agree with the reference interpreter
+// and reporting the metered work of each plan.
+//
+// Usage:
+//
+//	scoperun -script s1 -machines 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/logical"
+)
+
+func main() {
+	script := flag.String("script", "s1", "builtin workload: s1 s2 s3 s4 fig5")
+	machines := flag.Int("machines", 8, "simulated cluster size for execution")
+	flag.Parse()
+
+	var w *datagen.Workload
+	switch *script {
+	case "s1":
+		w = bench.Small("S1", bench.ScriptS1)
+	case "s2":
+		w = bench.Small("S2", bench.ScriptS2)
+	case "s3":
+		w = bench.Small("S3", bench.ScriptS3)
+	case "s4":
+		w = bench.Small("S4", bench.ScriptS4)
+	case "fig5":
+		w = bench.Small("Fig5", bench.ScriptFig5)
+	default:
+		fmt.Fprintf(os.Stderr, "scoperun: unknown script %q\n", *script)
+		os.Exit(1)
+	}
+
+	// Reference result.
+	mRef, err := logical.BuildSource(w.Script, w.Cat)
+	exitOn(err)
+	want, err := exec.Reference(mRef, w.FS)
+	exitOn(err)
+
+	cfg := bench.DefaultConfig()
+	for _, cse := range []bool{false, true} {
+		label := "conventional"
+		if cse {
+			label = "exploit-CSE "
+		}
+		res, err := bench.RunOne(w, cse, cfg)
+		exitOn(err)
+		cl := exec.NewCluster(*machines, w.FS)
+		got, err := cl.Run(res.Plan)
+		exitOn(err)
+		ok := true
+		for path, wt := range want {
+			if gt := got[path]; gt == nil || !gt.Equal(wt) {
+				ok = false
+			}
+		}
+		m := cl.Metrics()
+		fmt.Printf("%s  est.cost=%8.0f  disk=%8d  net=%8d  rows=%8d  exchanges=%d  spools=%d  correct=%v\n",
+			label, res.Cost, m.DiskBytesRead+m.DiskBytesWritten, m.NetBytes,
+			m.RowsProcessed, m.Exchanges, m.SpoolMaterializations, ok)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("\noutputs:")
+	var paths []string
+	for p := range want {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Printf("  %s: %d rows, schema %v\n", p, len(want[p].Rows), want[p].Schema.Names())
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoperun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Plan cache: optimize once, persist the physical plan as JSON, and
+// later reload and execute it without re-optimizing — plus EXPLAIN
+// ANALYZE to compare the optimizer's estimates against actual row
+// counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/scope"
+)
+
+const script = `
+EVENTS = EXTRACT UserId, Kind, Ms FROM "events.log" USING LogExtractor;
+PERUSER = SELECT UserId, Kind, Sum(Ms) as Total, Count() as N
+          FROM EVENTS GROUP BY UserId, Kind;
+BYUSER = SELECT UserId, Sum(Total) as T FROM PERUSER GROUP BY UserId;
+BYKIND = SELECT Kind, Sum(Total) as T, Sum(N) as Hits FROM PERUSER GROUP BY Kind;
+OUTPUT BYUSER TO "by_user.out";
+OUTPUT BYKIND TO "by_kind.out" ORDER BY T DESC;
+`
+
+func main() {
+	db := scope.New()
+	db.RegisterStats("events.log", 3_000_000_000,
+		scope.ColumnStats{Name: "UserId", Distinct: 1_000_000},
+		scope.ColumnStats{Name: "Kind", Distinct: 40},
+		scope.ColumnStats{Name: "Ms", Distinct: 1 << 30},
+	)
+	r := rand.New(rand.NewSource(3))
+	var rows [][]any
+	for i := 0; i < 6000; i++ {
+		rows = append(rows, []any{r.Intn(400), r.Intn(8), r.Intn(2000)})
+	}
+	if err := db.LoadTable("events.log", []string{"UserId", "Kind", "Ms"}, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := db.Compile(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := q.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := p.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized in %v, plan serialized to %d bytes of JSON\n",
+		p.OptimizeTime().Round(1000), len(data))
+
+	// ... later, or in another process: reload and run without the
+	// optimizer.
+	cached, err := db.LoadPlan(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cached.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	results, stats, err := cached.Execute(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cached plan executed: %d outputs, %d exchange(s), %d shared spool(s)\n",
+		len(results), stats.Exchanges, stats.SpoolsShared)
+
+	analyzed, err := p.ExplainAnalyze(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN ANALYZE (estimated vs actual rows):")
+	fmt.Println(analyzed)
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestBaselinesOrdering isolates the paper's contribution from the
+// generic benefit of sharing: on every micro-script the cost-based
+// framework must beat (or match) the related-work local-sharing
+// baseline, which in turn beats the conventional optimizer; and on
+// S1 — where the consumers' requirements genuinely conflict — the
+// cost-based plan must be strictly cheaper than local sharing.
+func TestBaselinesOrdering(t *testing.T) {
+	rows, err := Baselines(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatBaselines(rows))
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PaperCSE > r.LocalCSE*(1+1e-9) {
+			t.Errorf("%s: cost-based %v must not lose to local sharing %v",
+				r.Script, r.PaperCSE, r.LocalCSE)
+		}
+		if r.LocalCSE >= r.Conv {
+			t.Errorf("%s: even local sharing should beat no sharing (%v vs %v)",
+				r.Script, r.LocalCSE, r.Conv)
+		}
+	}
+	s1 := rows[0]
+	if s1.Script != "S1" {
+		t.Fatalf("first row = %s", s1.Script)
+	}
+	if s1.PaperCSE >= s1.LocalCSE {
+		t.Errorf("S1: conflicting consumer requirements should make cost-based (%v) strictly beat local (%v)",
+			s1.PaperCSE, s1.LocalCSE)
+	}
+}
+
+// TestAggSplitAblation quantifies a design choice DESIGN.md calls
+// out: without the local/global aggregation split, every exchange
+// moves raw rows instead of partial aggregates, so plans get strictly
+// more expensive on aggregation-heavy scripts.
+func TestAggSplitAblation(t *testing.T) {
+	// Low-cardinality profile: the aggregation reduces strongly, so
+	// pre-aggregation before the exchange pays. (Under the Fig. 7
+	// cardinalities the split does not pay and the optimizer
+	// correctly produces identical plans with or without the rule.)
+	w := func() *datagen.Workload {
+		return datagen.SmallWorkloadCols("S1", ScriptS1, smallPhysRows, smallStatScale, 7,
+			datagen.TestLogColumns())
+	}
+	cfg := DefaultConfig()
+	base, err := RunOne(w(), true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated := cfg
+	ablated.Rules.DisableAggSplit = true
+	noSplit, err := RunOne(w(), true, ablated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("agg-split ablation: with=%.0f without=%.0f (+%.0f%%)",
+		base.Cost, noSplit.Cost, (noSplit.Cost/base.Cost-1)*100)
+	if noSplit.Cost <= base.Cost {
+		t.Errorf("removing pre-aggregation should cost more: %v vs %v", noSplit.Cost, base.Cost)
+	}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/relop"
+)
+
+// TestGoldenPlanInvariants locks the structural invariants of every
+// micro-script's CSE plan under the SCOPE profile: how often the
+// input is read, how many exchanges execute, and how many distinct
+// spools exist. These are the quantities the paper's Fig. 8 narrative
+// is about; changes to rules or the cost model that alter them should
+// be deliberate.
+func TestGoldenPlanInvariants(t *testing.T) {
+	cases := []struct {
+		name     string
+		script   string
+		extracts float64 // effective extract executions
+		spools   int     // distinct spool materializations
+		maxExch  float64 // effective exchange executions (upper bound)
+	}{
+		// S1: one input read once, one compromise exchange, one spool.
+		{"S1", ScriptS1, 1, 1, 1},
+		// S2: three consumers, still one read and one exchange.
+		{"S2", ScriptS2, 1, 1, 1},
+		// S3: two pipelines over two files: two reads, one exchange
+		// and one spool per pipeline (plus possible join-side
+		// exchanges of the small aggregates).
+		{"S3", ScriptS3, 2, 2, 6},
+		// S4: R, R1, R2 all shared: one read, three spools.
+		{"S4", ScriptS4, 1, 3, 5},
+	}
+	cfg := DefaultConfig()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := RunOne(Small(c.name, c.script), true, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := res.Plan
+			if got := plan.RefCount(p, relop.KindPhysExtract); got != c.extracts {
+				t.Errorf("extract executions = %v, want %v\n%s", got, c.extracts, plan.Format(p))
+			}
+			if got := len(plan.FindAll(p, relop.KindPhysSpool)); got != c.spools {
+				t.Errorf("distinct spools = %d, want %d\n%s", got, c.spools, plan.Format(p))
+			}
+			if got := plan.RefCount(p, relop.KindRepartition); got > c.maxExch {
+				t.Errorf("exchanges = %v, want <= %v\n%s", got, c.maxExch, plan.Format(p))
+			}
+			// Every spool is consumed at least twice.
+			spoolRefs := plan.RefCount(p, relop.KindPhysSpool)
+			if spoolRefs < float64(2*c.spools) {
+				t.Errorf("spool references = %v, want >= %d", spoolRefs, 2*c.spools)
+			}
+		})
+	}
+}
+
+// TestGoldenS1Shape locks the exact Fig. 8(b) operator tree (on the
+// low-cardinality Fig. 8 workload) as a golden string.
+func TestGoldenS1Shape(t *testing.T) {
+	_, cse, err := Fig8(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the bracketed annotations, keeping the operator skeleton.
+	var ops []string
+	for _, line := range strings.Split(cse, "\n") {
+		if i := strings.Index(line, "  ["); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) != "" {
+			ops = append(ops, line)
+		}
+	}
+	got := strings.Join(ops, "\n")
+	want := strings.TrimSpace(`
+Sequence
+├── Output (Parallel) [result1.out]
+│   └── StreamAgg (Single) (A, B)
+│       └── Spool
+│           └── StreamAgg (Global) (A, B, C)
+│               └── Repartition {B} / SortMerge (A,B,C)
+│                   └── StreamAgg (Local) (A, B, C)
+│                       └── Sort (A,B,C)
+│                           └── Extract (test.log)
+└── Output (Parallel) [result2.out]
+    └── StreamAgg (Single) (B, C)
+        └── Sort (B,C)
+            └── Spool (shared, see above)`)
+	if got != want {
+		t.Errorf("Fig. 8(b) skeleton changed:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/opt"
+	"repro/internal/plan"
+)
+
+// TestFig7ReproducesPaperBands is the headline experiment: every
+// script's measured saving must fall within a band around the paper's
+// reported saving (we reproduce shape, not absolute numbers — but the
+// calibrated setup lands close).
+func TestFig7ReproducesPaperBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LS2 optimization is ~2s")
+	}
+	cfg := DefaultConfig()
+	rows, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatFig7(rows))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// S1–S3, LS1, LS2 land within a few points of the paper; S4 saves
+	// ~12 points more because our Alg. 1 also spools R1 and R2 (each
+	// consumed by an OUTPUT and the join) — three shared groups where
+	// the paper's Fig. 6 diagram draws a single spool. See
+	// EXPERIMENTS.md.
+	const band = 0.13
+	for _, r := range rows {
+		if r.Saving < r.PaperSaving-band || r.Saving > r.PaperSaving+band {
+			t.Errorf("%s: saving %.0f%% outside ±%.0f%% of paper's %.0f%%",
+				r.Script, r.Saving*100, band*100, r.PaperSaving*100)
+		}
+		if r.CSECost >= r.ConvCost {
+			t.Errorf("%s: CSE must win (%.0f vs %.0f)", r.Script, r.CSECost, r.ConvCost)
+		}
+	}
+	// Paper-specific orderings: S4 saves the most of the
+	// micro-scripts; S2 beats S1; LS2 beats LS1.
+	byName := map[string]Fig7Row{}
+	for _, r := range rows {
+		byName[r.Script] = r
+	}
+	if byName["S2"].Saving <= byName["S1"].Saving {
+		t.Error("S2 (3 consumers) should save more than S1")
+	}
+	if byName["LS2"].Saving <= byName["LS1"].Saving {
+		t.Error("LS2 should save more than LS1")
+	}
+	// Absolute magnitude calibration: S1 conventional ≈ 8185.
+	if c := byName["S1"].ConvCost; c < 4000 || c > 16000 {
+		t.Errorf("S1 conventional cost %.0f far from the paper's 8185 scale", c)
+	}
+}
+
+func TestFig7SmallScriptsOptimizeFast(t *testing.T) {
+	// Sec. IX: "The execution time of the optimization process for
+	// queries S1 to S4 was smaller than one second."
+	cfg := DefaultConfig()
+	for _, w := range Fig7Workloads()[:4] {
+		row, err := Fig7For(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.CSETime > time.Second {
+			t.Errorf("%s optimized in %v, want < 1s", w.Name, row.CSETime)
+		}
+	}
+}
+
+func TestFig8PlanShapes(t *testing.T) {
+	conv, cse, err := Fig8(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("conventional (Fig 8a):\n%s", conv)
+	t.Logf("exploiting CSEs (Fig 8b):\n%s", cse)
+	// 8(a): two extracts, two repartitions, no spool.
+	if got := strings.Count(conv, "Extract (test.log)"); got != 2 {
+		t.Errorf("conventional extracts rendered %d times, want 2", got)
+	}
+	if strings.Contains(conv, "Spool") {
+		t.Error("conventional plan must not spool")
+	}
+	if got := strings.Count(conv, "Repartition"); got != 2 {
+		t.Errorf("conventional repartitions = %d, want 2", got)
+	}
+	// 8(b): one extract, one repartition on {B}, a shared spool.
+	if got := strings.Count(cse, "Extract (test.log)"); got != 1 {
+		t.Errorf("CSE extracts rendered %d times, want 1", got)
+	}
+	if !strings.Contains(cse, "Repartition {B}") {
+		t.Errorf("CSE plan should repartition on {B}:\n%s", cse)
+	}
+	if !strings.Contains(cse, "(shared, see above)") {
+		t.Error("CSE plan should share the spool")
+	}
+	if !strings.Contains(cse, "StreamAgg") || strings.Contains(cse, "HashAgg") {
+		t.Error("SCOPE profile plans must be sort-merge pipelines")
+	}
+}
+
+func TestRoundsFig5Reduction(t *testing.T) {
+	rows, err := RoundsFig5(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatRounds(rows))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	indep, cart := rows[0], rows[1]
+	// Independence must reduce rounds strictly, and both must find
+	// plans of identical cost (the groups really are independent).
+	if indep.Rounds >= cart.Rounds {
+		t.Errorf("independent rounds %d should be below cartesian %d", indep.Rounds, cart.Rounds)
+	}
+	if diff := indep.Cost - cart.Cost; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("independent cost %v != cartesian cost %v", indep.Cost, cart.Cost)
+	}
+	// The generic n+m-1 vs n*m relationship (the paper's 15 vs 64 at
+	// 8 property sets each).
+	if cart.NaiveRounds != cart.Rounds {
+		t.Errorf("cartesian should evaluate the naive product: %d vs %d", cart.Rounds, cart.NaiveRounds)
+	}
+}
+
+func TestRankingUnderBudgetHelps(t *testing.T) {
+	// On ScriptRanking the exact-{B} scheme carries two phase-1 wins,
+	// so ranked generation finds the best pin in the very first
+	// round while recording-order generation starts from an inferior
+	// {A,C}-derived scheme. (Ranking is a heuristic: on other
+	// scripts the orders may tie or even favor recording order; the
+	// paper's claim is about promising rounds running early, which
+	// this workload isolates.)
+	w := Small("Ranking", ScriptRanking)
+	rows, err := RankingUnderBudget(w, []int{1, 1024}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatBudget(rows))
+	costAt := func(ranked bool, mr int) float64 {
+		for _, r := range rows {
+			if strings.HasPrefix(r.Config, "ranked") == ranked && r.MaxRounds == mr {
+				return r.Cost
+			}
+		}
+		t.Fatalf("missing row ranked=%v mr=%d", ranked, mr)
+		return 0
+	}
+	// With an unbounded budget both variants converge.
+	if diff := costAt(true, 1024) - costAt(false, 1024); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("full budget costs differ: %v vs %v", costAt(true, 1024), costAt(false, 1024))
+	}
+	// With a single round, ranked generation must already beat
+	// recording order (the promising scheme runs first).
+	if costAt(true, 1) >= costAt(false, 1) {
+		t.Errorf("ranked@1 %v should beat unranked@1 %v", costAt(true, 1), costAt(false, 1))
+	}
+}
+
+func TestFig7PlansStaticallyValid(t *testing.T) {
+	// Every Fig. 7 plan — including LS1/LS2, which (like the paper)
+	// are never executed — must pass the static physical-soundness
+	// check: delivered-property consistency, aggregation colocation
+	// and clustering, join co-partitioning.
+	if testing.Short() {
+		t.Skip("LS2 optimization is ~2s")
+	}
+	cfg := DefaultConfig()
+	for _, w := range Fig7Workloads() {
+		for _, cse := range []bool{false, true} {
+			res, err := RunOne(w, cse, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := opt.ValidatePlan(res.Plan); err != nil {
+				t.Errorf("%s cse=%v: %v", w.Name, cse, err)
+			}
+			total, _ := plan.CountOps(res.Plan)
+			if total < 5 {
+				t.Errorf("%s: suspiciously small plan (%d ops)", w.Name, total)
+			}
+		}
+	}
+}
+
+// TestLSWithinPaperBudgets checks the Sec. IX setup end to end: LS1
+// and LS2 complete their full round plans inside the paper's 30 s and
+// 60 s optimization budgets (on 2026 hardware, with two orders of
+// magnitude to spare).
+func TestLSWithinPaperBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LS2 optimization is ~2s")
+	}
+	cfg := DefaultConfig()
+	for _, w := range Fig7Workloads()[4:] {
+		res, err := RunOne(w, true, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := BudgetOf(w)
+		if res.Duration > budget {
+			t.Errorf("%s optimized in %v, budget %v", w.Name, res.Duration, budget)
+		}
+		if res.Stats.BudgetExhausted {
+			t.Errorf("%s should finish its rounds within the budget", w.Name)
+		}
+	}
+}

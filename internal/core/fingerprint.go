@@ -1,0 +1,98 @@
+// Package core implements the paper's contribution: the framework
+// that lets a Cascades-style optimizer exploit common subexpressions
+// in a cost-based way.
+//
+// The four steps of Fig. 2 map onto this package and internal/opt:
+//
+//	Step 1  IdentifyCommonSubexpressions (Alg. 1)   — this package
+//	Step 2  history recording during phase 1        — internal/opt,
+//	        using ExpandHistory from this package (Sec. V)
+//	Step 3  PropagateSharedGroups + LCAs (Alg. 3)   — this package
+//	Step 4  phase-2 re-optimization rounds           — internal/opt,
+//	        driven by RoundPlanner from this package (Sec. VII–VIII)
+package core
+
+import (
+	"repro/internal/memo"
+	"repro/internal/relop"
+)
+
+// fpModulus is the prime modulus N of Definition 1, large enough that
+// FileIDs and OpIDs never collide with each other.
+const fpModulus = uint64(1<<61 - 1) // Mersenne prime 2^61-1
+
+// Fingerprints computes the Definition 1 fingerprint of every live
+// group's subexpression, bottom-up over the memo DAG:
+//
+//	leaf (file read):  F = FileID mod N
+//	otherwise:         F = (OpID ⊕ ⨁ᵢ F(childᵢ)) mod N
+//
+// Each group's *initial* expression is used, as Alg. 1 runs before any
+// exploration has added alternatives. Equal expressions always get
+// equal fingerprints; unequal expressions may collide (the XOR of
+// children is order-insensitive, and all group-bys share one OpID),
+// which is why Alg. 1 deep-compares colliding entries.
+func Fingerprints(m *memo.Memo) map[memo.GroupID]uint64 {
+	fps := make(map[memo.GroupID]uint64, m.NumGroups())
+	var compute func(g memo.GroupID) uint64
+	compute = func(g memo.GroupID) uint64 {
+		if fp, ok := fps[g]; ok {
+			return fp
+		}
+		e := m.Group(g).Exprs[0]
+		var fp uint64
+		if ex, ok := e.Op.(*relop.Extract); ok {
+			fp = uint64(ex.FileID) % fpModulus
+		} else {
+			x := uint64(e.Op.Kind())
+			for _, c := range e.Children {
+				x ^= compute(c)
+			}
+			fp = x % fpModulus
+		}
+		fps[g] = fp
+		return fp
+	}
+	for _, g := range m.Groups() {
+		compute(g.ID)
+	}
+	return fps
+}
+
+// StructurallyEqual reports whether the subexpressions rooted at a and
+// b compute the same result: their initial operators have equal
+// signatures and their children are pairwise structurally equal. It
+// is the deep comparison Alg. 1 applies to fingerprint collisions
+// (line 5), memoized over group pairs.
+func StructurallyEqual(m *memo.Memo, a, b memo.GroupID) bool {
+	cache := map[[2]memo.GroupID]bool{}
+	var eq func(a, b memo.GroupID) bool
+	eq = func(a, b memo.GroupID) bool {
+		if a == b {
+			return true
+		}
+		k := [2]memo.GroupID{a, b}
+		if a > b {
+			k = [2]memo.GroupID{b, a}
+		}
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		// Seed false to terminate would-be cycles; the memo DAG is
+		// acyclic so this is only a safeguard.
+		cache[k] = false
+		ea, eb := m.Group(a).Exprs[0], m.Group(b).Exprs[0]
+		ok := ea.Op.Sig() == eb.Op.Sig() && len(ea.Children) == len(eb.Children)
+		if ok {
+			for i := range ea.Children {
+				if !eq(ea.Children[i], eb.Children[i]) {
+					ok = false
+					break
+				}
+			}
+		}
+		cache[k] = ok
+		return ok
+	}
+	return eq(a, b)
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+func lp() memo.LogicalProps {
+	return memo.LogicalProps{
+		Schema: relop.Schema{{Name: "A", Type: relop.TInt}},
+		Rel:    stats.Relation{Rows: 100, RowBytes: 8},
+	}
+}
+
+func extract(file int) *relop.Extract {
+	return &relop.Extract{Path: "f", Columns: relop.Schema{{Name: "A"}}, FileID: file}
+}
+
+func gbOp(keys ...string) *relop.GroupBy {
+	return &relop.GroupBy{Keys: keys, Aggs: []relop.Aggregate{{Func: relop.AggSum, Arg: "A", As: "S"}}}
+}
+
+func TestFingerprintLeaf(t *testing.T) {
+	m := memo.New()
+	e1 := m.Insert(extract(7), nil, lp())
+	e2 := m.Insert(extract(9), nil, lp())
+	m.Root = m.Insert(&relop.Sequence{}, []memo.GroupID{e1, e2}, lp())
+	fps := Fingerprints(m)
+	if fps[e1] != 7 {
+		t.Errorf("leaf fp = %d, want FileID 7", fps[e1])
+	}
+	if fps[e1] == fps[e2] {
+		t.Error("different files must have different fingerprints")
+	}
+}
+
+func TestFingerprintEqualStructureEqualFP(t *testing.T) {
+	m := memo.New()
+	// Two copies of Extract → GB(A) built independently.
+	e1 := m.Insert(extract(1), nil, lp())
+	g1 := m.Insert(gbOp("A"), []memo.GroupID{e1}, lp())
+	e2 := m.Insert(extract(1), nil, lp())
+	g2 := m.Insert(gbOp("A"), []memo.GroupID{e2}, lp())
+	m.Root = m.Insert(&relop.Sequence{}, []memo.GroupID{g1, g2}, lp())
+	fps := Fingerprints(m)
+	if fps[g1] != fps[g2] {
+		t.Errorf("equal structures must fingerprint equal: %d vs %d", fps[g1], fps[g2])
+	}
+	if !StructurallyEqual(m, g1, g2) {
+		t.Error("copies should be structurally equal")
+	}
+}
+
+func TestFingerprintCollisionResolvedByDeepCompare(t *testing.T) {
+	// GB(A) and GB(B) over the same child share an OpID, hence a
+	// fingerprint, but are structurally different — the deep compare
+	// must distinguish them (Alg. 1 line 5).
+	m := memo.New()
+	e := m.Insert(extract(1), nil, lp())
+	ga := m.Insert(gbOp("A"), []memo.GroupID{e}, lp())
+	gb2 := m.Insert(gbOp("B"), []memo.GroupID{e}, lp())
+	m.Root = m.Insert(&relop.Sequence{}, []memo.GroupID{ga, gb2}, lp())
+	fps := Fingerprints(m)
+	if fps[ga] != fps[gb2] {
+		t.Log("note: fingerprints happen to differ (allowed)") // Def. 1 makes them equal
+	}
+	if StructurallyEqual(m, ga, gb2) {
+		t.Error("GB(A) and GB(B) must not be structurally equal")
+	}
+}
+
+func TestStructurallyEqualRecursesChildren(t *testing.T) {
+	m := memo.New()
+	e1 := m.Insert(extract(1), nil, lp())
+	e2 := m.Insert(extract(2), nil, lp())
+	g1 := m.Insert(gbOp("A"), []memo.GroupID{e1}, lp())
+	g2 := m.Insert(gbOp("A"), []memo.GroupID{e2}, lp())
+	m.Root = m.Insert(&relop.Sequence{}, []memo.GroupID{g1, g2}, lp())
+	if StructurallyEqual(m, g1, g2) {
+		t.Error("same op over different files must not be equal")
+	}
+	if !StructurallyEqual(m, g1, g1) {
+		t.Error("a group equals itself")
+	}
+}
+
+// Property: over random DAGs, structural equality implies fingerprint
+// equality (fingerprints never produce false negatives).
+func TestFingerprintNoFalseNegatives(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		m := memo.New()
+		var groups []memo.GroupID
+		n := 3 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			if len(groups) == 0 || r.Intn(3) == 0 {
+				groups = append(groups, m.Insert(extract(1+r.Intn(3)), nil, lp()))
+				continue
+			}
+			child := groups[r.Intn(len(groups))]
+			keys := []string{"A", "B", "C"}[r.Intn(3)]
+			groups = append(groups, m.Insert(gbOp(keys), []memo.GroupID{child}, lp()))
+		}
+		m.Root = m.Insert(&relop.Sequence{}, groups, lp())
+		fps := Fingerprints(m)
+		for i := range groups {
+			for j := i + 1; j < len(groups); j++ {
+				if StructurallyEqual(m, groups[i], groups[j]) && fps[groups[i]] != fps[groups[j]] {
+					t.Fatalf("trial %d: equal groups %d,%d with different fingerprints", trial, groups[i], groups[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFingerprintCollisionProfile characterizes Definition 1's known
+// weakness on the LS2-sized memo: identical-operator chains collide
+// heavily (Project∘Project XOR-cancels), which is why Alg. 1's deep
+// comparison exists and why Step 1 dominates large-script setup time.
+// The test documents the behaviour rather than "fixing" it: the
+// definition is the paper's.
+func TestFingerprintCollisionProfile(t *testing.T) {
+	m := memo.New()
+	// A 200-step projection-like chain: alternate two op kinds so
+	// fingerprints cycle with period 2.
+	prev := m.Insert(extract(1), nil, lp())
+	for i := 0; i < 200; i++ {
+		prev = m.Insert(gbOp("A"), []memo.GroupID{prev}, lp())
+	}
+	m.Root = m.Insert(&relop.Sequence{}, []memo.GroupID{prev}, lp())
+	fps := Fingerprints(m)
+	buckets := map[uint64]int{}
+	for _, fp := range fps {
+		buckets[fp]++
+	}
+	maxBucket := 0
+	for _, n := range buckets {
+		if n > maxBucket {
+			maxBucket = n
+		}
+	}
+	if maxBucket < 50 {
+		t.Errorf("expected heavy collisions on an identical-operator chain, max bucket = %d", maxBucket)
+	}
+	// Despite the collisions, deep comparison tells every chain
+	// element apart (each has a structurally distinct subtree depth).
+	if StructurallyEqual(m, 5, 10) {
+		t.Error("different chain depths must not be structurally equal")
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import "repro/internal/props"
+
+// DefaultMaxHistoryPerReq caps how many concrete property sets one
+// recorded requirement expands into; wide grouping keys would
+// otherwise explode the history exponentially (the Sec. VIII budget
+// machinery assumes the history is merely large, not unbounded).
+const DefaultMaxHistoryPerReq = 16
+
+// ExpandHistory implements the Sec. V recording rule: a range
+// partitioning requirement [∅, S] stored at a shared group expands
+// into one entry per concrete satisfying scheme — the exact ranges
+// [{A},{A}], [{B},{B}], …, [S,S] of the paper's example — each paired
+// with the requirement's sort order. Exact, serial, and vacuous
+// requirements record as themselves.
+//
+// The vacuous requirement is recorded too: enforcing "anything" at
+// the shared group in phase 2 reproduces the locally optimal shared
+// plan, which is exactly the alternative earlier work [10,11,12]
+// would pick, so the cost comparison subsumes it.
+func ExpandHistory(req props.Required, maxEntries int) []props.Required {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxHistoryPerReq
+	}
+	p := req.Part
+	if p.Kind != props.PartHash || p.Exact {
+		return []props.Required{req}
+	}
+	subsets := p.Cols.Subsets(maxEntries)
+	out := make([]props.Required, 0, len(subsets))
+	for _, s := range subsets {
+		out = append(out, props.Required{
+			Part:  props.ExactHashPartitioning(s),
+			Order: req.Order,
+		})
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/memo"
+)
+
+// PropagateSharedGroups performs Step 3 (Fig. 2): it propagates the
+// information about shared groups bottom-up from each shared group to
+// the root (Algorithm 3), leaving on every group G the list of shared
+// groups below G together with the consumers of each found below G,
+// and it identifies the least common ancestor (Definition 2) of every
+// shared group's consumer set.
+//
+// Deviation from the paper, documented in DESIGN.md: Algorithm 3's
+// SetLCA overwrite rule is sensitive to child traversal order on DAGs
+// like Fig. 3(c) (a sibling order exists under which the stale lower
+// ancestor survives). Definition 2 — the lowest group included in
+// every consumer-to-root path — is exactly the nearest common
+// dominator of the consumers in the root-to-leaves orientation of the
+// memo DAG, so the LCA is computed here with a standard iterative
+// dominator analysis, which is deterministic and matches the paper's
+// Fig. 3 examples. The bottom-up consumer propagation itself follows
+// Algorithm 3.
+func PropagateSharedGroups(m *memo.Memo) {
+	m.ResetTraversal()
+	propagate(m, m.Root)
+	assignLCAs(m)
+}
+
+// propagate is the recursive body of Algorithm 3.
+func propagate(m *memo.Memo, gid memo.GroupID) {
+	g := m.Group(gid)
+	if g.Visited { // lines 1–5
+		return
+	}
+	g.Visited = true
+	if g.Shared { // lines 6–10: a shared group tracks itself
+		g.SharedBelow = append(g.SharedBelow,
+			memo.NewSharedInfo(gid, append([]memo.GroupID{}, m.Parents(gid)...)))
+	}
+	for _, input := range childGroups(m, gid) { // line 11
+		propagate(m, input) // line 12
+		inG := m.Group(input)
+		for _, si := range inG.SharedBelow { // lines 14–37
+			entry := g.FindSharedBelow(si.Shared)
+			if entry == nil { // lines 28–35: copy branch
+				entry = si.Clone()
+				g.SharedBelow = append(g.SharedBelow, entry)
+			} else { // lines 17–26: merge branch
+				for c, found := range si.Found {
+					if found {
+						entry.Found[c] = true
+					}
+				}
+			}
+			// G consumes the shared group directly when the child IS
+			// the shared group (paper lines 31–33, applied in both
+			// branches — the match branch needs it too when another
+			// child already introduced the entry).
+			if input == si.Shared {
+				entry.Found[gid] = true
+			}
+		}
+	}
+}
+
+// childGroups returns the distinct child groups referenced by any
+// expression of g, in ascending order. Alternative expressions added
+// by exploration rules (e.g. the local/global aggregation split)
+// introduce helper groups; traversing every expression keeps their
+// SharedBelow lists populated so phase-2 pin propagation can descend
+// through whichever implementation is being costed.
+func childGroups(m *memo.Memo, gid memo.GroupID) []memo.GroupID {
+	seen := map[memo.GroupID]bool{}
+	var out []memo.GroupID
+	for _, e := range m.Group(gid).Exprs {
+		for _, c := range e.Children {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// assignLCAs computes, for every shared group S, the LCA of its
+// consumers per Definition 2, and records it both on S (Group.LCA)
+// and on the LCA group (Group.LCAOf).
+func assignLCAs(m *memo.Memo) {
+	idom := dominators(m)
+	// Depth in the dominator tree, for LCA walking.
+	depth := map[memo.GroupID]int{m.Root: 0}
+	var depthOf func(g memo.GroupID) int
+	depthOf = func(g memo.GroupID) int {
+		if d, ok := depth[g]; ok {
+			return d
+		}
+		d := depthOf(idom[g]) + 1
+		depth[g] = d
+		return d
+	}
+	domLCA := func(a, b memo.GroupID) memo.GroupID {
+		for a != b {
+			if depthOf(a) < depthOf(b) {
+				b = idom[b]
+			} else {
+				a = idom[a]
+			}
+		}
+		return a
+	}
+	for _, s := range m.SharedGroups() {
+		consumers := m.Parents(s.ID)
+		if len(consumers) == 0 {
+			continue
+		}
+		lca := consumers[0]
+		for _, c := range consumers[1:] {
+			lca = domLCA(lca, c)
+		}
+		s.LCA = lca
+		lg := m.Group(lca)
+		lg.LCAOf = append(lg.LCAOf, s.ID)
+	}
+	// Deterministic LCAOf order.
+	for _, g := range m.Groups() {
+		sort.Slice(g.LCAOf, func(i, j int) bool { return g.LCAOf[i] < g.LCAOf[j] })
+	}
+}
+
+// dominators computes immediate dominators of every group reachable
+// from the memo root, in the root→children orientation (an operator G
+// dominates C when every path from C up to the root passes through
+// G). Standard iterative algorithm (Cooper–Harvey–Kennedy) over
+// reverse postorder.
+func dominators(m *memo.Memo) map[memo.GroupID]memo.GroupID {
+	// Reverse postorder of the root→children DFS.
+	var order []memo.GroupID
+	visited := map[memo.GroupID]bool{}
+	var dfs func(g memo.GroupID)
+	dfs = func(g memo.GroupID) {
+		if visited[g] {
+			return
+		}
+		visited[g] = true
+		for _, c := range childGroups(m, g) {
+			dfs(c)
+		}
+		order = append(order, g)
+	}
+	dfs(m.Root)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := map[memo.GroupID]int{}
+	for i, g := range order {
+		rpoNum[g] = i
+	}
+
+	idom := map[memo.GroupID]memo.GroupID{m.Root: m.Root}
+	intersect := func(a, b memo.GroupID) memo.GroupID {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, g := range order {
+			if g == m.Root {
+				continue
+			}
+			// Predecessors in the root→children orientation are the
+			// memo parents (restricted to reachable groups).
+			var newIdom memo.GroupID = memo.NoGroup
+			for _, p := range m.Parents(g) {
+				if !visited[p] {
+					continue
+				}
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if newIdom == memo.NoGroup {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom == memo.NoGroup {
+				continue
+			}
+			if cur, ok := idom[g]; !ok || cur != newIdom {
+				idom[g] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}

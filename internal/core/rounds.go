@@ -1,0 +1,315 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/memo"
+	"repro/internal/props"
+)
+
+// SharedGroupHistory is the phase-2 view of one shared group at an
+// LCA: the group plus its ranked history of enforceable property
+// sets.
+type SharedGroupHistory struct {
+	Group memo.GroupID
+	// Props are the property sets to try, in evaluation order.
+	Props []props.Required
+	// RepartSav is the Sec. VIII-B ranking key
+	// (NoConsumers−1)·RepartCost.
+	RepartSav float64
+}
+
+// RoundPlanner generates the sequence of phase-2 optimization rounds
+// for one LCA (Sec. VII), honoring the three large-script extensions
+// of Sec. VIII:
+//
+//	A. Independent shared groups are optimized greedily one component
+//	   at a time instead of via the full cartesian product (8×8 = 64
+//	   rounds become 8+7 = 15 in the Fig. 5 example).
+//	B. Components are visited in decreasing repartitioning-savings
+//	   order, so promising rounds run first under a bounded budget.
+//	C. Each group's property sets are pre-ranked by their phase-1 win
+//	   frequency (the caller passes them already ordered).
+//
+// Usage protocol: call Next for the pin combination of the next
+// round, evaluate it, and call Report with the resulting plan cost
+// before calling Next again.
+type RoundPlanner struct {
+	groups     []SharedGroupHistory
+	components [][]int // indexes into groups; evaluation order
+
+	comp      int   // current component
+	cursor    []int // per-group index of the current combination
+	bestPins  map[int]int
+	firstRead bool
+	seen      map[string]bool
+	maxRounds int
+	emitted   int
+
+	bestCost  float64
+	bestCombo []int
+	haveBest  bool
+}
+
+// NewRoundPlanner builds a planner over the shared groups associated
+// with one LCA. components partitions groups (by index) into
+// independence classes; a nil components means all groups form one
+// dependent component. maxRounds caps the number of rounds (0 = no
+// cap).
+func NewRoundPlanner(groups []SharedGroupHistory, components [][]int, maxRounds int) *RoundPlanner {
+	if len(components) == 0 {
+		all := make([]int, len(groups))
+		for i := range groups {
+			all[i] = i
+		}
+		components = [][]int{all}
+	}
+	// Sec. VIII-B: order components by their best repartitioning
+	// savings, descending.
+	sorted := make([][]int, len(components))
+	copy(sorted, components)
+	compSav := func(c []int) float64 {
+		best := 0.0
+		for _, gi := range c {
+			if groups[gi].RepartSav > best {
+				best = groups[gi].RepartSav
+			}
+		}
+		return best
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return compSav(sorted[i]) > compSav(sorted[j])
+	})
+	return &RoundPlanner{
+		groups:     groups,
+		components: sorted,
+		cursor:     make([]int, len(groups)),
+		bestPins:   map[int]int{},
+		seen:       map[string]bool{},
+		maxRounds:  maxRounds,
+	}
+}
+
+// TotalCombinations returns the number of rounds a naive full
+// cartesian product would evaluate (for reporting; the paper's 64 in
+// the Fig. 5 example), saturating at 2^40 — large scripts overflow a
+// plain product (20 property sets across 17 shared groups).
+func (p *RoundPlanner) TotalCombinations() int {
+	const lim = 1 << 40
+	total := 1
+	for _, g := range p.groups {
+		n := len(g.Props)
+		if n <= 0 {
+			continue
+		}
+		if total > lim/n {
+			return lim
+		}
+		total *= n
+	}
+	return total
+}
+
+// Next returns the pins for the next round, or ok=false when the
+// planner is exhausted (or the round cap is hit).
+func (p *RoundPlanner) Next() (props.Pins, bool) {
+	for {
+		if p.maxRounds > 0 && p.emitted >= p.maxRounds {
+			return nil, false
+		}
+		combo, ok := p.nextCombo()
+		if !ok {
+			return nil, false
+		}
+		pins := p.pinsFor(combo)
+		key := pins.Key()
+		if p.seen[key] {
+			continue
+		}
+		p.seen[key] = true
+		p.emitted++
+		p.bestCombo = combo
+		return pins, true
+	}
+}
+
+// Report records the cost of the round most recently returned by
+// Next; the greedy per-component search uses it to fix the best
+// property sets before moving to the next component.
+func (p *RoundPlanner) Report(cost float64) {
+	if !p.haveBest || cost < p.bestCost {
+		p.bestCost = cost
+		p.haveBest = true
+		for _, gi := range p.components[p.comp] {
+			p.bestPins[gi] = p.bestCombo[gi]
+		}
+	}
+}
+
+// BestPins returns the pins of the best-reported combination across
+// all rounds so far.
+func (p *RoundPlanner) BestPins() props.Pins {
+	combo := make([]int, len(p.groups))
+	for gi, pi := range p.bestPins {
+		combo[gi] = pi
+	}
+	return p.pinsFor(combo)
+}
+
+// nextCombo advances the cartesian product of the current component
+// (other components pinned to their best-so-far / first entries),
+// moving to the next component when exhausted.
+func (p *RoundPlanner) nextCombo() ([]int, bool) {
+	for p.comp < len(p.components) {
+		comp := p.components[p.comp]
+		if !p.firstRead {
+			p.firstRead = true
+			for _, gi := range comp {
+				p.cursor[gi] = 0
+			}
+			return p.snapshot(comp), true
+		}
+		// Odometer increment over the component's groups.
+		for k := len(comp) - 1; k >= 0; k-- {
+			gi := comp[k]
+			if p.cursor[gi]+1 < len(p.groups[gi].Props) {
+				p.cursor[gi]++
+				return p.snapshot(comp), true
+			}
+			p.cursor[gi] = 0
+		}
+		// Component exhausted: its best indexes are frozen in
+		// bestPins; move to the next component.
+		p.comp++
+		p.firstRead = false
+	}
+	return nil, false
+}
+
+// snapshot assembles the full combination: cursor for the active
+// component, best-so-far for earlier components, first entry for
+// later ones.
+func (p *RoundPlanner) snapshot(active []int) []int {
+	combo := make([]int, len(p.groups))
+	inActive := map[int]bool{}
+	for _, gi := range active {
+		inActive[gi] = true
+		combo[gi] = p.cursor[gi]
+	}
+	for ci := 0; ci < len(p.components); ci++ {
+		for _, gi := range p.components[ci] {
+			if inActive[gi] {
+				continue
+			}
+			if ci < p.comp {
+				combo[gi] = p.bestPins[gi]
+			} else {
+				combo[gi] = 0
+			}
+		}
+	}
+	return combo
+}
+
+// pinsFor converts a combination (per-group property index) into the
+// Pins structure propagated by phase 2.
+func (p *RoundPlanner) pinsFor(combo []int) props.Pins {
+	pins := props.Pins{}
+	for gi, g := range p.groups {
+		if len(g.Props) == 0 {
+			continue
+		}
+		idx := combo[gi]
+		if idx >= len(g.Props) {
+			idx = 0
+		}
+		pins = pins.With(g.Group, g.Props[idx])
+	}
+	return pins
+}
+
+// IndependentComponents partitions the shared groups associated with
+// LCA group lca into independence classes per Definition 3, using the
+// paper's detection rule: for each input (child group) of the LCA,
+// collect the shared groups (with this LCA) reachable below that
+// input; any two appearing under the same input are dependent; the
+// transitive closure of that relation yields the components. Returned
+// component and member order is deterministic (ascending group id).
+func IndependentComponents(m *memo.Memo, lca memo.GroupID, shared []memo.GroupID) [][]memo.GroupID {
+	if len(shared) == 0 {
+		return nil
+	}
+	idx := map[memo.GroupID]int{}
+	for i, s := range shared {
+		idx[s] = i
+	}
+	// Union-find.
+	parent := make([]int, len(shared))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for _, input := range childGroups(m, lca) {
+		var under []int
+		ig := m.Group(input)
+		for _, si := range ig.SharedBelow {
+			if i, ok := idx[si.Shared]; ok {
+				under = append(under, i)
+			}
+		}
+		if input != lca {
+			// The input itself may be one of the shared groups.
+			if i, ok := idx[input]; ok {
+				under = append(under, i)
+			}
+		}
+		for i := 1; i < len(under); i++ {
+			union(under[0], under[i])
+		}
+	}
+	byRoot := map[int][]memo.GroupID{}
+	for i, s := range shared {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], s)
+	}
+	var roots []int
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]memo.GroupID, 0, len(roots))
+	for _, r := range roots {
+		c := byRoot[r]
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// RankHistory orders a shared group's history entries by descending
+// phase-1 win count (Sec. VIII-C), stably so the recording order
+// breaks ties.
+func RankHistory(entries []*memo.HistEntry) []props.Required {
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return entries[idx[a]].Wins > entries[idx[b]].Wins
+	})
+	out := make([]props.Required, len(entries))
+	for i, j := range idx {
+		out[i] = entries[j].Req
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/props"
+)
+
+func histOf(g memo.GroupID, n int, prefix string) SharedGroupHistory {
+	h := SharedGroupHistory{Group: g}
+	for i := 0; i < n; i++ {
+		h.Props = append(h.Props, props.Required{
+			Part: props.ExactHashPartitioning(props.NewColSet(fmt.Sprintf("%s%d", prefix, i))),
+		})
+	}
+	return h
+}
+
+// drain runs the planner to exhaustion, reporting a cost function of
+// the chosen combination, and returns the number of rounds and the
+// best pins.
+func drain(p *RoundPlanner, costFn func(props.Pins) float64) (int, props.Pins) {
+	rounds := 0
+	for {
+		pins, ok := p.Next()
+		if !ok {
+			break
+		}
+		rounds++
+		p.Report(costFn(pins))
+	}
+	return rounds, p.BestPins()
+}
+
+// TestIndependentRounds64to15 reproduces the Sec. VIII-A example of
+// Fig. 5: two independent shared groups with 8 property sets each
+// need 8+7 = 15 rounds instead of the 64-round cartesian product.
+func TestIndependentRounds64to15(t *testing.T) {
+	groups := []SharedGroupHistory{histOf(5, 8, "p"), histOf(6, 8, "q")}
+	p := NewRoundPlanner(groups, [][]int{{0}, {1}}, 0)
+	if got := p.TotalCombinations(); got != 64 {
+		t.Errorf("TotalCombinations = %d, want 64", got)
+	}
+	rounds, _ := drain(p, func(props.Pins) float64 { return 1 })
+	if rounds != 15 {
+		t.Errorf("independent rounds = %d, want 15", rounds)
+	}
+}
+
+func TestDependentRoundsFullProduct(t *testing.T) {
+	// Fig. 4(b): two shared groups with one LCA and two property
+	// sets each, non-independent: 4 combination rounds.
+	groups := []SharedGroupHistory{histOf(5, 2, "p"), histOf(6, 2, "q")}
+	p := NewRoundPlanner(groups, nil, 0)
+	seen := map[string]bool{}
+	rounds := 0
+	for {
+		pins, ok := p.Next()
+		if !ok {
+			break
+		}
+		rounds++
+		seen[pins.Key()] = true
+		p.Report(1)
+	}
+	if rounds != 4 || len(seen) != 4 {
+		t.Errorf("dependent rounds = %d distinct %d, want 4", rounds, len(seen))
+	}
+}
+
+func TestSingleGroupRounds(t *testing.T) {
+	// Fig. 4(a): one shared group per LCA with two property sets: 2
+	// rounds.
+	p := NewRoundPlanner([]SharedGroupHistory{histOf(5, 2, "p")}, nil, 0)
+	rounds, _ := drain(p, func(props.Pins) float64 { return 1 })
+	if rounds != 2 {
+		t.Errorf("rounds = %d, want 2", rounds)
+	}
+}
+
+func TestGreedyPicksBestPerComponent(t *testing.T) {
+	// Costs engineered so group 5's best is p2 and group 6's best is
+	// q1 given p2; the greedy planner must find {p2, q1}.
+	groups := []SharedGroupHistory{histOf(5, 3, "p"), histOf(6, 3, "q")}
+	costFn := func(pins props.Pins) float64 {
+		r5, _ := pins.Get(5)
+		r6, _ := pins.Get(6)
+		c := 100.0
+		if r5.Part.Cols.Contains("p2") {
+			c -= 50
+		}
+		if r6.Part.Cols.Contains("q1") {
+			c -= 20
+		}
+		return c
+	}
+	p := NewRoundPlanner(groups, [][]int{{0}, {1}}, 0)
+	rounds, best := drain(p, costFn)
+	if rounds != 5 { // 3 + (3-1)
+		t.Errorf("rounds = %d, want 5", rounds)
+	}
+	r5, _ := best.Get(5)
+	r6, _ := best.Get(6)
+	if !r5.Part.Cols.Contains("p2") || !r6.Part.Cols.Contains("q1") {
+		t.Errorf("best pins = %v", best.Key())
+	}
+}
+
+func TestRoundCap(t *testing.T) {
+	groups := []SharedGroupHistory{histOf(5, 10, "p"), histOf(6, 10, "q")}
+	p := NewRoundPlanner(groups, nil, 7)
+	rounds, _ := drain(p, func(props.Pins) float64 { return 1 })
+	if rounds != 7 {
+		t.Errorf("capped rounds = %d, want 7", rounds)
+	}
+}
+
+func TestComponentRankingBySavings(t *testing.T) {
+	// Sec. VIII-B: the component with the higher repartitioning
+	// savings must be evaluated first.
+	g1 := histOf(5, 2, "p")
+	g1.RepartSav = 10
+	g2 := histOf(6, 2, "q")
+	g2.RepartSav = 1000
+	p := NewRoundPlanner([]SharedGroupHistory{g1, g2}, [][]int{{0}, {1}}, 0)
+	pins, ok := p.Next()
+	if !ok {
+		t.Fatal("no rounds")
+	}
+	p.Report(1)
+	// The first two rounds must vary group 6 (higher savings) while
+	// holding group 5 at its first entry.
+	pins2, _ := p.Next()
+	r6a, _ := pins.Get(6)
+	r6b, _ := pins2.Get(6)
+	if r6a.Key() == r6b.Key() {
+		t.Errorf("high-savings group should vary first: %s then %s", pins.Key(), pins2.Key())
+	}
+	r5a, _ := pins.Get(5)
+	r5b, _ := pins2.Get(5)
+	if r5a.Key() != r5b.Key() {
+		t.Errorf("low-savings group should be held fixed initially")
+	}
+}
+
+func TestRankHistory(t *testing.T) {
+	entries := []*memo.HistEntry{
+		{Req: props.RequireHash(props.NewColSet("A")), Wins: 1},
+		{Req: props.RequireHash(props.NewColSet("B")), Wins: 5},
+		{Req: props.RequireHash(props.NewColSet("C")), Wins: 5},
+		{Req: props.RequireHash(props.NewColSet("D")), Wins: 0},
+	}
+	ranked := RankHistory(entries)
+	if ranked[0].Part.Cols.Key() != "B" || ranked[1].Part.Cols.Key() != "C" {
+		t.Errorf("ranking must be stable by wins: %v, %v", ranked[0], ranked[1])
+	}
+	if ranked[3].Part.Cols.Key() != "D" {
+		t.Errorf("lowest wins last: %v", ranked[3])
+	}
+}
+
+func TestExpandHistorySevenSubsets(t *testing.T) {
+	// Sec. V example: requirement [∅,{A,B,C}] stores seven exact
+	// entries [{A},{A}] … [{A,B,C},{A,B,C}].
+	req := props.RequireHash(props.NewColSet("A", "B", "C"))
+	got := ExpandHistory(req, 0)
+	if len(got) != 7 {
+		t.Fatalf("expanded entries = %d, want 7", len(got))
+	}
+	for _, r := range got {
+		if !r.Part.Exact {
+			t.Errorf("entry %v must be exact", r)
+		}
+		if !r.Part.Cols.SubsetOf(props.NewColSet("A", "B", "C")) || r.Part.Cols.Empty() {
+			t.Errorf("entry %v out of range", r)
+		}
+	}
+}
+
+func TestExpandHistoryPreservesOrderAndPassthrough(t *testing.T) {
+	req := props.Required{
+		Part:  props.HashPartitioning(props.NewColSet("A", "B")),
+		Order: props.NewOrdering("B", "A"),
+	}
+	for _, r := range ExpandHistory(req, 0) {
+		if !r.Order.Equal(req.Order) {
+			t.Errorf("entry %v lost the sort requirement", r)
+		}
+	}
+	// Non-range requirements record as themselves.
+	for _, req := range []props.Required{
+		props.AnyRequired(),
+		props.RequireSerial(),
+		{Part: props.ExactHashPartitioning(props.NewColSet("B"))},
+	} {
+		got := ExpandHistory(req, 0)
+		if len(got) != 1 || !got[0].Equal(req) {
+			t.Errorf("ExpandHistory(%v) = %v", req, got)
+		}
+	}
+	// The cap must hold for wide column sets.
+	wide := props.RequireHash(props.NewColSet("A", "B", "C", "D", "E", "F"))
+	if got := ExpandHistory(wide, 10); len(got) > 10 {
+		t.Errorf("cap exceeded: %d entries", len(got))
+	}
+}
+
+func TestIndependentComponentsFig5VsS4(t *testing.T) {
+	// Fig. 5 shape: two disjoint pipelines sharing one LCA (the
+	// Sequence root) — independent.
+	m := buildMemo(t, `
+R0 = EXTRACT A,B,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 GROUP BY A,B;
+R1 = SELECT A,Sum(S) as S1 FROM R GROUP BY A;
+R2 = SELECT B,Sum(S) as S2 FROM R GROUP BY B;
+T0 = EXTRACT A,B,D FROM "test2.log" USING LogExtractor;
+T = SELECT A,B,Sum(D) as S FROM T0 GROUP BY A,B;
+T1 = SELECT A,Sum(S) as S1 FROM T GROUP BY A;
+T2 = SELECT B,Sum(S) as S2 FROM T GROUP BY B;
+OUTPUT R1 TO "o1";
+OUTPUT R2 TO "o2";
+OUTPUT T1 TO "o3";
+OUTPUT T2 TO "o4";
+`)
+	IdentifyCommonSubexpressions(m)
+	PropagateSharedGroups(m)
+	root := m.Group(m.Root)
+	if len(root.LCAOf) != 2 {
+		t.Fatalf("root.LCAOf = %v, want both shared groups", root.LCAOf)
+	}
+	comps := IndependentComponents(m, m.Root, root.LCAOf)
+	if len(comps) != 2 || len(comps[0]) != 1 || len(comps[1]) != 1 {
+		t.Errorf("Fig. 5 components = %v, want two singletons", comps)
+	}
+
+	// S4 shape: consumers feed both direct outputs and a join —
+	// the shared groups are NOT independent at the root.
+	m2 := buildMemo(t, scriptS4)
+	IdentifyCommonSubexpressions(m2)
+	PropagateSharedGroups(m2)
+	root2 := m2.Group(m2.Root)
+	if len(root2.LCAOf) != 3 {
+		t.Fatalf("S4 root.LCAOf = %v", root2.LCAOf)
+	}
+	comps2 := IndependentComponents(m2, m2.Root, root2.LCAOf)
+	if len(comps2) != 1 {
+		t.Errorf("S4 components = %v, want a single dependent component", comps2)
+	}
+}
+
+func TestCrossJoinsNotIndependent(t *testing.T) {
+	// Fig. 4(b): consumers cross the joins, so the two shared groups
+	// are dependent at the shared LCA.
+	m := buildMemo(t, scriptCrossJoins)
+	IdentifyCommonSubexpressions(m)
+	PropagateSharedGroups(m)
+	root := m.Group(m.Root)
+	comps := IndependentComponents(m, m.Root, root.LCAOf)
+	if len(comps) != 1 || len(comps[0]) != 2 {
+		t.Errorf("cross-join components = %v, want one pair", comps)
+	}
+}

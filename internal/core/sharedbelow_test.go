@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relop"
+)
+
+// TestSharedBelowAnnotationsFig3a checks the content of the
+// propagated ShrdGrp lists on the motivating script against Fig. 3(a):
+// every group on a consuming path knows the shared group and exactly
+// the consumers below itself; the root sees both.
+func TestSharedBelowAnnotationsFig3a(t *testing.T) {
+	m := buildMemo(t, scriptS1)
+	IdentifyCommonSubexpressions(m)
+	PropagateSharedGroups(m)
+
+	spool := m.SharedGroups()[0]
+	consumers := m.Parents(spool.ID)
+	if len(consumers) != 2 {
+		t.Fatalf("consumers = %v", consumers)
+	}
+
+	// The spool group itself tracks itself with no consumers found
+	// below it.
+	self := spool.FindSharedBelow(spool.ID)
+	if self == nil {
+		t.Fatal("shared group should track itself")
+	}
+	for c, found := range self.Found {
+		if found {
+			t.Errorf("no consumer lies below the shared group itself, found %v", c)
+		}
+	}
+
+	// Each consumer (a GB group) sees the shared group with exactly
+	// itself found.
+	for _, c := range consumers {
+		si := m.Group(c).FindSharedBelow(spool.ID)
+		if si == nil {
+			t.Fatalf("consumer G%d lost the shared annotation", c)
+		}
+		foundCount := 0
+		for cc, found := range si.Found {
+			if found {
+				foundCount++
+				if cc != c {
+					t.Errorf("consumer G%d marks G%d found", c, cc)
+				}
+			}
+		}
+		if foundCount != 1 {
+			t.Errorf("consumer G%d found-set size = %d, want 1", c, foundCount)
+		}
+		if si.AllFound() {
+			t.Errorf("consumer G%d should not see the full consumer set", c)
+		}
+	}
+
+	// Each Output group inherits its side's single consumer; the
+	// Sequence root merges both and is the LCA.
+	root := m.Group(m.Root)
+	rootSi := root.FindSharedBelow(spool.ID)
+	if rootSi == nil || !rootSi.AllFound() {
+		t.Fatalf("root annotation = %+v", rootSi)
+	}
+	if len(root.LCAOf) != 1 || root.LCAOf[0] != spool.ID {
+		t.Errorf("root.LCAOf = %v", root.LCAOf)
+	}
+	// Groups off the consuming paths carry no annotation: the
+	// extract below the shared group must not know about it.
+	for _, g := range m.Groups() {
+		if g.Exprs[0].Op.Kind() == relop.KindExtract {
+			if g.FindSharedBelow(spool.ID) != nil {
+				t.Errorf("extract G%d below the shared group should not track it", g.ID)
+			}
+		}
+	}
+}
+
+// TestSharedBelowAnnotationsTwoPipelines mirrors Fig. 3(b)/Fig. 4(a):
+// with two shared groups in disjoint pipelines, each join side tracks
+// only its own shared group, and the root tracks both.
+func TestSharedBelowAnnotationsTwoPipelines(t *testing.T) {
+	m := buildMemo(t, scriptS3)
+	IdentifyCommonSubexpressions(m)
+	PropagateSharedGroups(m)
+	shared := m.SharedGroups()
+	if len(shared) != 2 {
+		t.Fatalf("shared = %d", len(shared))
+	}
+	root := m.Group(m.Root)
+	for _, s := range shared {
+		if si := root.FindSharedBelow(s.ID); si == nil || !si.AllFound() {
+			t.Errorf("root should see shared G%d complete", s.ID)
+		}
+		// The LCA (join side) sees its own shared group complete...
+		lca := m.Group(s.LCA)
+		if si := lca.FindSharedBelow(s.ID); si == nil || !si.AllFound() {
+			t.Errorf("LCA G%d should see its shared G%d complete", s.LCA, s.ID)
+		}
+		// ...and does NOT see the other pipeline's shared group.
+		for _, other := range shared {
+			if other.ID != s.ID && lca.FindSharedBelow(other.ID) != nil {
+				t.Errorf("LCA G%d of G%d should not track G%d (disjoint pipelines)",
+					s.LCA, s.ID, other.ID)
+			}
+		}
+	}
+}

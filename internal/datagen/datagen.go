@@ -1,0 +1,126 @@
+// Package datagen produces the synthetic inputs of the experiments:
+// log-style tables with controlled per-column cardinalities (standing
+// in for the paper's test.log), their statistics catalogs, and —
+// because the paper's LS1/LS2 production scripts are proprietary —
+// generated SCOPE scripts matching the published shapes of those
+// scripts (operator counts, shared-group counts, consumer fan-outs).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// ColumnSpec describes one generated column.
+type ColumnSpec struct {
+	Name string
+	// Distinct is the number of distinct values drawn (uniformly).
+	Distinct int64
+}
+
+// LogTable generates a deterministic table of the given row count
+// whose columns draw uniformly from their distinct domains.
+func LogTable(rows int64, cols []ColumnSpec, seed int64) *exec.Table {
+	r := rand.New(rand.NewSource(seed))
+	schema := make(relop.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = relop.Column{Name: c.Name, Type: relop.TInt}
+	}
+	t := &exec.Table{Schema: schema}
+	for i := int64(0); i < rows; i++ {
+		row := make(relop.Row, len(cols))
+		for j, c := range cols {
+			d := c.Distinct
+			if d <= 0 {
+				d = rows
+			}
+			row[j] = relop.IntVal(r.Int63n(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// CatalogFor registers accurate statistics for the generated table
+// under path, optionally scaled: ScaledStats lets the optimizer see
+// the table as `scale` times larger than the physical data, so
+// experiments can execute on laptop-sized data while the optimizer
+// prices cluster-sized work (documented substitution for the paper's
+// terabyte inputs).
+func CatalogFor(cat *stats.Catalog, path string, rows int64, cols []ColumnSpec, scale int64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	ts := &stats.TableStats{Rows: rows * scale, Columns: map[string]stats.ColumnStats{}}
+	for _, c := range cols {
+		d := c.Distinct
+		if d <= 0 {
+			d = rows * scale
+		}
+		ts.Columns[c.Name] = stats.ColumnStats{Distinct: d, AvgBytes: 8}
+	}
+	cat.Put(path, ts)
+}
+
+// TestLogColumns is the column profile of the paper's motivating
+// test.log: grouping columns A, B, C with moderate cardinalities and
+// a measure column D.
+func TestLogColumns() []ColumnSpec {
+	return []ColumnSpec{
+		{Name: "A", Distinct: 1_000},
+		{Name: "B", Distinct: 500},
+		{Name: "C", Distinct: 2_000},
+		{Name: "D", Distinct: 1 << 40},
+	}
+}
+
+// MicroScriptColumns is the column profile used for the S1–S4
+// evaluation workloads: higher grouping cardinalities so the shared
+// aggregation's output is a substantial fraction of its input, which
+// keeps the spool and consumer work non-negligible (the savings
+// fractions then land on the paper's Fig. 7 values).
+func MicroScriptColumns() []ColumnSpec {
+	return []ColumnSpec{
+		{Name: "A", Distinct: 20_000},
+		{Name: "B", Distinct: 5_000},
+		{Name: "C", Distinct: 50_000},
+		{Name: "D", Distinct: 1 << 40},
+	}
+}
+
+// Workload bundles a script with its physical data and catalog.
+type Workload struct {
+	Name   string
+	Script string
+	FS     *exec.FileStore
+	Cat    *stats.Catalog
+	// Budget, when non-zero, is the optimization budget the paper
+	// used for this script.
+	BudgetSeconds int
+}
+
+// SmallWorkload builds one of the paper's S1–S4 micro-scripts with
+// physical data of physRows rows and statistics scaled by statScale,
+// using the TestLogColumns profile.
+func SmallWorkload(name, script string, physRows, statScale int64, seed int64) *Workload {
+	return SmallWorkloadCols(name, script, physRows, statScale, seed, TestLogColumns())
+}
+
+// SmallWorkloadCols is SmallWorkload with an explicit column profile.
+func SmallWorkloadCols(name, script string, physRows, statScale, seed int64, cols []ColumnSpec) *Workload {
+	fs := exec.NewFileStore()
+	cat := stats.NewCatalog()
+	for _, f := range []string{"test.log", "test2.log"} {
+		fs.Put(f, LogTable(physRows, cols, seed))
+		CatalogFor(cat, f, physRows, cols, statScale)
+		seed++
+	}
+	return &Workload{Name: name, Script: script, FS: fs, Cat: cat}
+}
+
+// fileName returns the i-th generated input path.
+func fileName(i int) string { return fmt.Sprintf("logs/input%02d.log", i) }

@@ -1,0 +1,186 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/sqlparse"
+)
+
+func TestLogTableDeterministicAndBounded(t *testing.T) {
+	cols := TestLogColumns()
+	a := LogTable(1000, cols, 42)
+	b := LogTable(1000, cols, 42)
+	if !a.Equal(b) {
+		t.Error("same seed must give same table")
+	}
+	c := LogTable(1000, cols, 43)
+	if a.Equal(c) {
+		t.Error("different seeds should differ")
+	}
+	if len(a.Rows) != 1000 || len(a.Schema) != 4 {
+		t.Fatalf("shape = %d rows, %d cols", len(a.Rows), len(a.Schema))
+	}
+	for _, row := range a.Rows {
+		if row[0].I < 0 || row[0].I >= 1000 {
+			t.Fatalf("A out of domain: %v", row[0])
+		}
+		if row[1].I < 0 || row[1].I >= 500 {
+			t.Fatalf("B out of domain: %v", row[1])
+		}
+	}
+}
+
+func TestCatalogForScaling(t *testing.T) {
+	w := SmallWorkload("s", `R = EXTRACT A FROM "test.log" USING E; OUTPUT R TO "o";`, 100, 1000, 1)
+	ts := w.Cat.Table("test.log")
+	if ts.Rows != 100_000 {
+		t.Errorf("scaled rows = %d, want 100000", ts.Rows)
+	}
+	tab, ok := w.FS.Get("test.log")
+	if !ok || len(tab.Rows) != 100 {
+		t.Errorf("physical rows = %v", tab)
+	}
+}
+
+// countOps builds the workload script and reports the size of the
+// initial operator DAG plus the shared-group fan-outs after Alg. 1.
+func countOps(t *testing.T, w *Workload) (ops int, fanouts []int) {
+	t.Helper()
+	m, err := logical.BuildSource(w.Script, w.Cat)
+	if err != nil {
+		t.Fatalf("%s does not bind: %v", w.Name, err)
+	}
+	ops = len(m.Groups())
+	shared := core.IdentifyCommonSubexpressions(m)
+	for _, s := range shared {
+		fanouts = append(fanouts, len(m.Parents(memo.GroupID(s))))
+	}
+	return ops, fanouts
+}
+
+func TestLS1ShapeMatchesPaper(t *testing.T) {
+	w := LargeScript1()
+	ops, fanouts := countOps(t, w)
+	// Paper: 101 operators in the initial operator DAG, 4 shared
+	// groups, 3 with two consumers and 1 with three.
+	if ops != 101 {
+		t.Errorf("LS1 operators = %d, want 101", ops)
+	}
+	if len(fanouts) != 4 {
+		t.Fatalf("LS1 shared groups = %d, want 4", len(fanouts))
+	}
+	twos, threes := 0, 0
+	for _, f := range fanouts {
+		switch f {
+		case 2:
+			twos++
+		case 3:
+			threes++
+		default:
+			t.Errorf("unexpected fan-out %d", f)
+		}
+	}
+	if twos != 3 || threes != 1 {
+		t.Errorf("LS1 fan-outs = %v, want 3×2 + 1×3", fanouts)
+	}
+	if w.BudgetSeconds != 30 {
+		t.Errorf("LS1 budget = %d, want 30", w.BudgetSeconds)
+	}
+}
+
+func TestLS2ShapeMatchesPaper(t *testing.T) {
+	w := LargeScript2()
+	ops, fanouts := countOps(t, w)
+	// Paper: 1034 operators, 17 shared groups, 15×2 + 1×4 + 1×5.
+	if ops != 1034 {
+		t.Errorf("LS2 operators = %d, want 1034", ops)
+	}
+	if len(fanouts) != 17 {
+		t.Fatalf("LS2 shared groups = %d, want 17", len(fanouts))
+	}
+	count := map[int]int{}
+	for _, f := range fanouts {
+		count[f]++
+	}
+	if count[2] != 15 || count[4] != 1 || count[5] != 1 {
+		t.Errorf("LS2 fan-outs = %v, want 15×2 + 1×4 + 1×5", fanouts)
+	}
+	if w.BudgetSeconds != 60 {
+		t.Errorf("LS2 budget = %d, want 60", w.BudgetSeconds)
+	}
+}
+
+func TestLargeScriptInputsRegistered(t *testing.T) {
+	w := LargeScript1()
+	if len(w.FS.Paths()) == 0 {
+		t.Fatal("no input files generated")
+	}
+	for _, p := range w.FS.Paths() {
+		if !w.Cat.Has(p) {
+			t.Errorf("file %q missing from catalog", p)
+		}
+	}
+}
+
+func TestLargeScriptCustomShape(t *testing.T) {
+	shape := LSShape{
+		Name:          "tiny",
+		TargetOps:     40,
+		SharedFanouts: []int{2, 2},
+		PhysRows:      50,
+		StatScale:     10,
+		Seed:          5,
+	}
+	ops, fanouts := countOps(t, LargeScript(shape))
+	if ops != 40 {
+		t.Errorf("custom ops = %d, want 40", ops)
+	}
+	if len(fanouts) != 2 {
+		t.Errorf("custom shared = %v", fanouts)
+	}
+	// A deficit too small for a chain must be absorbed exactly via
+	// pre-projections: core = 1 + 2*(2+4) = 13, so target 14 and 15
+	// exercise the remainder path.
+	for _, target := range []int{13, 14, 15} {
+		shape.TargetOps = target
+		ops, _ := countOps(t, LargeScript(shape))
+		if ops != target {
+			t.Errorf("target %d: ops = %d", target, ops)
+		}
+	}
+}
+
+// TestRandomScriptsFormatRoundTrip: every generated script parses,
+// formats idempotently, and the formatted text binds to the same
+// number of memo groups as the original.
+func TestRandomScriptsFormatRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		w := RandomWorkload(seed, 10)
+		s1, err := sqlparse.Parse(w.Script)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, w.Script)
+		}
+		once := sqlparse.Format(s1)
+		s2, err := sqlparse.Parse(once)
+		if err != nil {
+			t.Fatalf("seed %d: formatted does not parse: %v\n%s", seed, err, once)
+		}
+		if twice := sqlparse.Format(s2); twice != once {
+			t.Fatalf("seed %d: formatting not idempotent", seed)
+		}
+		m1, err := logical.BuildSource(w.Script, w.Cat)
+		if err != nil {
+			t.Fatalf("seed %d: original does not bind: %v", seed, err)
+		}
+		m2, err := logical.BuildSource(once, w.Cat)
+		if err != nil {
+			t.Fatalf("seed %d: formatted does not bind: %v\n%s", seed, err, once)
+		}
+		if len(m1.Groups()) != len(m2.Groups()) {
+			t.Errorf("seed %d: groups %d vs %d after formatting", seed, len(m1.Groups()), len(m2.Groups()))
+		}
+	}
+}

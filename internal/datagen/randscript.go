@@ -1,0 +1,292 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/stats"
+)
+
+// RandomWorkload generates a random but always-valid SCOPE script
+// together with physical data and statistics, for differential
+// testing: the conventional plan, the CSE plan, and the single-node
+// reference interpreter must all produce identical results on it.
+//
+// The generator draws filters, projections, aggregations, and joins
+// over a growing pool of intermediates, reusing intermediates freely —
+// which is exactly how common subexpressions (and nested sharing)
+// arise. Output column names are always freshly aliased so joins can
+// never clash, and aggregate arguments are always numeric.
+func RandomWorkload(seed int64, steps int) *Workload {
+	r := rand.New(rand.NewSource(seed))
+	g := &randGen{
+		r:     r,
+		fs:    exec.NewFileStore(),
+		cat:   stats.NewCatalog(),
+		fresh: map[string]int{},
+	}
+	nExtracts := 1 + r.Intn(3)
+	for i := 0; i < nExtracts; i++ {
+		g.addExtract(i)
+	}
+	for i := 0; i < steps; i++ {
+		switch g.r.Intn(12) {
+		case 0, 1:
+			g.addFilter()
+		case 2, 3:
+			g.addProject()
+		case 4, 5, 6, 7:
+			g.addGroupBy()
+		case 8:
+			g.addDistinct()
+		case 9:
+			g.addUnion()
+		default:
+			g.addJoin()
+		}
+	}
+	g.addOutputs()
+	return &Workload{
+		Name:   fmt.Sprintf("rand-%d", seed),
+		Script: g.sb.String(),
+		FS:     g.fs,
+		Cat:    g.cat,
+	}
+}
+
+type randIntermediate struct {
+	name string
+	cols []string
+	// numeric marks columns safe as aggregate arguments (all are in
+	// this generator, but keep the hook explicit).
+	depth int
+}
+
+type randGen struct {
+	r     *rand.Rand
+	fs    *exec.FileStore
+	cat   *stats.Catalog
+	sb    strings.Builder
+	pool  []randIntermediate
+	fresh map[string]int
+	seq   int
+}
+
+// name mints a fresh intermediate name.
+func (g *randGen) name(prefix string) string {
+	g.seq++
+	return fmt.Sprintf("%s%d", prefix, g.seq)
+}
+
+// alias mints a globally fresh column alias.
+func (g *randGen) alias() string {
+	g.fresh["c"]++
+	return fmt.Sprintf("c%d", g.fresh["c"])
+}
+
+// pick returns a random intermediate, biased toward recent ones so
+// chains grow but old intermediates still get re-consumed (creating
+// shared groups).
+func (g *randGen) pick() randIntermediate {
+	n := len(g.pool)
+	if g.r.Intn(3) == 0 {
+		return g.pool[g.r.Intn(n)]
+	}
+	lo := n - 3
+	if lo < 0 {
+		lo = 0
+	}
+	return g.pool[lo+g.r.Intn(n-lo)]
+}
+
+func (g *randGen) addExtract(i int) {
+	file := fmt.Sprintf("rand/in%d.log", i)
+	cols := []ColumnSpec{
+		{Name: "A", Distinct: int64(2 + g.r.Intn(6))},
+		{Name: "B", Distinct: int64(2 + g.r.Intn(6))},
+		{Name: "C", Distinct: int64(2 + g.r.Intn(8))},
+		{Name: "D", Distinct: 50},
+	}
+	rows := int64(50 + g.r.Intn(200))
+	g.fs.Put(file, LogTable(rows, cols, g.r.Int63()))
+	CatalogFor(g.cat, file, rows, cols, 1_000_000)
+	name := g.name("E")
+	fmt.Fprintf(&g.sb, "%s = EXTRACT A,B,C,D FROM %q USING LogExtractor;\n", name, file)
+	g.pool = append(g.pool, randIntermediate{name: name, cols: []string{"A", "B", "C", "D"}})
+}
+
+func (g *randGen) addFilter() {
+	src := g.pick()
+	col := src.cols[g.r.Intn(len(src.cols))]
+	name := g.name("F")
+	// Keep selectivity moderate so data survives chains.
+	pred := fmt.Sprintf("%s >= %d", col, g.r.Intn(3))
+	if g.r.Intn(3) == 0 {
+		other := src.cols[g.r.Intn(len(src.cols))]
+		pred = fmt.Sprintf("%s OR %s < %d", pred, other, 1+g.r.Intn(4))
+	}
+	fmt.Fprintf(&g.sb, "%s = SELECT %s FROM %s WHERE %s;\n",
+		name, strings.Join(src.cols, ", "), src.name, pred)
+	g.pool = append(g.pool, randIntermediate{name: name, cols: src.cols, depth: src.depth + 1})
+}
+
+func (g *randGen) addProject() {
+	src := g.pick()
+	k := 1 + g.r.Intn(len(src.cols))
+	perm := g.r.Perm(len(src.cols))[:k]
+	var items, cols []string
+	for _, idx := range perm {
+		a := g.alias()
+		items = append(items, fmt.Sprintf("%s as %s", src.cols[idx], a))
+		cols = append(cols, a)
+	}
+	// Sometimes add a computed column.
+	if g.r.Intn(2) == 0 {
+		a := g.alias()
+		c := src.cols[g.r.Intn(len(src.cols))]
+		items = append(items, fmt.Sprintf("%s + %d as %s", c, g.r.Intn(5), a))
+		cols = append(cols, a)
+	}
+	name := g.name("P")
+	fmt.Fprintf(&g.sb, "%s = SELECT %s FROM %s;\n", name, strings.Join(items, ", "), src.name)
+	g.pool = append(g.pool, randIntermediate{name: name, cols: cols, depth: src.depth + 1})
+}
+
+var aggFuncs = []string{"Sum", "Count", "Min", "Max"}
+
+func (g *randGen) addGroupBy() {
+	src := g.pick()
+	if len(src.cols) < 2 {
+		return
+	}
+	nKeys := 1 + g.r.Intn(len(src.cols)-1)
+	perm := g.r.Perm(len(src.cols))
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = src.cols[perm[i]]
+	}
+	var items []string
+	items = append(items, keys...)
+	outCols := append([]string{}, keys...)
+	nAggs := 1 + g.r.Intn(2)
+	var aggNames []string
+	for i := 0; i < nAggs; i++ {
+		fn := aggFuncs[g.r.Intn(len(aggFuncs))]
+		a := g.alias()
+		if fn == "Count" && g.r.Intn(2) == 0 {
+			items = append(items, fmt.Sprintf("Count() as %s", a))
+		} else {
+			arg := src.cols[perm[len(perm)-1-i%len(perm)]]
+			items = append(items, fmt.Sprintf("%s(%s) as %s", fn, arg, a))
+		}
+		outCols = append(outCols, a)
+		aggNames = append(aggNames, a)
+	}
+	having := ""
+	if g.r.Intn(4) == 0 {
+		having = fmt.Sprintf(" HAVING %s >= %d", aggNames[0], g.r.Intn(3))
+	}
+	name := g.name("G")
+	fmt.Fprintf(&g.sb, "%s = SELECT %s FROM %s GROUP BY %s%s;\n",
+		name, strings.Join(items, ", "), src.name, strings.Join(keys, ", "), having)
+	g.pool = append(g.pool, randIntermediate{name: name, cols: outCols, depth: src.depth + 1})
+}
+
+// addDistinct emits a SELECT DISTINCT projection.
+func (g *randGen) addDistinct() {
+	src := g.pick()
+	k := 1 + g.r.Intn(len(src.cols))
+	perm := g.r.Perm(len(src.cols))[:k]
+	var items, cols []string
+	for _, idx := range perm {
+		a := g.alias()
+		items = append(items, fmt.Sprintf("%s as %s", src.cols[idx], a))
+		cols = append(cols, a)
+	}
+	name := g.name("D")
+	fmt.Fprintf(&g.sb, "%s = SELECT DISTINCT %s FROM %s;\n", name, strings.Join(items, ", "), src.name)
+	g.pool = append(g.pool, randIntermediate{name: name, cols: cols, depth: src.depth + 1})
+}
+
+// addUnion aligns two intermediates onto a common schema via fresh
+// projections and concatenates them.
+func (g *randGen) addUnion() {
+	if len(g.pool) < 2 {
+		return
+	}
+	a, b := g.pick(), g.pick()
+	if a.name == b.name {
+		return
+	}
+	width := len(a.cols)
+	if len(b.cols) < width {
+		width = len(b.cols)
+	}
+	width = 1 + g.r.Intn(width)
+	cols := make([]string, width)
+	for i := range cols {
+		cols[i] = g.alias()
+	}
+	align := func(src randIntermediate) string {
+		items := make([]string, width)
+		perm := g.r.Perm(len(src.cols))
+		for i := 0; i < width; i++ {
+			items[i] = fmt.Sprintf("%s as %s", src.cols[perm[i]], cols[i])
+		}
+		n := g.name("V")
+		fmt.Fprintf(&g.sb, "%s = SELECT %s FROM %s;\n", n, strings.Join(items, ", "), src.name)
+		return n
+	}
+	left, right := align(a), align(b)
+	name := g.name("U")
+	fmt.Fprintf(&g.sb, "%s = UNION ALL %s, %s;\n", name, left, right)
+	g.pool = append(g.pool, randIntermediate{name: name, cols: cols, depth: a.depth + b.depth + 1})
+}
+
+func (g *randGen) addJoin() {
+	if len(g.pool) < 2 {
+		return
+	}
+	l := g.pick()
+	r := g.pick()
+	if l.name == r.name || l.depth+r.depth > 8 {
+		return
+	}
+	lk := l.cols[g.r.Intn(len(l.cols))]
+	rk := r.cols[g.r.Intn(len(r.cols))]
+	var items, cols []string
+	take := func(src randIntermediate, n int) {
+		perm := g.r.Perm(len(src.cols))
+		if n > len(src.cols) {
+			n = len(src.cols)
+		}
+		for _, idx := range perm[:n] {
+			a := g.alias()
+			items = append(items, fmt.Sprintf("%s.%s as %s", src.name, src.cols[idx], a))
+			cols = append(cols, a)
+		}
+	}
+	take(l, 1+g.r.Intn(2))
+	take(r, 1+g.r.Intn(2))
+	name := g.name("J")
+	fmt.Fprintf(&g.sb, "%s = SELECT %s FROM %s, %s WHERE %s.%s = %s.%s;\n",
+		name, strings.Join(items, ", "), l.name, r.name, l.name, lk, r.name, rk)
+	g.pool = append(g.pool, randIntermediate{name: name, cols: cols, depth: l.depth + r.depth + 1})
+}
+
+func (g *randGen) addOutputs() {
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		// Deliberately allow the same intermediate to be output to
+		// several files: it then has multiple parents and becomes a
+		// shared group whose consumers are Outputs.
+		src := g.pick()
+		order := ""
+		if g.r.Intn(3) == 0 {
+			order = " ORDER BY " + src.cols[g.r.Intn(len(src.cols))]
+		}
+		fmt.Fprintf(&g.sb, "OUTPUT %s TO \"rand/out%d.out\"%s;\n", src.name, i, order)
+	}
+}

@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/props"
+	"repro/internal/relop"
+)
+
+// Metrics meters the simulated work of one plan execution.
+type Metrics struct {
+	// DiskBytesRead / DiskBytesWritten count file and spool I/O.
+	DiskBytesRead    int64
+	DiskBytesWritten int64
+	// NetBytes counts bytes moved by exchanges.
+	NetBytes int64
+	// RowsProcessed counts operator input rows across all operators.
+	RowsProcessed int64
+	// SpoolMaterializations counts distinct spools executed;
+	// SpoolReads counts consumer reads of materialized spools.
+	SpoolMaterializations int
+	SpoolReads            int
+	// Exchanges counts repartition operations executed.
+	Exchanges int
+}
+
+// SimulatedSeconds converts the metered work into wall-clock seconds
+// on the given cluster, using the same bandwidth parameters as the
+// cost model. It is a coarse lower bound (perfect overlap across
+// stages) used to check that the estimator ranks plans like the
+// metered execution does.
+func (m Metrics) SimulatedSeconds(c cost.Cluster) float64 {
+	c = cost.NewModel(c).C
+	machines := float64(c.Machines)
+	disk := float64(m.DiskBytesRead+m.DiskBytesWritten) / c.DiskBytesPerSec / machines
+	net := float64(m.NetBytes) / c.NetBytesPerSec / machines
+	cpu := float64(m.RowsProcessed) * c.RowCPU / machines
+	return disk + net + cpu
+}
+
+// Cluster is the simulated shared-nothing cluster.
+type Cluster struct {
+	// Machines is the number of workers (partitions).
+	Machines int
+	// FS is the simulated distributed file system.
+	FS *FileStore
+	// Validate enables runtime verification of the physical
+	// properties plans rely on (colocation and clustering checks).
+	Validate bool
+
+	metrics Metrics
+}
+
+// NewCluster returns a cluster with the given worker count over fs.
+func NewCluster(machines int, fs *FileStore) *Cluster {
+	if machines <= 0 {
+		machines = 4
+	}
+	if fs == nil {
+		fs = NewFileStore()
+	}
+	return &Cluster{Machines: machines, FS: fs, Validate: true}
+}
+
+// Metrics returns the work metered since the last Reset.
+func (c *Cluster) Metrics() Metrics { return c.metrics }
+
+// Reset clears the meter.
+func (c *Cluster) Reset() { c.metrics = Metrics{} }
+
+// pdata is a partitioned intermediate result: one row slice per
+// machine.
+type pdata struct {
+	schema relop.Schema
+	parts  [][]relop.Row
+	// broadcast marks replicated data: every partition holds a full
+	// copy. Operators that merge partitions (Output, Repartition)
+	// must read a single copy, and aggregations must never consume
+	// it directly.
+	broadcast bool
+}
+
+func newPData(schema relop.Schema, machines int) *pdata {
+	return &pdata{schema: schema, parts: make([][]relop.Row, machines)}
+}
+
+// rows returns the total row count.
+func (p *pdata) rows() int64 {
+	var n int64
+	for _, part := range p.parts {
+		n += int64(len(part))
+	}
+	return n
+}
+
+// bytes returns the accounted size.
+func (p *pdata) bytes() int64 {
+	return p.rows() * int64(len(p.schema)) * 8
+}
+
+// gather concatenates all partitions (deterministically, by machine
+// index); broadcast data yields its single logical copy.
+func (p *pdata) gather() []relop.Row {
+	if p.broadcast {
+		return p.parts[0]
+	}
+	var out []relop.Row
+	for _, part := range p.parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// hashDest computes the destination machine of a row under hash
+// partitioning on the given column indexes.
+func hashDest(r relop.Row, idx []int, machines int) int {
+	return int(r.HashCols(idx) % uint64(machines))
+}
+
+// keyOf renders the key columns of a row for validation maps.
+func keyOf(r relop.Row, idx []int) string {
+	s := ""
+	for _, i := range idx {
+		s += r[i].String() + "|"
+	}
+	return s
+}
+
+// sortRows sorts rows by the ordering in place. The sort is stable so
+// executions are fully deterministic.
+func sortRows(rows []relop.Row, schema relop.Schema, order props.Ordering) error {
+	idx := make([]int, len(order))
+	for i, sc := range order {
+		j := schema.Index(sc.Col)
+		if j < 0 {
+			return fmt.Errorf("exec: sort column %q not in schema %v", sc.Col, schema)
+		}
+		idx[i] = j
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, sc := range order {
+			c := rows[a][idx[i]].Compare(rows[b][idx[i]])
+			if sc.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// checkSorted verifies rows are ordered by the given ordering; the
+// executor uses it to validate ORDER BY outputs.
+func checkSorted(rows []relop.Row, schema relop.Schema, order props.Ordering) error {
+	idx := make([]int, len(order))
+	for i, sc := range order {
+		j := schema.Index(sc.Col)
+		if j < 0 {
+			return fmt.Errorf("sort column %q not in schema %v", sc.Col, schema)
+		}
+		idx[i] = j
+	}
+	for i := 1; i < len(rows); i++ {
+		for k, sc := range order {
+			c := rows[i-1][idx[k]].Compare(rows[i][idx[k]])
+			if sc.Desc {
+				c = -c
+			}
+			if c < 0 {
+				break
+			}
+			if c > 0 {
+				return fmt.Errorf("rows %d and %d violate order %v", i-1, i, order)
+			}
+		}
+	}
+	return nil
+}

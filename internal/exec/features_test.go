@@ -1,0 +1,286 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/relop"
+)
+
+// featureScripts exercise HAVING, DISTINCT, and ORDER BY end to end:
+// optimized both ways, executed, checked against the reference.
+var featureScripts = map[string]string{
+	"having": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S, Count() as N FROM R0 GROUP BY A,B HAVING N > 1;
+R1 = SELECT A,Sum(S) as T FROM R GROUP BY A;
+R2 = SELECT B,Max(S) as M FROM R GROUP BY B;
+OUTPUT R1 TO "o1";
+OUTPUT R2 TO "o2";
+`,
+	"distinct": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT DISTINCT A, B FROM R0;
+R1 = SELECT A, Count() as N FROM R GROUP BY A;
+R2 = SELECT B, Count() as N FROM R GROUP BY B;
+OUTPUT R1 TO "o1";
+OUTPUT R2 TO "o2";
+`,
+	"ordered-output": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 GROUP BY A,B;
+OUTPUT R TO "sorted.out" ORDER BY B, A;
+OUTPUT R TO "plain.out";
+`,
+}
+
+func TestFeatureScriptEquivalence(t *testing.T) {
+	for name, src := range featureScripts {
+		t.Run(name, func(t *testing.T) {
+			w := datagen.SmallWorkload(name, src, 2_000, 1_000, 13)
+			mRef, err := logical.BuildSource(src, w.Cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exec.Reference(mRef, w.FS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cse := range []bool{false, true} {
+				opts := opt.DefaultOptions()
+				opts.EnableCSE = cse
+				m, err := logical.BuildSource(src, w.Cat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := opt.Optimize(m, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := opt.ValidatePlan(res.Plan); err != nil {
+					t.Fatalf("cse=%v: %v", cse, err)
+				}
+				cl := exec.NewCluster(5, w.FS)
+				got, err := cl.Run(res.Plan)
+				if err != nil {
+					t.Fatalf("cse=%v: %v", cse, err)
+				}
+				for path, wt := range want {
+					if gt := got[path]; gt == nil || !gt.Equal(wt) {
+						t.Errorf("cse=%v: %q differs", cse, path)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOrderedOutputIsSorted checks the ORDER BY contract directly:
+// the executor's own validation passed (Run would have failed
+// otherwise), and the rows really are sorted.
+func TestOrderedOutputIsSorted(t *testing.T) {
+	src := featureScripts["ordered-output"]
+	w := datagen.SmallWorkload("ordered", src, 2_000, 1_000, 13)
+	m, err := logical.BuildSource(src, w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(m, opt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := exec.NewCluster(5, w.FS)
+	outs, err := cl.Run(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := outs["sorted.out"]
+	bi, ai := tab.Schema.Index("B"), tab.Schema.Index("A")
+	for i := 1; i < len(tab.Rows); i++ {
+		prev, cur := tab.Rows[i-1], tab.Rows[i]
+		cb := prev[bi].Compare(cur[bi])
+		if cb > 0 || (cb == 0 && prev[ai].Compare(cur[ai]) > 0) {
+			t.Fatalf("rows %d,%d out of order: %v, %v", i-1, i, prev, cur)
+		}
+	}
+	// The plain output of the same shared intermediate is still
+	// produced (and the shared GB computed once).
+	if outs["plain.out"] == nil || !outs["plain.out"].Equal(&exec.Table{Schema: tab.Schema, Rows: tab.Rows}) {
+		t.Error("plain output missing or different content")
+	}
+	if cl.Metrics().SpoolMaterializations != 1 {
+		t.Errorf("shared intermediate should spool once, metrics=%+v", cl.Metrics())
+	}
+	// The distinct consumer requirements (serial+sorted vs parallel)
+	// show up as compensation above the spool, not as re-execution.
+	if got := len(outs); got != 2 {
+		t.Errorf("outputs = %d", got)
+	}
+}
+
+// TestUnionAllEndToEnd exercises UNION ALL through both optimizers,
+// including a union of the SAME shared intermediate (duplicated rows
+// are the correct UNION ALL semantics, and the spool must still
+// materialize once).
+func TestUnionAllEndToEnd(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+LOW = SELECT A, B, D FROM R0 WHERE A < 3;
+HIGH = SELECT A, B, D FROM R0 WHERE A >= 3;
+ALLROWS = UNION ALL LOW, HIGH;
+AGG = SELECT A, Sum(D) as S, Count() as N FROM ALLROWS GROUP BY A;
+TWICE = UNION ALL AGG, AGG;
+T2 = SELECT A, Sum(S) as SS FROM TWICE GROUP BY A;
+OUTPUT AGG TO "o1";
+OUTPUT T2 TO "o2";
+`
+	w := datagen.SmallWorkload("union", src, 2_000, 1_000, 17)
+	mRef, err := logical.BuildSource(src, w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Reference(mRef, w.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: T2's sums are exactly double AGG's (same rows unioned
+	// twice).
+	aggSums := map[int64]int64{}
+	for _, row := range want["o1"].Rows {
+		aggSums[row[0].I] = row[1].I
+	}
+	for _, row := range want["o2"].Rows {
+		if row[1].I != 2*aggSums[row[0].I] {
+			t.Fatalf("UNION ALL of AGG with itself should double sums: %v", row)
+		}
+	}
+	for _, cse := range []bool{false, true} {
+		opts := opt.DefaultOptions()
+		opts.EnableCSE = cse
+		m, err := logical.BuildSource(src, w.Cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := opt.Optimize(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.ValidatePlan(res.Plan); err != nil {
+			t.Fatalf("cse=%v: %v", cse, err)
+		}
+		cl := exec.NewCluster(4, w.FS)
+		got, err := cl.Run(res.Plan)
+		if err != nil {
+			t.Fatalf("cse=%v: %v", cse, err)
+		}
+		for path, wt := range want {
+			if gt := got[path]; gt == nil || !gt.Equal(wt) {
+				t.Errorf("cse=%v: %q differs", cse, path)
+			}
+		}
+		if cse {
+			// AGG is consumed by Output, T2's union (twice): shared.
+			if cl.Metrics().SpoolMaterializations == 0 {
+				t.Error("expected shared spools in CSE mode")
+			}
+		}
+	}
+}
+
+// TestDescendingOrderedOutput runs an ORDER BY ... DESC output end to
+// end: the executor validates global descending order.
+func TestDescendingOrderedOutput(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A, Sum(D) as S, Avg(D) as V FROM R0 GROUP BY A;
+OUTPUT R TO "top.out" ORDER BY S DESC, A;
+`
+	w := datagen.SmallWorkload("desc", src, 2_000, 1_000, 19)
+	m, err := logical.BuildSource(src, w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(m, opt.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.ValidatePlan(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	cl := exec.NewCluster(4, w.FS)
+	outs, err := cl.Run(res.Plan) // exec validates the DESC order itself
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := outs["top.out"]
+	si := tab.Schema.Index("S")
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i-1][si].I < tab.Rows[i][si].I {
+			t.Fatalf("descending order violated at row %d", i)
+		}
+	}
+	// Avg is computed single-phase (not decomposable): spot-check one
+	// group against the reference.
+	want, err := exec.Reference(m, w.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Equal(want["top.out"]) {
+		t.Error("results differ from reference (Avg single-phase)")
+	}
+}
+
+// TestProjectMergeEquivalenceAndSavings: with the optional
+// project-merge rule on, a deep projection chain collapses into a
+// single Compute stage, the cost drops, and results are unchanged.
+func TestProjectMergeEquivalenceAndSavings(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+P1 = SELECT A, B, D+1 as D1 FROM R0;
+P2 = SELECT A, B, D1*2 as D2 FROM P1;
+P3 = SELECT A, D2 as V, B FROM P2;
+P4 = SELECT A, V + B as W FROM P3;
+G = SELECT A, Sum(W) as S FROM P4 GROUP BY A;
+OUTPUT G TO "o";
+`
+	w := datagen.SmallWorkload("pm", src, 2_000, 1_000, 23)
+	run := func(merge bool) (float64, int, map[string]*exec.Table) {
+		opts := opt.DefaultOptions()
+		opts.Rules.EnableProjectMerge = merge
+		m, err := logical.BuildSource(src, w.Cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := opt.Optimize(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.ValidatePlan(res.Plan); err != nil {
+			t.Fatal(err)
+		}
+		cl := exec.NewCluster(4, w.FS)
+		outs, err := cl.Run(res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		computes := len(plan.FindAll(res.Plan, relop.KindPhysProject))
+		return res.Cost, computes, outs
+	}
+	costOff, computesOff, outOff := run(false)
+	costOn, computesOn, outOn := run(true)
+	t.Logf("project merge: cost %0.f -> %0.f, computes %d -> %d",
+		costOff, costOn, computesOff, computesOn)
+	if computesOn >= computesOff {
+		t.Errorf("merge should reduce Compute stages: %d vs %d", computesOn, computesOff)
+	}
+	if costOn >= costOff {
+		t.Errorf("merge should reduce cost: %v vs %v", costOn, costOff)
+	}
+	if !outOn["o"].Equal(outOff["o"]) {
+		t.Error("merge changed the results")
+	}
+}

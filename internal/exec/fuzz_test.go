@@ -1,0 +1,92 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/rules"
+)
+
+// TestRandomScriptEquivalence is the differential fuzz harness:
+// random scripts with organic sharing patterns are optimized
+// conventionally and with the CSE framework (both rule profiles), all
+// plans are executed on the validating simulator, and every result
+// must match the single-node reference interpreter. Phase 2 must also
+// never produce a plan costlier than phase 1.
+func TestRandomScriptEquivalence(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		w := datagen.RandomWorkload(seed, 8+int(seed%7))
+		mRef, err := logical.BuildSource(w.Script, w.Cat)
+		if err != nil {
+			t.Fatalf("seed %d: script does not bind: %v\nscript:\n%s", seed, err, w.Script)
+		}
+		want, err := exec.Reference(mRef, w.FS)
+		if err != nil {
+			t.Fatalf("seed %d: reference failed: %v\nscript:\n%s", seed, err, w.Script)
+		}
+		merged := rules.DefaultConfig()
+		merged.EnableProjectMerge = true
+		merged.EnableFilterPushdown = true
+		for _, prof := range []struct {
+			name string
+			cfg  rules.Config
+		}{
+			{"default", rules.DefaultConfig()},
+			{"scope", rules.SCOPEProfile()},
+			{"projmerge", merged},
+		} {
+			for _, cse := range []bool{false, true} {
+				opts := opt.DefaultOptions()
+				opts.EnableCSE = cse
+				opts.Rules = prof.cfg
+				opts.Cluster.Machines = 7
+				opts.Rules.Machines = 7
+				m, err := logical.BuildSource(w.Script, w.Cat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := opt.Optimize(m, opts)
+				if err != nil {
+					t.Fatalf("seed %d %s cse=%v: optimize: %v\nscript:\n%s",
+						seed, prof.name, cse, err, w.Script)
+				}
+				if res.Cost > res.Phase1Cost*(1+1e-9) {
+					t.Errorf("seed %d %s cse=%v: phase-2 cost %v exceeds phase-1 %v",
+						seed, prof.name, cse, res.Cost, res.Phase1Cost)
+				}
+				if err := opt.ValidatePlan(res.Plan); err != nil {
+					t.Errorf("seed %d %s cse=%v: static validation: %v\nplan:\n%s",
+						seed, prof.name, cse, err, plan.Format(res.Plan))
+				}
+				cl := exec.NewCluster(7, w.FS)
+				got, err := cl.Run(res.Plan)
+				if err != nil {
+					t.Fatalf("seed %d %s cse=%v: execute: %v\nscript:\n%s\nplan:\n%s",
+						seed, prof.name, cse, err, w.Script, plan.Format(res.Plan))
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %s cse=%v: %d outputs, want %d",
+						seed, prof.name, cse, len(got), len(want))
+				}
+				for path, wt := range want {
+					gt := got[path]
+					if gt == nil {
+						t.Fatalf("seed %d %s cse=%v: missing %q", seed, prof.name, cse, path)
+					}
+					if !gt.Equal(wt) {
+						t.Errorf("seed %d %s cse=%v: %q differs: %s\nscript:\n%s\nplan:\n%s",
+							seed, prof.name, cse, path, gt.Diff(wt), w.Script, plan.Format(res.Plan))
+					}
+				}
+			}
+		}
+	}
+}

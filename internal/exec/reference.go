@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/memo"
+	"repro/internal/relop"
+)
+
+// Reference evaluates the logical operator DAG of a memo directly on
+// a single node, with no optimizer involved: the correctness oracle
+// every optimized plan must agree with. It uses each group's initial
+// (binder-produced) expression.
+func Reference(m *memo.Memo, fs *FileStore) (map[string]*Table, error) {
+	r := &refRunner{m: m, fs: fs, cache: map[memo.GroupID]*Table{}, outputs: map[string]*Table{}}
+	if _, err := r.eval(m.Root); err != nil {
+		return nil, err
+	}
+	return r.outputs, nil
+}
+
+type refRunner struct {
+	m       *memo.Memo
+	fs      *FileStore
+	cache   map[memo.GroupID]*Table
+	outputs map[string]*Table
+}
+
+func (r *refRunner) eval(gid memo.GroupID) (*Table, error) {
+	if t, ok := r.cache[gid]; ok {
+		return t, nil
+	}
+	e := r.m.Group(gid).Exprs[0]
+	ins := make([]*Table, len(e.Children))
+	for i, c := range e.Children {
+		t, err := r.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = t
+	}
+	t, err := r.apply(e.Op, ins)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[gid] = t
+	return t, nil
+}
+
+func (r *refRunner) apply(op relop.Operator, ins []*Table) (*Table, error) {
+	switch o := op.(type) {
+	case *relop.Extract:
+		t, ok := r.fs.Get(o.Path)
+		if !ok {
+			return nil, fmt.Errorf("reference: input file %q not found", o.Path)
+		}
+		idx, ok := t.Schema.Indexes(o.Columns.Names())
+		if !ok {
+			return nil, fmt.Errorf("reference: file %q missing columns %v", o.Path, o.Columns.Names())
+		}
+		out := &Table{Schema: o.Columns}
+		for _, row := range t.Rows {
+			nr := make(relop.Row, len(idx))
+			for j, k := range idx {
+				nr[j] = row[k]
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+		return out, nil
+	case *relop.Filter:
+		out := &Table{Schema: ins[0].Schema}
+		for _, row := range ins[0].Rows {
+			v, err := relop.EvalScalar(o.Pred, row, ins[0].Schema)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind == relop.TInt && v.I != 0 {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		return out, nil
+	case *relop.Project:
+		schema, err := relop.DeriveSchema(o, []relop.Schema{ins[0].Schema})
+		if err != nil {
+			return nil, err
+		}
+		out := &Table{Schema: schema}
+		for _, row := range ins[0].Rows {
+			nr := make(relop.Row, len(o.Items))
+			for j, it := range o.Items {
+				v, err := relop.EvalScalar(it.Expr, row, ins[0].Schema)
+				if err != nil {
+					return nil, err
+				}
+				nr[j] = v
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+		return out, nil
+	case *relop.GroupBy:
+		return r.groupBy(o, ins[0])
+	case *relop.Join:
+		return r.refJoin(o, ins[0], ins[1])
+	case *relop.Union:
+		out := &Table{Schema: ins[0].Schema}
+		for _, in := range ins {
+			out.Rows = append(out.Rows, in.Rows...)
+		}
+		return out, nil
+	case *relop.Spool:
+		return ins[0], nil
+	case *relop.Output:
+		r.outputs[o.Path] = ins[0]
+		return ins[0], nil
+	case *relop.Sequence:
+		return &Table{}, nil
+	default:
+		return nil, fmt.Errorf("reference: unsupported logical operator %T", op)
+	}
+}
+
+func (r *refRunner) groupBy(o *relop.GroupBy, in *Table) (*Table, error) {
+	schema, err := relop.DeriveSchema(o, []relop.Schema{in.Schema})
+	if err != nil {
+		return nil, err
+	}
+	keyIdx, ok := in.Schema.Indexes(o.Keys)
+	if !ok {
+		return nil, fmt.Errorf("reference: keys %v not in %v", o.Keys, in.Schema)
+	}
+	type group struct {
+		row relop.Row
+		st  []*relop.AggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range in.Rows {
+		k := keyOf(row, keyIdx)
+		g, okG := groups[k]
+		if !okG {
+			g = &group{row: row, st: make([]*relop.AggState, len(o.Aggs))}
+			for i, a := range o.Aggs {
+				g.st[i] = relop.NewAggState(a.Func)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, a := range o.Aggs {
+			if a.Func == relop.AggCount && a.Arg == "" {
+				g.st[i].Add(relop.IntVal(1))
+				continue
+			}
+			j := in.Schema.Index(a.Arg)
+			if j < 0 {
+				return nil, fmt.Errorf("reference: aggregate arg %q not in %v", a.Arg, in.Schema)
+			}
+			g.st[i].Add(row[j])
+		}
+	}
+	out := &Table{Schema: schema}
+	for _, k := range order {
+		g := groups[k]
+		nr := make(relop.Row, 0, len(o.Keys)+len(o.Aggs))
+		for _, ki := range keyIdx {
+			nr = append(nr, g.row[ki])
+		}
+		for i := range o.Aggs {
+			nr = append(nr, g.st[i].Result())
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+func (r *refRunner) refJoin(o *relop.Join, l, rt *Table) (*Table, error) {
+	schema, err := relop.DeriveSchema(o, []relop.Schema{l.Schema, rt.Schema})
+	if err != nil {
+		return nil, err
+	}
+	lIdx, ok := l.Schema.Indexes(o.LeftKeys)
+	if !ok {
+		return nil, fmt.Errorf("reference: left keys %v not in %v", o.LeftKeys, l.Schema)
+	}
+	rIdx, ok := rt.Schema.Indexes(o.RightKeys)
+	if !ok {
+		return nil, fmt.Errorf("reference: right keys %v not in %v", o.RightKeys, rt.Schema)
+	}
+	build := map[string][]relop.Row{}
+	for _, row := range rt.Rows {
+		k := keyOf(row, rIdx)
+		build[k] = append(build[k], row)
+	}
+	out := &Table{Schema: schema}
+	for _, lr := range l.Rows {
+		for _, rr := range build[keyOf(lr, lIdx)] {
+			nr := make(relop.Row, 0, len(lr)+len(rr))
+			nr = append(nr, lr...)
+			nr = append(nr, rr...)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out, nil
+}

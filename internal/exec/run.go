@@ -1,0 +1,526 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+)
+
+// Run executes a physical plan on the cluster. Output operators write
+// their results into the cluster's FileStore; the returned map also
+// exposes them by path. A shared Spool (same memo group and
+// optimization context) is materialized once and re-read by every
+// consumer; any other node referenced several times re-executes per
+// reference, exactly as the DAG-aware cost model assumes.
+func (c *Cluster) Run(root *plan.Node) (map[string]*Table, error) {
+	r := &runner{c: c, spools: map[string]*pdata{}, outputs: map[string]*Table{}}
+	if _, err := r.exec(root); err != nil {
+		return nil, err
+	}
+	return r.outputs, nil
+}
+
+type runner struct {
+	c       *Cluster
+	spools  map[string]*pdata
+	outputs map[string]*Table
+	// actuals, when non-nil, records per-node output row counts
+	// (EXPLAIN ANALYZE support).
+	actuals map[*plan.Node]int64
+}
+
+func (r *runner) exec(n *plan.Node) (*pdata, error) {
+	switch op := n.Op.(type) {
+	case *relop.PhysSequence:
+		for _, ch := range n.Children {
+			if _, err := r.exec(ch); err != nil {
+				return nil, err
+			}
+		}
+		if r.actuals != nil {
+			r.actuals[n] = 0
+		}
+		return newPData(relop.Schema{}, r.c.Machines), nil
+	case *relop.PhysSpool:
+		key := fmt.Sprintf("%d|%s", n.Group, n.CtxKey)
+		if p, ok := r.spools[key]; ok {
+			r.c.metrics.SpoolReads++
+			r.c.metrics.DiskBytesRead += p.bytes()
+			return p, nil
+		}
+		in, err := r.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		r.spools[key] = in
+		if r.actuals != nil {
+			r.actuals[n] = in.rows()
+		}
+		r.c.metrics.SpoolMaterializations++
+		r.c.metrics.DiskBytesWritten += in.bytes()
+		r.c.metrics.SpoolReads++
+		r.c.metrics.DiskBytesRead += in.bytes()
+		return in, nil
+	case *relop.PhysOutput:
+		in, err := r.exec(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{Schema: in.schema, Rows: in.gather()}
+		if r.c.Validate && !op.Order.Empty() {
+			if err := checkSorted(t.Rows, t.Schema, op.Order); err != nil {
+				return nil, fmt.Errorf("exec: output %q: %w", op.Path, err)
+			}
+		}
+		r.c.metrics.DiskBytesWritten += t.Bytes()
+		r.c.FS.Put(op.Path, t)
+		r.outputs[op.Path] = t
+		if r.actuals != nil {
+			r.actuals[n] = int64(len(t.Rows))
+		}
+		return in, nil
+	}
+	// Row-producing operators.
+	ins := make([]*pdata, len(n.Children))
+	for i, ch := range n.Children {
+		p, err := r.exec(ch)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = p
+		r.c.metrics.RowsProcessed += p.rows()
+	}
+	out, err := r.apply(n, ins)
+	if err != nil {
+		return nil, err
+	}
+	if r.actuals != nil {
+		r.actuals[n] = out.rows()
+	}
+	return out, nil
+}
+
+func (r *runner) apply(n *plan.Node, ins []*pdata) (*pdata, error) {
+	switch op := n.Op.(type) {
+	case *relop.PhysExtract:
+		return r.extract(op)
+	case *relop.PhysFilter:
+		return r.filter(op, ins[0])
+	case *relop.PhysProject:
+		return r.project(op, ins[0], n.Schema)
+	case *relop.Sort:
+		return r.sortOp(op, ins[0])
+	case *relop.Repartition:
+		return r.repartition(op, ins[0])
+	case *relop.StreamAgg:
+		return r.aggregate(op.Keys, op.Aggs, op.Phase, ins[0], n.Schema, true)
+	case *relop.HashAgg:
+		return r.aggregate(op.Keys, op.Aggs, op.Phase, ins[0], n.Schema, false)
+	case *relop.SortMergeJoin:
+		return r.join(op.LeftKeys, op.RightKeys, ins[0], ins[1], n.Schema)
+	case *relop.HashJoin:
+		return r.join(op.LeftKeys, op.RightKeys, ins[0], ins[1], n.Schema)
+	case *relop.PhysUnion:
+		return r.union(ins, n.Schema)
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %T", n.Op)
+	}
+}
+
+// union concatenates inputs partition-wise (UNION ALL).
+func (r *runner) union(ins []*pdata, schema relop.Schema) (*pdata, error) {
+	out := newPData(schema, r.c.Machines)
+	for _, in := range ins {
+		if in.broadcast {
+			return nil, fmt.Errorf("exec: union over broadcast input would multiply rows")
+		}
+		for m, part := range in.parts {
+			out.parts[m] = append(out.parts[m], part...)
+		}
+	}
+	return out, nil
+}
+
+func (r *runner) extract(op *relop.PhysExtract) (*pdata, error) {
+	t, ok := r.c.FS.Get(op.Path)
+	if !ok {
+		return nil, fmt.Errorf("exec: input file %q not found", op.Path)
+	}
+	// Project the stored table onto the extracted columns (the
+	// extractor's declared schema must be a subset of the file's).
+	idx, ok := t.Schema.Indexes(op.Columns.Names())
+	if !ok {
+		return nil, fmt.Errorf("exec: file %q schema %v missing extract columns %v",
+			op.Path, t.Schema, op.Columns.Names())
+	}
+	out := newPData(op.Columns, r.c.Machines)
+	for i, row := range t.Rows {
+		nr := make(relop.Row, len(idx))
+		for j, k := range idx {
+			nr[j] = row[k]
+		}
+		m := i % r.c.Machines
+		out.parts[m] = append(out.parts[m], nr)
+	}
+	r.c.metrics.DiskBytesRead += out.bytes()
+	return out, nil
+}
+
+func (r *runner) filter(op *relop.PhysFilter, in *pdata) (*pdata, error) {
+	out := newPData(in.schema, r.c.Machines)
+	out.broadcast = in.broadcast
+	for m, part := range in.parts {
+		for _, row := range part {
+			v, err := relop.EvalScalar(op.Pred, row, in.schema)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind == relop.TInt && v.I != 0 {
+				out.parts[m] = append(out.parts[m], row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (r *runner) project(op *relop.PhysProject, in *pdata, schema relop.Schema) (*pdata, error) {
+	out := newPData(schema, r.c.Machines)
+	out.broadcast = in.broadcast
+	for m, part := range in.parts {
+		for _, row := range part {
+			nr := make(relop.Row, len(op.Items))
+			for j, it := range op.Items {
+				v, err := relop.EvalScalar(it.Expr, row, in.schema)
+				if err != nil {
+					return nil, err
+				}
+				nr[j] = v
+			}
+			out.parts[m] = append(out.parts[m], nr)
+		}
+	}
+	return out, nil
+}
+
+func (r *runner) sortOp(op *relop.Sort, in *pdata) (*pdata, error) {
+	out := newPData(in.schema, r.c.Machines)
+	out.broadcast = in.broadcast
+	for m, part := range in.parts {
+		cp := make([]relop.Row, len(part))
+		copy(cp, part)
+		if err := sortRows(cp, in.schema, op.Order); err != nil {
+			return nil, err
+		}
+		out.parts[m] = cp
+	}
+	return out, nil
+}
+
+func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
+	r.c.metrics.Exchanges++
+	// Broadcast input: operate on its single logical copy.
+	src := in.parts
+	srcBytes := in.bytes()
+	if in.broadcast {
+		src = [][]relop.Row{in.parts[0]}
+		srcBytes = int64(len(in.parts[0])) * int64(len(in.schema)) * 8
+	}
+	out := newPData(in.schema, r.c.Machines)
+	switch op.To.Kind {
+	case props.PartSerial:
+		var all []relop.Row
+		for _, part := range src {
+			all = append(all, part...)
+		}
+		out.parts[0] = all
+		r.c.metrics.NetBytes += srcBytes
+	case props.PartBroadcast:
+		var all []relop.Row
+		for _, part := range src {
+			all = append(all, part...)
+		}
+		for m := range out.parts {
+			out.parts[m] = all
+		}
+		out.broadcast = true
+		r.c.metrics.NetBytes += srcBytes * int64(r.c.Machines)
+	case props.PartHash:
+		idx, ok := in.schema.Indexes(op.To.Cols.Cols())
+		if !ok {
+			return nil, fmt.Errorf("exec: repartition columns %v not in schema %v", op.To.Cols, in.schema)
+		}
+		for _, part := range src {
+			for _, row := range part {
+				d := hashDest(row, idx, r.c.Machines)
+				out.parts[d] = append(out.parts[d], row)
+			}
+		}
+		r.c.metrics.NetBytes += srcBytes
+	case props.PartRange:
+		if err := rangePartition(op.To.SortCols, in.schema, src, out); err != nil {
+			return nil, err
+		}
+		r.c.metrics.NetBytes += srcBytes
+	default:
+		return nil, fmt.Errorf("exec: cannot repartition to %v", op.To)
+	}
+	if !op.MergeOrder.Empty() {
+		// Merge receive: each machine merges the sorted streams it
+		// received; sorting achieves the same deterministic result.
+		for m := range out.parts {
+			cp := make([]relop.Row, len(out.parts[m]))
+			copy(cp, out.parts[m])
+			if err := sortRows(cp, in.schema, op.MergeOrder); err != nil {
+				return nil, err
+			}
+			out.parts[m] = cp
+		}
+	}
+	return out, nil
+}
+
+// aggregate implements stream and hash aggregation. Stream mode
+// requires clustered input (validated); Global/Single phases require
+// each key to be colocated on a single machine (validated).
+func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.AggPhase, in *pdata, schema relop.Schema, stream bool) (*pdata, error) {
+	if in.broadcast {
+		return nil, fmt.Errorf("exec: aggregation over broadcast input would multiply results")
+	}
+	keyIdx, ok := in.schema.Indexes(keys)
+	if !ok {
+		return nil, fmt.Errorf("exec: aggregation keys %v not in schema %v", keys, in.schema)
+	}
+	argIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == relop.AggCount && a.Arg == "" {
+			argIdx[i] = -1
+			continue
+		}
+		j := in.schema.Index(a.Arg)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: aggregate argument %q not in schema %v", a.Arg, in.schema)
+		}
+		argIdx[i] = j
+	}
+	globalSeen := map[string]int{}
+	out := newPData(schema, r.c.Machines)
+	for m, part := range in.parts {
+		groups := map[string][]*relop.AggState{}
+		var order []string
+		keyRows := map[string]relop.Row{}
+		lastKey := ""
+		closed := map[string]bool{}
+		for _, row := range part {
+			k := keyOf(row, keyIdx)
+			if stream && r.c.Validate {
+				// Clustering check: once a run for a key ends, the
+				// key must not reappear in this partition.
+				if k != lastKey {
+					if closed[k] {
+						return nil, fmt.Errorf("exec: stream aggregation input not clustered on %v (key %s reappeared)", keys, k)
+					}
+					if lastKey != "" {
+						closed[lastKey] = true
+					}
+					lastKey = k
+				}
+			}
+			st, okG := groups[k]
+			if !okG {
+				st = make([]*relop.AggState, len(aggs))
+				for i, a := range aggs {
+					st[i] = relop.NewAggState(a.Func)
+				}
+				groups[k] = st
+				order = append(order, k)
+				keyRows[k] = row
+			}
+			for i := range aggs {
+				if argIdx[i] < 0 {
+					st[i].Add(relop.IntVal(1))
+				} else {
+					st[i].Add(row[argIdx[i]])
+				}
+			}
+		}
+		for _, k := range order {
+			if r.c.Validate && phase != relop.AggLocal {
+				if prev, dup := globalSeen[k]; dup && prev != m {
+					return nil, fmt.Errorf("exec: %v aggregation on %v saw key %s on machines %d and %d (input not colocated)",
+						phase, keys, k, prev, m)
+				}
+				globalSeen[k] = m
+			}
+			row := keyRows[k]
+			nr := make(relop.Row, 0, len(keys)+len(aggs))
+			for _, ki := range keyIdx {
+				nr = append(nr, row[ki])
+			}
+			for i := range aggs {
+				nr = append(nr, groups[k][i].Result())
+			}
+			out.parts[m] = append(out.parts[m], nr)
+		}
+	}
+	return out, nil
+}
+
+// join performs a per-machine hash join of co-located partitions; the
+// plan's exchange operators are responsible for colocation (a
+// broadcast inner is colocated with everything).
+func (r *runner) join(lKeys, rKeys []string, l, rIn *pdata, schema relop.Schema) (*pdata, error) {
+	lIdx, ok := l.schema.Indexes(lKeys)
+	if !ok {
+		return nil, fmt.Errorf("exec: left join keys %v not in %v", lKeys, l.schema)
+	}
+	rIdx, ok := rIn.schema.Indexes(rKeys)
+	if !ok {
+		return nil, fmt.Errorf("exec: right join keys %v not in %v", rKeys, rIn.schema)
+	}
+	out := newPData(schema, r.c.Machines)
+	for m := 0; m < r.c.Machines; m++ {
+		build := map[string][]relop.Row{}
+		for _, row := range rIn.parts[m] {
+			k := keyOf(row, rIdx)
+			build[k] = append(build[k], row)
+		}
+		for _, lr := range l.parts[m] {
+			k := keyOf(lr, lIdx)
+			for _, rr := range build[k] {
+				nr := make(relop.Row, 0, len(lr)+len(rr))
+				nr = append(nr, lr...)
+				nr = append(nr, rr...)
+				out.parts[m] = append(out.parts[m], nr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// rangePartition distributes rows into ordered key ranges over the
+// given key order: boundaries are the quantiles of the distinct key
+// tuples present in the data, so rows equal on the keys always share
+// a partition and partition i's keys sort entirely before partition
+// i+1's — the parallel path to globally sorted output.
+func rangePartition(order props.Ordering, schema relop.Schema, src [][]relop.Row, out *pdata) error {
+	idx := make([]int, len(order))
+	for i, sc := range order {
+		j := schema.Index(sc.Col)
+		if j < 0 {
+			return fmt.Errorf("exec: range key %q not in schema %v", sc.Col, schema)
+		}
+		idx[i] = j
+	}
+	cmpKeys := func(a, b relop.Row) int {
+		for k, sc := range order {
+			c := a[idx[k]].Compare(b[idx[k]])
+			if sc.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	// Distinct key representatives, sorted.
+	var keys []relop.Row
+	seen := map[string]bool{}
+	for _, part := range src {
+		for _, row := range part {
+			k := keyOf(row, idx)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, row)
+			}
+		}
+	}
+	sort.SliceStable(keys, func(i, j int) bool { return cmpKeys(keys[i], keys[j]) < 0 })
+	machines := len(out.parts)
+	// Boundary b[i] is the first key of partition i+1.
+	var bounds []relop.Row
+	for i := 1; i < machines; i++ {
+		pos := i * len(keys) / machines
+		if pos > 0 && pos < len(keys) {
+			bounds = append(bounds, keys[pos])
+		}
+	}
+	dest := func(row relop.Row) int {
+		// First boundary strictly greater than the row's key.
+		lo, hi := 0, len(bounds)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cmpKeys(row, bounds[mid]) < 0 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	for _, part := range src {
+		for _, row := range part {
+			d := dest(row)
+			out.parts[d] = append(out.parts[d], row)
+		}
+	}
+	return nil
+}
+
+// RunAnalyzed executes the plan like Run while recording the actual
+// output row count of every distinct plan node — the executable side
+// of EXPLAIN ANALYZE. Spools record their materialized size once.
+func (c *Cluster) RunAnalyzed(root *plan.Node) (map[string]*Table, map[*plan.Node]int64, error) {
+	r := &runner{
+		c:       c,
+		spools:  map[string]*pdata{},
+		outputs: map[string]*Table{},
+		actuals: map[*plan.Node]int64{},
+	}
+	if _, err := r.exec(root); err != nil {
+		return nil, nil, err
+	}
+	return r.outputs, r.actuals, nil
+}
+
+// FormatAnalyzed renders the plan tree annotated with estimated
+// versus actual row counts from a RunAnalyzed execution.
+func FormatAnalyzed(root *plan.Node, actuals map[*plan.Node]int64) string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var walk func(n *plan.Node, prefix string, last, top bool)
+	walk = func(n *plan.Node, prefix string, last, top bool) {
+		connector, childPrefix := "", ""
+		if !top {
+			if last {
+				connector = prefix + "└── "
+				childPrefix = prefix + "    "
+			} else {
+				connector = prefix + "├── "
+				childPrefix = prefix + "│   "
+			}
+		}
+		if n.IsSpool() {
+			k := fmt.Sprintf("%d|%s", n.Group, n.CtxKey)
+			if seen[k] {
+				fmt.Fprintf(&b, "%s%s (shared, see above)\n", connector, n.Op)
+				return
+			}
+			seen[k] = true
+		}
+		actual := "?"
+		if a, ok := actuals[n]; ok {
+			actual = fmt.Sprintf("%d", a)
+		}
+		fmt.Fprintf(&b, "%s%s  [est=%d actual=%s]\n", connector, n.Op, n.Rel.Rows, actual)
+		for i, ch := range n.Children {
+			walk(ch, childPrefix, i == len(n.Children)-1, false)
+		}
+	}
+	walk(root, "", true, true)
+	return b.String()
+}

@@ -1,0 +1,128 @@
+// Package exec is the distributed execution substrate standing in for
+// Dryad/Cosmos: a deterministic simulator of a shared-nothing cluster
+// that actually runs physical plans over in-memory partitioned
+// tables, metering disk, network, and CPU work.
+//
+// Beyond producing results, the executor validates the optimizer's
+// correctness claims at runtime: a Global or Single aggregation whose
+// input is not really colocated by grouping key, or a stream
+// aggregation whose input is not really clustered, fails loudly
+// instead of silently producing wrong answers. The repository's
+// equivalence tests run every script through the conventional plan,
+// the CSE plan, and a single-node reference interpreter, and require
+// identical results.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relop"
+)
+
+// Table is an in-memory relation.
+type Table struct {
+	Schema relop.Schema
+	Rows   []relop.Row
+}
+
+// Bytes returns the accounted storage size of the table (8 bytes per
+// value, matching the statistics defaults).
+func (t *Table) Bytes() int64 {
+	return int64(len(t.Rows)) * int64(len(t.Schema)) * 8
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	rows := make([]relop.Row, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = r.Clone()
+	}
+	return &Table{Schema: append(relop.Schema{}, t.Schema...), Rows: rows}
+}
+
+// Canonical returns the table's rows rendered and sorted, for
+// order-insensitive comparison.
+func (t *Table) Canonical() []string {
+	out := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two tables hold the same multiset of rows
+// under the same column names (order-insensitive).
+func (t *Table) Equal(u *Table) bool {
+	if len(t.Rows) != len(u.Rows) || len(t.Schema) != len(u.Schema) {
+		return false
+	}
+	for i := range t.Schema {
+		if t.Schema[i].Name != u.Schema[i].Name {
+			return false
+		}
+	}
+	a, b := t.Canonical(), u.Canonical()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a short human-readable difference summary, for test
+// failure messages.
+func (t *Table) Diff(u *Table) string {
+	if t.Equal(u) {
+		return ""
+	}
+	a, b := t.Canonical(), u.Canonical()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rows %d vs %d", len(a), len(b))
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			fmt.Fprintf(&sb, "; first diff at %d: %q vs %q", i, a[i], b[i])
+			break
+		}
+	}
+	return sb.String()
+}
+
+// FileStore maps file paths to tables — the simulator's distributed
+// file system.
+type FileStore struct {
+	files map[string]*Table
+}
+
+// NewFileStore returns an empty store.
+func NewFileStore() *FileStore {
+	return &FileStore{files: map[string]*Table{}}
+}
+
+// Put stores a table under path.
+func (fs *FileStore) Put(path string, t *Table) {
+	fs.files[path] = t
+}
+
+// Get returns the table stored under path.
+func (fs *FileStore) Get(path string) (*Table, bool) {
+	t, ok := fs.files[path]
+	return t, ok
+}
+
+// Paths lists stored paths in sorted order.
+func (fs *FileStore) Paths() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,741 @@
+// Package logical binds a parsed SCOPE script into a logical operator
+// DAG stored in the memo: it resolves named intermediates (which is
+// where explicit common subexpressions arise — R consumed by R1 and
+// R2 becomes one group with two parents), derives schemas, assigns
+// file ids for fingerprinting, and attaches cardinality estimates to
+// every group.
+package logical
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/memo"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+// Builder binds one script into one memo.
+type Builder struct {
+	m       *memo.Memo
+	cat     *stats.Catalog
+	env     map[string]memo.GroupID // named intermediates
+	fileIDs map[string]int
+}
+
+// Build parses nothing; it binds an already parsed script against the
+// catalog and returns the populated memo with its root set. The memo
+// contains only the initial logical expressions, one per group — the
+// state Alg. 1 expects.
+func Build(script *sqlparse.Script, cat *stats.Catalog) (*memo.Memo, error) {
+	if cat == nil {
+		cat = stats.NewCatalog()
+	}
+	b := &Builder{
+		m:       memo.New(),
+		cat:     cat,
+		env:     map[string]memo.GroupID{},
+		fileIDs: map[string]int{},
+	}
+	var outputs []memo.GroupID
+	for _, st := range script.Stmts {
+		switch s := st.(type) {
+		case *sqlparse.AssignStmt:
+			if _, dup := b.env[s.Name]; dup {
+				return nil, fmt.Errorf("%s: result %q reassigned", s.Tok.Pos(), s.Name)
+			}
+			gid, err := b.bindQuery(s.Query, s.Tok)
+			if err != nil {
+				return nil, err
+			}
+			b.env[s.Name] = gid
+		case *sqlparse.OutputStmt:
+			src, ok := b.env[s.Src]
+			if !ok {
+				return nil, fmt.Errorf("%s: OUTPUT of undefined result %q", s.Tok.Pos(), s.Src)
+			}
+			srcSchema := b.m.Group(src).Props.Schema
+			var order props.Ordering
+			for i := range s.OrderBy {
+				ref := &s.OrderBy[i].Col
+				if ref.Qualifier != "" || !srcSchema.Has(ref.Name) {
+					return nil, fmt.Errorf("%s: ORDER BY column %s not in %s's schema %v",
+						ref.Tok.Pos(), ref, s.Src, srcSchema)
+				}
+				order = append(order, props.SortCol{Col: ref.Name, Desc: s.OrderBy[i].Desc})
+			}
+			out := b.insert(&relop.Output{Path: s.Path, Order: order}, []memo.GroupID{src},
+				srcSchema, b.m.Group(src).Props.Rel)
+			outputs = append(outputs, out)
+		}
+	}
+	switch len(outputs) {
+	case 0:
+		return nil, fmt.Errorf("script has no OUTPUT statement")
+	case 1:
+		b.m.Root = outputs[0]
+	default:
+		b.m.Root = b.insert(&relop.Sequence{}, outputs, relop.Schema{}, stats.Relation{RowBytes: 1})
+	}
+	return b.m, nil
+}
+
+// BuildSource parses and binds a script in one step.
+func BuildSource(src string, cat *stats.Catalog) (*memo.Memo, error) {
+	script, err := sqlparse.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Build(script, cat)
+}
+
+func (b *Builder) insert(op relop.Operator, children []memo.GroupID, schema relop.Schema, rel stats.Relation) memo.GroupID {
+	return b.m.Insert(op, children, memo.LogicalProps{Schema: schema, Rel: rel})
+}
+
+func (b *Builder) bindQuery(q sqlparse.Query, tok sqlparse.Token) (memo.GroupID, error) {
+	switch query := q.(type) {
+	case *sqlparse.ExtractQuery:
+		return b.bindExtract(query)
+	case *sqlparse.SelectQuery:
+		return b.bindSelect(query, tok)
+	case *sqlparse.UnionQuery:
+		return b.bindUnion(query)
+	default:
+		return 0, fmt.Errorf("%s: unsupported query type %T", tok.Pos(), q)
+	}
+}
+
+func (b *Builder) bindExtract(q *sqlparse.ExtractQuery) (memo.GroupID, error) {
+	schema := make(relop.Schema, len(q.Cols))
+	seen := map[string]bool{}
+	for i, c := range q.Cols {
+		if seen[c.Name] {
+			return 0, fmt.Errorf("extract: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		ty := relop.TInt
+		switch c.Type {
+		case "float", "double":
+			ty = relop.TFloat
+		case "string":
+			ty = relop.TString
+		}
+		schema[i] = relop.Column{Name: c.Name, Type: ty}
+	}
+	fid, ok := b.fileIDs[q.Path]
+	if !ok {
+		fid = len(b.fileIDs) + 1
+		b.fileIDs[q.Path] = fid
+	}
+	op := &relop.Extract{Path: q.Path, Columns: schema, Extractor: q.Extractor, FileID: fid}
+	rel := stats.BaseRelation(b.cat.Table(q.Path), schema.Names())
+	return b.insert(op, nil, schema, rel), nil
+}
+
+// scope tracks how source columns are visible during SELECT binding:
+// each visible column has a unique physical name, and (qualifier,
+// name) pairs map onto it.
+type scope struct {
+	schema relop.Schema
+	// byName maps an unqualified name to its physical name, or "" if
+	// ambiguous.
+	byName map[string]string
+	// byQual maps "qual.name" to the physical name.
+	byQual map[string]string
+}
+
+func newScope() *scope {
+	return &scope{byName: map[string]string{}, byQual: map[string]string{}}
+}
+
+func (sc *scope) addSource(qual string, schema relop.Schema, physical []string) {
+	for i, c := range schema {
+		phys := physical[i]
+		sc.schema = append(sc.schema, relop.Column{Name: phys, Type: c.Type})
+		if prev, dup := sc.byName[c.Name]; dup && prev != phys {
+			sc.byName[c.Name] = "" // ambiguous
+		} else if !dup {
+			sc.byName[c.Name] = phys
+		}
+		sc.byQual[qual+"."+c.Name] = phys
+	}
+}
+
+// resolve maps a (possibly qualified) column reference to its
+// physical name.
+func (sc *scope) resolve(ref *sqlparse.ColRefAST) (string, error) {
+	if ref.Qualifier != "" {
+		if phys, ok := sc.byQual[ref.Qualifier+"."+ref.Name]; ok {
+			return phys, nil
+		}
+		return "", fmt.Errorf("%s: unknown column %s", ref.Tok.Pos(), ref)
+	}
+	phys, ok := sc.byName[ref.Name]
+	if !ok {
+		return "", fmt.Errorf("%s: unknown column %q", ref.Tok.Pos(), ref.Name)
+	}
+	if phys == "" {
+		return "", fmt.Errorf("%s: ambiguous column %q (qualify it)", ref.Tok.Pos(), ref.Name)
+	}
+	return phys, nil
+}
+
+func (b *Builder) bindSelect(q *sqlparse.SelectQuery, tok sqlparse.Token) (memo.GroupID, error) {
+	if len(q.From) == 0 {
+		return 0, fmt.Errorf("%s: SELECT without FROM", tok.Pos())
+	}
+	// Resolve sources and build the join tree (left-deep) with
+	// column disambiguation: clashing names from later sources are
+	// renamed via a Project so every visible column is unique.
+	cur, sc, err := b.bindFrom(q.From, tok)
+	if err != nil {
+		return 0, err
+	}
+	// Split WHERE into equi-join predicates (handled inside bindFrom
+	// for multi-source queries) and residual filters.
+	var residual []sqlparse.Expr
+	if q.Where != nil {
+		conjuncts := splitConjuncts(q.Where)
+		if len(q.From) > 1 {
+			var joins []joinPred
+			joins, residual, err = b.classifyPredicates(conjuncts, sc)
+			if err != nil {
+				return 0, err
+			}
+			if len(joins) == 0 {
+				return 0, fmt.Errorf("%s: join of %s requires at least one equality predicate", tok.Pos(), strings.Join(q.From, ", "))
+			}
+			cur, err = b.bindJoins(q.From, joins, sc, tok)
+			if err != nil {
+				return 0, err
+			}
+		} else {
+			residual = conjuncts
+		}
+	} else if len(q.From) > 1 {
+		return 0, fmt.Errorf("%s: join of %s requires a WHERE equality predicate", tok.Pos(), strings.Join(q.From, ", "))
+	}
+	// Residual filter.
+	if len(residual) > 0 {
+		cur, err = b.bindFilter(cur, residual, sc)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		return b.bindGroupBy(cur, q, sc)
+	}
+	if q.Having != nil {
+		return 0, fmt.Errorf("%s: HAVING requires GROUP BY", tok.Pos())
+	}
+	cur, err = b.bindProject(cur, q.Items, sc)
+	if err != nil {
+		return 0, err
+	}
+	if q.Distinct {
+		return b.bindDistinct(cur)
+	}
+	return cur, nil
+}
+
+// bindUnion concatenates named intermediates with identical schemas.
+func (b *Builder) bindUnion(q *sqlparse.UnionQuery) (memo.GroupID, error) {
+	children := make([]memo.GroupID, len(q.Sources))
+	schemas := make([]relop.Schema, len(q.Sources))
+	rels := make([]stats.Relation, len(q.Sources))
+	for i, name := range q.Sources {
+		gid, ok := b.env[name]
+		if !ok {
+			return 0, fmt.Errorf("%s: unknown source %q", q.Tok.Pos(), name)
+		}
+		children[i] = gid
+		schemas[i] = b.m.Group(gid).Props.Schema
+		rels[i] = b.m.Group(gid).Props.Rel
+	}
+	op := &relop.Union{}
+	schema, err := relop.DeriveSchema(op, schemas)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", q.Tok.Pos(), err)
+	}
+	return b.insert(op, children, schema, stats.EstimateUnion(rels)), nil
+}
+
+// bindDistinct wraps a duplicate-eliminating GroupBy over all output
+// columns (SELECT DISTINCT without aggregates).
+func (b *Builder) bindDistinct(cur memo.GroupID) (memo.GroupID, error) {
+	schema := b.m.Group(cur).Props.Schema
+	op := &relop.GroupBy{Keys: schema.Names()}
+	outSchema, err := relop.DeriveSchema(op, []relop.Schema{schema})
+	if err != nil {
+		return 0, err
+	}
+	rel := stats.EstimateGroupBy(b.m.Group(cur).Props.Rel, op.Keys, 0)
+	return b.insert(op, []memo.GroupID{cur}, outSchema, rel), nil
+}
+
+// bindFrom resolves the FROM sources into groups and a scope; for
+// multi-source queries the join itself is built later by bindJoins
+// once predicates are classified, so the returned group is only valid
+// for single-source queries.
+func (b *Builder) bindFrom(from []string, tok sqlparse.Token) (memo.GroupID, *scope, error) {
+	sc := newScope()
+	seen := map[string]bool{}
+	var first memo.GroupID
+	for i, name := range from {
+		if seen[name] {
+			return 0, nil, fmt.Errorf("%s: source %q listed twice", tok.Pos(), name)
+		}
+		seen[name] = true
+		gid, ok := b.env[name]
+		if !ok {
+			return 0, nil, fmt.Errorf("%s: unknown source %q", tok.Pos(), name)
+		}
+		schema := b.m.Group(gid).Props.Schema
+		physical := make([]string, len(schema))
+		for j, c := range schema {
+			phys := c.Name
+			// Rename clashes introduced by earlier sources.
+			if sc.schema.Has(phys) {
+				phys = c.Name + "$" + name
+				for sc.schema.Has(phys) {
+					phys += "_"
+				}
+			}
+			physical[j] = phys
+		}
+		sc.addSource(name, schema, physical)
+		if i == 0 {
+			first = gid
+		}
+	}
+	return first, sc, nil
+}
+
+// joinPred is one equi-join predicate between two physical columns.
+type joinPred struct {
+	left, right string // physical column names
+}
+
+// classifyPredicates splits conjuncts into equi-join predicates
+// (colref = colref) and residual scalar predicates.
+func (b *Builder) classifyPredicates(conjuncts []sqlparse.Expr, sc *scope) ([]joinPred, []sqlparse.Expr, error) {
+	var joins []joinPred
+	var residual []sqlparse.Expr
+	for _, c := range conjuncts {
+		be, ok := c.(*sqlparse.BinaryExpr)
+		if ok && be.Op == "=" {
+			lr, lok := be.L.(*sqlparse.ColRefAST)
+			rr, rok := be.R.(*sqlparse.ColRefAST)
+			if lok && rok {
+				l, err := sc.resolve(lr)
+				if err != nil {
+					return nil, nil, err
+				}
+				r, err := sc.resolve(rr)
+				if err != nil {
+					return nil, nil, err
+				}
+				if l != r {
+					joins = append(joins, joinPred{left: l, right: r})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return joins, residual, nil
+}
+
+// bindJoins builds a left-deep join tree over the FROM sources. Each
+// source may need a rename Project when its columns clash with
+// columns already visible.
+func (b *Builder) bindJoins(from []string, preds []joinPred, sc *scope, tok sqlparse.Token) (memo.GroupID, error) {
+	// Rebuild per-source physical schemas in FROM order.
+	type side struct {
+		gid    memo.GroupID
+		schema relop.Schema // physical (renamed) schema
+	}
+	sides := make([]side, len(from))
+	offset := 0
+	for i, name := range from {
+		gid := b.env[name]
+		orig := b.m.Group(gid).Props.Schema
+		phys := sc.schema[offset : offset+len(orig)]
+		offset += len(orig)
+		cur := gid
+		renamed := false
+		items := make([]relop.NamedExpr, len(orig))
+		for j, c := range orig {
+			items[j] = relop.NamedExpr{Expr: relop.Col(c.Name), As: phys[j].Name}
+			if c.Name != phys[j].Name {
+				renamed = true
+			}
+		}
+		schema := make(relop.Schema, len(orig))
+		copy(schema, phys)
+		if renamed {
+			rel := b.m.Group(gid).Props.Rel
+			prel := stats.EstimateProject(rel, nil, 0)
+			prel.Rows = rel.Rows
+			prel.RowBytes = rel.RowBytes
+			prel.Distinct = map[string]int64{}
+			for j, c := range orig {
+				prel.Distinct[phys[j].Name] = rel.DistinctOf(c.Name)
+			}
+			cur = b.insert(&relop.Project{Items: items}, []memo.GroupID{gid}, schema, prel)
+		}
+		sides[i] = side{gid: cur, schema: schema}
+	}
+	// Left-deep fold.
+	acc := sides[0]
+	used := make([]bool, len(preds))
+	for i := 1; i < len(sides); i++ {
+		next := sides[i]
+		var lk, rk []string
+		for pi, p := range preds {
+			if used[pi] {
+				continue
+			}
+			switch {
+			case acc.schema.Has(p.left) && next.schema.Has(p.right):
+				lk = append(lk, p.left)
+				rk = append(rk, p.right)
+				used[pi] = true
+			case acc.schema.Has(p.right) && next.schema.Has(p.left):
+				lk = append(lk, p.right)
+				rk = append(rk, p.left)
+				used[pi] = true
+			}
+		}
+		if len(lk) == 0 {
+			return 0, fmt.Errorf("%s: no join predicate connects %q to the preceding sources", tok.Pos(), from[i])
+		}
+		op := &relop.Join{LeftKeys: lk, RightKeys: rk}
+		schema, err := relop.DeriveSchema(op, []relop.Schema{acc.schema, next.schema})
+		if err != nil {
+			return 0, fmt.Errorf("%s: %v", tok.Pos(), err)
+		}
+		rel := stats.EstimateJoin(b.m.Group(acc.gid).Props.Rel, b.m.Group(next.gid).Props.Rel, lk, rk)
+		gid := b.insert(op, []memo.GroupID{acc.gid, next.gid}, schema, rel)
+		acc = side{gid: gid, schema: schema}
+	}
+	for pi, p := range preds {
+		if !used[pi] {
+			return 0, fmt.Errorf("%s: join predicate %s=%s does not connect two sources", tok.Pos(), p.left, p.right)
+		}
+	}
+	return acc.gid, nil
+}
+
+func (b *Builder) bindFilter(cur memo.GroupID, conjuncts []sqlparse.Expr, sc *scope) (memo.GroupID, error) {
+	schema := b.m.Group(cur).Props.Schema
+	rel := b.m.Group(cur).Props.Rel
+	var pred relop.Scalar
+	sel := 1.0
+	for _, c := range conjuncts {
+		s, err := b.bindScalar(c, sc, false)
+		if err != nil {
+			return 0, err
+		}
+		sel *= predicateSelectivity(c, sc, rel)
+		if pred == nil {
+			pred = s
+		} else {
+			pred = relop.Bin(relop.OpAnd, pred, s)
+		}
+	}
+	op := &relop.Filter{Pred: pred, Selectivity: sel}
+	if _, err := relop.DeriveSchema(op, []relop.Schema{schema}); err != nil {
+		return 0, err
+	}
+	return b.insert(op, []memo.GroupID{cur}, schema, stats.EstimateFilter(rel, sel)), nil
+}
+
+func predicateSelectivity(e sqlparse.Expr, sc *scope, rel stats.Relation) float64 {
+	be, ok := e.(*sqlparse.BinaryExpr)
+	if !ok {
+		return stats.DefaultPredicateSelectivity
+	}
+	if be.Op == "=" {
+		if cr, ok := be.L.(*sqlparse.ColRefAST); ok {
+			if _, isConst := be.R.(*sqlparse.NumberLit); isConst {
+				if phys, err := sc.resolve(cr); err == nil {
+					return stats.EqualitySelectivity(rel, phys)
+				}
+			}
+		}
+	}
+	return stats.DefaultPredicateSelectivity
+}
+
+func (b *Builder) bindGroupBy(cur memo.GroupID, q *sqlparse.SelectQuery, sc *scope) (memo.GroupID, error) {
+	inSchema := b.m.Group(cur).Props.Schema
+	inRel := b.m.Group(cur).Props.Rel
+	// Resolve grouping keys.
+	keys := make([]string, len(q.GroupBy))
+	keySet := map[string]bool{}
+	for i := range q.GroupBy {
+		phys, err := sc.resolve(&q.GroupBy[i])
+		if err != nil {
+			return 0, err
+		}
+		if keySet[phys] {
+			return 0, fmt.Errorf("%s: duplicate grouping key %q", q.GroupBy[i].Tok.Pos(), phys)
+		}
+		keys[i] = phys
+		keySet[phys] = true
+	}
+	// Classify select items: key references or aggregate calls.
+	var aggs []relop.Aggregate
+	type outCol struct {
+		phys  string // physical source column (keys) or aggregate name
+		as    string
+		isKey bool
+	}
+	var outs []outCol
+	aggNames := map[string]bool{}
+	for _, it := range q.Items {
+		if sqlparse.IsAggCall(it.Expr) {
+			agg, err := b.bindAggregate(it, sc)
+			if err != nil {
+				return 0, err
+			}
+			if aggNames[agg.As] {
+				return 0, fmt.Errorf("%s: duplicate output column %q", it.Tok.Pos(), agg.As)
+			}
+			aggNames[agg.As] = true
+			aggs = append(aggs, agg)
+			outs = append(outs, outCol{phys: agg.As, as: agg.As})
+			continue
+		}
+		cr, ok := it.Expr.(*sqlparse.ColRefAST)
+		if !ok {
+			return 0, fmt.Errorf("%s: non-aggregate select item %q must be a grouping column", it.Tok.Pos(), it.Expr)
+		}
+		phys, err := sc.resolve(cr)
+		if err != nil {
+			return 0, err
+		}
+		if !keySet[phys] {
+			return 0, fmt.Errorf("%s: column %q is neither aggregated nor in GROUP BY", it.Tok.Pos(), cr)
+		}
+		as := it.As
+		if as == "" {
+			as = cr.Name
+		}
+		outs = append(outs, outCol{phys: phys, as: as, isKey: true})
+	}
+	if len(aggs) == 0 {
+		return 0, fmt.Errorf("GROUP BY query must compute at least one aggregate")
+	}
+	op := &relop.GroupBy{Keys: keys, Aggs: aggs}
+	schema, err := relop.DeriveSchema(op, []relop.Schema{inSchema})
+	if err != nil {
+		return 0, err
+	}
+	rel := stats.EstimateGroupBy(inRel, keys, len(aggs))
+	gid := b.insert(op, []memo.GroupID{cur}, schema, rel)
+	// HAVING filters the canonical grouped output; it sees the
+	// grouping keys and the aggregate aliases (as in SQL).
+	if q.Having != nil {
+		hScope := newScope()
+		hScope.addSource("", schema, schema.Names())
+		for _, oc := range outs {
+			if oc.isKey && oc.as != oc.phys {
+				hScope.byName[oc.as] = oc.phys
+			}
+		}
+		pred, err := b.bindScalar(q.Having, hScope, false)
+		if err != nil {
+			return 0, err
+		}
+		fop := &relop.Filter{Pred: pred, Selectivity: stats.DefaultPredicateSelectivity}
+		gid = b.insert(fop, []memo.GroupID{gid}, schema,
+			stats.EstimateFilter(rel, stats.DefaultPredicateSelectivity))
+	}
+	// Wrap a Project when the select list reorders or renames the
+	// canonical keys-then-aggs output.
+	needProject := len(outs) != len(schema)
+	if !needProject {
+		for i, oc := range outs {
+			if schema[i].Name != oc.phys || oc.as != oc.phys {
+				needProject = true
+				break
+			}
+		}
+	}
+	if !needProject {
+		return gid, nil
+	}
+	items := make([]relop.NamedExpr, len(outs))
+	kept := make([]string, len(outs))
+	for i, oc := range outs {
+		items[i] = relop.NamedExpr{Expr: relop.Col(oc.phys), As: oc.as}
+		kept[i] = oc.phys
+	}
+	pop := &relop.Project{Items: items}
+	pschema, err := relop.DeriveSchema(pop, []relop.Schema{schema})
+	if err != nil {
+		return 0, err
+	}
+	prel := stats.EstimateProject(rel, kept, 0)
+	prel.Distinct = renameDistinct(prel, items)
+	return b.insert(pop, []memo.GroupID{gid}, pschema, prel), nil
+}
+
+func renameDistinct(rel stats.Relation, items []relop.NamedExpr) map[string]int64 {
+	out := map[string]int64{}
+	for _, it := range items {
+		if cr, ok := it.Expr.(*relop.ColRef); ok {
+			out[it.As] = rel.DistinctOf(cr.Name)
+		}
+	}
+	return out
+}
+
+func (b *Builder) bindAggregate(it sqlparse.SelectItem, sc *scope) (relop.Aggregate, error) {
+	call := it.Expr.(*sqlparse.CallExpr)
+	var fn relop.AggFunc
+	switch strings.ToUpper(call.Name) {
+	case "SUM":
+		fn = relop.AggSum
+	case "COUNT":
+		fn = relop.AggCount
+	case "MIN":
+		fn = relop.AggMin
+	case "MAX":
+		fn = relop.AggMax
+	case "AVG":
+		fn = relop.AggAvg
+	}
+	if it.As == "" {
+		return relop.Aggregate{}, fmt.Errorf("%s: aggregate %s needs an AS alias", it.Tok.Pos(), call)
+	}
+	agg := relop.Aggregate{Func: fn, As: it.As}
+	switch {
+	case fn == relop.AggCount && len(call.Args) == 0:
+		// COUNT() counts rows.
+	case len(call.Args) == 1:
+		cr, ok := call.Args[0].(*sqlparse.ColRefAST)
+		if !ok {
+			return relop.Aggregate{}, fmt.Errorf("%s: aggregate argument must be a column, got %q", it.Tok.Pos(), call.Args[0])
+		}
+		phys, err := sc.resolve(cr)
+		if err != nil {
+			return relop.Aggregate{}, err
+		}
+		agg.Arg = phys
+	default:
+		return relop.Aggregate{}, fmt.Errorf("%s: aggregate %s takes exactly one column argument", it.Tok.Pos(), call.Name)
+	}
+	return agg, nil
+}
+
+func (b *Builder) bindProject(cur memo.GroupID, items []sqlparse.SelectItem, sc *scope) (memo.GroupID, error) {
+	inSchema := b.m.Group(cur).Props.Schema
+	inRel := b.m.Group(cur).Props.Rel
+	named := make([]relop.NamedExpr, len(items))
+	var kept []string
+	computed := 0
+	seen := map[string]bool{}
+	for i, it := range items {
+		if sqlparse.IsAggCall(it.Expr) {
+			return 0, fmt.Errorf("%s: aggregate %q requires GROUP BY", it.Tok.Pos(), it.Expr)
+		}
+		s, err := b.bindScalar(it.Expr, sc, false)
+		if err != nil {
+			return 0, err
+		}
+		as := it.As
+		if as == "" {
+			if cr, ok := it.Expr.(*sqlparse.ColRefAST); ok {
+				as = cr.Name
+			} else {
+				return 0, fmt.Errorf("%s: computed select item %q needs an AS alias", it.Tok.Pos(), it.Expr)
+			}
+		}
+		if seen[as] {
+			return 0, fmt.Errorf("%s: duplicate output column %q", it.Tok.Pos(), as)
+		}
+		seen[as] = true
+		named[i] = relop.NamedExpr{Expr: s, As: as}
+		if cr, ok := s.(*relop.ColRef); ok {
+			kept = append(kept, cr.Name)
+		} else {
+			computed++
+		}
+	}
+	op := &relop.Project{Items: named}
+	schema, err := relop.DeriveSchema(op, []relop.Schema{inSchema})
+	if err != nil {
+		return 0, err
+	}
+	rel := stats.EstimateProject(inRel, kept, computed)
+	rel.Distinct = renameDistinct(stats.Relation{Rows: inRel.Rows, Distinct: inRel.Distinct}, named)
+	rel.Rows = inRel.Rows
+	return b.insert(op, []memo.GroupID{cur}, schema, rel), nil
+}
+
+// bindScalar converts an AST expression to a relop scalar, resolving
+// column references through the scope.
+func (b *Builder) bindScalar(e sqlparse.Expr, sc *scope, allowAgg bool) (relop.Scalar, error) {
+	switch x := e.(type) {
+	case *sqlparse.ColRefAST:
+		phys, err := sc.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		return relop.Col(phys), nil
+	case *sqlparse.NumberLit:
+		if x.IsInt {
+			i, err := strconv.ParseInt(x.Text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad integer %q", x.Tok.Pos(), x.Text)
+			}
+			return relop.Lit(relop.IntVal(i)), nil
+		}
+		f, err := strconv.ParseFloat(x.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad number %q", x.Tok.Pos(), x.Text)
+		}
+		return relop.Lit(relop.FloatVal(f)), nil
+	case *sqlparse.StringLit:
+		return relop.Lit(relop.StringVal(x.Val)), nil
+	case *sqlparse.BinaryExpr:
+		l, err := b.bindScalar(x.L, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindScalar(x.R, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binKinds[x.Op]
+		if !ok {
+			return nil, fmt.Errorf("%s: unsupported operator %q", x.Tok.Pos(), x.Op)
+		}
+		return relop.Bin(op, l, r), nil
+	case *sqlparse.CallExpr:
+		return nil, fmt.Errorf("%s: function %q not allowed here", x.Tok.Pos(), x.Name)
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+var binKinds = map[string]relop.BinKind{
+	"+": relop.OpAdd, "-": relop.OpSub, "*": relop.OpMul, "/": relop.OpDiv,
+	"=": relop.OpEq, "!=": relop.OpNe, "<": relop.OpLt, "<=": relop.OpLe,
+	">": relop.OpGt, ">=": relop.OpGe, "AND": relop.OpAnd, "OR": relop.OpOr,
+}
+
+// splitConjuncts flattens a predicate's top-level AND tree.
+func splitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if be, ok := e.(*sqlparse.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []sqlparse.Expr{e}
+}

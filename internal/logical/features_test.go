@@ -1,0 +1,126 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relop"
+)
+
+func TestBindHaving(t *testing.T) {
+	m := build(t, `
+R0 = EXTRACT A,B,D FROM "test.log" USING LogExtractor;
+R = SELECT A, B, Sum(D) as S FROM R0 GROUP BY A, B HAVING S > 100 AND A < 5;
+OUTPUT R TO "o";
+`)
+	var filter *relop.Filter
+	for _, g := range m.Groups() {
+		if f, ok := g.Exprs[0].Op.(*relop.Filter); ok {
+			filter = f
+			// The filter sits directly above the GroupBy.
+			child := m.Group(g.Exprs[0].Children[0])
+			if _, isGB := child.Exprs[0].Op.(*relop.GroupBy); !isGB {
+				t.Errorf("HAVING filter's child = %T, want GroupBy", child.Exprs[0].Op)
+			}
+		}
+	}
+	if filter == nil {
+		t.Fatal("no HAVING filter bound")
+	}
+	if !strings.Contains(filter.Pred.String(), "S") {
+		t.Errorf("predicate = %s", filter.Pred)
+	}
+}
+
+func TestBindHavingSeesAliases(t *testing.T) {
+	// HAVING may reference the select alias of a key.
+	m := build(t, `
+R0 = EXTRACT A,D FROM "test.log" USING LogExtractor;
+R = SELECT A as K, Sum(D) as S FROM R0 GROUP BY A HAVING K > 1;
+OUTPUT R TO "o";
+`)
+	found := false
+	for _, g := range m.Groups() {
+		if f, ok := g.Exprs[0].Op.(*relop.Filter); ok {
+			found = true
+			// The alias resolves to the physical key column A.
+			if !strings.Contains(f.Pred.String(), "A") {
+				t.Errorf("predicate = %s, want resolution to A", f.Pred)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no filter bound")
+	}
+}
+
+func TestBindHavingErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`R0 = EXTRACT A FROM "f" USING E; R = SELECT A FROM R0 HAVING A > 1; OUTPUT R TO "o";`,
+			"HAVING requires GROUP BY"},
+		{`R0 = EXTRACT A,B,D FROM "f" USING E; R = SELECT A, Sum(D) as S FROM R0 GROUP BY A HAVING B > 1; OUTPUT R TO "o";`,
+			"unknown column"},
+		{`R0 = EXTRACT A,D FROM "f" USING E; R = SELECT A, Sum(D) as S FROM R0 GROUP BY A HAVING Sum(D) > 1; OUTPUT R TO "o";`,
+			"not allowed here"},
+	}
+	for _, c := range cases {
+		_, err := BuildSource(c.src, nil)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("BuildSource(%q) error = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBindDistinct(t *testing.T) {
+	m := build(t, `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT DISTINCT A, B FROM R0;
+OUTPUT R TO "o";
+`)
+	var gb *relop.GroupBy
+	for _, g := range m.Groups() {
+		if x, ok := g.Exprs[0].Op.(*relop.GroupBy); ok {
+			gb = x
+		}
+	}
+	if gb == nil {
+		t.Fatal("DISTINCT should bind a duplicate-eliminating GroupBy")
+	}
+	if len(gb.Keys) != 2 || len(gb.Aggs) != 0 {
+		t.Errorf("distinct GB = keys %v aggs %v", gb.Keys, gb.Aggs)
+	}
+}
+
+func TestBindDistinctWithGroupByIsNoop(t *testing.T) {
+	m := build(t, `
+R0 = EXTRACT A,D FROM "test.log" USING LogExtractor;
+R = SELECT DISTINCT A, Sum(D) as S FROM R0 GROUP BY A;
+OUTPUT R TO "o";
+`)
+	gbs := 0
+	for _, g := range m.Groups() {
+		if _, ok := g.Exprs[0].Op.(*relop.GroupBy); ok {
+			gbs++
+		}
+	}
+	if gbs != 1 {
+		t.Errorf("DISTINCT over GROUP BY should not add a second GroupBy (got %d)", gbs)
+	}
+}
+
+func TestBindOrderedOutput(t *testing.T) {
+	m := build(t, `
+R0 = EXTRACT A,B,D FROM "test.log" USING LogExtractor;
+R = SELECT A, B, Sum(D) as S FROM R0 GROUP BY A, B;
+OUTPUT R TO "o" ORDER BY B, A;
+`)
+	out := m.Group(m.Root).Exprs[0].Op.(*relop.Output)
+	if out.Order.Key() != "B;A" {
+		t.Errorf("output order = %v", out.Order)
+	}
+	if _, err := BuildSource(`
+R0 = EXTRACT A FROM "f" USING E;
+OUTPUT R0 TO "o" ORDER BY Z;`, nil); err == nil || !strings.Contains(err.Error(), "ORDER BY column") {
+		t.Errorf("bad order column: %v", err)
+	}
+}

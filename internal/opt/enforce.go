@@ -1,0 +1,83 @@
+package opt
+
+import (
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+// enforce returns the candidate plans satisfying (or attempting to
+// satisfy) req from a base plan: the base itself, plus enforcer-
+// wrapped variants — Sort, plain Repartition (+ Sort), order-
+// preserving merge Repartition, and Sort-below-merge-Repartition. The
+// caller filters by Satisfies and picks the cheapest; unsatisfying
+// candidates are harmless.
+func (o *Optimizer) enforce(node *plan.Node, req props.Required) []*plan.Node {
+	out := []*plan.Node{node}
+	needPart := !node.Dlvd.Part.Satisfies(req.Part)
+	needOrd := !node.Dlvd.Order.Satisfies(req.Order)
+	if !needPart && !needOrd {
+		return out
+	}
+	// Enforcers can only operate on columns the plan actually
+	// produces; a requirement over foreign columns is unenforceable
+	// here (the caller's candidate filtering rejects the bare node).
+	have := node.Schema.ColSet()
+	if !req.Order.Columns().SubsetOf(have) {
+		return out
+	}
+	if !needPart {
+		if !req.Order.Empty() {
+			out = append(out, o.wrapEnforcer(node, &relop.Sort{Order: req.Order}))
+		}
+		return out
+	}
+	for _, target := range rules.EnforcerTargets(req.Part, o.opts.Rules) {
+		if (target.Kind == props.PartHash || target.Kind == props.PartRange) &&
+			!target.Cols.SubsetOf(have) {
+			continue
+		}
+		// (a) plain exchange, then sort if an order is required.
+		pn := o.wrapEnforcer(node, &relop.Repartition{To: target})
+		if !req.Order.Empty() && !pn.Dlvd.Order.Satisfies(req.Order) {
+			pn = o.wrapEnforcer(pn, &relop.Sort{Order: req.Order})
+		}
+		out = append(out, pn)
+		// (b) order-preserving merge exchange when the base is
+		// already sorted.
+		if !node.Dlvd.Order.Empty() {
+			mn := o.wrapEnforcer(node, &relop.Repartition{To: target, MergeOrder: node.Dlvd.Order})
+			if !req.Order.Empty() && !mn.Dlvd.Order.Satisfies(req.Order) {
+				mn = o.wrapEnforcer(mn, &relop.Sort{Order: req.Order})
+			}
+			out = append(out, mn)
+		}
+		// (c) sort below the exchange, preserve through a merge
+		// receive (sorting the smaller pre-exchange partitions can
+		// be cheaper than a post-exchange sort).
+		if !req.Order.Empty() && !node.Dlvd.Order.Satisfies(req.Order) {
+			sn := o.wrapEnforcer(node, &relop.Sort{Order: req.Order})
+			out = append(out, o.wrapEnforcer(sn, &relop.Repartition{To: target, MergeOrder: sn.Dlvd.Order}))
+		}
+	}
+	return out
+}
+
+// wrapEnforcer builds an enforcer node above base: same group, same
+// statistics, derived properties, priced by the cost model.
+func (o *Optimizer) wrapEnforcer(base *plan.Node, op relop.Operator) *plan.Node {
+	return &plan.Node{
+		Op:       op,
+		Children: []*plan.Node{base},
+		Group:    base.Group,
+		CtxKey:   base.CtxKey,
+		Schema:   base.Schema,
+		Rel:      base.Rel,
+		Dlvd:     rules.DeriveDelivered(op, []props.Delivered{base.Dlvd}),
+		OpCost: o.model.OpCost(op, base.Rel,
+			[]stats.Relation{base.Rel},
+			[]props.Partitioning{base.Dlvd.Part}),
+	}
+}

@@ -1,0 +1,178 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/plan"
+	"repro/internal/props"
+)
+
+// optimizeGroup is Algorithm 2 (phase 1) / Algorithm 4 (phase 2): it
+// returns the best plan for group gid under the extended requirement
+// ereq, recording property history at shared groups during phase 1
+// and running re-optimization rounds at LCA groups during phase 2.
+func (o *Optimizer) optimizeGroup(gid memo.GroupID, ereq props.ExtRequired, phase int) *memo.Winner {
+	g := o.m.Group(gid)
+
+	// Alg. 2 lines 1–3: record the history of requested properties
+	// at shared groups, expanding range requirements into their
+	// concrete satisfying schemes (Sec. V).
+	if phase == 1 && g.Shared && len(g.History) < o.opts.MaxHistoryPerGroup {
+		for _, r := range core.ExpandHistory(ereq.Required, o.opts.MaxHistoryPerReq) {
+			if len(g.History) >= o.opts.MaxHistoryPerGroup {
+				break
+			}
+			g.AddHistory(r)
+		}
+	}
+
+	// Restrict pins to the shared groups actually reachable below
+	// this group so winner-cache keys stay shareable across rounds.
+	if phase == 2 && len(ereq.ForShared) > 0 {
+		ereq.ForShared = ereq.ForShared.Restrict(func(s props.GroupID) bool {
+			return g.FindSharedBelow(s) != nil
+		})
+	}
+
+	key := o.winnerKey(g, ereq, phase)
+	if w, ok := g.Winner(key); ok {
+		if phase == 1 && g.Shared && w.Plan != nil {
+			g.BumpHistoryWins(w.Plan.Dlvd)
+		}
+		return w
+	}
+	if phase == 1 {
+		o.stats.Phase1Tasks++
+	} else {
+		o.stats.Phase2Tasks++
+	}
+
+	var w *memo.Winner
+	if phase == 2 && len(g.LCAOf) > 0 {
+		w = o.optimizeLCA(g, ereq)
+	} else {
+		w = o.logPhysOpt(g, ereq, phase)
+	}
+	if phase == 1 && g.Shared && w.Plan != nil {
+		// Sec. VIII-C ranking signal: property sets delivered by
+		// winning phase-1 plans are promising phase-2 enforcements.
+		g.BumpHistoryWins(w.Plan.Dlvd)
+	}
+	g.SetWinner(key, w)
+	return w
+}
+
+// optimizeLCA is Algorithm 4 lines 4–12: at the LCA of one or more
+// shared groups, re-optimize the sub-DAG once per combination of
+// enforceable property sets, and keep the combination whose plan has
+// the lowest DAG-aware cost.
+func (o *Optimizer) optimizeLCA(g *memo.Group, ereq props.ExtRequired) *memo.Winner {
+	histories := make([]core.SharedGroupHistory, 0, len(g.LCAOf))
+	for _, s := range g.LCAOf {
+		sg := o.m.Group(s)
+		var hp []props.Required
+		if o.opts.LocalSharingOnly {
+			// Related-work baseline: the shared plan is whatever is
+			// locally optimal; consumers take it as-is.
+			hp = []props.Required{props.AnyRequired()}
+		} else if o.opts.DisableRanking {
+			hp = make([]props.Required, 0, len(sg.History))
+			for _, h := range sg.History {
+				hp = append(hp, h.Req)
+			}
+		} else {
+			hp = core.RankHistory(sg.History)
+		}
+		if len(hp) == 0 {
+			hp = []props.Required{props.AnyRequired()}
+		}
+		sav := float64(len(o.m.Parents(s))-1) * o.model.RepartitionCost(sg.Props.Rel)
+		if o.opts.DisableRanking {
+			sav = 0
+		}
+		histories = append(histories, core.SharedGroupHistory{Group: s, Props: hp, RepartSav: sav})
+	}
+
+	var comps [][]int
+	if !o.opts.DisableIndependence {
+		comps = indexComponents(core.IndependentComponents(o.m, g.ID, g.LCAOf), g.LCAOf)
+	}
+	planner := core.NewRoundPlanner(histories, comps, o.opts.MaxRoundsPerLCA)
+	o.stats.NaiveCombinations = saturatingAdd(o.stats.NaiveCombinations, planner.TotalCombinations())
+
+	var best *memo.Winner
+	bestCost := math.Inf(1)
+	bestTrace := -1
+	for {
+		if o.expired() {
+			o.stats.BudgetExhausted = true
+			break
+		}
+		pins, ok := planner.Next()
+		if !ok {
+			break
+		}
+		o.stats.Rounds++
+		merged := ereq.ForShared
+		for s, r := range pins {
+			merged = merged.With(s, r)
+		}
+		w := o.logPhysOpt(g, ereq.WithPins(merged), 2)
+		trace := RoundTrace{LCA: g.ID, Pins: pins.Key()}
+		if w.Plan == nil {
+			trace.Cost = math.Inf(1)
+			o.rounds = append(o.rounds, trace)
+			planner.Report(math.Inf(1))
+			continue
+		}
+		c := plan.DAGCost(w.Plan, o.model)
+		trace.Cost = c
+		o.rounds = append(o.rounds, trace)
+		planner.Report(c)
+		if c < bestCost {
+			best, bestCost = w, c
+			bestTrace = len(o.rounds) - 1
+		}
+	}
+	if bestTrace >= 0 {
+		o.rounds[bestTrace].Best = true
+	}
+	if best == nil {
+		// Budget spent before any round completed: fall back to
+		// plain optimization of this group.
+		best = o.logPhysOpt(g, ereq, 2)
+	}
+	return best
+}
+
+// indexComponents converts group-id components into index components
+// over the LCAOf slice for the round planner.
+func indexComponents(comps [][]memo.GroupID, order []memo.GroupID) [][]int {
+	pos := map[memo.GroupID]int{}
+	for i, g := range order {
+		pos[g] = i
+	}
+	out := make([][]int, 0, len(comps))
+	for _, c := range comps {
+		idx := make([]int, 0, len(c))
+		for _, g := range c {
+			if p, ok := pos[g]; ok {
+				idx = append(idx, p)
+			}
+		}
+		if len(idx) > 0 {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+func saturatingAdd(a, b int) int {
+	const lim = 1 << 40
+	if a+b < a || a+b > lim {
+		return lim
+	}
+	return a + b
+}

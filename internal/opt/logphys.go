@@ -1,0 +1,139 @@
+package opt
+
+import (
+	"repro/internal/memo"
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+// logPhysOpt is Algorithm 5: logical exploration, physical
+// implementation, recursive child optimization with pin propagation,
+// and enforcer insertion. It returns the group's best plan under the
+// context as a winner (Plan nil when infeasible).
+func (o *Optimizer) logPhysOpt(g *memo.Group, ereq props.ExtRequired, phase int) *memo.Winner {
+	if !o.explored[g.ID] {
+		rules.Explore(o.m, g, o.opts.Rules)
+		o.explored[g.ID] = true
+	}
+	var best *plan.Node
+	bestCost := 0.0
+	exprs := append([]*memo.Expr{}, g.Exprs...)
+	for _, e := range exprs {
+		if !e.Op.Kind().IsLogical() {
+			continue
+		}
+		for _, alt := range rules.Implement(o.m, g, e, ereq.Required, o.opts.Rules) {
+			node := o.buildPlan(g, e, alt, ereq, phase)
+			if node == nil {
+				continue
+			}
+			for _, cand := range o.enforce(node, ereq.Required) {
+				if !cand.Dlvd.Satisfies(ereq.Required) {
+					continue
+				}
+				tc := plan.TreeCost(cand)
+				if best == nil || tc < bestCost {
+					best, bestCost = cand, tc
+				}
+			}
+		}
+	}
+	if best == nil {
+		return &memo.Winner{}
+	}
+	return &memo.Winner{Plan: best, Cost: bestCost}
+}
+
+// buildPlan optimizes the children of one implementation alternative
+// and assembles the plan node. In phase 2, a child that is a pinned
+// shared group is optimized under its pinned property set regardless
+// of what the implementation wanted (Alg. 5 lines 10–11), with
+// consumer-side compensation added on top when the pinned delivery
+// misses the implementation's needs.
+func (o *Optimizer) buildPlan(g *memo.Group, e *memo.Expr, alt rules.Alt, ereq props.ExtRequired, phase int) *plan.Node {
+	children := make([]*plan.Node, len(e.Children))
+	dlvds := make([]props.Delivered, len(e.Children))
+	for i, cgid := range e.Children {
+		cReq := props.AnyRequired()
+		if i < len(alt.ChildReqs) {
+			cReq = alt.ChildReqs[i]
+		}
+		var cNode *plan.Node
+		if phase == 2 {
+			if pin, pinned := ereq.ForShared.Get(cgid); pinned && o.m.Group(cgid).Shared {
+				// EnforcePhysProp: the pinned property set replaces
+				// the implementation's requirement; pins below the
+				// shared group no longer include its own
+				// (PropagPropForSharedGrps).
+				w := o.optimizeGroup(cgid, props.Ext(pin).WithPins(ereq.ForShared.Without(cgid)), phase)
+				if w.Plan == nil {
+					return nil
+				}
+				cNode = o.compensate(w.Plan, cReq)
+				if cNode == nil {
+					return nil
+				}
+			}
+		}
+		if cNode == nil {
+			cExt := props.Ext(cReq)
+			if phase == 2 {
+				cExt = cExt.WithPins(ereq.ForShared)
+			}
+			w := o.optimizeGroup(cgid, cExt, phase)
+			if w.Plan == nil {
+				return nil
+			}
+			cNode = w.Plan
+		}
+		children[i] = cNode
+		dlvds[i] = cNode.Dlvd
+	}
+	return o.assemble(g, alt.Op, children, dlvds, ereq, phase)
+}
+
+// assemble builds the plan node for op over the chosen child plans,
+// deriving delivered properties and pricing the operator.
+func (o *Optimizer) assemble(g *memo.Group, op relop.Operator, children []*plan.Node, dlvds []props.Delivered, ereq props.ExtRequired, phase int) *plan.Node {
+	rels := make([]stats.Relation, len(children))
+	parts := make([]props.Partitioning, len(children))
+	for i, c := range children {
+		rels[i] = c.Rel
+		parts[i] = c.Dlvd.Part
+	}
+	return &plan.Node{
+		Op:       op,
+		Children: children,
+		Group:    g.ID,
+		CtxKey:   o.winnerKey(g, ereq, phase),
+		Schema:   g.Props.Schema,
+		Rel:      g.Props.Rel,
+		Dlvd:     rules.DeriveDelivered(op, dlvds),
+		OpCost:   o.model.OpCost(op, g.Props.Rel, rels, parts),
+	}
+}
+
+// compensate wraps enforcers above a pinned shared child until the
+// consumer's own requirement is met (the "Sort (C,B)" of Fig. 8(b));
+// it returns the cheapest satisfying variant, or nil when none
+// exists.
+func (o *Optimizer) compensate(child *plan.Node, want props.Required) *plan.Node {
+	if child.Dlvd.Satisfies(want) {
+		return child
+	}
+	var best *plan.Node
+	bestCost := 0.0
+	for _, cand := range o.enforce(child, want) {
+		if !cand.Dlvd.Satisfies(want) {
+			continue
+		}
+		tc := plan.TreeCost(cand)
+		if best == nil || tc < bestCost {
+			best, bestCost = cand, tc
+		}
+	}
+	return best
+}

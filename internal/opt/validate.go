@@ -1,0 +1,212 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/rules"
+)
+
+// ValidatePlan statically checks the physical soundness of a plan —
+// the properties the execution simulator would verify dynamically,
+// available also for plans too large to execute (the paper's LS
+// scripts are evaluated by estimated cost only; this check is what
+// makes that comparison trustworthy):
+//
+//   - every node's recorded delivered properties equal the derivation
+//     from its children's;
+//   - stream aggregations receive input clustered on their keys;
+//   - Global and Single aggregations receive input colocated by key
+//     (serial, or hash on a subset of the keys);
+//   - no aggregation or output consumes broadcast data;
+//   - merge/hash joins receive co-partitioned inputs (serial pairs,
+//     corresponding exact hash schemes under the key pairing, or one
+//     broadcast side), and merge joins sorted inputs;
+//   - enforcer columns exist in their input's schema.
+func ValidatePlan(root *plan.Node) error {
+	seen := map[*plan.Node]bool{}
+	var walk func(n *plan.Node) error
+	walk = func(n *plan.Node) error {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return checkNode(n)
+	}
+	return walk(root)
+}
+
+func checkNode(n *plan.Node) error {
+	dlvds := make([]props.Delivered, len(n.Children))
+	for i, c := range n.Children {
+		dlvds[i] = c.Dlvd
+	}
+	// Sequence nodes aside, recorded delivered properties must match
+	// the derivation exactly.
+	want := rules.DeriveDelivered(n.Op, dlvds)
+	if !want.Part.Equal(n.Dlvd.Part) || !want.Order.Equal(n.Dlvd.Order) {
+		return fmt.Errorf("plan check: %s: recorded delivered %v differs from derived %v",
+			n.Op, n.Dlvd, want)
+	}
+	child := func(i int) *plan.Node { return n.Children[i] }
+	switch op := n.Op.(type) {
+	case *relop.StreamAgg:
+		in := child(0)
+		keys := props.NewColSet(op.Keys...)
+		if !in.Dlvd.Order.HasPrefixSet(keys) {
+			return fmt.Errorf("plan check: %s: input order %v does not cluster keys %v",
+				n.Op, in.Dlvd.Order, keys)
+		}
+		return checkAggDistribution(n, op.Keys, op.Phase, in)
+	case *relop.HashAgg:
+		return checkAggDistribution(n, op.Keys, op.Phase, child(0))
+	case *relop.PhysOutput:
+		in := child(0)
+		if in.Dlvd.Part.Kind == props.PartBroadcast {
+			return fmt.Errorf("plan check: output over broadcast input duplicates rows")
+		}
+		if !op.Order.Empty() {
+			// A globally sorted file needs locally sorted input that
+			// is either serial or range-partitioned consistently with
+			// the output order.
+			if !in.Dlvd.Order.Satisfies(op.Order) {
+				return fmt.Errorf("plan check: ordered output %q input order %v misses %v",
+					op.Path, in.Dlvd.Order, op.Order)
+			}
+			switch in.Dlvd.Part.Kind {
+			case props.PartSerial:
+			case props.PartRange:
+				if !op.Order.Satisfies(in.Dlvd.Part.SortCols) && !in.Dlvd.Part.SortCols.Satisfies(op.Order) {
+					return fmt.Errorf("plan check: ordered output %q range keys %v inconsistent with order %v",
+						op.Path, in.Dlvd.Part.SortCols, op.Order)
+				}
+			default:
+				return fmt.Errorf("plan check: ordered output %q over %v input is not globally sorted",
+					op.Path, in.Dlvd.Part)
+			}
+		}
+	case *relop.Sort:
+		if !op.Order.Columns().SubsetOf(child(0).Schema.ColSet()) {
+			return fmt.Errorf("plan check: sort %v over schema %v", op.Order, child(0).Schema)
+		}
+	case *relop.Repartition:
+		if op.To.Kind == props.PartHash && !op.To.Cols.SubsetOf(child(0).Schema.ColSet()) {
+			return fmt.Errorf("plan check: repartition %v over schema %v", op.To, child(0).Schema)
+		}
+	case *relop.SortMergeJoin:
+		if err := checkJoinDistribution(op.LeftKeys, op.RightKeys, child(0), child(1)); err != nil {
+			return err
+		}
+		if !sortedOnKeyPrefix(child(0).Dlvd.Order, op.LeftKeys) ||
+			!sortedOnKeyPrefix(child(1).Dlvd.Order, op.RightKeys) {
+			return fmt.Errorf("plan check: merge join inputs not sorted on keys: %v / %v",
+				child(0).Dlvd.Order, child(1).Dlvd.Order)
+		}
+		lo, ro := child(0).Dlvd.Order, child(1).Dlvd.Order
+		for i := 0; i < len(op.LeftKeys) && i < len(lo) && i < len(ro); i++ {
+			li := keyIndex(op.LeftKeys, lo[i].Col)
+			ri := keyIndex(op.RightKeys, ro[i].Col)
+			if li != ri {
+				return fmt.Errorf("plan check: merge join key orders do not correspond: %v vs %v", lo, ro)
+			}
+		}
+	case *relop.HashJoin:
+		if err := checkJoinDistribution(op.LeftKeys, op.RightKeys, child(0), child(1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkAggDistribution(n *plan.Node, keys []string, phase relop.AggPhase, in *plan.Node) error {
+	if in.Dlvd.Part.Kind == props.PartBroadcast {
+		return fmt.Errorf("plan check: %s: aggregation over broadcast input", n.Op)
+	}
+	if phase == relop.AggLocal {
+		return nil
+	}
+	keySet := props.NewColSet(keys...)
+	p := in.Dlvd.Part
+	switch p.Kind {
+	case props.PartSerial:
+		return nil
+	case props.PartHash, props.PartRange:
+		// Hash or range keys within the grouping keys colocate equal
+		// groups.
+		if p.Cols.SubsetOf(keySet) && !p.Cols.Empty() {
+			return nil
+		}
+	}
+	return fmt.Errorf("plan check: %s (%v): input partitioning %v does not colocate keys %v",
+		n.Op, phase, p, keySet)
+}
+
+// checkJoinDistribution verifies equal join keys meet on one machine:
+// serial-serial, one broadcast side, or hash schemes over
+// corresponding key columns on both sides.
+func checkJoinDistribution(lKeys, rKeys []string, l, r *plan.Node) error {
+	lp, rp := l.Dlvd.Part, r.Dlvd.Part
+	if lp.Kind == props.PartBroadcast || rp.Kind == props.PartBroadcast {
+		if lp.Kind == rp.Kind {
+			return fmt.Errorf("plan check: join with both sides broadcast")
+		}
+		// Any non-broadcast probe distribution works: the inner is
+		// replicated everywhere.
+		return nil
+	}
+	if lp.Kind == props.PartSerial && rp.Kind == props.PartSerial {
+		return nil
+	}
+	if lp.Kind == props.PartHash && rp.Kind == props.PartHash {
+		// Hash columns must be join keys and correspond pairwise.
+		lIdx := make([]int, 0, lp.Cols.Len())
+		for _, c := range lp.Cols.Cols() {
+			i := keyIndex(lKeys, c)
+			if i < 0 {
+				return fmt.Errorf("plan check: join left partitioned on non-key %q", c)
+			}
+			lIdx = append(lIdx, i)
+		}
+		rIdx := map[int]bool{}
+		for _, c := range rp.Cols.Cols() {
+			i := keyIndex(rKeys, c)
+			if i < 0 {
+				return fmt.Errorf("plan check: join right partitioned on non-key %q", c)
+			}
+			rIdx[i] = true
+		}
+		if len(lIdx) != len(rIdx) {
+			return fmt.Errorf("plan check: join partition schemes differ in arity: %v vs %v", lp, rp)
+		}
+		for _, i := range lIdx {
+			if !rIdx[i] {
+				return fmt.Errorf("plan check: join partition schemes do not correspond: %v vs %v", lp, rp)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("plan check: join inputs not co-located: %v vs %v", lp, rp)
+}
+
+func keyIndex(keys []string, col string) int {
+	for i, k := range keys {
+		if k == col {
+			return i
+		}
+	}
+	return -1
+}
+
+func sortedOnKeyPrefix(o props.Ordering, keys []string) bool {
+	if len(o) < len(keys) {
+		return false
+	}
+	return o.Prefix(len(keys)).Columns().Equal(props.NewColSet(keys...))
+}

@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/rules"
+)
+
+// TestValidatePlanAcceptsOptimizerOutput validates every plan the
+// optimizer produces for the evaluation scripts, under both rule
+// profiles and both modes.
+func TestValidatePlanAcceptsOptimizerOutput(t *testing.T) {
+	scripts := map[string]string{"S1": scriptS1, "join": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) as S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) as S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) as S2 FROM R GROUP BY B,A;
+RR = SELECT R1.B,A,C,S1,S2 FROM R1,R2 WHERE R1.B=R2.B;
+OUTPUT RR TO "o";
+`}
+	for name, src := range scripts {
+		for _, prof := range []rules.Config{rules.DefaultConfig(), rules.SCOPEProfile()} {
+			for _, cse := range []bool{false, true} {
+				opts := DefaultOptions()
+				opts.EnableCSE = cse
+				opts.Rules = prof
+				res, err := Optimize(buildScript(t, src), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ValidatePlan(res.Plan); err != nil {
+					t.Errorf("%s cse=%v: %v\n%s", name, cse, err, plan.Format(res.Plan))
+				}
+				if err := ValidatePlan(res.Phase1Plan); err != nil {
+					t.Errorf("%s cse=%v phase1: %v", name, cse, err)
+				}
+			}
+		}
+	}
+}
+
+func mkCheckNode(op relop.Operator, schema relop.Schema, dlvd props.Delivered, children ...*plan.Node) *plan.Node {
+	return &plan.Node{Op: op, Children: children, Schema: schema, Dlvd: dlvd}
+}
+
+func TestValidatePlanRejectsBadPlans(t *testing.T) {
+	schema := relop.Schema{{Name: "A", Type: relop.TInt}, {Name: "B", Type: relop.TInt}}
+	random := props.Delivered{Part: props.RandomPartitioning()}
+	extract := mkCheckNode(&relop.PhysExtract{Path: "t", Columns: schema}, schema, random)
+	sum := []relop.Aggregate{{Func: relop.AggSum, Arg: "B", As: "S"}}
+
+	// Stream agg over unclustered input.
+	bad1 := mkCheckNode(&relop.StreamAgg{Keys: []string{"A"}, Aggs: sum}, schema, random, extract)
+	if err := ValidatePlan(bad1); err == nil || !strings.Contains(err.Error(), "cluster") {
+		t.Errorf("unclustered stream agg: %v", err)
+	}
+
+	// Global hash agg over random distribution.
+	bad2 := mkCheckNode(&relop.HashAgg{Keys: []string{"A"}, Aggs: sum, Phase: relop.AggGlobal}, schema, random, extract)
+	if err := ValidatePlan(bad2); err == nil || !strings.Contains(err.Error(), "colocate") {
+		t.Errorf("non-colocated global agg: %v", err)
+	}
+
+	// Local agg over random distribution is fine.
+	ok1 := mkCheckNode(&relop.HashAgg{Keys: []string{"A"}, Aggs: sum, Phase: relop.AggLocal}, schema, random, extract)
+	if err := ValidatePlan(ok1); err != nil {
+		t.Errorf("local agg should pass: %v", err)
+	}
+
+	// Inconsistent recorded delivered properties.
+	bad3 := mkCheckNode(&relop.PhysFilter{Pred: relop.Lit(relop.IntVal(1))}, schema,
+		props.Delivered{Part: props.HashPartitioning(props.NewColSet("A"))}, extract)
+	if err := ValidatePlan(bad3); err == nil || !strings.Contains(err.Error(), "differs from derived") {
+		t.Errorf("inconsistent delivered: %v", err)
+	}
+
+	// Output over broadcast.
+	bcast := mkCheckNode(&relop.Repartition{To: props.BroadcastPartitioning()}, schema,
+		props.Delivered{Part: props.BroadcastPartitioning()}, extract)
+	bad4 := mkCheckNode(&relop.PhysOutput{Path: "o"}, schema,
+		props.Delivered{Part: props.BroadcastPartitioning()}, bcast)
+	if err := ValidatePlan(bad4); err == nil || !strings.Contains(err.Error(), "broadcast") {
+		t.Errorf("broadcast output: %v", err)
+	}
+
+	// Join of non-corresponding hash schemes.
+	rs := relop.Schema{{Name: "A2", Type: relop.TInt}, {Name: "B2", Type: relop.TInt}}
+	rext := mkCheckNode(&relop.PhysExtract{Path: "u", Columns: rs}, rs, random)
+	lhash := mkCheckNode(&relop.Repartition{To: props.HashPartitioning(props.NewColSet("A"))}, schema,
+		props.Delivered{Part: props.Partitioning{Kind: props.PartHash, Cols: props.NewColSet("A"), Exact: true}}, extract)
+	rhash := mkCheckNode(&relop.Repartition{To: props.HashPartitioning(props.NewColSet("B2"))}, rs,
+		props.Delivered{Part: props.Partitioning{Kind: props.PartHash, Cols: props.NewColSet("B2"), Exact: true}}, rext)
+	joinSchema := schema.Concat(rs)
+	badJoin := mkCheckNode(&relop.HashJoin{LeftKeys: []string{"A", "B"}, RightKeys: []string{"A2", "B2"}},
+		joinSchema, props.Delivered{Part: lhash.Dlvd.Part}, lhash, rhash)
+	if err := ValidatePlan(badJoin); err == nil || !strings.Contains(err.Error(), "correspond") {
+		t.Errorf("mismatched join schemes: %v", err)
+	}
+
+	// Corresponding schemes pass.
+	rhashA := mkCheckNode(&relop.Repartition{To: props.HashPartitioning(props.NewColSet("A2"))}, rs,
+		props.Delivered{Part: props.Partitioning{Kind: props.PartHash, Cols: props.NewColSet("A2"), Exact: true}}, rext)
+	okJoin := mkCheckNode(&relop.HashJoin{LeftKeys: []string{"A", "B"}, RightKeys: []string{"A2", "B2"}},
+		joinSchema, props.Delivered{Part: lhash.Dlvd.Part}, lhash, rhashA)
+	if err := ValidatePlan(okJoin); err != nil {
+		t.Errorf("corresponding join schemes should pass: %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// The JSON encoding preserves the plan's DAG structure: nodes are
+// emitted once in a table, children reference node ids, so shared
+// spool subplans stay shared after decoding. Operators are encoded as
+// a tagged union on their kind name with kind-specific parameters;
+// scalar expressions round-trip through their canonical string form
+// and a small parser over it is avoided by encoding structurally.
+
+// jsonPlan is the top-level document.
+type jsonPlan struct {
+	Root  int        `json:"root"`
+	Nodes []jsonNode `json:"nodes"`
+}
+
+type jsonNode struct {
+	Op       jsonOp       `json:"op"`
+	Children []int        `json:"children,omitempty"`
+	Group    int          `json:"group"`
+	CtxKey   string       `json:"ctx,omitempty"`
+	Schema   []jsonColumn `json:"schema,omitempty"`
+	Rows     int64        `json:"rows"`
+	RowBytes int64        `json:"rowBytes"`
+	Part     jsonPart     `json:"part"`
+	Order    []jsonSort   `json:"order,omitempty"`
+	OpCost   float64      `json:"opCost"`
+}
+
+type jsonColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type jsonPart struct {
+	Kind  string     `json:"kind"`
+	Cols  []string   `json:"cols,omitempty"`
+	Exact bool       `json:"exact,omitempty"`
+	Sort  []jsonSort `json:"sort,omitempty"`
+}
+
+type jsonSort struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+type jsonOp struct {
+	Kind string `json:"kind"`
+	// Operator parameters (kind-dependent; unused fields omitted).
+	Path      string       `json:"path,omitempty"`
+	Extractor string       `json:"extractor,omitempty"`
+	FileID    int          `json:"fileId,omitempty"`
+	Columns   []jsonColumn `json:"columns,omitempty"`
+	Keys      []string     `json:"keys,omitempty"`
+	Aggs      []jsonAgg    `json:"aggs,omitempty"`
+	Phase     string       `json:"phase,omitempty"`
+	LeftKeys  []string     `json:"leftKeys,omitempty"`
+	RightKeys []string     `json:"rightKeys,omitempty"`
+	Order     []jsonSort   `json:"order,omitempty"`
+	To        *jsonPart    `json:"to,omitempty"`
+	Merge     []jsonSort   `json:"merge,omitempty"`
+	Items     []jsonItem   `json:"items,omitempty"`
+	Pred      *jsonScalar  `json:"pred,omitempty"`
+	Sel       float64      `json:"sel,omitempty"`
+}
+
+type jsonAgg struct {
+	Func string `json:"func"`
+	Arg  string `json:"arg,omitempty"`
+	As   string `json:"as"`
+}
+
+type jsonItem struct {
+	Expr jsonScalar `json:"expr"`
+	As   string     `json:"as"`
+}
+
+type jsonScalar struct {
+	Col string      `json:"col,omitempty"`
+	Int *int64      `json:"int,omitempty"`
+	Flt *float64    `json:"float,omitempty"`
+	Str *string     `json:"str,omitempty"`
+	Op  string      `json:"op,omitempty"`
+	L   *jsonScalar `json:"l,omitempty"`
+	R   *jsonScalar `json:"r,omitempty"`
+}
+
+// MarshalPlan encodes a plan DAG as JSON.
+func MarshalPlan(root *Node) ([]byte, error) {
+	nodes := topoOrder(root)
+	id := map[*Node]int{}
+	for i, n := range nodes {
+		id[n] = i
+	}
+	doc := jsonPlan{Root: id[root]}
+	for _, n := range nodes {
+		jn := jsonNode{
+			Group:    int(n.Group),
+			CtxKey:   n.CtxKey,
+			Rows:     n.Rel.Rows,
+			RowBytes: n.Rel.RowBytes,
+			Part:     encPart(n.Dlvd.Part),
+			Order:    encOrder(n.Dlvd.Order),
+			OpCost:   n.OpCost,
+		}
+		var err error
+		jn.Op, err = encOp(n.Op)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range n.Schema {
+			jn.Schema = append(jn.Schema, jsonColumn{Name: c.Name, Type: c.Type.String()})
+		}
+		for _, ch := range n.Children {
+			jn.Children = append(jn.Children, id[ch])
+		}
+		doc.Nodes = append(doc.Nodes, jn)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalPlan decodes a plan DAG encoded by MarshalPlan, preserving
+// node sharing.
+func UnmarshalPlan(data []byte) (*Node, error) {
+	var doc jsonPlan
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	nodes := make([]*Node, len(doc.Nodes))
+	for i := range doc.Nodes {
+		nodes[i] = &Node{}
+	}
+	for i, jn := range doc.Nodes {
+		n := nodes[i]
+		op, err := decOp(jn.Op)
+		if err != nil {
+			return nil, err
+		}
+		n.Op = op
+		n.Group = props.GroupID(jn.Group)
+		n.CtxKey = jn.CtxKey
+		n.Rel = stats.Relation{Rows: jn.Rows, RowBytes: jn.RowBytes}
+		n.Dlvd = props.Delivered{Part: decPart(jn.Part), Order: decOrder(jn.Order)}
+		n.OpCost = jn.OpCost
+		for _, c := range jn.Schema {
+			n.Schema = append(n.Schema, relop.Column{Name: c.Name, Type: decType(c.Type)})
+		}
+		for _, ci := range jn.Children {
+			if ci < 0 || ci >= len(nodes) {
+				return nil, fmt.Errorf("plan json: child index %d out of range", ci)
+			}
+			n.Children = append(n.Children, nodes[ci])
+		}
+	}
+	if doc.Root < 0 || doc.Root >= len(nodes) {
+		return nil, fmt.Errorf("plan json: root index %d out of range", doc.Root)
+	}
+	return nodes[doc.Root], nil
+}
+
+func encPart(p props.Partitioning) jsonPart {
+	return jsonPart{Kind: p.Kind.String(), Cols: p.Cols.Cols(), Exact: p.Exact, Sort: encOrder(p.SortCols)}
+}
+
+func decPart(j jsonPart) props.Partitioning {
+	var kind props.PartitionKind
+	switch j.Kind {
+	case "serial":
+		kind = props.PartSerial
+	case "hash":
+		kind = props.PartHash
+	case "random":
+		kind = props.PartRandom
+	case "broadcast":
+		kind = props.PartBroadcast
+	case "range":
+		kind = props.PartRange
+	default:
+		kind = props.PartAny
+	}
+	return props.Partitioning{
+		Kind: kind, Cols: props.NewColSet(j.Cols...), Exact: j.Exact, SortCols: decOrder(j.Sort),
+	}
+}
+
+func encOrder(o props.Ordering) []jsonSort {
+	out := make([]jsonSort, len(o))
+	for i, sc := range o {
+		out[i] = jsonSort{Col: sc.Col, Desc: sc.Desc}
+	}
+	return out
+}
+
+func decOrder(j []jsonSort) props.Ordering {
+	out := make(props.Ordering, len(j))
+	for i, sc := range j {
+		out[i] = props.SortCol{Col: sc.Col, Desc: sc.Desc}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func decType(s string) relop.Type {
+	switch s {
+	case "float":
+		return relop.TFloat
+	case "string":
+		return relop.TString
+	default:
+		return relop.TInt
+	}
+}

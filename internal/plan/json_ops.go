@@ -1,0 +1,222 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/props"
+	"repro/internal/relop"
+)
+
+// encOp encodes a physical operator as its tagged-union form.
+func encOp(op relop.Operator) (jsonOp, error) {
+	j := jsonOp{Kind: op.Kind().String()}
+	switch o := op.(type) {
+	case *relop.PhysExtract:
+		j.Path, j.Extractor, j.FileID = o.Path, o.Extractor, o.FileID
+		for _, c := range o.Columns {
+			j.Columns = append(j.Columns, jsonColumn{Name: c.Name, Type: c.Type.String()})
+		}
+	case *relop.PhysProject:
+		for _, it := range o.Items {
+			js, err := encScalar(it.Expr)
+			if err != nil {
+				return jsonOp{}, err
+			}
+			j.Items = append(j.Items, jsonItem{Expr: *js, As: it.As})
+		}
+	case *relop.PhysFilter:
+		js, err := encScalar(o.Pred)
+		if err != nil {
+			return jsonOp{}, err
+		}
+		j.Pred, j.Sel = js, o.Selectivity
+	case *relop.StreamAgg:
+		j.Keys, j.Aggs, j.Phase = o.Keys, encAggs(o.Aggs), o.Phase.String()
+	case *relop.HashAgg:
+		j.Keys, j.Aggs, j.Phase = o.Keys, encAggs(o.Aggs), o.Phase.String()
+	case *relop.Sort:
+		j.Order = encOrder(o.Order)
+	case *relop.Repartition:
+		to := encPart(o.To)
+		j.To, j.Merge = &to, encOrder(o.MergeOrder)
+	case *relop.SortMergeJoin:
+		j.LeftKeys, j.RightKeys = o.LeftKeys, o.RightKeys
+	case *relop.HashJoin:
+		j.LeftKeys, j.RightKeys = o.LeftKeys, o.RightKeys
+	case *relop.PhysSpool, *relop.PhysSequence, *relop.PhysUnion:
+		// No parameters.
+	case *relop.PhysOutput:
+		j.Path, j.Order = o.Path, encOrder(o.Order)
+	default:
+		return jsonOp{}, fmt.Errorf("plan json: cannot encode operator %T", op)
+	}
+	return j, nil
+}
+
+// decOp decodes a tagged operator.
+func decOp(j jsonOp) (relop.Operator, error) {
+	switch j.Kind {
+	case "PhysExtract":
+		var schema relop.Schema
+		for _, c := range j.Columns {
+			schema = append(schema, relop.Column{Name: c.Name, Type: decType(c.Type)})
+		}
+		return &relop.PhysExtract{Path: j.Path, Extractor: j.Extractor, FileID: j.FileID, Columns: schema}, nil
+	case "Compute":
+		var items []relop.NamedExpr
+		for _, it := range j.Items {
+			e, err := decScalar(&it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, relop.NamedExpr{Expr: e, As: it.As})
+		}
+		return &relop.PhysProject{Items: items}, nil
+	case "Select":
+		pred, err := decScalar(j.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return &relop.PhysFilter{Pred: pred, Selectivity: j.Sel}, nil
+	case "StreamAgg":
+		return &relop.StreamAgg{Keys: j.Keys, Aggs: decAggs(j.Aggs), Phase: decPhase(j.Phase)}, nil
+	case "HashAgg":
+		return &relop.HashAgg{Keys: j.Keys, Aggs: decAggs(j.Aggs), Phase: decPhase(j.Phase)}, nil
+	case "Sort":
+		return &relop.Sort{Order: decOrder(j.Order)}, nil
+	case "Repartition":
+		var to props.Partitioning
+		if j.To != nil {
+			to = decPart(*j.To)
+		}
+		return &relop.Repartition{To: to, MergeOrder: decOrder(j.Merge)}, nil
+	case "SortMergeJoin":
+		return &relop.SortMergeJoin{LeftKeys: j.LeftKeys, RightKeys: j.RightKeys}, nil
+	case "HashJoin":
+		return &relop.HashJoin{LeftKeys: j.LeftKeys, RightKeys: j.RightKeys}, nil
+	case "Spool":
+		return &relop.PhysSpool{}, nil
+	case "Sequence":
+		return &relop.PhysSequence{}, nil
+	case "UnionAll":
+		return &relop.PhysUnion{}, nil
+	case "Output":
+		return &relop.PhysOutput{Path: j.Path, Order: decOrder(j.Order)}, nil
+	default:
+		return nil, fmt.Errorf("plan json: unknown operator kind %q", j.Kind)
+	}
+}
+
+func encAggs(aggs []relop.Aggregate) []jsonAgg {
+	out := make([]jsonAgg, len(aggs))
+	for i, a := range aggs {
+		out[i] = jsonAgg{Func: a.Func.String(), Arg: a.Arg, As: a.As}
+	}
+	return out
+}
+
+func decAggs(j []jsonAgg) []relop.Aggregate {
+	out := make([]relop.Aggregate, len(j))
+	for i, a := range j {
+		out[i] = relop.Aggregate{Func: decAggFunc(a.Func), Arg: a.Arg, As: a.As}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func decAggFunc(s string) relop.AggFunc {
+	switch s {
+	case "Count":
+		return relop.AggCount
+	case "Min":
+		return relop.AggMin
+	case "Max":
+		return relop.AggMax
+	case "Avg":
+		return relop.AggAvg
+	default:
+		return relop.AggSum
+	}
+}
+
+func decPhase(s string) relop.AggPhase {
+	switch s {
+	case "Local":
+		return relop.AggLocal
+	case "Global":
+		return relop.AggGlobal
+	default:
+		return relop.AggSingle
+	}
+}
+
+func encScalar(e relop.Scalar) (*jsonScalar, error) {
+	switch x := e.(type) {
+	case *relop.ColRef:
+		return &jsonScalar{Col: x.Name}, nil
+	case *relop.ConstExpr:
+		switch x.Val.Kind {
+		case relop.TInt:
+			v := x.Val.I
+			return &jsonScalar{Int: &v}, nil
+		case relop.TFloat:
+			v := x.Val.F
+			return &jsonScalar{Flt: &v}, nil
+		default:
+			v := x.Val.S
+			return &jsonScalar{Str: &v}, nil
+		}
+	case *relop.BinExpr:
+		l, err := encScalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encScalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonScalar{Op: x.Op.String(), L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("plan json: cannot encode scalar %T", e)
+	}
+}
+
+var binByName = map[string]relop.BinKind{
+	"+": relop.OpAdd, "-": relop.OpSub, "*": relop.OpMul, "/": relop.OpDiv,
+	"=": relop.OpEq, "!=": relop.OpNe, "<": relop.OpLt, "<=": relop.OpLe,
+	">": relop.OpGt, ">=": relop.OpGe, "AND": relop.OpAnd, "OR": relop.OpOr,
+}
+
+func decScalar(j *jsonScalar) (relop.Scalar, error) {
+	if j == nil {
+		return nil, fmt.Errorf("plan json: missing scalar")
+	}
+	switch {
+	case j.Col != "":
+		return relop.Col(j.Col), nil
+	case j.Int != nil:
+		return relop.Lit(relop.IntVal(*j.Int)), nil
+	case j.Flt != nil:
+		return relop.Lit(relop.FloatVal(*j.Flt)), nil
+	case j.Str != nil:
+		return relop.Lit(relop.StringVal(*j.Str)), nil
+	case j.Op != "":
+		kind, ok := binByName[j.Op]
+		if !ok {
+			return nil, fmt.Errorf("plan json: unknown scalar op %q", j.Op)
+		}
+		l, err := decScalar(j.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decScalar(j.R)
+		if err != nil {
+			return nil, err
+		}
+		return relop.Bin(kind, l, r), nil
+	default:
+		return nil, fmt.Errorf("plan json: empty scalar")
+	}
+}

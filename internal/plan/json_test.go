@@ -1,0 +1,111 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/props"
+	"repro/internal/relop"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	seq, _ := sharedSpoolPlan()
+	data, err := MarshalPlan(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure and rendering survive.
+	if Format(back) != Format(seq) {
+		t.Errorf("format changed:\n%s\nvs\n%s", Format(back), Format(seq))
+	}
+	// Costs survive, including DAG sharing.
+	m := cost.NewModel(cost.DefaultCluster())
+	if TreeCost(back) != TreeCost(seq) {
+		t.Errorf("tree cost %v vs %v", TreeCost(back), TreeCost(seq))
+	}
+	if DAGCost(back, m) != DAGCost(seq, m) {
+		t.Errorf("dag cost %v vs %v", DAGCost(back, m), DAGCost(seq, m))
+	}
+	// Sharing is by pointer again: the two consumers reference one
+	// spool node.
+	spools := FindAll(back, relop.KindPhysSpool)
+	if len(spools) != 1 {
+		t.Errorf("decoded spools = %d, want 1 shared", len(spools))
+	}
+	if got := RefCount(back, relop.KindPhysSpool); got != 2 {
+		t.Errorf("decoded spool refs = %v", got)
+	}
+}
+
+func TestPlanJSONOperatorCoverage(t *testing.T) {
+	schema := relop.Schema{{Name: "A", Type: relop.TInt}, {Name: "B", Type: relop.TFloat}}
+	pred := relop.Bin(relop.OpAnd,
+		relop.Bin(relop.OpGt, relop.Col("A"), relop.Lit(relop.IntVal(3))),
+		relop.Bin(relop.OpNe, relop.Col("B"), relop.Lit(relop.FloatVal(1.5))))
+	ops := []relop.Operator{
+		&relop.PhysExtract{Path: "t", Extractor: "E", FileID: 4, Columns: schema},
+		&relop.PhysProject{Items: []relop.NamedExpr{
+			{Expr: relop.Col("A"), As: "X"},
+			{Expr: relop.Bin(relop.OpAdd, relop.Col("A"), relop.Lit(relop.StringVal("s"))), As: "Y"},
+		}},
+		&relop.PhysFilter{Pred: pred, Selectivity: 0.25},
+		&relop.StreamAgg{Keys: []string{"A"}, Aggs: []relop.Aggregate{{Func: relop.AggMin, Arg: "B", As: "M"}}, Phase: relop.AggLocal},
+		&relop.HashAgg{Keys: []string{"A"}, Aggs: []relop.Aggregate{{Func: relop.AggCount, As: "N"}}, Phase: relop.AggGlobal},
+		&relop.Sort{Order: props.Ordering{{Col: "A", Desc: true}}},
+		&relop.Repartition{To: props.RangePartitioning(props.NewOrdering("A")), MergeOrder: props.NewOrdering("A")},
+		&relop.Repartition{To: props.ExactHashPartitioning(props.NewColSet("A", "B"))},
+		&relop.SortMergeJoin{LeftKeys: []string{"A"}, RightKeys: []string{"B"}},
+		&relop.HashJoin{LeftKeys: []string{"A"}, RightKeys: []string{"B"}},
+		&relop.PhysSpool{},
+		&relop.PhysUnion{},
+		&relop.PhysOutput{Path: "o", Order: props.NewOrdering("A")},
+		&relop.PhysSequence{},
+	}
+	for _, op := range ops {
+		arity := op.Arity()
+		if arity < 0 {
+			arity = 2
+		}
+		children := make([]*Node, arity)
+		for i := range children {
+			children[i] = mkNode(&relop.PhysExtract{Path: "c"}, 50+i, "x", 1)
+		}
+		n := mkNode(op, 1, "ctx", 3, children...)
+		data, err := MarshalPlan(n)
+		if err != nil {
+			t.Fatalf("%T: marshal: %v", op, err)
+		}
+		back, err := UnmarshalPlan(data)
+		if err != nil {
+			t.Fatalf("%T: unmarshal: %v\n%s", op, err, data)
+		}
+		if back.Op.Sig() != op.Sig() {
+			t.Errorf("%T: sig %q -> %q", op, op.Sig(), back.Op.Sig())
+		}
+	}
+}
+
+func TestPlanJSONErrors(t *testing.T) {
+	if _, err := UnmarshalPlan([]byte("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := UnmarshalPlan([]byte(`{"root":5,"nodes":[]}`)); err == nil {
+		t.Error("out-of-range root should fail")
+	}
+	if _, err := UnmarshalPlan([]byte(`{"root":0,"nodes":[{"op":{"kind":"Mystery"}}]}`)); err == nil {
+		t.Error("unknown operator should fail")
+	}
+	if _, err := UnmarshalPlan([]byte(`{"root":0,"nodes":[{"op":{"kind":"Spool"},"children":[9]}]}`)); err == nil {
+		t.Error("bad child index should fail")
+	}
+	// Logical operators are not serializable plans.
+	n := mkNode(&relop.Extract{Path: "t"}, 1, "x", 1)
+	if _, err := MarshalPlan(n); err == nil || !strings.Contains(err.Error(), "cannot encode") {
+		t.Errorf("logical op should fail to encode: %v", err)
+	}
+}

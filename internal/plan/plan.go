@@ -1,0 +1,216 @@
+// Package plan represents executable physical plans extracted from the
+// memo, and implements the two cost views the paper's comparison
+// needs:
+//
+//   - TreeCost charges every operator once per reference path — the
+//     cost a conventional optimizer computes, where a shared
+//     subexpression consumed k times is (implicitly) executed k times.
+//
+//   - DAGCost charges each distinct materialized Spool subplan once
+//     plus one read per consumer — the true cost of a plan that
+//     executes a common subexpression once. Plans without spools have
+//     identical Tree and DAG costs, so the conventional baseline is
+//     priced consistently.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// Node is one operator of a physical plan. Children may be shared
+// (the same *Node referenced by several parents) when consumers agreed
+// on an optimization context; sharing is only executable across a
+// Spool, which DAGCost and the executor both rely on.
+type Node struct {
+	// Op is the physical operator.
+	Op relop.Operator
+	// Children are the input plans.
+	Children []*Node
+	// Group is the memo group this node implements.
+	Group props.GroupID
+	// CtxKey identifies the optimization context (required properties
+	// plus pins) the node was chosen under; two references to one
+	// group with equal CtxKey are the same physical computation.
+	CtxKey string
+	// Schema is the node's output schema.
+	Schema relop.Schema
+	// Rel is the node's estimated output statistics.
+	Rel stats.Relation
+	// Dlvd is the node's delivered physical properties.
+	Dlvd props.Delivered
+	// OpCost is the operator's own estimated cost (excluding
+	// children).
+	OpCost float64
+}
+
+// spoolKey identifies a distinct materialization.
+func (n *Node) spoolKey() string {
+	return fmt.Sprintf("%d|%s", n.Group, n.CtxKey)
+}
+
+// IsSpool reports whether the node materializes its input.
+func (n *Node) IsSpool() bool {
+	_, ok := n.Op.(*relop.PhysSpool)
+	return ok
+}
+
+// TreeCost returns the conventional per-reference cost of the plan:
+// every node is charged once for each path from the root that reaches
+// it. Shared pointers are handled in linear time via memoized subtree
+// sums (the multiplicity is implicit in parents re-adding the child's
+// subtree sum).
+func TreeCost(root *Node) float64 {
+	cache := map[*Node]float64{}
+	var walk func(n *Node) float64
+	walk = func(n *Node) float64 {
+		if c, ok := cache[n]; ok {
+			return c
+		}
+		sum := n.OpCost
+		for _, ch := range n.Children {
+			sum += walk(ch)
+		}
+		cache[n] = sum
+		return sum
+	}
+	return walk(root)
+}
+
+// DAGCost returns the cost of the plan executed as a DAG: each
+// distinct Spool materialization (identified by memo group and
+// context) is charged once — its subtree plus the materialization
+// write — and every reference to it is charged one spool read. All
+// other operators are charged once per reference path, as they truly
+// execute per consumer.
+func DAGCost(root *Node, m cost.Model) float64 {
+	order := topoOrder(root)
+	em := map[*Node]float64{root: 1}
+	seenSpool := map[string]bool{}
+	total := 0.0
+	for _, n := range order {
+		e := em[n]
+		if e == 0 {
+			continue
+		}
+		if n.IsSpool() {
+			total += e * m.SpoolReadCost(n.Rel, n.Dlvd.Part)
+			if k := n.spoolKey(); !seenSpool[k] {
+				seenSpool[k] = true
+				total += n.OpCost
+				for _, c := range n.Children {
+					em[c]++
+				}
+			}
+		} else {
+			total += e * n.OpCost
+			for _, c := range n.Children {
+				em[c] += e
+			}
+		}
+	}
+	return total
+}
+
+// topoOrder returns the pointer DAG's nodes with every parent before
+// any of its children.
+func topoOrder(root *Node) []*Node {
+	// Kahn's algorithm over reference counts.
+	indeg := map[*Node]int{}
+	var discover func(n *Node)
+	seen := map[*Node]bool{}
+	discover = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			indeg[c]++
+			discover(c)
+		}
+	}
+	discover(root)
+	queue := []*Node{root}
+	var order []*Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, c := range n.Children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return order
+}
+
+// Operators returns the plan's distinct nodes in topological order
+// (parents first). Spool subtrees referenced several times appear
+// once.
+func Operators(root *Node) []*Node {
+	return topoOrder(root)
+}
+
+// CountOps returns the number of distinct operator nodes and the
+// number of exchange (Repartition) nodes, useful in tests and
+// experiment reports.
+func CountOps(root *Node) (total, exchanges int) {
+	for _, n := range topoOrder(root) {
+		total++
+		if _, ok := n.Op.(*relop.Repartition); ok {
+			exchanges++
+		}
+	}
+	return
+}
+
+// FindAll returns the distinct nodes whose operator kind matches k.
+func FindAll(root *Node, k relop.OpKind) []*Node {
+	var out []*Node
+	for _, n := range topoOrder(root) {
+		if n.Op.Kind() == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RefCount returns how many times operators of kind k effectively
+// execute under the plan's DAG semantics: per reference path, except
+// that each distinct Spool materialization counts its subtree once.
+// A conventional S1 plan reads the input twice (RefCount of
+// PhysExtract = 2); the Fig. 8(b) plan reads it once.
+func RefCount(root *Node, k relop.OpKind) float64 {
+	order := topoOrder(root)
+	em := map[*Node]float64{root: 1}
+	seenSpool := map[string]bool{}
+	total := 0.0
+	for _, n := range order {
+		e := em[n]
+		if e == 0 {
+			continue
+		}
+		if n.Op.Kind() == k {
+			total += e
+		}
+		if n.IsSpool() {
+			if key := n.spoolKey(); !seenSpool[key] {
+				seenSpool[key] = true
+				for _, c := range n.Children {
+					em[c]++
+				}
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			em[c] += e
+		}
+	}
+	return total
+}

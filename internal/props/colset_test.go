@@ -1,0 +1,194 @@
+package props
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewColSetDedupAndSort(t *testing.T) {
+	s := NewColSet("B", "A", "B", "C", "A")
+	if got, want := s.Key(), "A,B,C"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+}
+
+func TestColSetEmpty(t *testing.T) {
+	var zero ColSet
+	if !zero.Empty() {
+		t.Error("zero ColSet should be empty")
+	}
+	if !zero.SubsetOf(NewColSet("A")) {
+		t.Error("empty set should be subset of everything")
+	}
+	if !zero.Equal(NewColSet()) {
+		t.Error("zero value should equal NewColSet()")
+	}
+	if zero.String() != "{}" {
+		t.Errorf("String() = %q", zero.String())
+	}
+}
+
+func TestColSetContains(t *testing.T) {
+	s := NewColSet("A", "C")
+	for col, want := range map[string]bool{"A": true, "B": false, "C": true, "": false} {
+		if got := s.Contains(col); got != want {
+			t.Errorf("Contains(%q) = %v, want %v", col, got, want)
+		}
+	}
+}
+
+func TestColSetSubsetOf(t *testing.T) {
+	cases := []struct {
+		s, t ColSet
+		want bool
+	}{
+		{NewColSet("B"), NewColSet("A", "B", "C"), true},
+		{NewColSet("A", "B"), NewColSet("A", "B", "C"), true},
+		{NewColSet("A", "B", "C"), NewColSet("A", "B", "C"), true},
+		{NewColSet("A", "D"), NewColSet("A", "B", "C"), false},
+		{NewColSet("A", "B", "C"), NewColSet("A", "B"), false},
+	}
+	for _, c := range cases {
+		if got := c.s.SubsetOf(c.t); got != c.want {
+			t.Errorf("%v.SubsetOf(%v) = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestColSetOps(t *testing.T) {
+	a := NewColSet("A", "B")
+	b := NewColSet("B", "C")
+	if got := a.Union(b); !got.Equal(NewColSet("A", "B", "C")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewColSet("B")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Difference(b); !got.Equal(NewColSet("A")) {
+		t.Errorf("Difference = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.Intersects(NewColSet("D")) {
+		t.Error("a should not intersect {D}")
+	}
+	if got := a.Add("C"); !got.Equal(NewColSet("A", "B", "C")) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Add("A"); !got.Equal(a) {
+		t.Errorf("Add existing = %v", got)
+	}
+}
+
+func TestSubsetsThreeCols(t *testing.T) {
+	// The paper's Sec. V example: requirement [∅,{A,B,C}] expands
+	// into the 7 non-empty subsets.
+	s := NewColSet("A", "B", "C")
+	subs := s.Subsets(0)
+	if len(subs) != 7 {
+		t.Fatalf("got %d subsets, want 7: %v", len(subs), subs)
+	}
+	want := map[string]bool{
+		"A": true, "B": true, "C": true,
+		"A,B": true, "A,C": true, "B,C": true, "A,B,C": true,
+	}
+	for _, sub := range subs {
+		if !want[sub.Key()] {
+			t.Errorf("unexpected subset %v", sub)
+		}
+		delete(want, sub.Key())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing subsets: %v", want)
+	}
+}
+
+func TestSubsetsOrderAndCap(t *testing.T) {
+	s := NewColSet("A", "B", "C", "D")
+	subs := s.Subsets(5)
+	if len(subs) != 5 {
+		t.Fatalf("got %d subsets, want capped 5", len(subs))
+	}
+	// Singletons first, full set next.
+	for i, want := range []string{"A", "B", "C", "D", "A,B,C,D"} {
+		if subs[i].Key() != want {
+			t.Errorf("subs[%d] = %v, want %s", i, subs[i], want)
+		}
+	}
+}
+
+func TestSubsetsSingleton(t *testing.T) {
+	subs := NewColSet("A").Subsets(0)
+	if len(subs) != 1 || subs[0].Key() != "A" {
+		t.Fatalf("subsets of singleton = %v", subs)
+	}
+	if got := NewColSet().Subsets(0); got != nil {
+		t.Fatalf("subsets of empty = %v, want nil", got)
+	}
+}
+
+// randColSet draws a set over a small alphabet so subset relations
+// occur often.
+func randColSet(r *rand.Rand) ColSet {
+	alphabet := []string{"A", "B", "C", "D", "E"}
+	var cols []string
+	for _, c := range alphabet {
+		if r.Intn(2) == 0 {
+			cols = append(cols, c)
+		}
+	}
+	return NewColSet(cols...)
+}
+
+func TestColSetProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randColSet(r))
+			}
+		},
+	}
+	// Union is an upper bound, intersection a lower bound.
+	if err := quick.Check(func(a, b ColSet) bool {
+		u := a.Union(b)
+		i := a.Intersect(b)
+		return a.SubsetOf(u) && b.SubsetOf(u) &&
+			i.SubsetOf(a) && i.SubsetOf(b) &&
+			a.Difference(b).Intersect(b).Empty()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Subset relation is antisymmetric and transitive via union.
+	if err := quick.Check(func(a, b ColSet) bool {
+		if a.SubsetOf(b) && b.SubsetOf(a) {
+			return a.Equal(b)
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Every enumerated subset is a non-empty subset, and they are
+	// pairwise distinct.
+	if err := quick.Check(func(a ColSet) bool {
+		seen := map[string]bool{}
+		for _, s := range a.Subsets(0) {
+			if s.Empty() || !s.SubsetOf(a) || seen[s.Key()] {
+				return false
+			}
+			seen[s.Key()] = true
+		}
+		if a.Len() > 0 && a.Len() <= 5 {
+			return len(seen) == (1<<a.Len())-1
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

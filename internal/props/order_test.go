@@ -1,0 +1,118 @@
+package props
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randOrdering(r *rand.Rand) Ordering {
+	cols := []string{"A", "B", "C", "D"}
+	r.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+	n := r.Intn(len(cols) + 1)
+	o := make(Ordering, n)
+	for i := 0; i < n; i++ {
+		o[i] = SortCol{Col: cols[i], Desc: r.Intn(2) == 0}
+	}
+	return o
+}
+
+// TestOrderingProperties checks the algebraic facts the optimizer
+// relies on: prefix satisfaction is reflexive and transitive; every
+// prefix of an ordering is satisfied by it; projection preserves
+// satisfaction of projected requirements.
+func TestOrderingProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 1000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randOrdering(r))
+			}
+		},
+	}
+	if err := quick.Check(func(o Ordering) bool {
+		if !o.Satisfies(o) {
+			return false
+		}
+		for n := 0; n <= len(o); n++ {
+			if !o.Satisfies(o.Prefix(n)) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Errorf("reflexivity/prefix: %v", err)
+	}
+	if err := quick.Check(func(a, b, c Ordering) bool {
+		if a.Satisfies(b) && b.Satisfies(c) {
+			return a.Satisfies(c)
+		}
+		return true
+	}, cfg); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+	// HasPrefixSet agrees with some-rotation satisfaction.
+	if err := quick.Check(func(o Ordering) bool {
+		for n := 1; n <= len(o); n++ {
+			set := o.Prefix(n).Columns()
+			if !o.HasPrefixSet(set) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Errorf("HasPrefixSet: %v", err)
+	}
+	// Projection keeps a valid prefix: the projected ordering is
+	// satisfied by the original and mentions only kept columns.
+	if err := quick.Check(func(o Ordering, kept ColSet) bool {
+		p := o.Project(kept)
+		return o.Satisfies(p) && p.Columns().SubsetOf(kept.Union(p.Columns()))
+	}, &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randOrdering(r))
+			vals[1] = reflect.ValueOf(randColSet(r))
+		},
+	}); err != nil {
+		t.Errorf("projection: %v", err)
+	}
+}
+
+// TestOrderingsWithPrefixSetProperties: every generated candidate
+// clusters the requested set, and generation is deterministic.
+func TestOrderingsWithPrefixSetProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			all := randColSet(r)
+			var req ColSet
+			cols := all.Cols()
+			if len(cols) > 0 {
+				n := 1 + r.Intn(len(cols))
+				req = NewColSet(cols[:n]...)
+			}
+			vals[0] = reflect.ValueOf(all)
+			vals[1] = reflect.ValueOf(req)
+		},
+	}
+	if err := quick.Check(func(all, req ColSet) bool {
+		a := OrderingsWithPrefixSet(all, req)
+		b := OrderingsWithPrefixSet(all, req)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+			if !a[i].HasPrefixSet(req) || !a[i].Columns().Equal(all) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

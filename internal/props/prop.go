@@ -1,0 +1,190 @@
+package props
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Required is the set of physical properties a parent demands from a
+// plan: a distribution requirement and a per-machine sort requirement.
+// This is the paper's ReqProp.
+type Required struct {
+	Part  Partitioning
+	Order Ordering
+}
+
+// AnyRequired imposes nothing.
+func AnyRequired() Required { return Required{Part: AnyPartitioning()} }
+
+// RequireHash is shorthand for a range partitioning requirement
+// [∅, cols] with no sort requirement.
+func RequireHash(cols ColSet) Required {
+	return Required{Part: HashPartitioning(cols)}
+}
+
+// RequireSerial demands a single-machine result.
+func RequireSerial() Required { return Required{Part: SerialPartitioning()} }
+
+// IsAny reports whether the requirement is vacuous.
+func (r Required) IsAny() bool { return r.Part.IsAny() && r.Order.Empty() }
+
+// Key returns a canonical string identifying the requirement; it keys
+// the per-group winner ("best plan for this optimization context")
+// cache inside the memo.
+func (r Required) Key() string { return r.Part.Key() + "|" + r.Order.Key() }
+
+// Equal reports structural equality.
+func (r Required) Equal(s Required) bool {
+	return r.Part.Equal(s.Part) && r.Order.Equal(s.Order)
+}
+
+// String renders the requirement for debugging and plan output.
+func (r Required) String() string {
+	if r.IsAny() {
+		return "any"
+	}
+	var parts []string
+	if !r.Part.IsAny() {
+		parts = append(parts, r.Part.String())
+	}
+	if !r.Order.Empty() {
+		parts = append(parts, "sort"+r.Order.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// Delivered is the set of physical properties a concrete plan
+// actually provides. This is the paper's DlvdProp.
+type Delivered struct {
+	Part  Partitioning
+	Order Ordering
+}
+
+// Satisfies reports whether the delivered properties meet the
+// requirement (paper routine PropertySatisfied).
+func (d Delivered) Satisfies(r Required) bool {
+	return d.Part.Satisfies(r.Part) && d.Order.Satisfies(r.Order)
+}
+
+// String renders the delivered properties.
+func (d Delivered) String() string {
+	var parts []string
+	parts = append(parts, d.Part.String())
+	if !d.Order.Empty() {
+		parts = append(parts, "sort"+d.Order.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// GroupID identifies a memo group. It is declared here (rather than in
+// the memo package) so property pins can name shared groups without an
+// import cycle; the memo package aliases it.
+type GroupID int
+
+// Pins maps shared memo groups to the property set phase 2 enforces on
+// them. It is the PropForSharedGrps field of the paper's ExtReqProp.
+// Pins values are treated as immutable; derive modified copies with
+// With and Without.
+type Pins map[GroupID]Required
+
+// With returns a copy of p with group g pinned to req.
+func (p Pins) With(g GroupID, req Required) Pins {
+	out := make(Pins, len(p)+1)
+	for k, v := range p {
+		out[k] = v
+	}
+	out[g] = req
+	return out
+}
+
+// Without returns a copy of p with the pin for g removed (used when
+// the propagation reaches g itself: below the shared group the pin no
+// longer applies).
+func (p Pins) Without(g GroupID) Pins {
+	if _, ok := p[g]; !ok {
+		return p
+	}
+	out := make(Pins, len(p)-1)
+	for k, v := range p {
+		if k != g {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Restrict keeps only the pins whose group the keep predicate accepts.
+// The optimizer restricts pins to the shared groups actually reachable
+// below each group so winner-cache keys stay maximally shareable
+// across re-optimization rounds.
+func (p Pins) Restrict(keep func(GroupID) bool) Pins {
+	out := Pins{}
+	for k, v := range p {
+		if keep(k) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Get returns the pin for g, if any.
+func (p Pins) Get(g GroupID) (Required, bool) {
+	r, ok := p[g]
+	return r, ok
+}
+
+// Key returns a canonical string over the pins, ordered by group.
+func (p Pins) Key() string {
+	if len(p) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(p))
+	for g := range p {
+		ids = append(ids, int(g))
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, g := range ids {
+		fmt.Fprintf(&b, "@%d[%s]", g, p[GroupID(g)].Key())
+	}
+	return b.String()
+}
+
+// ExtRequired is the paper's ExtReqProp: a conventional requirement
+// plus the properties to be enforced at shared groups on the way down.
+type ExtRequired struct {
+	Required
+	ForShared Pins
+}
+
+// ExtAny is the vacuous extended requirement.
+func ExtAny() ExtRequired { return ExtRequired{Required: AnyRequired()} }
+
+// Ext wraps a plain requirement with no pins.
+func Ext(r Required) ExtRequired { return ExtRequired{Required: r} }
+
+// WithPins returns a copy of e carrying the given pins.
+func (e ExtRequired) WithPins(p Pins) ExtRequired {
+	e.ForShared = p
+	return e
+}
+
+// Key returns the canonical winner-context key, combining the plain
+// requirement with the pins.
+func (e ExtRequired) Key() string {
+	k := e.Required.Key()
+	if pk := e.ForShared.Key(); pk != "" {
+		k += "!" + pk
+	}
+	return k
+}
+
+// String renders the extended requirement for debugging.
+func (e ExtRequired) String() string {
+	s := e.Required.String()
+	if len(e.ForShared) > 0 {
+		s += " pins" + e.ForShared.Key()
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package props
+
+import "testing"
+
+func TestRequiredKeyDistinguishes(t *testing.T) {
+	reqs := []Required{
+		AnyRequired(),
+		RequireHash(NewColSet("A", "B")),
+		{Part: ExactHashPartitioning(NewColSet("A", "B"))},
+		{Part: HashPartitioning(NewColSet("A", "B")), Order: NewOrdering("A", "B")},
+		{Part: HashPartitioning(NewColSet("A", "B")), Order: NewOrdering("B", "A")},
+		RequireSerial(),
+	}
+	seen := map[string]Required{}
+	for _, r := range reqs {
+		k := r.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision: %v and %v both map to %q", prev, r, k)
+		}
+		seen[k] = r
+	}
+}
+
+func TestRequiredEqual(t *testing.T) {
+	a := Required{Part: HashPartitioning(NewColSet("A")), Order: NewOrdering("A")}
+	b := Required{Part: HashPartitioning(NewColSet("A")), Order: NewOrdering("A")}
+	if !a.Equal(b) {
+		t.Error("identical requirements should be Equal")
+	}
+	c := a
+	c.Part.Exact = true
+	if a.Equal(c) {
+		t.Error("exactness must participate in equality")
+	}
+}
+
+func TestPinsImmutability(t *testing.T) {
+	base := Pins{}
+	p1 := base.With(5, RequireHash(NewColSet("B")))
+	if len(base) != 0 {
+		t.Fatal("With mutated the receiver")
+	}
+	p2 := p1.With(6, RequireSerial())
+	if len(p1) != 1 {
+		t.Fatal("With mutated p1")
+	}
+	p3 := p2.Without(5)
+	if len(p2) != 2 || len(p3) != 1 {
+		t.Fatalf("Without wrong sizes: p2=%d p3=%d", len(p2), len(p3))
+	}
+	if _, ok := p3.Get(5); ok {
+		t.Error("pin 5 should be gone")
+	}
+	if r, ok := p3.Get(6); !ok || !r.Equal(RequireSerial()) {
+		t.Error("pin 6 should survive")
+	}
+	if same := p3.Without(99); len(same) != len(p3) {
+		t.Error("Without missing key should be a no-op copy")
+	}
+}
+
+func TestPinsKeyCanonical(t *testing.T) {
+	a := Pins{}.With(2, RequireHash(NewColSet("B"))).With(1, RequireSerial())
+	b := Pins{}.With(1, RequireSerial()).With(2, RequireHash(NewColSet("B")))
+	if a.Key() != b.Key() {
+		t.Errorf("pin key not canonical: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() == "" {
+		t.Error("non-empty pins must have non-empty key")
+	}
+	if (Pins{}).Key() != "" {
+		t.Error("empty pins must have empty key")
+	}
+}
+
+func TestPinsRestrict(t *testing.T) {
+	p := Pins{}.With(1, RequireSerial()).With(2, RequireSerial()).With(3, RequireSerial())
+	got := p.Restrict(func(g GroupID) bool { return g != 2 })
+	if len(got) != 2 {
+		t.Fatalf("restricted to %d pins, want 2", len(got))
+	}
+	if _, ok := got.Get(2); ok {
+		t.Error("pin 2 should be filtered out")
+	}
+}
+
+func TestExtRequiredKey(t *testing.T) {
+	r := RequireHash(NewColSet("A"))
+	plain := Ext(r)
+	pinned := Ext(r).WithPins(Pins{}.With(7, RequireHash(NewColSet("B"))))
+	if plain.Key() == pinned.Key() {
+		t.Error("pins must change the winner-context key")
+	}
+	unpinned := pinned.WithPins(Pins{})
+	if unpinned.Key() != plain.Key() {
+		t.Errorf("empty pins should key like plain: %q vs %q", unpinned.Key(), plain.Key())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := Required{
+		Part:  HashPartitioning(NewColSet("A", "B", "C")),
+		Order: NewOrdering("B", "A"),
+	}
+	if got := r.String(); got != "hash[∅,{A,B,C}] sort(B,A)" {
+		t.Errorf("Required.String() = %q", got)
+	}
+	e := Required{Part: ExactHashPartitioning(NewColSet("B"))}
+	if got := e.String(); got != "hash{B}" {
+		t.Errorf("exact Required.String() = %q", got)
+	}
+	if got := AnyRequired().String(); got != "any" {
+		t.Errorf("any Required.String() = %q", got)
+	}
+	d := Delivered{Part: SerialPartitioning(), Order: NewOrdering("A")}
+	if got := d.String(); got != "serial sort(A)" {
+		t.Errorf("Delivered.String() = %q", got)
+	}
+}

@@ -1,0 +1,344 @@
+package props
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestPartitionSubsetSatisfaction reproduces Fig. 1(b) of the paper:
+// data hash-partitioned on {B} is also partitioned on {A,B,C}, so a
+// requirement [∅,{A,B,C}] is satisfied by hash{B}, hash{A,B,C}, and
+// every other non-empty subset, but not by hash{D} or random data.
+func TestPartitionSubsetSatisfaction(t *testing.T) {
+	req := HashPartitioning(NewColSet("A", "B", "C"))
+	sat := []Partitioning{
+		HashPartitioning(NewColSet("B")),
+		HashPartitioning(NewColSet("A", "B")),
+		HashPartitioning(NewColSet("B", "C")),
+		HashPartitioning(NewColSet("A", "B", "C")),
+		SerialPartitioning(),
+	}
+	for _, d := range sat {
+		if !d.Satisfies(req) {
+			t.Errorf("%v should satisfy %v", d, req)
+		}
+	}
+	unsat := []Partitioning{
+		HashPartitioning(NewColSet("D")),
+		HashPartitioning(NewColSet("A", "D")),
+		HashPartitioning(NewColSet()),
+		RandomPartitioning(),
+		BroadcastPartitioning(),
+	}
+	for _, d := range unsat {
+		if d.Satisfies(req) {
+			t.Errorf("%v should NOT satisfy %v", d, req)
+		}
+	}
+}
+
+func TestExactPartitionSatisfaction(t *testing.T) {
+	// Phase 2 pins exact schemes: only the exact hash key satisfies.
+	req := ExactHashPartitioning(NewColSet("B"))
+	if !HashPartitioning(NewColSet("B")).Satisfies(req) {
+		t.Error("hash{B} should satisfy exact hash{B}")
+	}
+	for _, d := range []Partitioning{
+		HashPartitioning(NewColSet("A", "B")),
+		SerialPartitioning(),
+		RandomPartitioning(),
+	} {
+		if d.Satisfies(req) {
+			t.Errorf("%v should NOT satisfy exact hash{B}", d)
+		}
+	}
+}
+
+func TestAnyAndSerialRequirements(t *testing.T) {
+	for _, d := range []Partitioning{
+		SerialPartitioning(), RandomPartitioning(),
+		HashPartitioning(NewColSet("A")),
+	} {
+		if !d.Satisfies(AnyPartitioning()) {
+			t.Errorf("%v should satisfy any", d)
+		}
+	}
+	// Broadcast data is only valid where explicitly requested: a
+	// consumer with no requirement merging replicated partitions
+	// would read every copy.
+	if BroadcastPartitioning().Satisfies(AnyPartitioning()) {
+		t.Error("broadcast must NOT satisfy any")
+	}
+	if !BroadcastPartitioning().Satisfies(BroadcastPartitioning()) {
+		t.Error("broadcast should satisfy an explicit broadcast requirement")
+	}
+	if !SerialPartitioning().Satisfies(SerialPartitioning()) {
+		t.Error("serial should satisfy serial")
+	}
+	if HashPartitioning(NewColSet("A")).Satisfies(SerialPartitioning()) {
+		t.Error("hash should not satisfy serial")
+	}
+}
+
+func TestPartitionProject(t *testing.T) {
+	d := HashPartitioning(NewColSet("A", "B"))
+	if got := d.Project(NewColSet("A", "B", "C")); !got.Equal(d) {
+		t.Errorf("projection keeping keys changed partitioning: %v", got)
+	}
+	if got := d.Project(NewColSet("A")); got.Kind != PartRandom {
+		t.Errorf("projecting away a hash key should degrade to random, got %v", got)
+	}
+	s := SerialPartitioning()
+	if got := s.Project(NewColSet()); !got.Equal(s) {
+		t.Errorf("serial should survive any projection, got %v", got)
+	}
+}
+
+func TestOrderingSatisfaction(t *testing.T) {
+	bac := NewOrdering("B", "A", "C")
+	cases := []struct {
+		req  Ordering
+		want bool
+	}{
+		{NewOrdering(), true},
+		{NewOrdering("B"), true},
+		{NewOrdering("B", "A"), true},
+		{NewOrdering("B", "A", "C"), true},
+		{NewOrdering("A", "B"), false},
+		{NewOrdering("B", "A", "C", "D"), false},
+		{NewOrdering("C", "B"), false},
+	}
+	for _, c := range cases {
+		if got := bac.Satisfies(c.req); got != c.want {
+			t.Errorf("(B,A,C).Satisfies(%v) = %v, want %v", c.req, got, c.want)
+		}
+	}
+	// Descending columns must match direction exactly.
+	d := Ordering{{Col: "B", Desc: true}, {Col: "A"}}
+	if d.Satisfies(NewOrdering("B")) {
+		t.Error("B desc should not satisfy B asc")
+	}
+	if !d.Satisfies(Ordering{{Col: "B", Desc: true}}) {
+		t.Error("B desc should satisfy B desc")
+	}
+}
+
+func TestOrderingHasPrefixSet(t *testing.T) {
+	// Fig. 8(b): the shared result is sorted (B,A,C); the consumer
+	// grouping on {A,B} can stream directly, the one on {B,C} cannot.
+	o := NewOrdering("B", "A", "C")
+	if !o.HasPrefixSet(NewColSet("A", "B")) {
+		t.Error("(B,A,C) should cluster {A,B}")
+	}
+	if !o.HasPrefixSet(NewColSet("B")) {
+		t.Error("(B,A,C) should cluster {B}")
+	}
+	if !o.HasPrefixSet(NewColSet("A", "B", "C")) {
+		t.Error("(B,A,C) should cluster {A,B,C}")
+	}
+	if o.HasPrefixSet(NewColSet("B", "C")) {
+		t.Error("(B,A,C) should NOT cluster {B,C}")
+	}
+	if o.HasPrefixSet(NewColSet("A")) {
+		t.Error("(B,A,C) should NOT cluster {A}")
+	}
+	if !o.HasPrefixSet(NewColSet()) {
+		t.Error("empty set is always clustered")
+	}
+}
+
+func TestOrderingProject(t *testing.T) {
+	o := NewOrdering("B", "A", "C")
+	if got := o.Project(NewColSet("A", "B")); !got.Equal(NewOrdering("B", "A")) {
+		t.Errorf("Project = %v", got)
+	}
+	if got := o.Project(NewColSet("A", "C")); !got.Equal(NewOrdering()) {
+		t.Errorf("Project dropping lead col = %v", got)
+	}
+	if got := o.Project(NewColSet("A", "B", "C")); !got.Equal(o) {
+		t.Errorf("Project keeping all = %v", got)
+	}
+}
+
+func TestOrderingsWithPrefixSet(t *testing.T) {
+	all := NewColSet("A", "B", "C")
+	req := NewColSet("A", "B")
+	got := OrderingsWithPrefixSet(all, req)
+	if len(got) == 0 {
+		t.Fatal("no candidate orderings")
+	}
+	for _, o := range got {
+		if !o.HasPrefixSet(req) {
+			t.Errorf("candidate %v does not cluster %v", o, req)
+		}
+		if !o.Columns().Equal(all) {
+			t.Errorf("candidate %v does not cover %v", o, all)
+		}
+	}
+	// Both lead columns should be represented.
+	leads := map[string]bool{}
+	for _, o := range got {
+		leads[o[0].Col] = true
+	}
+	if !leads["A"] || !leads["B"] {
+		t.Errorf("rotation candidates missing a lead: %v", got)
+	}
+	if OrderingsWithPrefixSet(NewColSet("A"), NewColSet("B")) != nil {
+		t.Error("non-subset request should yield nil")
+	}
+}
+
+func TestDeliveredSatisfiesRequired(t *testing.T) {
+	d := Delivered{
+		Part:  HashPartitioning(NewColSet("B")),
+		Order: NewOrdering("B", "A", "C"),
+	}
+	ok := []Required{
+		AnyRequired(),
+		RequireHash(NewColSet("A", "B", "C")),
+		{Part: HashPartitioning(NewColSet("B", "C")), Order: NewOrdering("B", "A")},
+		{Part: ExactHashPartitioning(NewColSet("B")), Order: NewOrdering("B")},
+	}
+	for _, r := range ok {
+		if !d.Satisfies(r) {
+			t.Errorf("%v should satisfy %v", d, r)
+		}
+	}
+	bad := []Required{
+		{Part: HashPartitioning(NewColSet("A", "C"))},
+		{Part: AnyPartitioning(), Order: NewOrdering("C", "B")},
+		RequireSerial(),
+	}
+	for _, r := range bad {
+		if d.Satisfies(r) {
+			t.Errorf("%v should NOT satisfy %v", d, r)
+		}
+	}
+}
+
+func randPartitioning(r *rand.Rand) Partitioning {
+	switch r.Intn(5) {
+	case 0:
+		return AnyPartitioning()
+	case 1:
+		return SerialPartitioning()
+	case 2:
+		return RandomPartitioning()
+	case 3:
+		return BroadcastPartitioning()
+	default:
+		cs := randColSet(r)
+		if cs.Empty() {
+			cs = NewColSet("A")
+		}
+		p := HashPartitioning(cs)
+		p.Exact = r.Intn(2) == 0
+		return p
+	}
+}
+
+// TestPartitionLatticeProperties checks algebraic facts the optimizer
+// relies on:
+//  1. widening a non-exact hash requirement never loses satisfaction;
+//  2. delivered hash on S satisfies every requirement whose column set
+//     contains S;
+//  3. an exact requirement is strictly stronger than its range form.
+func TestPartitionLatticeProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 1000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randPartitioning(r))
+			}
+		},
+	}
+	if err := quick.Check(func(d, r Partitioning) bool {
+		if r.Kind != PartHash || r.Exact {
+			return true
+		}
+		wide := HashPartitioning(r.Cols.Add("Z"))
+		if d.Satisfies(r) && !d.Satisfies(wide) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Errorf("widening: %v", err)
+	}
+	if err := quick.Check(func(d, r Partitioning) bool {
+		if d.Kind != PartHash || d.Cols.Empty() || r.Kind != PartHash || r.Exact {
+			return true
+		}
+		return !d.Cols.SubsetOf(r.Cols) || d.Satisfies(r)
+	}, cfg); err != nil {
+		t.Errorf("subset rule: %v", err)
+	}
+	if err := quick.Check(func(d, r Partitioning) bool {
+		if r.Kind != PartHash {
+			return true
+		}
+		exact := r
+		exact.Exact = true
+		loose := r
+		loose.Exact = false
+		if d.Satisfies(exact) && !d.Satisfies(loose) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Errorf("exact stronger: %v", err)
+	}
+}
+
+func TestRangePartitioningSatisfaction(t *testing.T) {
+	rBA := RangePartitioning(NewOrdering("B", "A"))
+	// Range keys within the required set colocate like a hash subset.
+	if !rBA.Satisfies(HashPartitioning(NewColSet("A", "B", "C"))) {
+		t.Error("range(B,A) should satisfy hash[∅,{A,B,C}]")
+	}
+	if rBA.Satisfies(HashPartitioning(NewColSet("B", "C"))) {
+		t.Error("range(B,A) must NOT satisfy hash[∅,{B,C}] (A outside)")
+	}
+	if rBA.Satisfies(ExactHashPartitioning(NewColSet("A", "B"))) {
+		t.Error("range must not satisfy an exact hash requirement")
+	}
+	// Range requirements: finer keys satisfy a prefix requirement.
+	if !rBA.Satisfies(RangePartitioning(NewOrdering("B"))) {
+		t.Error("range(B,A) should satisfy range(B)")
+	}
+	if RangePartitioning(NewOrdering("B")).Satisfies(RangePartitioning(NewOrdering("B", "A"))) {
+		t.Error("range(B) must not satisfy range(B,A)")
+	}
+	if !SerialPartitioning().Satisfies(RangePartitioning(NewOrdering("B"))) {
+		t.Error("serial trivially satisfies any range requirement")
+	}
+	if HashPartitioning(NewColSet("B")).Satisfies(RangePartitioning(NewOrdering("B"))) {
+		t.Error("hash must not satisfy a range requirement")
+	}
+	// Direction matters.
+	desc := RangePartitioning(Ordering{{Col: "B", Desc: true}})
+	if desc.Satisfies(RangePartitioning(NewOrdering("B"))) {
+		t.Error("descending range must not satisfy ascending requirement")
+	}
+	// Any requirement: fine.
+	if !rBA.Satisfies(AnyPartitioning()) {
+		t.Error("range satisfies any")
+	}
+}
+
+func TestRangePartitioningProject(t *testing.T) {
+	r := RangePartitioning(NewOrdering("B", "A"))
+	if got := r.Project(NewColSet("A", "B", "C")); !got.Equal(r) {
+		t.Errorf("full projection changed range: %v", got)
+	}
+	// Dropping the second key keeps the (B) prefix.
+	got := r.Project(NewColSet("B", "C"))
+	if got.Kind != PartRange || !got.SortCols.Equal(NewOrdering("B")) {
+		t.Errorf("prefix projection = %v", got)
+	}
+	// Dropping the lead key degrades to random.
+	if got := r.Project(NewColSet("A")); got.Kind != PartRandom {
+		t.Errorf("lead-drop projection = %v", got)
+	}
+}

@@ -1,0 +1,153 @@
+package relop
+
+import "fmt"
+
+// AggFunc enumerates the aggregate functions of the SCOPE subset.
+type AggFunc int
+
+const (
+	// AggSum sums a numeric column.
+	AggSum AggFunc = iota
+	// AggCount counts rows (COUNT() or COUNT(col) without null
+	// semantics, as the subset has no NULLs).
+	AggCount
+	// AggMin takes the minimum.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+	// AggAvg averages a numeric column. Avg is not decomposable into
+	// a single partial of the same function, so the local/global
+	// aggregation split rewrites it as Sum/Count only when the rule
+	// set allows; otherwise it runs single-phase.
+	AggAvg
+)
+
+// String renders the function name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "Sum"
+	case AggCount:
+		return "Count"
+	case AggMin:
+		return "Min"
+	case AggMax:
+		return "Max"
+	case AggAvg:
+		return "Avg"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(f))
+	}
+}
+
+// Decomposable reports whether partial aggregates of f can be merged
+// by some merge function: local Sum merged by Sum, local Count merged
+// by Sum, local Min/Max merged by Min/Max.
+func (f AggFunc) Decomposable() bool { return f != AggAvg }
+
+// MergeFunc returns the function that merges partial results of f.
+func (f AggFunc) MergeFunc() AggFunc {
+	switch f {
+	case AggCount:
+		return AggSum
+	default:
+		return f
+	}
+}
+
+// Aggregate is one aggregate output of a group-by: Func applied to
+// the column Arg (empty for Count()), named As in the output schema.
+type Aggregate struct {
+	Func AggFunc
+	Arg  string
+	As   string
+}
+
+// String renders "Sum(D) AS S".
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%s(%s) AS %s", a.Func, a.Arg, a.As)
+}
+
+// ResultType reports the aggregate's output type given the input
+// schema.
+func (a Aggregate) ResultType(s Schema) Type {
+	switch a.Func {
+	case AggCount:
+		return TInt
+	case AggAvg:
+		return TFloat
+	default:
+		if i := s.Index(a.Arg); i >= 0 {
+			return s[i].Type
+		}
+		return TInt
+	}
+}
+
+// MergeAggregate returns the aggregate that merges partial results of
+// a: it applies the merge function to the partial output column.
+func (a Aggregate) MergeAggregate() Aggregate {
+	return Aggregate{Func: a.Func.MergeFunc(), Arg: a.As, As: a.As}
+}
+
+// AggState accumulates one aggregate over a run of rows; the
+// execution simulator drives it.
+type AggState struct {
+	fn    AggFunc
+	n     int64
+	sum   float64
+	isInt bool
+	min   Value
+	max   Value
+	any   bool
+}
+
+// NewAggState returns an empty accumulator for f.
+func NewAggState(f AggFunc) *AggState {
+	return &AggState{fn: f, isInt: true}
+}
+
+// Add folds one input value into the state. For AggCount the value is
+// ignored.
+func (s *AggState) Add(v Value) {
+	s.n++
+	if !s.any {
+		s.min, s.max = v, v
+		s.any = true
+	} else {
+		if v.Compare(s.min) < 0 {
+			s.min = v
+		}
+		if v.Compare(s.max) > 0 {
+			s.max = v
+		}
+	}
+	if v.Kind != TInt {
+		s.isInt = false
+	}
+	s.sum += v.AsFloat()
+}
+
+// Result returns the aggregate value accumulated so far.
+func (s *AggState) Result() Value {
+	switch s.fn {
+	case AggCount:
+		return IntVal(s.n)
+	case AggSum:
+		if s.isInt {
+			return IntVal(int64(s.sum))
+		}
+		return FloatVal(s.sum)
+	case AggMin:
+		return s.min
+	case AggMax:
+		return s.max
+	case AggAvg:
+		if s.n == 0 {
+			return FloatVal(0)
+		}
+		return FloatVal(s.sum / float64(s.n))
+	default:
+		return Value{}
+	}
+}

@@ -1,0 +1,109 @@
+package relop
+
+import "fmt"
+
+// DeriveSchema computes the output schema of a logical operator given
+// its children's schemas. Physical operators inherit the schema of
+// their memo group, so only logical kinds are handled.
+func DeriveSchema(op Operator, children []Schema) (Schema, error) {
+	if a := op.Arity(); a >= 0 && len(children) != a {
+		return nil, fmt.Errorf("%s: got %d children, want %d", op.Kind(), len(children), a)
+	}
+	switch o := op.(type) {
+	case *Extract:
+		return o.Columns, nil
+	case *Project:
+		in := children[0]
+		out := make(Schema, len(o.Items))
+		for i, it := range o.Items {
+			for _, c := range it.Expr.Columns().Cols() {
+				if !in.Has(c) {
+					return nil, fmt.Errorf("project: unknown column %q in %s", c, in)
+				}
+			}
+			out[i] = Column{Name: it.As, Type: it.Expr.ResultType(in)}
+		}
+		return out, nil
+	case *Filter:
+		in := children[0]
+		for _, c := range o.Pred.Columns().Cols() {
+			if !in.Has(c) {
+				return nil, fmt.Errorf("filter: unknown column %q in %s", c, in)
+			}
+		}
+		return in, nil
+	case *GroupBy:
+		in := children[0]
+		out := make(Schema, 0, len(o.Keys)+len(o.Aggs))
+		for _, k := range o.Keys {
+			i := in.Index(k)
+			if i < 0 {
+				return nil, fmt.Errorf("group by: unknown key %q in %s", k, in)
+			}
+			out = append(out, in[i])
+		}
+		for _, a := range o.Aggs {
+			if a.Func != AggCount && !in.Has(a.Arg) {
+				return nil, fmt.Errorf("group by: unknown aggregate arg %q in %s", a.Arg, in)
+			}
+			out = append(out, Column{Name: a.As, Type: a.ResultType(in)})
+		}
+		return out, nil
+	case *Join:
+		l, r := children[0], children[1]
+		if len(o.LeftKeys) != len(o.RightKeys) {
+			return nil, fmt.Errorf("join: key arity mismatch")
+		}
+		for _, k := range o.LeftKeys {
+			if !l.Has(k) {
+				return nil, fmt.Errorf("join: unknown left key %q in %s", k, l)
+			}
+		}
+		for _, k := range o.RightKeys {
+			if !r.Has(k) {
+				return nil, fmt.Errorf("join: unknown right key %q in %s", k, r)
+			}
+		}
+		out := l.Concat(r)
+		if err := checkDuplicateNames(out); err != nil {
+			return nil, fmt.Errorf("join: %v (project/rename inputs first)", err)
+		}
+		return out, nil
+	case *Union:
+		if len(children) < 2 {
+			return nil, fmt.Errorf("union: needs at least two inputs")
+		}
+		first := children[0]
+		for i, c := range children[1:] {
+			if len(c) != len(first) {
+				return nil, fmt.Errorf("union: input %d has %d columns, want %d", i+1, len(c), len(first))
+			}
+			for j := range c {
+				if c[j].Name != first[j].Name {
+					return nil, fmt.Errorf("union: input %d column %d is %q, want %q", i+1, j, c[j].Name, first[j].Name)
+				}
+			}
+		}
+		return first, nil
+	case *Spool:
+		return children[0], nil
+	case *Output:
+		return children[0], nil
+	case *Sequence:
+		// Sequence produces no rows.
+		return Schema{}, nil
+	default:
+		return nil, fmt.Errorf("DeriveSchema: not a logical operator: %T", op)
+	}
+}
+
+func checkDuplicateNames(s Schema) error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if seen[c.Name] {
+			return fmt.Errorf("duplicate output column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}

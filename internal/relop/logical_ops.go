@@ -1,0 +1,203 @@
+package relop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/props"
+)
+
+// Extract is the logical leaf: read columns from a stored file with a
+// named extractor (the paper's EXTRACT ... USING LogExtractor).
+type Extract struct {
+	Path      string
+	Columns   Schema
+	Extractor string
+	// FileID is the catalog-assigned unique identifier of the file;
+	// it seeds leaf fingerprints per Definition 1.
+	FileID int
+}
+
+// Kind implements Operator.
+func (*Extract) Kind() OpKind { return KindExtract }
+
+// Arity implements Operator.
+func (*Extract) Arity() int { return 0 }
+
+// Sig implements Operator.
+func (e *Extract) Sig() string {
+	return fmt.Sprintf("Extract(#%d %s USING %s -> %s)", e.FileID, e.Path, e.Extractor, e.Columns)
+}
+
+// String implements Operator.
+func (e *Extract) String() string {
+	return fmt.Sprintf("Extract(%s)", e.Path)
+}
+
+// Project computes a new row from each input row (SELECT without
+// GROUP BY).
+type Project struct {
+	Items []NamedExpr
+}
+
+// Kind implements Operator.
+func (*Project) Kind() OpKind { return KindProject }
+
+// Arity implements Operator.
+func (*Project) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (p *Project) Sig() string { return "Project(" + namedList(p.Items) + ")" }
+
+// String implements Operator.
+func (p *Project) String() string { return p.Sig() }
+
+// Filter keeps input rows satisfying Pred (WHERE).
+type Filter struct {
+	Pred Scalar
+	// Selectivity is the binder-estimated fraction of rows kept.
+	Selectivity float64
+}
+
+// Kind implements Operator.
+func (*Filter) Kind() OpKind { return KindFilter }
+
+// Arity implements Operator.
+func (*Filter) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (f *Filter) Sig() string { return "Filter(" + f.Pred.String() + ")" }
+
+// String implements Operator.
+func (f *Filter) String() string { return f.Sig() }
+
+// GroupBy groups input rows on Keys and computes Aggs per group
+// (SELECT ... GROUP BY). The output schema is Keys followed by the
+// aggregate columns. Phase distinguishes the original single-phase
+// aggregation (AggSingle, what the binder emits) from the Local and
+// Global halves created by the aggregation-split transformation rule.
+type GroupBy struct {
+	Keys  []string
+	Aggs  []Aggregate
+	Phase AggPhase
+}
+
+// Kind implements Operator.
+func (*GroupBy) Kind() OpKind { return KindGroupBy }
+
+// Arity implements Operator.
+func (*GroupBy) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (g *GroupBy) Sig() string {
+	aggs := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		aggs[i] = a.String()
+	}
+	return fmt.Sprintf("GroupBy[%s](%s; %s)", g.Phase, strings.Join(g.Keys, ","), strings.Join(aggs, ", "))
+}
+
+// String implements Operator.
+func (g *GroupBy) String() string {
+	return fmt.Sprintf("GB(%s)", strings.Join(g.Keys, ","))
+}
+
+// Join is an inner equi-join: LeftKeys[i] = RightKeys[i]. Non-equality
+// predicates are bound as a Filter above the join.
+type Join struct {
+	LeftKeys  []string
+	RightKeys []string
+}
+
+// Kind implements Operator.
+func (*Join) Kind() OpKind { return KindJoin }
+
+// Arity implements Operator.
+func (*Join) Arity() int { return 2 }
+
+// Sig implements Operator.
+func (j *Join) Sig() string {
+	pairs := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		pairs[i] = j.LeftKeys[i] + "=" + j.RightKeys[i]
+	}
+	return "Join(" + strings.Join(pairs, " AND ") + ")"
+}
+
+// String implements Operator.
+func (j *Join) String() string { return j.Sig() }
+
+// Spool marks a materialization point: its single input is a shared
+// subexpression consumed by multiple parents. Algorithm 1 inserts
+// Spools; conventional plans may still end up duplicating the input if
+// consumers demand incompatible properties.
+type Spool struct{}
+
+// Kind implements Operator.
+func (*Spool) Kind() OpKind { return KindSpool }
+
+// Arity implements Operator.
+func (*Spool) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (*Spool) Sig() string { return "Spool" }
+
+// String implements Operator.
+func (*Spool) String() string { return "Spool" }
+
+// Output writes its input to a stored file (OUTPUT ... TO). A
+// non-empty Order demands a globally sorted output file, which in
+// this engine means a serial, sorted input stream.
+type Output struct {
+	Path  string
+	Order props.Ordering
+}
+
+// Kind implements Operator.
+func (*Output) Kind() OpKind { return KindOutput }
+
+// Arity implements Operator.
+func (*Output) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (o *Output) Sig() string {
+	if !o.Order.Empty() {
+		return "Output(" + o.Path + " ORDER BY " + o.Order.String() + ")"
+	}
+	return "Output(" + o.Path + ")"
+}
+
+// String implements Operator.
+func (o *Output) String() string { return o.Sig() }
+
+// Union concatenates two or more inputs with identical schemas
+// (UNION ALL; no duplicate elimination).
+type Union struct{}
+
+// Kind implements Operator.
+func (*Union) Kind() OpKind { return KindUnion }
+
+// Arity implements Operator.
+func (*Union) Arity() int { return -1 }
+
+// Sig implements Operator.
+func (*Union) Sig() string { return "UnionAll" }
+
+// String implements Operator.
+func (*Union) String() string { return "UnionAll" }
+
+// Sequence ties together the terminal operators of a script with
+// several outputs; it produces no rows itself.
+type Sequence struct{}
+
+// Kind implements Operator.
+func (*Sequence) Kind() OpKind { return KindSequence }
+
+// Arity implements Operator.
+func (*Sequence) Arity() int { return -1 }
+
+// Sig implements Operator.
+func (*Sequence) Sig() string { return "Sequence" }
+
+// String implements Operator.
+func (*Sequence) String() string { return "Sequence" }

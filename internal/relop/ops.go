@@ -1,0 +1,84 @@
+package relop
+
+import "fmt"
+
+// OpKind identifies an operator type. Its integer value is the OpID of
+// the paper's fingerprint definition: all group-by operators share one
+// OpID, all joins another, and so on. Structural parameters (grouping
+// columns, predicates) deliberately do not affect the OpID — colliding
+// fingerprints are resolved by deep comparison, exactly as in Alg. 1.
+type OpKind int
+
+// Logical operator kinds.
+const (
+	KindExtract OpKind = iota + 1
+	KindProject
+	KindFilter
+	KindGroupBy
+	KindJoin
+	KindSpool
+	KindOutput
+	KindSequence
+	KindUnion
+)
+
+// Physical operator kinds.
+const (
+	KindPhysExtract OpKind = iota + 101
+	KindPhysProject
+	KindPhysFilter
+	KindStreamAgg
+	KindHashAgg
+	KindSort
+	KindRepartition
+	KindSortMergeJoin
+	KindHashJoin
+	KindPhysSpool
+	KindPhysOutput
+	KindPhysSequence
+	KindPhysUnion
+)
+
+var kindNames = map[OpKind]string{
+	KindExtract: "Extract", KindProject: "Project", KindFilter: "Filter",
+	KindGroupBy: "GroupBy", KindJoin: "Join", KindSpool: "Spool",
+	KindOutput: "Output", KindSequence: "Sequence",
+	KindPhysExtract: "PhysExtract", KindPhysProject: "Compute",
+	KindPhysFilter: "Select", KindStreamAgg: "StreamAgg",
+	KindHashAgg: "HashAgg", KindSort: "Sort", KindRepartition: "Repartition",
+	KindSortMergeJoin: "SortMergeJoin", KindHashJoin: "HashJoin",
+	KindPhysSpool: "Spool", KindPhysOutput: "Output",
+	KindPhysSequence: "Sequence",
+	KindUnion:        "UnionAll", KindPhysUnion: "UnionAll",
+}
+
+// String renders the kind name.
+func (k OpKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// IsLogical reports whether the kind is a logical (pre-implementation)
+// operator.
+func (k OpKind) IsLogical() bool { return k < 100 }
+
+// Operator is the common interface of logical and physical operators.
+// Operators are immutable once constructed and reference their inputs
+// positionally through the enclosing memo expression or plan node,
+// never directly.
+type Operator interface {
+	// Kind returns the operator's type tag (the fingerprint OpID).
+	Kind() OpKind
+	// Arity returns the number of relational inputs the operator
+	// expects; -1 means variadic (Sequence).
+	Arity() int
+	// Sig returns a canonical rendering of the operator including all
+	// structural parameters but excluding children. Two operators
+	// with equal Sig applied to pairwise-equal children compute the
+	// same result; common-subexpression detection relies on this.
+	Sig() string
+	// String renders the operator for plan display; often equals Sig.
+	String() string
+}

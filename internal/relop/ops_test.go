@@ -1,0 +1,174 @@
+package relop
+
+import (
+	"testing"
+
+	"repro/internal/props"
+)
+
+func TestOpKindClassification(t *testing.T) {
+	logical := []Operator{
+		&Extract{}, &Project{}, &Filter{Pred: Lit(IntVal(1))},
+		&GroupBy{}, &Join{}, &Spool{}, &Output{}, &Sequence{},
+	}
+	for _, op := range logical {
+		if !op.Kind().IsLogical() {
+			t.Errorf("%v should be logical", op.Kind())
+		}
+	}
+	physical := []Operator{
+		&PhysExtract{}, &PhysProject{}, &PhysFilter{Pred: Lit(IntVal(1))},
+		&StreamAgg{}, &HashAgg{}, &Sort{}, &Repartition{},
+		&SortMergeJoin{}, &HashJoin{}, &PhysSpool{}, &PhysOutput{}, &PhysSequence{},
+	}
+	for _, op := range physical {
+		if op.Kind().IsLogical() {
+			t.Errorf("%v should be physical", op.Kind())
+		}
+	}
+	// All kinds must be distinct (fingerprint OpIDs).
+	seen := map[OpKind]bool{}
+	for _, op := range append(logical, physical...) {
+		if seen[op.Kind()] {
+			t.Errorf("duplicate OpKind %v", op.Kind())
+		}
+		seen[op.Kind()] = true
+	}
+}
+
+func TestSigDistinguishesParameters(t *testing.T) {
+	// Same OpID, different parameters: Sig must differ (this is what
+	// resolves fingerprint collisions in Alg. 1).
+	g1 := &GroupBy{Keys: []string{"A", "B"}, Aggs: []Aggregate{{Func: AggSum, Arg: "S", As: "S1"}}}
+	g2 := &GroupBy{Keys: []string{"B", "C"}, Aggs: []Aggregate{{Func: AggSum, Arg: "S", As: "S2"}}}
+	if g1.Kind() != g2.Kind() {
+		t.Error("group-bys must share an OpID")
+	}
+	if g1.Sig() == g2.Sig() {
+		t.Error("different groupings must have different signatures")
+	}
+	g3 := &GroupBy{Keys: []string{"A", "B"}, Aggs: []Aggregate{{Func: AggSum, Arg: "S", As: "S1"}}}
+	if g1.Sig() != g3.Sig() {
+		t.Error("identical group-bys must have identical signatures")
+	}
+}
+
+func TestRepartitionString(t *testing.T) {
+	r := &Repartition{To: props.HashPartitioning(props.NewColSet("B"))}
+	if got := r.String(); got != "Repartition {B}" {
+		t.Errorf("String = %q", got)
+	}
+	r2 := &Repartition{
+		To:         props.HashPartitioning(props.NewColSet("B")),
+		MergeOrder: props.NewOrdering("B", "A", "C"),
+	}
+	if got := r2.String(); got != "Repartition {B} / SortMerge (B,A,C)" {
+		t.Errorf("merge String = %q", got)
+	}
+	g := &Repartition{To: props.SerialPartitioning()}
+	if got := g.String(); got != "Gather" {
+		t.Errorf("gather String = %q", got)
+	}
+	b := &Repartition{To: props.BroadcastPartitioning()}
+	if got := b.String(); got != "Broadcast" {
+		t.Errorf("broadcast String = %q", got)
+	}
+	if r.Sig() == r2.Sig() {
+		t.Error("merge order must affect Sig")
+	}
+}
+
+func TestDeriveSchemaExtractProjectFilter(t *testing.T) {
+	ex := &Extract{Path: "t.log", Columns: testSchema}
+	s, err := DeriveSchema(ex, nil)
+	if err != nil || len(s) != 4 {
+		t.Fatalf("extract schema = %v, %v", s, err)
+	}
+	p := &Project{Items: []NamedExpr{
+		{Expr: Col("A"), As: "A"},
+		{Expr: Bin(OpAdd, Col("A"), Col("B")), As: "AB"},
+	}}
+	s2, err := DeriveSchema(p, []Schema{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2) != 2 || s2[1].Name != "AB" || s2[1].Type != TInt {
+		t.Errorf("project schema = %v", s2)
+	}
+	if _, err := DeriveSchema(&Project{Items: []NamedExpr{{Expr: Col("Z"), As: "Z"}}}, []Schema{s}); err == nil {
+		t.Error("unknown projection column should error")
+	}
+	f := &Filter{Pred: Bin(OpGt, Col("A"), Lit(IntVal(0)))}
+	s3, err := DeriveSchema(f, []Schema{s})
+	if err != nil || len(s3) != 4 {
+		t.Fatalf("filter schema = %v, %v", s3, err)
+	}
+	if _, err := DeriveSchema(&Filter{Pred: Col("Z")}, []Schema{s}); err == nil {
+		t.Error("unknown filter column should error")
+	}
+}
+
+func TestDeriveSchemaGroupBy(t *testing.T) {
+	g := &GroupBy{
+		Keys: []string{"A", "B", "C"},
+		Aggs: []Aggregate{{Func: AggSum, Arg: "D", As: "S"}},
+	}
+	s, err := DeriveSchema(g, []Schema{testSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(A int, B int, C string, S float)"
+	if s.String() != want {
+		t.Errorf("schema = %v, want %s", s, want)
+	}
+	if _, err := DeriveSchema(&GroupBy{Keys: []string{"Z"}}, []Schema{testSchema}); err == nil {
+		t.Error("unknown key should error")
+	}
+	if _, err := DeriveSchema(&GroupBy{Keys: []string{"A"}, Aggs: []Aggregate{{Func: AggSum, Arg: "Z", As: "S"}}}, []Schema{testSchema}); err == nil {
+		t.Error("unknown agg arg should error")
+	}
+	// Count needs no argument.
+	cg := &GroupBy{Keys: []string{"A"}, Aggs: []Aggregate{{Func: AggCount, As: "N"}}}
+	if s, err := DeriveSchema(cg, []Schema{testSchema}); err != nil || s[1].Type != TInt {
+		t.Errorf("count schema = %v, %v", s, err)
+	}
+}
+
+func TestDeriveSchemaJoin(t *testing.T) {
+	l := Schema{{Name: "B", Type: TInt}, {Name: "S1", Type: TInt}}
+	r := Schema{{Name: "B2", Type: TInt}, {Name: "S2", Type: TInt}}
+	j := &Join{LeftKeys: []string{"B"}, RightKeys: []string{"B2"}}
+	s, err := DeriveSchema(j, []Schema{l, r})
+	if err != nil || len(s) != 4 {
+		t.Fatalf("join schema = %v, %v", s, err)
+	}
+	// Duplicate names across sides must be rejected.
+	dup := Schema{{Name: "B", Type: TInt}}
+	if _, err := DeriveSchema(&Join{LeftKeys: []string{"B"}, RightKeys: []string{"B"}}, []Schema{l, dup}); err == nil {
+		t.Error("duplicate output columns should error")
+	}
+	if _, err := DeriveSchema(&Join{LeftKeys: []string{"Z"}, RightKeys: []string{"B2"}}, []Schema{l, r}); err == nil {
+		t.Error("unknown join key should error")
+	}
+}
+
+func TestDeriveSchemaPassThroughAndArity(t *testing.T) {
+	s, err := DeriveSchema(&Spool{}, []Schema{testSchema})
+	if err != nil || len(s) != 4 {
+		t.Fatalf("spool schema = %v, %v", s, err)
+	}
+	s, err = DeriveSchema(&Output{Path: "o"}, []Schema{testSchema})
+	if err != nil || len(s) != 4 {
+		t.Fatalf("output schema = %v, %v", s, err)
+	}
+	s, err = DeriveSchema(&Sequence{}, []Schema{testSchema, testSchema})
+	if err != nil || len(s) != 0 {
+		t.Fatalf("sequence schema = %v, %v", s, err)
+	}
+	if _, err := DeriveSchema(&Filter{Pred: Col("A")}, nil); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if _, err := DeriveSchema(&Sort{}, []Schema{testSchema}); err == nil {
+		t.Error("physical op should be rejected")
+	}
+}

@@ -1,0 +1,334 @@
+package relop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/props"
+)
+
+// AggPhase distinguishes the roles an aggregation operator plays in a
+// distributed plan.
+type AggPhase int
+
+const (
+	// AggSingle computes complete aggregates in one pass; its input
+	// must already colocate each group on one machine.
+	AggSingle AggPhase = iota
+	// AggLocal computes partial aggregates per machine with no
+	// distribution requirement; a Global operator above merges them.
+	AggLocal
+	// AggGlobal merges partial aggregates produced by an AggLocal
+	// below; input must colocate each group.
+	AggGlobal
+)
+
+// String renders the phase as it appears in the paper's plans.
+func (p AggPhase) String() string {
+	switch p {
+	case AggLocal:
+		return "Local"
+	case AggGlobal:
+		return "Global"
+	default:
+		return "Single"
+	}
+}
+
+// StreamAgg is sort-based aggregation: input rows must arrive
+// clustered on the grouping keys (some ordering whose prefix covers
+// them); output preserves that order.
+type StreamAgg struct {
+	Keys  []string
+	Aggs  []Aggregate
+	Phase AggPhase
+}
+
+// Kind implements Operator.
+func (*StreamAgg) Kind() OpKind { return KindStreamAgg }
+
+// Arity implements Operator.
+func (*StreamAgg) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (a *StreamAgg) Sig() string {
+	return fmt.Sprintf("StreamAgg[%s](%s; %s)", a.Phase, strings.Join(a.Keys, ","), aggList(a.Aggs))
+}
+
+// String implements Operator.
+func (a *StreamAgg) String() string {
+	return fmt.Sprintf("StreamAgg (%s) (%s)", a.Phase, strings.Join(a.Keys, ", "))
+}
+
+// HashAgg is hash-based aggregation: no input order needed, no output
+// order produced.
+type HashAgg struct {
+	Keys  []string
+	Aggs  []Aggregate
+	Phase AggPhase
+}
+
+// Kind implements Operator.
+func (*HashAgg) Kind() OpKind { return KindHashAgg }
+
+// Arity implements Operator.
+func (*HashAgg) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (a *HashAgg) Sig() string {
+	return fmt.Sprintf("HashAgg[%s](%s; %s)", a.Phase, strings.Join(a.Keys, ","), aggList(a.Aggs))
+}
+
+// String implements Operator.
+func (a *HashAgg) String() string {
+	return fmt.Sprintf("HashAgg (%s) (%s)", a.Phase, strings.Join(a.Keys, ", "))
+}
+
+func aggList(aggs []Aggregate) string {
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Sort is the per-machine sort enforcer.
+type Sort struct {
+	Order props.Ordering
+}
+
+// Kind implements Operator.
+func (*Sort) Kind() OpKind { return KindSort }
+
+// Arity implements Operator.
+func (*Sort) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (s *Sort) Sig() string { return "Sort" + s.Order.String() }
+
+// String implements Operator.
+func (s *Sort) String() string { return "Sort " + s.Order.String() }
+
+// Repartition is the exchange enforcer: redistribute rows so the
+// output satisfies To. When MergeOrder is non-empty, each receiving
+// machine merge-sorts the streams arriving from senders (which must
+// each be sorted on MergeOrder), so the delivered order is preserved —
+// the "Repartition + SortMerge" pair of the paper's Fig. 8.
+type Repartition struct {
+	To         props.Partitioning
+	MergeOrder props.Ordering
+}
+
+// Kind implements Operator.
+func (*Repartition) Kind() OpKind { return KindRepartition }
+
+// Arity implements Operator.
+func (*Repartition) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (r *Repartition) Sig() string {
+	s := "Repartition(" + r.To.String() + ")"
+	if !r.MergeOrder.Empty() {
+		s += "+SortMerge" + r.MergeOrder.String()
+	}
+	return s
+}
+
+// String implements Operator.
+func (r *Repartition) String() string {
+	base := "Repartition " + r.To.Cols.String()
+	switch r.To.Kind {
+	case props.PartSerial:
+		base = "Gather"
+	case props.PartBroadcast:
+		base = "Broadcast"
+	}
+	if !r.MergeOrder.Empty() {
+		return base + " / SortMerge " + r.MergeOrder.String()
+	}
+	return base
+}
+
+// SortMergeJoin joins two inputs sorted and co-partitioned on the join
+// keys.
+type SortMergeJoin struct {
+	LeftKeys  []string
+	RightKeys []string
+}
+
+// Kind implements Operator.
+func (*SortMergeJoin) Kind() OpKind { return KindSortMergeJoin }
+
+// Arity implements Operator.
+func (*SortMergeJoin) Arity() int { return 2 }
+
+// Sig implements Operator.
+func (j *SortMergeJoin) Sig() string {
+	return "MergeJoin(" + joinPairs(j.LeftKeys, j.RightKeys) + ")"
+}
+
+// String implements Operator.
+func (j *SortMergeJoin) String() string { return j.Sig() }
+
+// HashJoin joins two co-partitioned inputs by hashing the smaller
+// side.
+type HashJoin struct {
+	LeftKeys  []string
+	RightKeys []string
+}
+
+// Kind implements Operator.
+func (*HashJoin) Kind() OpKind { return KindHashJoin }
+
+// Arity implements Operator.
+func (*HashJoin) Arity() int { return 2 }
+
+// Sig implements Operator.
+func (j *HashJoin) Sig() string {
+	return "HashJoin(" + joinPairs(j.LeftKeys, j.RightKeys) + ")"
+}
+
+// String implements Operator.
+func (j *HashJoin) String() string { return j.Sig() }
+
+func joinPairs(l, r []string) string {
+	pairs := make([]string, len(l))
+	for i := range l {
+		pairs[i] = l[i] + "=" + r[i]
+	}
+	return strings.Join(pairs, " AND ")
+}
+
+// PhysExtract is the parallel file scan.
+type PhysExtract struct {
+	Path      string
+	Columns   Schema
+	Extractor string
+	FileID    int
+}
+
+// Kind implements Operator.
+func (*PhysExtract) Kind() OpKind { return KindPhysExtract }
+
+// Arity implements Operator.
+func (*PhysExtract) Arity() int { return 0 }
+
+// Sig implements Operator.
+func (e *PhysExtract) Sig() string {
+	return fmt.Sprintf("PhysExtract(%s USING %s)", e.Path, e.Extractor)
+}
+
+// String implements Operator.
+func (e *PhysExtract) String() string { return fmt.Sprintf("Extract (%s)", e.Path) }
+
+// PhysProject is the physical projection/compute operator.
+type PhysProject struct {
+	Items []NamedExpr
+}
+
+// Kind implements Operator.
+func (*PhysProject) Kind() OpKind { return KindPhysProject }
+
+// Arity implements Operator.
+func (*PhysProject) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (p *PhysProject) Sig() string { return "Compute(" + namedList(p.Items) + ")" }
+
+// String implements Operator.
+func (p *PhysProject) String() string { return p.Sig() }
+
+// PhysFilter is the physical selection operator.
+type PhysFilter struct {
+	Pred        Scalar
+	Selectivity float64
+}
+
+// Kind implements Operator.
+func (*PhysFilter) Kind() OpKind { return KindPhysFilter }
+
+// Arity implements Operator.
+func (*PhysFilter) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (f *PhysFilter) Sig() string { return "Select(" + f.Pred.String() + ")" }
+
+// String implements Operator.
+func (f *PhysFilter) String() string { return f.Sig() }
+
+// PhysSpool materializes its input once; each consumer reads the
+// materialized partitions. Delivered properties pass through: the
+// spooled data stays partitioned and sorted exactly as produced.
+type PhysSpool struct{}
+
+// Kind implements Operator.
+func (*PhysSpool) Kind() OpKind { return KindPhysSpool }
+
+// Arity implements Operator.
+func (*PhysSpool) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (*PhysSpool) Sig() string { return "Spool" }
+
+// String implements Operator.
+func (*PhysSpool) String() string { return "Spool" }
+
+// PhysOutput writes its input to a distributed file in parallel; with
+// a non-empty Order it writes one globally sorted file from a serial,
+// sorted input.
+type PhysOutput struct {
+	Path  string
+	Order props.Ordering
+}
+
+// Kind implements Operator.
+func (*PhysOutput) Kind() OpKind { return KindPhysOutput }
+
+// Arity implements Operator.
+func (*PhysOutput) Arity() int { return 1 }
+
+// Sig implements Operator.
+func (o *PhysOutput) Sig() string {
+	if !o.Order.Empty() {
+		return "Output(" + o.Path + " ORDER BY " + o.Order.String() + ")"
+	}
+	return "Output(" + o.Path + ")"
+}
+
+// String implements Operator.
+func (o *PhysOutput) String() string {
+	if !o.Order.Empty() {
+		return fmt.Sprintf("Output (Sorted %s) [%s]", o.Order, o.Path)
+	}
+	return fmt.Sprintf("Output (Parallel) [%s]", o.Path)
+}
+
+// PhysUnion concatenates its inputs partition-wise.
+type PhysUnion struct{}
+
+// Kind implements Operator.
+func (*PhysUnion) Kind() OpKind { return KindPhysUnion }
+
+// Arity implements Operator.
+func (*PhysUnion) Arity() int { return -1 }
+
+// Sig implements Operator.
+func (*PhysUnion) Sig() string { return "UnionAll" }
+
+// String implements Operator.
+func (*PhysUnion) String() string { return "UnionAll" }
+
+// PhysSequence is the physical counterpart of Sequence.
+type PhysSequence struct{}
+
+// Kind implements Operator.
+func (*PhysSequence) Kind() OpKind { return KindPhysSequence }
+
+// Arity implements Operator.
+func (*PhysSequence) Arity() int { return -1 }
+
+// Sig implements Operator.
+func (*PhysSequence) Sig() string { return "Sequence" }
+
+// String implements Operator.
+func (*PhysSequence) String() string { return "Sequence" }

@@ -1,0 +1,210 @@
+package relop
+
+import "testing"
+
+var testSchema = Schema{
+	{Name: "A", Type: TInt},
+	{Name: "B", Type: TInt},
+	{Name: "C", Type: TString},
+	{Name: "D", Type: TFloat},
+}
+
+func TestSchemaBasics(t *testing.T) {
+	if testSchema.Index("B") != 1 {
+		t.Errorf("Index(B) = %d", testSchema.Index("B"))
+	}
+	if testSchema.Index("Z") != -1 {
+		t.Error("Index of missing column should be -1")
+	}
+	if !testSchema.Has("D") || testSchema.Has("Z") {
+		t.Error("Has wrong")
+	}
+	if got := testSchema.ColSet().Key(); got != "A,B,C,D" {
+		t.Errorf("ColSet = %s", got)
+	}
+	idx, ok := testSchema.Indexes([]string{"C", "A"})
+	if !ok || idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("Indexes = %v, %v", idx, ok)
+	}
+	if _, ok := testSchema.Indexes([]string{"A", "Z"}); ok {
+		t.Error("Indexes with missing column should fail")
+	}
+	cat := Schema{{Name: "X", Type: TInt}}.Concat(Schema{{Name: "Y", Type: TInt}})
+	if len(cat) != 2 || cat[1].Name != "Y" {
+		t.Errorf("Concat = %v", cat)
+	}
+	if testSchema.String() != "(A int, B int, C string, D float)" {
+		t.Errorf("String = %s", testSchema)
+	}
+}
+
+func TestEvalScalarColumnsAndConsts(t *testing.T) {
+	row := Row{IntVal(1), IntVal(2), StringVal("x"), FloatVal(1.5)}
+	v, err := EvalScalar(Col("B"), row, testSchema)
+	if err != nil || v != IntVal(2) {
+		t.Fatalf("col eval = %v, %v", v, err)
+	}
+	if _, err := EvalScalar(Col("Z"), row, testSchema); err == nil {
+		t.Error("unknown column should error")
+	}
+	v, err = EvalScalar(Lit(IntVal(7)), row, testSchema)
+	if err != nil || v != IntVal(7) {
+		t.Fatalf("const eval = %v, %v", v, err)
+	}
+}
+
+func TestEvalScalarArithmetic(t *testing.T) {
+	row := Row{IntVal(6), IntVal(2), StringVal("x"), FloatVal(1.5)}
+	cases := []struct {
+		expr Scalar
+		want Value
+	}{
+		{Bin(OpAdd, Col("A"), Col("B")), IntVal(8)},
+		{Bin(OpSub, Col("A"), Col("B")), IntVal(4)},
+		{Bin(OpMul, Col("A"), Col("B")), IntVal(12)},
+		{Bin(OpDiv, Col("A"), Col("B")), FloatVal(3)},
+		{Bin(OpAdd, Col("A"), Col("D")), FloatVal(7.5)},
+		{Bin(OpEq, Col("A"), Lit(IntVal(6))), IntVal(1)},
+		{Bin(OpNe, Col("A"), Lit(IntVal(6))), IntVal(0)},
+		{Bin(OpLt, Col("B"), Col("A")), IntVal(1)},
+		{Bin(OpGe, Col("B"), Col("A")), IntVal(0)},
+		{Bin(OpAnd, Bin(OpGt, Col("A"), Lit(IntVal(0))), Bin(OpGt, Col("B"), Lit(IntVal(0)))), IntVal(1)},
+		{Bin(OpOr, Bin(OpLt, Col("A"), Lit(IntVal(0))), Bin(OpGt, Col("B"), Lit(IntVal(0)))), IntVal(1)},
+	}
+	for _, c := range cases {
+		got, err := EvalScalar(c.expr, row, testSchema)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+	if _, err := EvalScalar(Bin(OpDiv, Col("A"), Lit(IntVal(0))), row, testSchema); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestScalarSignatureEquality(t *testing.T) {
+	a := Bin(OpAdd, Col("A"), Lit(IntVal(1)))
+	b := Bin(OpAdd, Col("A"), Lit(IntVal(1)))
+	if a.String() != b.String() {
+		t.Error("identical scalars must have identical signatures")
+	}
+	c := Bin(OpAdd, Lit(IntVal(1)), Col("A"))
+	if a.String() == c.String() {
+		t.Error("operand order must affect the signature")
+	}
+}
+
+func TestScalarColumnsAndTypes(t *testing.T) {
+	e := Bin(OpMul, Bin(OpAdd, Col("A"), Col("B")), Col("D"))
+	if got := e.Columns().Key(); got != "A,B,D" {
+		t.Errorf("Columns = %s", got)
+	}
+	if e.ResultType(testSchema) != TFloat {
+		t.Error("mixed arithmetic should be float")
+	}
+	if Bin(OpAdd, Col("A"), Col("B")).ResultType(testSchema) != TInt {
+		t.Error("int arithmetic should be int")
+	}
+	if Bin(OpEq, Col("A"), Col("B")).ResultType(testSchema) != TInt {
+		t.Error("comparisons should be int (boolean)")
+	}
+	if Bin(OpAdd, Col("C"), Col("C")).ResultType(testSchema) != TString {
+		t.Error("string concat should be string")
+	}
+}
+
+func TestNamedExprString(t *testing.T) {
+	if got := (NamedExpr{Expr: Col("A"), As: "A"}).String(); got != "A" {
+		t.Errorf("passthrough = %q", got)
+	}
+	if got := (NamedExpr{Expr: Col("A"), As: "X"}).String(); got != "A AS X" {
+		t.Errorf("rename = %q", got)
+	}
+}
+
+func TestAggStateAllFuncs(t *testing.T) {
+	vals := []Value{IntVal(3), IntVal(1), IntVal(4), IntVal(1)}
+	want := map[AggFunc]Value{
+		AggSum:   IntVal(9),
+		AggCount: IntVal(4),
+		AggMin:   IntVal(1),
+		AggMax:   IntVal(4),
+		AggAvg:   FloatVal(2.25),
+	}
+	for fn, w := range want {
+		st := NewAggState(fn)
+		for _, v := range vals {
+			st.Add(v)
+		}
+		if got := st.Result(); !got.Equal(w) {
+			t.Errorf("%v = %v, want %v", fn, got, w)
+		}
+	}
+}
+
+func TestAggDecomposition(t *testing.T) {
+	for _, fn := range []AggFunc{AggSum, AggCount, AggMin, AggMax} {
+		if !fn.Decomposable() {
+			t.Errorf("%v should be decomposable", fn)
+		}
+	}
+	if AggAvg.Decomposable() {
+		t.Error("Avg must not be decomposable")
+	}
+	if AggCount.MergeFunc() != AggSum {
+		t.Error("Count merges by Sum")
+	}
+	if AggMin.MergeFunc() != AggMin {
+		t.Error("Min merges by Min")
+	}
+	a := Aggregate{Func: AggCount, Arg: "", As: "N"}
+	m := a.MergeAggregate()
+	if m.Func != AggSum || m.Arg != "N" || m.As != "N" {
+		t.Errorf("MergeAggregate = %+v", m)
+	}
+}
+
+// Partial-merge equivalence: splitting any value stream into chunks,
+// aggregating each, and merging partials must equal direct
+// aggregation, for every decomposable function.
+func TestAggPartialMergeEquivalence(t *testing.T) {
+	vals := []Value{IntVal(5), IntVal(-2), IntVal(8), IntVal(0), IntVal(8), IntVal(3)}
+	for _, fn := range []AggFunc{AggSum, AggCount, AggMin, AggMax} {
+		direct := NewAggState(fn)
+		for _, v := range vals {
+			direct.Add(v)
+		}
+		for split := 1; split < len(vals); split++ {
+			p1, p2 := NewAggState(fn), NewAggState(fn)
+			for _, v := range vals[:split] {
+				p1.Add(v)
+			}
+			for _, v := range vals[split:] {
+				p2.Add(v)
+			}
+			merged := NewAggState(fn.MergeFunc())
+			merged.Add(p1.Result())
+			merged.Add(p2.Result())
+			if !merged.Result().Equal(direct.Result()) {
+				t.Errorf("%v split at %d: merged %v != direct %v",
+					fn, split, merged.Result(), direct.Result())
+			}
+		}
+	}
+}
+
+func TestAggregateResultType(t *testing.T) {
+	if (Aggregate{Func: AggCount, As: "N"}).ResultType(testSchema) != TInt {
+		t.Error("Count is int")
+	}
+	if (Aggregate{Func: AggSum, Arg: "D", As: "S"}).ResultType(testSchema) != TFloat {
+		t.Error("Sum(D) is float")
+	}
+	if (Aggregate{Func: AggAvg, Arg: "A", As: "V"}).ResultType(testSchema) != TFloat {
+		t.Error("Avg is float")
+	}
+}

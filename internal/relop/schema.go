@@ -1,0 +1,76 @@
+package relop
+
+import (
+	"strings"
+
+	"repro/internal/props"
+)
+
+// Column is one named, typed output column of an operator.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is the ordered list of output columns of an operator.
+type Schema []Column
+
+// Index returns the position of the named column, or -1. Names are
+// matched exactly; the binder resolves qualified references
+// (e.g. R1.B) to unqualified schema names before operators are built.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named column.
+func (s Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Names returns the column names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ColSet returns the schema's columns as a set.
+func (s Schema) ColSet() props.ColSet {
+	return props.NewColSet(s.Names()...)
+}
+
+// Concat returns the concatenation of two schemas (join output).
+func (s Schema) Concat(t Schema) Schema {
+	out := make(Schema, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// Indexes maps the given column names to their positions, returning
+// false if any is missing.
+func (s Schema) Indexes(names []string) ([]int, bool) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx := s.Index(n)
+		if idx < 0 {
+			return nil, false
+		}
+		out[i] = idx
+	}
+	return out, true
+}
+
+// String renders the schema as "(A int, B string)".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,137 @@
+package relop
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntVal(1), IntVal(2), -1},
+		{IntVal(2), IntVal(2), 0},
+		{IntVal(3), IntVal(2), 1},
+		{FloatVal(1.5), IntVal(2), -1},
+		{IntVal(2), FloatVal(2.0), 0},
+		{StringVal("a"), StringVal("b"), -1},
+		{StringVal("b"), StringVal("b"), 0},
+		{IntVal(5), StringVal("5"), -1}, // numbers before strings
+		{StringVal("5"), IntVal(5), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueHashConsistency(t *testing.T) {
+	if IntVal(7).Hash() != IntVal(7).Hash() {
+		t.Error("int hash not deterministic")
+	}
+	if FloatVal(2).Hash() != FloatVal(2.0).Hash() {
+		t.Error("equal floats must hash equal")
+	}
+	if StringVal("x").Hash() == StringVal("y").Hash() {
+		t.Error("distinct strings should (almost surely) hash distinct")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := IntVal(-3).String(); got != "-3" {
+		t.Errorf("IntVal.String = %q", got)
+	}
+	if got := FloatVal(2.5).String(); got != "2.5" {
+		t.Errorf("FloatVal.String = %q", got)
+	}
+	if got := StringVal(`a"b`).String(); got != `"a\"b"` {
+		t.Errorf("StringVal.String = %q", got)
+	}
+}
+
+func TestValueAdd(t *testing.T) {
+	if got := IntVal(2).Add(IntVal(3)); got != IntVal(5) {
+		t.Errorf("int add = %v", got)
+	}
+	if got := IntVal(2).Add(FloatVal(0.5)); got != FloatVal(2.5) {
+		t.Errorf("mixed add = %v", got)
+	}
+	if got := StringVal("a").Add(StringVal("b")); got != StringVal("ab") {
+		t.Errorf("string add = %v", got)
+	}
+}
+
+func TestRowHashCols(t *testing.T) {
+	r1 := Row{IntVal(1), IntVal(2), IntVal(3)}
+	r2 := Row{IntVal(9), IntVal(2), IntVal(3)}
+	if r1.HashCols([]int{1, 2}) != r2.HashCols([]int{1, 2}) {
+		t.Error("rows equal on hashed cols must hash equal")
+	}
+	if r1.HashCols([]int{0}) == r2.HashCols([]int{0}) {
+		t.Error("rows differing on hashed col should hash differently")
+	}
+	// Positional: (1,2) on cols [0,1] differs from (2,1).
+	a := Row{IntVal(1), IntVal(2)}
+	b := Row{IntVal(2), IntVal(1)}
+	if a.HashCols([]int{0, 1}) == b.HashCols([]int{0, 1}) {
+		t.Error("hash must be positional")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{IntVal(1)}
+	c := r.Clone()
+	c[0] = IntVal(2)
+	if r[0] != IntVal(1) {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(3) {
+	case 0:
+		return IntVal(r.Int63n(100) - 50)
+	case 1:
+		return FloatVal(float64(r.Int63n(100)) / 4)
+	default:
+		return StringVal(string(rune('a' + r.Intn(26))))
+	}
+}
+
+// Compare must be a total order: antisymmetric and transitive; Hash
+// must agree with Equal.
+func TestValueOrderProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randValue(r))
+			}
+		},
+	}
+	if err := quick.Check(func(a, b Value) bool {
+		return a.Compare(b) == -b.Compare(a)
+	}, cfg); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	if err := quick.Check(func(a, b, c Value) bool {
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}, cfg); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+	if err := quick.Check(func(a, b Value) bool {
+		if a.Equal(b) && a.Kind == b.Kind {
+			return a.Hash() == b.Hash()
+		}
+		return true
+	}, cfg); err != nil {
+		t.Errorf("hash/equal agreement: %v", err)
+	}
+}

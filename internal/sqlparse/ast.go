@@ -1,0 +1,189 @@
+package sqlparse
+
+import "strings"
+
+// Script is a parsed SCOPE script: a sequence of assignments and
+// OUTPUT statements.
+type Script struct {
+	Stmts []Stmt
+}
+
+// Stmt is a top-level statement.
+type Stmt interface{ stmt() }
+
+// AssignStmt binds a query result to a name: "R = SELECT ...;".
+type AssignStmt struct {
+	Name  string
+	Query Query
+	Tok   Token
+}
+
+func (*AssignStmt) stmt() {}
+
+// OrderItem is one ORDER BY column with its direction.
+type OrderItem struct {
+	Col  ColRefAST
+	Desc bool
+}
+
+// String renders "A" or "A DESC".
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Col.String() + " DESC"
+	}
+	return o.Col.String()
+}
+
+// OutputStmt writes a named result to a file:
+// "OUTPUT R TO \"p\" [ORDER BY col [DESC], ...];". An ORDER BY
+// demands a globally sorted output file.
+type OutputStmt struct {
+	Src     string
+	Path    string
+	OrderBy []OrderItem
+	Tok     Token
+}
+
+func (*OutputStmt) stmt() {}
+
+// Query is the right-hand side of an assignment.
+type Query interface{ query() }
+
+// ExtractQuery reads columns from a file with a named extractor.
+type ExtractQuery struct {
+	Cols      []ColDef
+	Path      string
+	Extractor string
+}
+
+func (*ExtractQuery) query() {}
+
+// ColDef is one extracted column with an optional type annotation
+// (":int", ":float", ":string"); the default is int, matching the
+// numeric log data of the paper's scripts.
+type ColDef struct {
+	Name string
+	Type string
+}
+
+// UnionQuery concatenates two or more named intermediates with
+// identical schemas: "R = UNION ALL X, Y;".
+type UnionQuery struct {
+	Sources []string
+	Tok     Token
+}
+
+func (*UnionQuery) query() {}
+
+// SelectQuery is
+// SELECT [DISTINCT] items FROM sources [WHERE pred]
+// [GROUP BY cols [HAVING pred]].
+type SelectQuery struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []string
+	Where    Expr
+	GroupBy  []ColRefAST
+	Having   Expr
+}
+
+func (*SelectQuery) query() {}
+
+// SelectItem is one projection item with an optional alias.
+type SelectItem struct {
+	Expr Expr
+	As   string
+	Tok  Token
+}
+
+// Expr is a scalar expression AST node.
+type Expr interface {
+	exprNode()
+	// String renders the expression in source-like syntax.
+	String() string
+}
+
+// ColRefAST is a possibly qualified column reference (B or R1.B).
+type ColRefAST struct {
+	Qualifier string
+	Name      string
+	Tok       Token
+}
+
+func (*ColRefAST) exprNode() {}
+
+// String implements Expr.
+func (c *ColRefAST) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Text  string
+	IsInt bool
+	Tok   Token
+}
+
+func (*NumberLit) exprNode() {}
+
+// String implements Expr.
+func (n *NumberLit) String() string { return n.Text }
+
+// StringLit is a string literal.
+type StringLit struct {
+	Val string
+	Tok Token
+}
+
+func (*StringLit) exprNode() {}
+
+// String implements Expr.
+func (s *StringLit) String() string { return `"` + s.Val + `"` }
+
+// CallExpr is a function call, used for aggregates: Sum(D), Count().
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Tok  Token
+}
+
+func (*CallExpr) exprNode() {}
+
+// String implements Expr.
+func (c *CallExpr) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string // "+", "-", "*", "/", "=", "!=", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Expr
+	Tok  Token
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// String implements Expr.
+func (b *BinaryExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// AggFuncNames is the set of recognized aggregate function names
+// (upper-cased). The binder uses it to split aggregates from plain
+// scalar calls.
+var AggFuncNames = map[string]bool{
+	"SUM": true, "COUNT": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+// IsAggCall reports whether e is a call to an aggregate function.
+func IsAggCall(e Expr) bool {
+	c, ok := e.(*CallExpr)
+	return ok && AggFuncNames[strings.ToUpper(c.Name)]
+}

@@ -1,0 +1,97 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed script back to canonical SCOPE text: one
+// statement per line, canonical keyword casing and spacing. Formatting
+// is idempotent and round-trips: parsing the output yields a script
+// that formats identically.
+func Format(s *Script) string {
+	var b strings.Builder
+	for _, st := range s.Stmts {
+		b.WriteString(formatStmt(st))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// quoteScope quotes a string literal the way the lexer reads it:
+// backslashes are verbatim (SCOPE scripts are full of Windows paths);
+// only double quotes are escaped.
+func quoteScope(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+func formatStmt(st Stmt) string {
+	switch s := st.(type) {
+	case *AssignStmt:
+		return s.Name + " = " + formatQuery(s.Query) + ";"
+	case *OutputStmt:
+		out := fmt.Sprintf("OUTPUT %s TO %s", s.Src, quoteScope(s.Path))
+		if len(s.OrderBy) > 0 {
+			refs := make([]string, len(s.OrderBy))
+			for i, it := range s.OrderBy {
+				refs[i] = it.String()
+			}
+			out += " ORDER BY " + strings.Join(refs, ", ")
+		}
+		return out + ";"
+	default:
+		return fmt.Sprintf("/* unknown statement %T */", st)
+	}
+}
+
+func formatQuery(q Query) string {
+	switch x := q.(type) {
+	case *ExtractQuery:
+		cols := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = c.Name
+			if c.Type != "" {
+				cols[i] += ":" + c.Type
+			}
+		}
+		return fmt.Sprintf("EXTRACT %s FROM %s USING %s",
+			strings.Join(cols, ", "), quoteScope(x.Path), x.Extractor)
+	case *SelectQuery:
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		items := make([]string, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = it.Expr.String()
+			if it.As != "" {
+				items[i] += " AS " + it.As
+			}
+		}
+		b.WriteString(strings.Join(items, ", "))
+		b.WriteString(" FROM ")
+		b.WriteString(strings.Join(x.From, ", "))
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			b.WriteString(x.Where.String())
+		}
+		if len(x.GroupBy) > 0 {
+			refs := make([]string, len(x.GroupBy))
+			for i := range x.GroupBy {
+				refs[i] = x.GroupBy[i].String()
+			}
+			b.WriteString(" GROUP BY ")
+			b.WriteString(strings.Join(refs, ", "))
+			if x.Having != nil {
+				b.WriteString(" HAVING ")
+				b.WriteString(x.Having.String())
+			}
+		}
+		return b.String()
+	case *UnionQuery:
+		return "UNION ALL " + strings.Join(x.Sources, ", ")
+	default:
+		return fmt.Sprintf("/* unknown query %T */", q)
+	}
+}

@@ -1,0 +1,80 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatCanonical(t *testing.T) {
+	src := `r0 = extract A , B:int , D FROM "in.log" using LogExtractor;
+R = select distinct A,  B from R0 where A>=1 and B!=2;
+G = SELECT A, Sum(B) as S FROM R GROUP BY A HAVING S > 0;
+U = union all G, G;
+OUTPUT U TO "o" order by A;`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Format(s)
+	want := `r0 = EXTRACT A, B:int, D FROM "in.log" USING LogExtractor;
+R = SELECT DISTINCT A, B FROM R0 WHERE ((A >= 1) AND (B != 2));
+G = SELECT A, Sum(B) AS S FROM R GROUP BY A HAVING (S > 0);
+U = UNION ALL G, G;
+OUTPUT U TO "o" ORDER BY A;
+`
+	if got != want {
+		t.Errorf("Format:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFormatRoundTrip: parsing formatted output reproduces the same
+// formatted text (idempotence), for a corpus of diverse scripts.
+func TestFormatRoundTrip(t *testing.T) {
+	corpus := []string{
+		scriptS1,
+		`X = EXTRACT K,V1 FROM "f1" USING E;
+Y = EXTRACT K,V2 FROM "f2" USING E;
+R = SELECT X.K, V1, V2 FROM X, Y WHERE X.K = Y.K AND V1 > 3;
+OUTPUT R TO "o";`,
+		`A = EXTRACT P,Q FROM "f" USING E;
+B = SELECT P, Q*2+1 as QQ FROM A;
+C = SELECT DISTINCT QQ FROM B;
+OUTPUT C TO "o" ORDER BY QQ;`,
+	}
+	for i, src := range corpus {
+		s1p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		once := Format(s1p)
+		s2p, err := Parse(once)
+		if err != nil {
+			t.Fatalf("corpus %d: formatted output does not parse: %v\n%s", i, err, once)
+		}
+		twice := Format(s2p)
+		if once != twice {
+			t.Errorf("corpus %d: formatting not idempotent:\n%s\nvs\n%s", i, once, twice)
+		}
+	}
+}
+
+func TestFormatPreservesSemantics(t *testing.T) {
+	// Operator precedence must survive the round trip: the formatter
+	// emits fully parenthesized expressions.
+	src := `R = SELECT A + B * C as V FROM T WHERE A > 1 AND B < 2 OR C = 3; OUTPUT R TO "o";`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted := Format(s)
+	if !strings.Contains(formatted, "(A + (B * C))") {
+		t.Errorf("precedence lost:\n%s", formatted)
+	}
+	reparsed, err := Parse(formatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(reparsed) != formatted {
+		t.Error("round trip changed the script")
+	}
+}

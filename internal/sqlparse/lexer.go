@@ -1,0 +1,210 @@
+package sqlparse
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes SCOPE script text. Use Lex to tokenize a whole
+// script at once.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the entire script, returning the token stream
+// terminated by a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(k TokKind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(TokEOF, ""), nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		if k, ok := keywords[strings.ToUpper(text)]; ok {
+			return mk(k, text), nil
+		}
+		return mk(TokIdent, text), nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsDigit(l.peek()) || l.peek() == '.') {
+			// A dot is part of the number only if followed by a digit
+			// (so "R0.A" lexes as ident dot ident, but identifiers
+			// can't start with digits anyway; be strict).
+			if l.peek() == '.' && !unicode.IsDigit(l.peek2()) {
+				break
+			}
+			l.advance()
+		}
+		return mk(TokNumber, string(l.src[start:l.pos])), nil
+	case r == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, errf(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				// Keep escapes verbatim except \" — file paths in
+				// SCOPE scripts contain backslashes.
+				n := l.peek()
+				if n == '"' {
+					sb.WriteRune(l.advance())
+					continue
+				}
+			}
+			sb.WriteRune(c)
+		}
+		return mk(TokString, sb.String()), nil
+	}
+	l.advance()
+	switch r {
+	case ',':
+		return mk(TokComma, ","), nil
+	case ';':
+		return mk(TokSemi, ";"), nil
+	case '.':
+		return mk(TokDot, "."), nil
+	case '(':
+		return mk(TokLParen, "("), nil
+	case ')':
+		return mk(TokRParen, ")"), nil
+	case ':':
+		return mk(TokColon, ":"), nil
+	case '+':
+		return mk(TokPlus, "+"), nil
+	case '-':
+		return mk(TokMinus, "-"), nil
+	case '*':
+		return mk(TokStar, "*"), nil
+	case '/':
+		return mk(TokSlash, "/"), nil
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+		}
+		return mk(TokEq, "="), nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(TokNe, "!="), nil
+		}
+		return Token{}, errf(line, col, "unexpected character %q", "!")
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return mk(TokLe, "<="), nil
+		case '>':
+			l.advance()
+			return mk(TokNe, "<>"), nil
+		}
+		return mk(TokLt, "<"), nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(TokGe, ">="), nil
+		}
+		return mk(TokGt, ">"), nil
+	}
+	return Token{}, errf(line, col, "unexpected character %q", string(r))
+}

@@ -1,0 +1,490 @@
+package sqlparse
+
+import "strings"
+
+// Parser consumes a token stream into a Script AST.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a full SCOPE script.
+func Parse(src string) (*Script, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseScript()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k TokKind) (Token, bool) {
+	if p.cur().Kind == k {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *Parser) expect(k TokKind, what string) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return Token{}, errf(t.Line, t.Col, "expected %s (%s), found %q", k, what, t.Text)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseScript() (*Script, error) {
+	s := &Script{}
+	for p.cur().Kind != TokEOF {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Stmts = append(s.Stmts, st)
+	}
+	if len(s.Stmts) == 0 {
+		return nil, errf(1, 1, "empty script")
+	}
+	return s, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokOutput:
+		return p.parseOutput()
+	case TokIdent:
+		return p.parseAssign()
+	default:
+		return nil, errf(t.Line, t.Col, "expected assignment or OUTPUT, found %q", t.Text)
+	}
+}
+
+// parseOutput parses: OUTPUT name TO "path" ;
+func (p *Parser) parseOutput() (Stmt, error) {
+	kw := p.next()
+	name, err := p.expect(TokIdent, "result name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokTo, "TO"); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(TokString, "output path")
+	if err != nil {
+		return nil, err
+	}
+	out := &OutputStmt{Src: name.Text, Path: path.Text, Tok: kw}
+	if _, ok := p.accept(TokOrder); ok {
+		if _, err := p.expect(TokBy, "BY after ORDER"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: *ref}
+			if _, ok := p.accept(TokDesc); ok {
+				item.Desc = true
+			} else {
+				p.accept(TokAsc)
+			}
+			out.OrderBy = append(out.OrderBy, item)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokSemi, "; after OUTPUT"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseAssign parses: name = (EXTRACT ... | SELECT ...) ;
+func (p *Parser) parseAssign() (Stmt, error) {
+	name := p.next()
+	if _, err := p.expect(TokEq, "= after result name"); err != nil {
+		return nil, err
+	}
+	var q Query
+	var err error
+	switch p.cur().Kind {
+	case TokExtract:
+		q, err = p.parseExtract()
+	case TokSelect:
+		q, err = p.parseSelect()
+	case TokUnion:
+		q, err = p.parseUnion()
+	default:
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "expected EXTRACT, SELECT, or UNION, found %q", t.Text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "; after statement"); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Name: name.Text, Query: q, Tok: name}, nil
+}
+
+// parseExtract parses: EXTRACT A,B:int,... FROM "path" USING Extractor
+func (p *Parser) parseExtract() (Query, error) {
+	p.next() // EXTRACT
+	var cols []ColDef
+	for {
+		id, err := p.expect(TokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		cd := ColDef{Name: id.Text}
+		if _, ok := p.accept(TokColon); ok {
+			ty, err := p.expect(TokIdent, "column type")
+			if err != nil {
+				return nil, err
+			}
+			switch strings.ToLower(ty.Text) {
+			case "int", "long", "float", "double", "string":
+				cd.Type = strings.ToLower(ty.Text)
+			default:
+				return nil, errf(ty.Line, ty.Col, "unknown column type %q", ty.Text)
+			}
+		}
+		cols = append(cols, cd)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokFrom, "FROM"); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(TokString, "input path")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokUsing, "USING"); err != nil {
+		return nil, err
+	}
+	ex, err := p.expect(TokIdent, "extractor name")
+	if err != nil {
+		return nil, err
+	}
+	return &ExtractQuery{Cols: cols, Path: path.Text, Extractor: ex.Text}, nil
+}
+
+// parseUnion parses: UNION ALL name, name [, name...]
+func (p *Parser) parseUnion() (Query, error) {
+	kw := p.next() // UNION
+	if _, err := p.expect(TokAll, "ALL after UNION (only UNION ALL is supported)"); err != nil {
+		return nil, err
+	}
+	q := &UnionQuery{Tok: kw}
+	for {
+		src, err := p.expect(TokIdent, "source name")
+		if err != nil {
+			return nil, err
+		}
+		q.Sources = append(q.Sources, src.Text)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if len(q.Sources) < 2 {
+		return nil, errf(kw.Line, kw.Col, "UNION ALL needs at least two sources")
+	}
+	return q, nil
+}
+
+// parseSelect parses:
+//
+//	SELECT item, ... FROM src [, src] [WHERE pred] [GROUP BY col, ...]
+func (p *Parser) parseSelect() (Query, error) {
+	p.next() // SELECT
+	q := &SelectQuery{}
+	if _, ok := p.accept(TokDistinct); ok {
+		q.Distinct = true
+	}
+	for {
+		it, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, it)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokFrom, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		src, err := p.expect(TokIdent, "source name")
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, src.Text)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, ok := p.accept(TokWhere); ok {
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	if _, ok := p.accept(TokGroup); ok {
+		if _, err := p.expect(TokBy, "BY after GROUP"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, *ref)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		if _, ok := p.accept(TokHaving); ok {
+			pred, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.Having = pred
+		}
+	} else if p.cur().Kind == TokHaving {
+		t := p.cur()
+		return nil, errf(t.Line, t.Col, "HAVING requires GROUP BY")
+	}
+	return q, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	tok := p.cur()
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	it := SelectItem{Expr: e, Tok: tok}
+	if _, ok := p.accept(TokAs); ok {
+		alias, err := p.expect(TokIdent, "alias")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		it.As = alias.Text
+	} else if p.cur().Kind == TokIdent {
+		// Bare alias: "Sum(D) S" style is not in the paper; reject to
+		// keep errors clear — require AS.
+		t := p.cur()
+		return SelectItem{}, errf(t.Line, t.Col, "expected AS before alias %q", t.Text)
+	}
+	return it, nil
+}
+
+func (p *Parser) parseColRef() (*ColRefAST, error) {
+	id, err := p.expect(TokIdent, "column name")
+	if err != nil {
+		return nil, err
+	}
+	ref := &ColRefAST{Name: id.Text, Tok: id}
+	if _, ok := p.accept(TokDot); ok {
+		col, err := p.expect(TokIdent, "column after qualifier")
+		if err != nil {
+			return nil, err
+		}
+		ref.Qualifier = id.Text
+		ref.Name = col.Text
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr   := orE
+//	orE    := andE (OR andE)*
+//	andE   := cmpE (AND cmpE)*
+//	cmpE   := addE ((= | != | < | <= | > | >=) addE)?
+//	addE   := mulE ((+|-) mulE)*
+//	mulE   := unary ((*|/) unary)*
+//	unary  := - unary | primary
+//	primary:= number | string | ident[(args)] | qualified col | ( expr )
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok, ok := p.accept(TokOr)
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r, Tok: tok}
+	}
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok, ok := p.accept(TokAnd)
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r, Tok: tok}
+	}
+}
+
+var cmpOps = map[TokKind]string{
+	TokEq: "=", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		tok := p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: l, R: r, Tok: tok}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		tok := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, Tok: tok}
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokStar:
+			op = "*"
+		case TokSlash:
+			op = "/"
+		default:
+			return l, nil
+		}
+		tok := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, Tok: tok}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if tok, ok := p.accept(TokMinus); ok {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "-", L: &NumberLit{Text: "0", IsInt: true, Tok: tok}, R: e, Tok: tok}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumberLit{Text: t.Text, IsInt: !strings.Contains(t.Text, "."), Tok: t}, nil
+	case TokString:
+		p.next()
+		return &StringLit{Val: t.Text, Tok: t}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ") to close ("); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.next()
+		switch p.cur().Kind {
+		case TokLParen:
+			p.next()
+			call := &CallExpr{Name: t.Text, Tok: t}
+			if p.cur().Kind != TokRParen {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if _, ok := p.accept(TokComma); !ok {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen, ") to close call"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case TokDot:
+			p.next()
+			col, err := p.expect(TokIdent, "column after qualifier")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRefAST{Qualifier: t.Text, Name: col.Text, Tok: t}, nil
+		default:
+			return &ColRefAST{Name: t.Text, Tok: t}, nil
+		}
+	default:
+		return nil, errf(t.Line, t.Col, "expected expression, found %q", t.Text)
+	}
+}

@@ -1,0 +1,322 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// scriptS1 is the paper's motivating script (Sec. I / Fig. 6 S1).
+const scriptS1 = `
+R0 = EXTRACT A,B,C,D FROM "...\test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) as S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) as S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) as S2 FROM R GROUP BY B,C;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+`
+
+func TestParseS1(t *testing.T) {
+	s, err := Parse(scriptS1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stmts) != 6 {
+		t.Fatalf("got %d statements, want 6", len(s.Stmts))
+	}
+	a0, ok := s.Stmts[0].(*AssignStmt)
+	if !ok || a0.Name != "R0" {
+		t.Fatalf("stmt 0 = %#v", s.Stmts[0])
+	}
+	ex, ok := a0.Query.(*ExtractQuery)
+	if !ok {
+		t.Fatalf("stmt 0 query = %#v", a0.Query)
+	}
+	if ex.Path != `...\test.log` || ex.Extractor != "LogExtractor" {
+		t.Errorf("extract = %+v", ex)
+	}
+	if len(ex.Cols) != 4 || ex.Cols[0].Name != "A" || ex.Cols[3].Name != "D" {
+		t.Errorf("extract cols = %+v", ex.Cols)
+	}
+
+	a1 := s.Stmts[1].(*AssignStmt)
+	sel, ok := a1.Query.(*SelectQuery)
+	if !ok {
+		t.Fatalf("stmt 1 query = %#v", a1.Query)
+	}
+	if len(sel.Items) != 4 {
+		t.Fatalf("select items = %d", len(sel.Items))
+	}
+	if sel.Items[3].As != "S" || !IsAggCall(sel.Items[3].Expr) {
+		t.Errorf("item 3 = %+v", sel.Items[3])
+	}
+	if len(sel.From) != 1 || sel.From[0] != "R0" {
+		t.Errorf("from = %v", sel.From)
+	}
+	if len(sel.GroupBy) != 3 || sel.GroupBy[2].Name != "C" {
+		t.Errorf("group by = %+v", sel.GroupBy)
+	}
+
+	out := s.Stmts[4].(*OutputStmt)
+	if out.Src != "R1" || out.Path != "result1.out" {
+		t.Errorf("output = %+v", out)
+	}
+}
+
+func TestParseJoinWithQualifiedRefs(t *testing.T) {
+	// From the paper's S3: join with qualified column references.
+	src := `
+R1 = EXTRACT B,S1 FROM "a" USING X;
+R2 = EXTRACT B,S2 FROM "b" USING X;
+RR = SELECT R1.B, S1, S2 FROM R1, R2 WHERE R1.B = R2.B;
+OUTPUT RR TO "o";
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.Stmts[2].(*AssignStmt).Query.(*SelectQuery)
+	if len(sel.From) != 2 {
+		t.Fatalf("from = %v", sel.From)
+	}
+	ref := sel.Items[0].Expr.(*ColRefAST)
+	if ref.Qualifier != "R1" || ref.Name != "B" {
+		t.Errorf("qualified ref = %+v", ref)
+	}
+	w, ok := sel.Where.(*BinaryExpr)
+	if !ok || w.Op != "=" {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	l := w.L.(*ColRefAST)
+	r := w.R.(*ColRefAST)
+	if l.Qualifier != "R1" || r.Qualifier != "R2" {
+		t.Errorf("join predicate refs = %v, %v", l, r)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	src := `X = SELECT A + B * C as V FROM R WHERE A > 1 AND B < 2 OR C = 3;`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.Stmts[0].(*AssignStmt).Query.(*SelectQuery)
+	if got := sel.Items[0].Expr.String(); got != "(A + (B * C))" {
+		t.Errorf("precedence: %s", got)
+	}
+	// OR binds loosest.
+	if got := sel.Where.String(); got != "(((A > 1) AND (B < 2)) OR (C = 3))" {
+		t.Errorf("boolean precedence: %s", got)
+	}
+}
+
+func TestParseTypedExtract(t *testing.T) {
+	src := `R = EXTRACT A:int, B:string, C:float FROM "f" USING X;
+OUTPUT R TO "o";`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := s.Stmts[0].(*AssignStmt).Query.(*ExtractQuery)
+	if ex.Cols[0].Type != "int" || ex.Cols[1].Type != "string" || ex.Cols[2].Type != "float" {
+		t.Errorf("typed cols = %+v", ex.Cols)
+	}
+	if _, err := Parse(`R = EXTRACT A:blob FROM "f" USING X;`); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `// leading comment
+R = EXTRACT A FROM "f" USING X; /* block
+comment */ OUTPUT R TO "o"; // trailing`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(s.Stmts))
+	}
+	if _, err := Parse(`R = EXTRACT A FROM "f" USING X; /* unterminated`); err == nil {
+		t.Error("unterminated comment should error")
+	}
+}
+
+func TestParseCountAndNoArgCalls(t *testing.T) {
+	src := `R = SELECT A, Count() as N, Min(B) as M FROM T GROUP BY A;
+OUTPUT R TO "o";`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.Stmts[0].(*AssignStmt).Query.(*SelectQuery)
+	c := sel.Items[1].Expr.(*CallExpr)
+	if c.Name != "Count" || len(c.Args) != 0 {
+		t.Errorf("count call = %+v", c)
+	}
+	if !IsAggCall(sel.Items[2].Expr) {
+		t.Error("Min should be an aggregate call")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{``, "empty script"},
+		{`R = SELECT A FROM;`, "source name"},
+		{`R = EXTRACT FROM "f" USING X;`, "column name"},
+		{`OUTPUT TO "f";`, "result name"},
+		{`OUTPUT R "f";`, "TO"},
+		{`R = SELECT A FROM T`, "; after statement"},
+		{`R = FOO A;`, "expected EXTRACT, SELECT, or UNION"},
+		{`R = SELECT A B FROM T;`, "expected AS"},
+		{`R = SELECT Sum(D FROM T;`, ") to close call"},
+		{`R = EXTRACT A FROM "unterminated USING X;`, "unterminated string"},
+		{`R = SELECT A FROM T WHERE A ! B;`, "unexpected character"},
+		{`R = SELECT A FROM T GROUP A;`, "BY after GROUP"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("R = SELECT A\nFROM;\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:5") {
+		t.Errorf("error position = %q, want prefix 2:5", err.Error())
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	src := `r = select A, sum(D) as S from T group by A;
+output r to "o";`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(s.Stmts))
+	}
+	if !IsAggCall(s.Stmts[0].(*AssignStmt).Query.(*SelectQuery).Items[1].Expr) {
+		t.Error("lower-case sum should be an aggregate")
+	}
+}
+
+func TestParseNegativeNumbersAndFloats(t *testing.T) {
+	src := `R = SELECT A FROM T WHERE A > -1.5;
+OUTPUT R TO "o";`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Stmts[0].(*AssignStmt).Query.(*SelectQuery).Where.(*BinaryExpr)
+	neg := w.R.(*BinaryExpr)
+	if neg.Op != "-" {
+		t.Fatalf("negation = %+v", neg)
+	}
+	lit := neg.R.(*NumberLit)
+	if lit.Text != "1.5" || lit.IsInt {
+		t.Errorf("float literal = %+v", lit)
+	}
+}
+
+func TestLexEqEq(t *testing.T) {
+	toks, err := Lex("a == b <> c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokEq {
+		t.Errorf("== should lex as =, got %v", toks[1].Kind)
+	}
+	if toks[3].Kind != TokNe {
+		t.Errorf("<> should lex as !=, got %v", toks[3].Kind)
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	src := `R = SELECT A, Sum(D) as S FROM T GROUP BY A HAVING S > 10 AND A < 5;
+OUTPUT R TO "o";`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.Stmts[0].(*AssignStmt).Query.(*SelectQuery)
+	if sel.Having == nil {
+		t.Fatal("HAVING not parsed")
+	}
+	if got := sel.Having.String(); got != "((S > 10) AND (A < 5))" {
+		t.Errorf("having = %s", got)
+	}
+	if _, err := Parse(`R = SELECT A FROM T HAVING A > 1;`); err == nil {
+		t.Error("HAVING without GROUP BY should fail to parse")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	s, err := Parse(`R = SELECT DISTINCT A, B FROM T; OUTPUT R TO "o";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := s.Stmts[0].(*AssignStmt).Query.(*SelectQuery)
+	if !sel.Distinct || len(sel.Items) != 2 {
+		t.Errorf("distinct = %v items = %d", sel.Distinct, len(sel.Items))
+	}
+	s2, err := Parse(`R = SELECT A FROM T; OUTPUT R TO "o";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stmts[0].(*AssignStmt).Query.(*SelectQuery).Distinct {
+		t.Error("plain select must not be distinct")
+	}
+}
+
+func TestParseOrderedOutput(t *testing.T) {
+	s, err := Parse(`OUTPUT R TO "o" ORDER BY B, A;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Stmts[0].(*OutputStmt)
+	if len(out.OrderBy) != 2 || out.OrderBy[0].Col.Name != "B" || out.OrderBy[1].Col.Name != "A" {
+		t.Errorf("order by = %+v", out.OrderBy)
+	}
+	// Directions.
+	s2, err := Parse(`OUTPUT R TO "o" ORDER BY B DESC, A ASC, C;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := s2.Stmts[0].(*OutputStmt)
+	if !o2.OrderBy[0].Desc || o2.OrderBy[1].Desc || o2.OrderBy[2].Desc {
+		t.Errorf("directions = %+v", o2.OrderBy)
+	}
+	if _, err := Parse(`OUTPUT R TO "o" ORDER A;`); err == nil {
+		t.Error("ORDER without BY should fail")
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	s, err := Parse(`U = UNION ALL A, B, C; OUTPUT U TO "o";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := s.Stmts[0].(*AssignStmt).Query.(*UnionQuery)
+	if len(u.Sources) != 3 || u.Sources[2] != "C" {
+		t.Errorf("sources = %v", u.Sources)
+	}
+	if _, err := Parse(`U = UNION A, B;`); err == nil {
+		t.Error("bare UNION should require ALL")
+	}
+	if _, err := Parse(`U = UNION ALL A;`); err == nil {
+		t.Error("single-source union should fail")
+	}
+}

@@ -1,0 +1,115 @@
+// Package sqlparse implements the front end for the SCOPE script
+// subset used throughout the paper: EXTRACT ... FROM ... USING,
+// SELECT ... FROM ... [WHERE ...] [GROUP BY ...] over named
+// intermediates, and OUTPUT ... TO. Scripts are sequences of
+// assignments plus outputs, exactly as in Fig. 6 of the paper.
+package sqlparse
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokComma
+	TokSemi
+	TokDot
+	TokLParen
+	TokRParen
+	TokEq // =
+	TokNe // != or <>
+	TokLt // <
+	TokLe // <=
+	TokGt // >
+	TokGe // >=
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokColon
+	// Keywords (case-insensitive in source).
+	TokExtract
+	TokFrom
+	TokUsing
+	TokSelect
+	TokAs
+	TokWhere
+	TokGroup
+	TokBy
+	TokOutput
+	TokTo
+	TokAnd
+	TokOr
+	TokHaving
+	TokDistinct
+	TokOrder
+	TokUnion
+	TokAll
+	TokAsc
+	TokDesc
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "end of script", TokIdent: "identifier", TokNumber: "number",
+	TokString: "string", TokComma: ",", TokSemi: ";", TokDot: ".",
+	TokLParen: "(", TokRParen: ")", TokEq: "=", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokColon: ":",
+	TokExtract: "EXTRACT", TokFrom: "FROM", TokUsing: "USING",
+	TokSelect: "SELECT", TokAs: "AS", TokWhere: "WHERE",
+	TokGroup: "GROUP", TokBy: "BY", TokOutput: "OUTPUT", TokTo: "TO",
+	TokAnd: "AND", TokOr: "OR", TokHaving: "HAVING",
+	TokDistinct: "DISTINCT", TokOrder: "ORDER",
+	TokUnion: "UNION", TokAll: "ALL",
+	TokAsc: "ASC", TokDesc: "DESC",
+}
+
+// String renders the kind for error messages.
+func (k TokKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// Pos renders the token's position as "line:col".
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+// keywords maps upper-cased identifier text to keyword kinds.
+var keywords = map[string]TokKind{
+	"EXTRACT": TokExtract, "FROM": TokFrom, "USING": TokUsing,
+	"SELECT": TokSelect, "AS": TokAs, "WHERE": TokWhere,
+	"GROUP": TokGroup, "BY": TokBy, "OUTPUT": TokOutput, "TO": TokTo,
+	"AND": TokAnd, "OR": TokOr, "HAVING": TokHaving,
+	"DISTINCT": TokDistinct, "ORDER": TokOrder,
+	"UNION": TokUnion, "ALL": TokAll,
+	"ASC": TokAsc, "DESC": TokDesc,
+}
+
+// Error is a parse or lex error carrying a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,174 @@
+package stats
+
+import "math"
+
+// EstimateGroupBy derives the statistics of a grouping of in on the
+// given key columns with nAggs aggregate output columns. The output
+// cardinality is the product of the key distinct counts, damped and
+// capped at the input cardinality (the classic attribute-value-
+// independence estimate with a correlation discount: each additional
+// key contributes the square root of its distinct count, as in
+// SQL Server and SCOPE).
+func EstimateGroupBy(in Relation, keys []string, nAggs int) Relation {
+	rows := float64(1)
+	for i, k := range keys {
+		d := float64(in.DistinctOf(k))
+		if i == 0 {
+			rows *= d
+		} else {
+			rows *= math.Sqrt(d)
+		}
+	}
+	out := Relation{
+		Rows:     clampRows(rows, in.Rows),
+		Distinct: make(map[string]int64, len(keys)),
+	}
+	for _, k := range keys {
+		out.Distinct[k] = min64(in.DistinctOf(k), out.Rows)
+	}
+	// Aggregate outputs are assumed near-unique per group.
+	out.RowBytes = int64(len(keys)+nAggs) * defaultColBytes
+	if out.RowBytes == 0 {
+		out.RowBytes = defaultColBytes
+	}
+	return out
+}
+
+// EstimateFilter derives the statistics of a selection with the given
+// selectivity in (0,1].
+func EstimateFilter(in Relation, selectivity float64) Relation {
+	if selectivity <= 0 {
+		selectivity = 0.001
+	}
+	if selectivity > 1 {
+		selectivity = 1
+	}
+	out := in.Clone()
+	out.Rows = clampRows(float64(in.Rows)*selectivity, in.Rows)
+	for c, d := range out.Distinct {
+		out.Distinct[c] = min64(d, out.Rows)
+	}
+	return out
+}
+
+// EqualitySelectivity returns the selectivity of "col = constant"
+// under a uniform assumption.
+func EqualitySelectivity(in Relation, col string) float64 {
+	d := in.DistinctOf(col)
+	if d <= 0 {
+		return 1
+	}
+	return 1 / float64(d)
+}
+
+// DefaultPredicateSelectivity is used for predicates the estimator
+// does not model (inequalities, UDF predicates).
+const DefaultPredicateSelectivity = 0.25
+
+// EstimateJoin derives the statistics of an equi-join of l and r on
+// the paired key columns lKeys[i] = rKeys[i], using the standard
+// containment estimate |L|·|R| / max(d_L, d_R) per key pair.
+func EstimateJoin(l, r Relation, lKeys, rKeys []string) Relation {
+	rows := float64(l.Rows) * float64(r.Rows)
+	for i := range lKeys {
+		dl := float64(l.DistinctOf(lKeys[i]))
+		dr := float64(r.DistinctOf(rKeys[i]))
+		dmax := math.Max(dl, dr)
+		if dmax > 0 {
+			rows /= dmax
+		}
+	}
+	// Cross-product cap, computed in float to avoid int64 overflow on
+	// chained joins.
+	capF := float64(l.Rows) * float64(r.Rows)
+	cap64 := int64(maxEstimatedRows)
+	if capF < maxEstimatedRows {
+		cap64 = l.Rows * r.Rows
+	}
+	out := Relation{
+		Rows:     clampRows(rows, cap64),
+		RowBytes: l.RowBytes + r.RowBytes,
+		Distinct: make(map[string]int64, len(l.Distinct)+len(r.Distinct)),
+	}
+	for c, d := range l.Distinct {
+		out.Distinct[c] = min64(d, out.Rows)
+	}
+	for c, d := range r.Distinct {
+		if _, dup := out.Distinct[c]; !dup {
+			out.Distinct[c] = min64(d, out.Rows)
+		}
+	}
+	return out
+}
+
+// EstimateProject derives the statistics of a projection keeping the
+// named columns (computed columns should be appended by the caller
+// with width defaults).
+func EstimateProject(in Relation, kept []string, nComputed int) Relation {
+	out := Relation{
+		Rows:     in.Rows,
+		RowBytes: int64(len(kept)+nComputed) * defaultColBytes,
+		Distinct: make(map[string]int64, len(kept)),
+	}
+	for _, c := range kept {
+		out.Distinct[c] = in.DistinctOf(c)
+	}
+	if out.RowBytes == 0 {
+		out.RowBytes = defaultColBytes
+	}
+	return out
+}
+
+// EstimateUnion derives the statistics of a UNION ALL: cardinalities
+// add, distinct counts add (capped by the total).
+func EstimateUnion(ins []Relation) Relation {
+	out := Relation{Distinct: map[string]int64{}}
+	for _, in := range ins {
+		out.Rows += in.Rows
+		if in.RowBytes > out.RowBytes {
+			out.RowBytes = in.RowBytes
+		}
+		for c, d := range in.Distinct {
+			out.Distinct[c] += d
+		}
+	}
+	if out.RowBytes == 0 {
+		out.RowBytes = defaultColBytes
+	}
+	for c, d := range out.Distinct {
+		out.Distinct[c] = min64(d, out.Rows)
+	}
+	return out
+}
+
+// BaseRelation derives the statistics of scanning the given columns
+// of a stored file.
+func BaseRelation(t *TableStats, cols []string) Relation {
+	out := Relation{
+		Rows:     t.Rows,
+		RowBytes: t.RowBytes(cols),
+		Distinct: make(map[string]int64, len(cols)),
+	}
+	for _, c := range cols {
+		out.Distinct[c] = t.DistinctOf(c)
+	}
+	return out
+}
+
+// maxEstimatedRows saturates cardinality estimates: deep join chains
+// would otherwise overflow int64 arithmetic and poison costs.
+const maxEstimatedRows = 1e15
+
+func clampRows(rows float64, upper int64) int64 {
+	if math.IsNaN(rows) || rows < 1 {
+		return 1
+	}
+	if rows > maxEstimatedRows {
+		rows = maxEstimatedRows
+	}
+	r := int64(rows)
+	if upper > 0 && r > upper {
+		return upper
+	}
+	return r
+}

@@ -1,0 +1,168 @@
+// Package stats provides the statistics catalog and cardinality
+// estimation used by the optimizer's cost model. It plays the role of
+// SCOPE's statistics subsystem: per-file row counts and per-column
+// distinct counts, plus the standard textbook derivations for
+// filters, group-bys, and equi-joins.
+//
+// Estimates here feed estimated plan costs only; the paper's entire
+// evaluation (Fig. 7) compares optimizer cost estimates, so this
+// package is part of the reproduced measurement pipeline, not an
+// afterthought.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColumnStats summarizes one column of a stored file or derived
+// relation.
+type ColumnStats struct {
+	// Distinct is the estimated number of distinct values.
+	Distinct int64
+	// AvgBytes is the average encoded width of a value.
+	AvgBytes int
+}
+
+// TableStats summarizes a stored file.
+type TableStats struct {
+	// Rows is the estimated row count.
+	Rows int64
+	// Columns maps column name to its statistics.
+	Columns map[string]ColumnStats
+}
+
+// RowBytes returns the average row width implied by the column
+// widths, defaulting each unknown column to defaultColBytes.
+func (t *TableStats) RowBytes(cols []string) int64 {
+	var w int64
+	for _, c := range cols {
+		if cs, ok := t.Columns[c]; ok && cs.AvgBytes > 0 {
+			w += int64(cs.AvgBytes)
+		} else {
+			w += defaultColBytes
+		}
+	}
+	if w == 0 {
+		w = defaultColBytes
+	}
+	return w
+}
+
+// DistinctOf returns the distinct count of col, defaulting to a fixed
+// fraction of the row count when unknown.
+func (t *TableStats) DistinctOf(col string) int64 {
+	if cs, ok := t.Columns[col]; ok && cs.Distinct > 0 {
+		return min64(cs.Distinct, t.Rows)
+	}
+	return defaultDistinct(t.Rows)
+}
+
+const (
+	defaultColBytes = 8
+	// defaultRows is assumed for files absent from the catalog.
+	defaultRows = 1_000_000
+)
+
+func defaultDistinct(rows int64) int64 {
+	d := rows / 10
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Catalog maps file paths to table statistics. The zero value is not
+// usable; construct with NewCatalog. Catalog is not safe for
+// concurrent mutation; optimizers read it concurrently after setup.
+type Catalog struct {
+	tables map[string]*TableStats
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*TableStats)}
+}
+
+// Put registers statistics for a file path, replacing any previous
+// entry.
+func (c *Catalog) Put(path string, ts *TableStats) {
+	c.tables[path] = ts
+}
+
+// Table returns statistics for path. Unknown files get conservative
+// defaults so the optimizer never fails for lack of stats (mirroring
+// SCOPE, which must optimize scripts over freshly produced files).
+func (c *Catalog) Table(path string) *TableStats {
+	if ts, ok := c.tables[path]; ok {
+		return ts
+	}
+	return &TableStats{Rows: defaultRows, Columns: map[string]ColumnStats{}}
+}
+
+// Has reports whether the catalog holds real statistics for path.
+func (c *Catalog) Has(path string) bool {
+	_, ok := c.tables[path]
+	return ok
+}
+
+// Paths returns the registered file paths in sorted order.
+func (c *Catalog) Paths() []string {
+	out := make([]string, 0, len(c.tables))
+	for p := range c.tables {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the catalog for debugging.
+func (c *Catalog) String() string {
+	s := ""
+	for _, p := range c.Paths() {
+		t := c.tables[p]
+		s += fmt.Sprintf("%s: rows=%d cols=%d\n", p, t.Rows, len(t.Columns))
+	}
+	return s
+}
+
+// Relation carries the derived statistics of an intermediate result:
+// the memo attaches one to every group as part of its logical
+// properties.
+type Relation struct {
+	// Rows is the estimated cardinality.
+	Rows int64
+	// RowBytes is the average row width in bytes.
+	RowBytes int64
+	// Distinct maps column name to estimated distinct count.
+	Distinct map[string]int64
+}
+
+// Bytes returns the estimated total size of the relation.
+func (r Relation) Bytes() int64 { return r.Rows * r.RowBytes }
+
+// DistinctOf returns the distinct count for col with a default
+// fallback.
+func (r Relation) DistinctOf(col string) int64 {
+	if d, ok := r.Distinct[col]; ok && d > 0 {
+		return min64(d, r.Rows)
+	}
+	return defaultDistinct(r.Rows)
+}
+
+// Clone returns a deep copy whose Distinct map may be mutated freely.
+func (r Relation) Clone() Relation {
+	d := make(map[string]int64, len(r.Distinct))
+	for k, v := range r.Distinct {
+		d[k] = v
+	}
+	r.Distinct = d
+	return r
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testTable() *TableStats {
+	return &TableStats{
+		Rows: 10_000_000,
+		Columns: map[string]ColumnStats{
+			"A": {Distinct: 1000, AvgBytes: 8},
+			"B": {Distinct: 100, AvgBytes: 8},
+			"C": {Distinct: 5000, AvgBytes: 8},
+			"D": {Distinct: 9_000_000, AvgBytes: 8},
+		},
+	}
+}
+
+func TestCatalogDefaults(t *testing.T) {
+	c := NewCatalog()
+	ts := c.Table("unknown.log")
+	if ts.Rows != defaultRows {
+		t.Errorf("default rows = %d", ts.Rows)
+	}
+	if c.Has("unknown.log") {
+		t.Error("Has should be false for defaults")
+	}
+	c.Put("a.log", testTable())
+	if !c.Has("a.log") {
+		t.Error("Has should be true after Put")
+	}
+	if got := c.Table("a.log").Rows; got != 10_000_000 {
+		t.Errorf("rows = %d", got)
+	}
+	if got := c.Paths(); len(got) != 1 || got[0] != "a.log" {
+		t.Errorf("Paths = %v", got)
+	}
+	if c.String() == "" {
+		t.Error("String should summarize entries")
+	}
+}
+
+func TestTableStatsDerived(t *testing.T) {
+	ts := testTable()
+	if got := ts.RowBytes([]string{"A", "B", "C", "D"}); got != 32 {
+		t.Errorf("RowBytes = %d", got)
+	}
+	if got := ts.RowBytes([]string{"A", "X"}); got != 16 {
+		t.Errorf("RowBytes with unknown col = %d", got)
+	}
+	if got := ts.DistinctOf("B"); got != 100 {
+		t.Errorf("DistinctOf(B) = %d", got)
+	}
+	if got := ts.DistinctOf("X"); got != ts.Rows/10 {
+		t.Errorf("DistinctOf(X) default = %d", got)
+	}
+}
+
+func TestBaseRelation(t *testing.T) {
+	r := BaseRelation(testTable(), []string{"A", "B", "C", "D"})
+	if r.Rows != 10_000_000 || r.RowBytes != 32 {
+		t.Fatalf("base relation %+v", r)
+	}
+	if r.Bytes() != 320_000_000 {
+		t.Errorf("Bytes = %d", r.Bytes())
+	}
+}
+
+func TestEstimateGroupBy(t *testing.T) {
+	in := BaseRelation(testTable(), []string{"A", "B", "C", "D"})
+	g := EstimateGroupBy(in, []string{"A", "B", "C"}, 1)
+	if g.Rows <= 0 || g.Rows > in.Rows {
+		t.Fatalf("group rows = %d out of range", g.Rows)
+	}
+	// Grouping on fewer keys must not increase cardinality beyond
+	// the full-key grouping.
+	g2 := EstimateGroupBy(in, []string{"B"}, 1)
+	if g2.Rows > g.Rows {
+		t.Errorf("coarser grouping larger: %d > %d", g2.Rows, g.Rows)
+	}
+	if g2.Rows != 100 {
+		t.Errorf("group by B rows = %d, want 100 (distinct of B)", g2.Rows)
+	}
+	if g.RowBytes != 4*8 {
+		t.Errorf("group row bytes = %d", g.RowBytes)
+	}
+	if d := g.DistinctOf("B"); d != 100 {
+		t.Errorf("distinct B after grouping = %d", d)
+	}
+}
+
+func TestEstimateFilter(t *testing.T) {
+	in := BaseRelation(testTable(), []string{"A", "B"})
+	f := EstimateFilter(in, 0.5)
+	if f.Rows != in.Rows/2 {
+		t.Errorf("filter rows = %d", f.Rows)
+	}
+	if f.Rows < f.DistinctOf("A") {
+		t.Errorf("distinct should be capped at rows")
+	}
+	if EstimateFilter(in, 0).Rows <= 0 {
+		t.Error("zero selectivity should clamp to positive")
+	}
+	if EstimateFilter(in, 5).Rows != in.Rows {
+		t.Error("selectivity > 1 should clamp to 1")
+	}
+	if got := EqualitySelectivity(in, "B"); got != 0.01 {
+		t.Errorf("equality selectivity = %v", got)
+	}
+}
+
+func TestEstimateJoin(t *testing.T) {
+	l := Relation{Rows: 1000, RowBytes: 16, Distinct: map[string]int64{"B": 100}}
+	r := Relation{Rows: 500, RowBytes: 16, Distinct: map[string]int64{"B": 50}}
+	j := EstimateJoin(l, r, []string{"B"}, []string{"B"})
+	// 1000*500/max(100,50) = 5000.
+	if j.Rows != 5000 {
+		t.Errorf("join rows = %d, want 5000", j.Rows)
+	}
+	if j.RowBytes != 32 {
+		t.Errorf("join row bytes = %d", j.RowBytes)
+	}
+	cross := EstimateJoin(l, r, nil, nil)
+	if cross.Rows != 500_000 {
+		t.Errorf("cross join rows = %d", cross.Rows)
+	}
+}
+
+func TestEstimateProject(t *testing.T) {
+	in := BaseRelation(testTable(), []string{"A", "B", "C", "D"})
+	p := EstimateProject(in, []string{"A", "B"}, 1)
+	if p.Rows != in.Rows {
+		t.Errorf("projection changed rows")
+	}
+	if p.RowBytes != 24 {
+		t.Errorf("projection row bytes = %d", p.RowBytes)
+	}
+	if p.DistinctOf("A") != 1000 {
+		t.Errorf("projection lost distinct counts")
+	}
+}
+
+func TestRelationClone(t *testing.T) {
+	r := Relation{Rows: 10, RowBytes: 8, Distinct: map[string]int64{"A": 5}}
+	c := r.Clone()
+	c.Distinct["A"] = 1
+	if r.Distinct["A"] != 5 {
+		t.Error("Clone shares the Distinct map")
+	}
+}
+
+// Property: estimators never produce non-positive or input-exceeding
+// cardinalities for group-by and filter.
+func TestEstimatorBounds(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			rel := Relation{
+				Rows:     1 + r.Int63n(1_000_000),
+				RowBytes: 8,
+				Distinct: map[string]int64{
+					"A": 1 + r.Int63n(100_000),
+					"B": 1 + r.Int63n(100_000),
+				},
+			}
+			vals[0] = reflect.ValueOf(rel)
+			vals[1] = reflect.ValueOf(r.Float64())
+		},
+	}
+	if err := quick.Check(func(rel Relation, sel float64) bool {
+		g := EstimateGroupBy(rel, []string{"A", "B"}, 1)
+		if g.Rows < 1 || g.Rows > rel.Rows {
+			return false
+		}
+		f := EstimateFilter(rel, sel)
+		return f.Rows >= 1 && f.Rows <= rel.Rows
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package scope_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/scope"
+)
+
+// Example reproduces the paper's motivating script end to end: the
+// optimizer shares the GROUP BY A,B,C intermediate, reconciles the
+// consumers' conflicting partitioning requirements on {B}, and the
+// plan executes on the simulated cluster.
+func Example() {
+	db := scope.New()
+	db.RegisterStats("test.log", 2_000_000_000,
+		scope.ColumnStats{Name: "A", Distinct: 20_000},
+		scope.ColumnStats{Name: "B", Distinct: 5_000},
+		scope.ColumnStats{Name: "C", Distinct: 50_000},
+		scope.ColumnStats{Name: "D", Distinct: 1 << 40},
+	)
+	if err := db.LoadTable("test.log", []string{"A", "B", "C", "D"}, [][]any{
+		{1, 1, 1, 10}, {1, 1, 1, 5}, {1, 2, 2, 7}, {2, 2, 2, 4},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := db.Compile(`
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) as S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) as S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) as S2 FROM R GROUP BY B,C;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conventional, err := q.Optimize(scope.WithCSE(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, err := q.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared groups: %d\n", shared.Stats().SharedGroups)
+	fmt.Printf("cheaper: %v\n", shared.EstimatedCost() < conventional.EstimatedCost())
+
+	results, stats, err := shared.Execute(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outputs: %d, shared spools executed: %d\n", len(results), stats.SpoolsShared)
+	// Output:
+	// shared groups: 1
+	// cheaper: true
+	// outputs: 2, shared spools executed: 1
+}

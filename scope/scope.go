@@ -1,0 +1,396 @@
+// Package scope is the public API of the library: a SCOPE-style cloud
+// query processor whose optimizer exploits common subexpressions in a
+// cost-based way, reproducing "Exploiting Common Subexpressions for
+// Cloud Query Processing" (ICDE 2012).
+//
+// Basic use:
+//
+//	db := scope.New()
+//	db.RegisterStats("test.log", 2_000_000_000,
+//	    scope.ColumnStats{Name: "A", Distinct: 20_000}, ...)
+//	q, err := db.Compile(script)
+//	p, err := q.Optimize()                  // CSE framework on
+//	base, err := q.Optimize(scope.WithCSE(false)) // conventional baseline
+//	fmt.Println(p.Explain(), p.EstimatedCost())
+//
+// To actually run a plan, load physical data with LoadTable and call
+// Plan.Execute: the plan runs on a deterministic simulated
+// shared-nothing cluster and returns every OUTPUT file's rows.
+package scope
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/relop"
+	"repro/internal/rules"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+// DB holds a statistics catalog and (optionally) physical tables for
+// execution.
+type DB struct {
+	cat      *stats.Catalog
+	fs       *exec.FileStore
+	machines int
+}
+
+// New returns an empty DB. The simulated cluster defaults to 100
+// machines for costing and 8 for execution granularity.
+func New() *DB {
+	return &DB{cat: stats.NewCatalog(), fs: exec.NewFileStore(), machines: 100}
+}
+
+// ColumnStats declares optimizer statistics for one column.
+type ColumnStats struct {
+	Name string
+	// Distinct is the estimated number of distinct values.
+	Distinct int64
+}
+
+// RegisterStats declares a file's statistics so the optimizer can
+// cost plans over it. Execution additionally needs LoadTable.
+func (db *DB) RegisterStats(path string, rows int64, cols ...ColumnStats) {
+	ts := &stats.TableStats{Rows: rows, Columns: map[string]stats.ColumnStats{}}
+	for _, c := range cols {
+		ts.Columns[c.Name] = stats.ColumnStats{Distinct: c.Distinct, AvgBytes: 8}
+	}
+	db.cat.Put(path, ts)
+}
+
+// LoadTable stores physical rows for a file so plans reading it can
+// execute. Supported cell types: int, int64, float64, string.
+func (db *DB) LoadTable(path string, columns []string, rows [][]any) error {
+	schema := make(relop.Schema, len(columns))
+	for i, c := range columns {
+		schema[i] = relop.Column{Name: c, Type: relop.TInt}
+	}
+	t := &exec.Table{Schema: schema}
+	for ri, r := range rows {
+		if len(r) != len(columns) {
+			return fmt.Errorf("scope: row %d has %d cells, want %d", ri, len(r), len(columns))
+		}
+		row := make(relop.Row, len(r))
+		for ci, cell := range r {
+			v, err := toValue(cell)
+			if err != nil {
+				return fmt.Errorf("scope: row %d column %q: %w", ri, columns[ci], err)
+			}
+			row[ci] = v
+			if ri == 0 {
+				schema[ci].Type = v.Kind
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	db.fs.Put(path, t)
+	return nil
+}
+
+func toValue(cell any) (relop.Value, error) {
+	switch v := cell.(type) {
+	case int:
+		return relop.IntVal(int64(v)), nil
+	case int64:
+		return relop.IntVal(v), nil
+	case float64:
+		return relop.FloatVal(v), nil
+	case string:
+		return relop.StringVal(v), nil
+	default:
+		return relop.Value{}, fmt.Errorf("unsupported value type %T", cell)
+	}
+}
+
+// FormatScript canonically formats a SCOPE script (one statement per
+// line, canonical keyword casing, fully parenthesized expressions).
+// It returns an error when the script does not parse.
+func FormatScript(src string) (string, error) {
+	s, err := sqlparse.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return sqlparse.Format(s), nil
+}
+
+// Query is a compiled script.
+type Query struct {
+	db  *DB
+	src string
+}
+
+// Compile parses and binds a SCOPE script against the DB's catalog.
+func (db *DB) Compile(src string) (*Query, error) {
+	// Bind once now to surface errors early; optimization rebuilds a
+	// fresh memo per call because the optimizer mutates it.
+	if _, err := logical.BuildSource(src, db.cat); err != nil {
+		return nil, err
+	}
+	return &Query{db: db, src: src}, nil
+}
+
+// optConfig collects Optimize options.
+type optConfig struct {
+	opts opt.Options
+}
+
+// Option configures one Optimize call.
+type Option func(*optConfig)
+
+// WithCSE toggles the common-subexpression framework (default on).
+// Off yields the conventional-optimizer baseline.
+func WithCSE(on bool) Option {
+	return func(c *optConfig) { c.opts.EnableCSE = on }
+}
+
+// WithMachines sets the costed cluster size.
+func WithMachines(n int) Option {
+	return func(c *optConfig) {
+		c.opts.Cluster.Machines = n
+		c.opts.Rules.Machines = n
+	}
+}
+
+// WithBudget bounds optimization time; phase 2 stops at the next
+// round boundary once exceeded, keeping the best plan found.
+func WithBudget(d time.Duration) Option {
+	return func(c *optConfig) { c.opts.Timeout = d }
+}
+
+// WithMaxRounds caps phase-2 re-optimization rounds per LCA.
+func WithMaxRounds(n int) Option {
+	return func(c *optConfig) { c.opts.MaxRoundsPerLCA = n }
+}
+
+// WithSCOPEProfile restricts plans to sort-merge pipelines, matching
+// the execution stack of the paper's prototype (Fig. 8 plan shapes).
+func WithSCOPEProfile() Option {
+	return func(c *optConfig) { c.opts.Rules = rules.SCOPEProfile() }
+}
+
+// WithoutIndependence disables the Sec. VIII-A independent-shared-
+// groups optimization (ablation).
+func WithoutIndependence() Option {
+	return func(c *optConfig) { c.opts.DisableIndependence = true }
+}
+
+// WithoutRanking disables the Sec. VIII-B/C ranking extensions
+// (ablation).
+func WithoutRanking() Option {
+	return func(c *optConfig) { c.opts.DisableRanking = true }
+}
+
+// WithProjectMerge enables the optional transformation composing
+// adjacent projections into a single Compute stage.
+func WithProjectMerge() Option {
+	return func(c *optConfig) { c.opts.Rules.EnableProjectMerge = true }
+}
+
+// WithFilterPushdown enables the optional transformation moving
+// filters below adjacent projections.
+func WithFilterPushdown() Option {
+	return func(c *optConfig) { c.opts.Rules.EnableFilterPushdown = true }
+}
+
+// WithLocalSharingOnly reproduces the pre-paper similar-subexpression
+// techniques: shared subexpressions are planned under their locally
+// optimal physical properties and every consumer compensates on top.
+// Useful as a baseline to isolate the value of cost-based property
+// reconciliation.
+func WithLocalSharingOnly() Option {
+	return func(c *optConfig) { c.opts.LocalSharingOnly = true }
+}
+
+// Stats summarizes the optimizer's search effort.
+type Stats struct {
+	// SharedGroups is the number of common subexpressions identified.
+	SharedGroups int
+	// Rounds is the number of phase-2 re-optimization rounds run.
+	Rounds int
+	// NaiveRounds is what a full cartesian product would have run.
+	NaiveRounds int
+	// BudgetExhausted reports that the optimization budget stopped
+	// phase 2 early.
+	BudgetExhausted bool
+}
+
+// Plan is an optimized physical plan.
+type Plan struct {
+	db  *DB
+	res *opt.Result
+}
+
+// Optimize optimizes the query and returns the best plan. Each call
+// performs a fresh optimization.
+func (q *Query) Optimize(options ...Option) (*Plan, error) {
+	cfg := optConfig{opts: opt.DefaultOptions()}
+	cfg.opts.Cluster.Machines = q.db.machines
+	for _, o := range options {
+		o(&cfg)
+	}
+	m, err := logical.BuildSource(q.src, q.db.cat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := opt.Optimize(m, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{db: q.db, res: res}, nil
+}
+
+// EstimatedCost returns the plan's DAG-aware estimated cost.
+func (p *Plan) EstimatedCost() float64 { return p.res.Cost }
+
+// Phase1Cost returns the cost of the plan phase 1 alone would have
+// chosen (equal to EstimatedCost when CSE is off or nothing shared).
+func (p *Plan) Phase1Cost() float64 { return p.res.Phase1Cost }
+
+// Explain renders the plan as an indented operator tree with
+// delivered physical properties, estimated rows, and per-operator
+// costs; shared spools print once.
+func (p *Plan) Explain() string { return plan.Format(p.res.Plan) }
+
+// DOT renders the plan DAG in Graphviz dot syntax.
+func (p *Plan) DOT(title string) string { return plan.DOT(p.res.Plan, title) }
+
+// Stats reports optimizer search effort.
+func (p *Plan) Stats() Stats {
+	s := p.res.Stats
+	return Stats{
+		SharedGroups:    s.SharedGroups,
+		Rounds:          s.Rounds,
+		NaiveRounds:     s.NaiveCombinations,
+		BudgetExhausted: s.BudgetExhausted,
+	}
+}
+
+// OptimizeTime returns the wall-clock optimization duration.
+func (p *Plan) OptimizeTime() time.Duration { return p.res.Duration }
+
+// Round describes one phase-2 re-optimization round: the property
+// combination enforced at the shared groups and the resulting plan
+// cost.
+type Round struct {
+	Pins string
+	Cost float64
+	Best bool
+}
+
+// Rounds traces the phase-2 rounds in evaluation order — how the
+// optimizer searched the enforceable property combinations.
+func (p *Plan) Rounds() []Round {
+	out := make([]Round, len(p.res.Rounds))
+	for i, r := range p.res.Rounds {
+		out[i] = Round{Pins: r.Pins, Cost: r.Cost, Best: r.Best}
+	}
+	return out
+}
+
+// Validate statically checks the plan's physical soundness (property
+// consistency, colocation, clustering, join co-partitioning). The
+// optimizer only emits valid plans; Validate exists for auditing and
+// for plans loaded or transformed externally.
+func (p *Plan) Validate() error { return opt.ValidatePlan(p.res.Plan) }
+
+// JSON encodes the physical plan (DAG structure preserved) for
+// external tooling or caching; LoadPlan restores it.
+func (p *Plan) JSON() ([]byte, error) { return plan.MarshalPlan(p.res.Plan) }
+
+// LoadPlan decodes a plan produced by Plan.JSON. The loaded plan can
+// be explained, validated, and executed against this DB's tables;
+// optimizer statistics (rounds, phase-1 cost) are not part of the
+// encoding.
+func (db *DB) LoadPlan(data []byte) (*Plan, error) {
+	root, err := plan.UnmarshalPlan(data)
+	if err != nil {
+		return nil, err
+	}
+	model := cost.NewModel(cost.DefaultCluster())
+	c := plan.DAGCost(root, model)
+	return &Plan{db: db, res: &opt.Result{Plan: root, Cost: c, Phase1Plan: root, Phase1Cost: c}}, nil
+}
+
+// ExplainAnalyze executes the plan on the simulated cluster and
+// renders the operator tree annotated with estimated versus actual
+// row counts — the estimator's report card on this query.
+func (p *Plan) ExplainAnalyze(machines int) (string, error) {
+	if machines <= 0 {
+		machines = 8
+	}
+	cl := exec.NewCluster(machines, p.db.fs)
+	_, actuals, err := cl.RunAnalyzed(p.res.Plan)
+	if err != nil {
+		return "", err
+	}
+	return exec.FormatAnalyzed(p.res.Plan, actuals), nil
+}
+
+// Result is one OUTPUT file produced by Execute.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// ExecStats meters one execution on the simulated cluster.
+type ExecStats struct {
+	DiskBytesRead    int64
+	DiskBytesWritten int64
+	NetBytes         int64
+	RowsProcessed    int64
+	Exchanges        int
+	SpoolsShared     int
+	// SimulatedSeconds is a coarse lower-bound running time on the
+	// costed cluster.
+	SimulatedSeconds float64
+}
+
+// Execute runs the plan on the simulated cluster over the tables
+// loaded with LoadTable, returning every OUTPUT file keyed by path.
+// Execution validates the physical properties the plan relies on
+// (colocation and clustering) and fails loudly on violations.
+func (p *Plan) Execute(machines int) (map[string]*Result, ExecStats, error) {
+	if machines <= 0 {
+		machines = 8
+	}
+	cl := exec.NewCluster(machines, p.db.fs)
+	outs, err := cl.Run(p.res.Plan)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	results := make(map[string]*Result, len(outs))
+	for path, t := range outs {
+		r := &Result{Columns: t.Schema.Names()}
+		for _, row := range t.Rows {
+			cells := make([]any, len(row))
+			for i, v := range row {
+				switch v.Kind {
+				case relop.TInt:
+					cells[i] = v.I
+				case relop.TFloat:
+					cells[i] = v.F
+				default:
+					cells[i] = v.S
+				}
+			}
+			r.Rows = append(r.Rows, cells)
+		}
+		results[path] = r
+	}
+	m := cl.Metrics()
+	return results, ExecStats{
+		DiskBytesRead:    m.DiskBytesRead,
+		DiskBytesWritten: m.DiskBytesWritten,
+		NetBytes:         m.NetBytes,
+		RowsProcessed:    m.RowsProcessed,
+		Exchanges:        m.Exchanges,
+		SpoolsShared:     m.SpoolMaterializations,
+		SimulatedSeconds: m.SimulatedSeconds(cost.DefaultCluster()),
+	}, nil
+}
