@@ -1,0 +1,39 @@
+#!/bin/sh
+# check.sh — the repository's tier-1 gate. Every change must pass this
+# before merging; CI and the bench/fuzz harnesses assume it is green.
+#
+#   ./check.sh          # full gate
+#
+# Steps: formatting, static analysis (go vet + the repo's own plan/
+# script analyzers via the test suite), build, tests, and the race
+# detector on the packages with concurrency (optimizer rounds, core
+# propagation, cluster simulator).
+set -e
+
+cd "$(dirname "$0")"
+
+fail() {
+	echo "check.sh: $1" >&2
+	exit 1
+}
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "$unformatted"
+	fail "gofmt: files above need formatting"
+fi
+
+echo "== go vet =="
+go vet ./... || fail "go vet failed"
+
+echo "== go build =="
+go build ./... || fail "build failed"
+
+echo "== go test =="
+go test ./... || fail "tests failed"
+
+echo "== go test -race (opt, core, exec) =="
+go test -race ./internal/opt/ ./internal/core/ ./internal/exec/ || fail "race tests failed"
+
+echo "check.sh: all green"

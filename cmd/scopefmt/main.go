@@ -2,7 +2,7 @@
 // per line, canonical keyword casing, fully parenthesized
 // expressions. Reads the named files (or stdin with no arguments) and
 // prints the formatted script to stdout; -l lists files whose
-// formatting differs instead.
+// formatting differs instead and exits with status 1 when any do.
 package main
 
 import (
@@ -15,37 +15,56 @@ import (
 )
 
 func main() {
-	list := flag.Bool("l", false, "list files whose formatting differs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() == 0 {
-		src, err := io.ReadAll(os.Stdin)
-		exitOn(err)
-		out, err := format(string(src))
-		exitOn(err)
-		fmt.Print(out)
-		return
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scopefmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("l", false, "list files whose formatting differs")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	differs := false
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		exitOn(err)
+
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "scopefmt:", err)
+			return 2
+		}
 		out, err := format(string(src))
 		if err != nil {
-			exitOn(fmt.Errorf("%s: %w", path, err))
+			fmt.Fprintln(stderr, "scopefmt:", err)
+			return 2
+		}
+		fmt.Fprint(stdout, out)
+		return 0
+	}
+	differs := false
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "scopefmt:", err)
+			return 2
+		}
+		out, err := format(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "scopefmt: %s: %v\n", path, err)
+			return 2
 		}
 		if *list {
 			if out != string(src) {
-				fmt.Println(path)
+				fmt.Fprintln(stdout, path)
 				differs = true
 			}
 			continue
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	}
 	if differs {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func format(src string) (string, error) {
@@ -54,11 +73,4 @@ func format(src string) (string, error) {
 		return "", err
 	}
 	return sqlparse.Format(s), nil
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "scopefmt:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const messyScript = `R0 = extract A,B from "t.log" using LogExtractor;
+  output R0 to "o1";`
+
+func TestStdinFormats(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(nil, strings.NewReader(messyScript), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "EXTRACT") || !strings.Contains(out.String(), "OUTPUT") {
+		t.Errorf("keywords not canonicalized: %q", out.String())
+	}
+}
+
+// TestListExitCode pins the -l contract: list exactly the files whose
+// formatting differs and exit 1 when any do, 0 when none do.
+func TestListExitCode(t *testing.T) {
+	dir := t.TempDir()
+	messy := filepath.Join(dir, "messy.scope")
+	if err := os.WriteFile(messy, []byte(messyScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var canon bytes.Buffer
+	if code := run([]string{messy}, nil, &canon, os.Stderr); code != 0 {
+		t.Fatalf("formatting pass failed with exit %d", code)
+	}
+	clean := filepath.Join(dir, "clean.scope")
+	if err := os.WriteFile(clean, []byte(canon.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-l", clean, messy}, nil, &out, &errb); code != 1 {
+		t.Fatalf("-l with a differing file: exit = %d, want 1", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != messy {
+		t.Errorf("-l listed %q, want only %q", got, messy)
+	}
+
+	out.Reset()
+	if code := run([]string{"-l", clean}, nil, &out, &errb); code != 0 {
+		t.Fatalf("-l with only canonical files: exit = %d, want 0", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-l on canonical file printed %q", out.String())
+	}
+}
+
+func TestErrorsExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "none.scope")}, nil, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit = %d, want 2", code)
+	}
+	if code := run(nil, strings.NewReader("NOT A SCRIPT"), &out, &errb); code != 2 {
+		t.Errorf("parse failure: exit = %d, want 2", code)
+	}
+}

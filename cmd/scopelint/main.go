@@ -1,0 +1,140 @@
+// Command scopelint runs the repository's static-analysis catalog
+// over SCOPE scripts and the plans the optimizer produces for them:
+// the script analyzers (S1 unused/shadowed assignments, S2 unknown
+// columns, S3 dead statements), the global sharing invariants of the
+// CSE framework (P1–P5), and the local physical-soundness checks
+// (V1–V7). Sharing bugs are silent cost regressions rather than wrong
+// answers, which is exactly what execution-based testing cannot catch
+// — scopelint exists to catch them statically.
+//
+// Usage:
+//
+//	scopelint my.scope other.scope   # lint script files (default stats)
+//	scopelint -script s1             # lint a builtin workload
+//	scopelint -json my.scope         # machine-readable findings
+//	scopelint -source-only my.scope  # skip optimization and plan checks
+//
+// The exit status is 1 when any finding is reported, 2 on usage or
+// optimizer errors, and 0 when every target is clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/lint"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scopelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	builtin := fs.String("script", "", "lint a builtin workload: s1 s2 s3 s4 fig5 ls1 ls2")
+	sourceOnly := fs.Bool("source-only", false, "run only the script analyzers, skip optimization")
+	noCSE := fs.Bool("nocse", false, "lint the conventional plan instead of the CSE plan")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var targets []*datagen.Workload
+	if *builtin != "" {
+		w, err := builtinWorkload(*builtin)
+		if err != nil {
+			fmt.Fprintln(stderr, "scopelint:", err)
+			return 2
+		}
+		targets = append(targets, w)
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "scopelint:", err)
+			return 2
+		}
+		targets = append(targets, &datagen.Workload{Name: path, Script: string(src), Cat: stats.NewCatalog()})
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(stderr, "scopelint: no targets; pass script files or -script <builtin>")
+		fs.Usage()
+		return 2
+	}
+
+	report := &lint.Report{}
+	for _, w := range targets {
+		r := lint.AnalyzeScriptSource(w.Script, w.Name)
+		report.Merge(r)
+		if *sourceOnly || r.Errors() > 0 {
+			continue // an unparsable or unbound script has no plan to lint
+		}
+		m, err := logical.BuildSource(w.Script, w.Cat)
+		if err != nil {
+			fmt.Fprintf(stderr, "scopelint: %s: %v\n", w.Name, err)
+			return 2
+		}
+		opts := opt.DefaultOptions()
+		opts.EnableCSE = !*noCSE
+		opts.Lint = true
+		res, err := opt.Optimize(m, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "scopelint: %s: optimize: %v\n", w.Name, err)
+			return 2
+		}
+		for _, d := range res.Lint {
+			d.Pos = w.Name + ": " + d.Pos
+			report.Diags = append(report.Diags, d)
+		}
+	}
+	report.Sort()
+
+	if *jsonOut {
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, "scopelint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		for _, d := range report.Diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if !report.Empty() {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "%d finding(s)\n", len(report.Diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+func builtinWorkload(name string) (*datagen.Workload, error) {
+	switch name {
+	case "s1":
+		return bench.Small("S1", bench.ScriptS1), nil
+	case "s2":
+		return bench.Small("S2", bench.ScriptS2), nil
+	case "s3":
+		return bench.Small("S3", bench.ScriptS3), nil
+	case "s4":
+		return bench.Small("S4", bench.ScriptS4), nil
+	case "fig5":
+		return bench.Small("Fig5", bench.ScriptFig5), nil
+	case "ls1":
+		return datagen.LargeScript1(), nil
+	case "ls2":
+		return datagen.LargeScript2(), nil
+	default:
+		return nil, fmt.Errorf("unknown builtin script %q", name)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinWorkloadsClean(t *testing.T) {
+	for _, name := range []string{"s1", "s2", "s3", "s4", "fig5"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-script", name}, &out, &errb); code != 0 {
+			t.Errorf("%s: exit %d, stdout:\n%s\nstderr:\n%s", name, code, out.String(), errb.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: clean run should print nothing, got %q", name, out.String())
+		}
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.scope")
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+R2 = SELECT B FROM R0;
+OUTPUT R1 TO "o1";
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[S1]") || !strings.Contains(out.String(), "1 finding(s)") {
+		t.Errorf("stdout = %q, want an S1 finding and a count", out.String())
+	}
+	if !strings.Contains(out.String(), path+":") {
+		t.Errorf("finding should carry the file position, got %q", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.scope")
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT NoSuch FROM R0;
+OUTPUT R1 TO "o1";
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var ds []struct {
+		Code     string `json:"code"`
+		Severity string `json:"severity"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &ds); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(ds) == 0 || ds[0].Code != "S2" || ds[0].Severity != "error" {
+		t.Errorf("json findings = %+v, want a leading S2 error", ds)
+	}
+}
+
+func TestSourceOnlySkipsPlans(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-source-only", "-script", "s1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no targets: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-script", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown builtin: exit = %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.scope")}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit = %d, want 2", code)
+	}
+}

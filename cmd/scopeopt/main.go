@@ -29,6 +29,7 @@ func main() {
 	cseOnly := flag.Bool("cse-only", false, "skip the conventional baseline")
 	showRounds := flag.Bool("rounds", false, "trace every phase-2 re-optimization round")
 	jsonOut := flag.String("json", "", "also write the CSE plan as JSON to this file")
+	lintOut := flag.Bool("lint", false, "print static-analysis findings for each plan before explaining it")
 	flag.Parse()
 
 	w, err := workload(*script, *file)
@@ -41,10 +42,12 @@ func main() {
 	if !*cseOnly {
 		conv, err := bench.RunOne(w, false, cfg)
 		exitOn(err)
+		showLint(*lintOut, conv)
 		show("conventional optimization (no CSE)", conv, *dot)
 	}
 	cse, err := bench.RunOne(w, true, cfg)
 	exitOn(err)
+	showLint(*lintOut, cse)
 	show("exploiting common subexpressions", cse, *dot)
 	fmt.Printf("stats: shared=%d rounds=%d naive=%d duration=%v\n",
 		cse.Stats.SharedGroups, cse.Stats.Rounds, cse.Stats.NaiveCombinations, cse.Duration)
@@ -105,6 +108,23 @@ func show(title string, res *opt.Result, dot bool) {
 		fmt.Println(plan.DOT(res.Plan, title))
 	} else {
 		fmt.Println(plan.Format(res.Plan))
+	}
+}
+
+// showLint prints the plan's static-analysis findings (gathered by
+// the bench harness's lint oracle) when -lint is set. The harness has
+// already refused plans with error-severity findings, so anything
+// shown here is advisory.
+func showLint(enabled bool, res *opt.Result) {
+	if !enabled {
+		return
+	}
+	if len(res.Lint) == 0 {
+		fmt.Println("lint: clean")
+		return
+	}
+	for _, d := range res.Lint {
+		fmt.Printf("lint: %s\n", d)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 func main() {
 	script := flag.String("script", "s1", "builtin workload: s1 s2 s3 s4 fig5")
 	machines := flag.Int("machines", 8, "simulated cluster size for execution")
+	lintOut := flag.Bool("lint", false, "print static-analysis findings for each plan before executing it")
 	flag.Parse()
 
 	var w *datagen.Workload
@@ -56,6 +57,14 @@ func main() {
 		}
 		res, err := bench.RunOne(w, cse, cfg)
 		exitOn(err)
+		if *lintOut {
+			if len(res.Lint) == 0 {
+				fmt.Printf("%s  lint: clean\n", label)
+			}
+			for _, d := range res.Lint {
+				fmt.Printf("%s  lint: %s\n", label, d)
+			}
+		}
 		cl := exec.NewCluster(*machines, w.FS)
 		got, err := cl.Run(res.Plan)
 		exitOn(err)

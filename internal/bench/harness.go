@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/datagen"
+	"repro/internal/lint"
 	"repro/internal/logical"
 	"repro/internal/opt"
 	"repro/internal/plan"
@@ -34,6 +35,10 @@ type Config struct {
 	// Ablations.
 	DisableIndependence bool
 	DisableRanking      bool
+	// Lint runs the plan analyzers on every optimized plan and fails
+	// the run on error-severity findings, so experiment numbers are
+	// never reported off a plan that violates the sharing invariants.
+	Lint bool
 }
 
 // DefaultConfig returns the configuration the experiments use.
@@ -44,6 +49,7 @@ func DefaultConfig() Config {
 		Cluster:         c,
 		Rules:           rules.SCOPEProfile(),
 		UsePaperBudgets: true,
+		Lint:            true,
 	}
 }
 
@@ -65,7 +71,28 @@ func RunOne(w *datagen.Workload, enableCSE bool, cfg Config) (*opt.Result, error
 	if cfg.UsePaperBudgets && w.BudgetSeconds > 0 {
 		opts.Timeout = time.Duration(w.BudgetSeconds) * time.Second
 	}
-	return opt.Optimize(m, opts)
+	opts.Lint = cfg.Lint
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if err := lintOracle(w.Name, res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// lintOracle fails a run whose chosen plan carries error-severity
+// findings. Sharing bugs are silent cost regressions, so without this
+// gate a broken optimizer would simply report slightly different
+// experiment numbers.
+func lintOracle(name string, res *opt.Result) error {
+	for _, d := range res.Lint {
+		if d.Severity == lint.Error {
+			return fmt.Errorf("%s: plan lint: %s", name, d)
+		}
+	}
+	return nil
 }
 
 // Fig7Row is one column group of Fig. 7: a script optimized
@@ -293,7 +320,15 @@ func runLocal(w *datagen.Workload, cfg Config) (*opt.Result, error) {
 	opts.Cluster = cfg.Cluster
 	opts.Rules = cfg.Rules
 	opts.LocalSharingOnly = true
-	return opt.Optimize(m, opts)
+	opts.Lint = cfg.Lint
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := lintOracle(w.Name+"/local", res); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // FormatBaselines renders the three-way table.

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestWorkloadPlansLintClean is the subsystem's acceptance gate: every
+// evaluation workload, optimized with the CSE framework on, yields a
+// plan with zero plan-analyzer findings — errors and warnings alike.
+// The conventional and local-sharing baselines must be clean too, so
+// every number an experiment reports comes from an invariant-respecting
+// plan.
+func TestWorkloadPlansLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LS2 optimization is ~2s")
+	}
+	cfg := DefaultConfig()
+	workloads := append(Fig7Workloads(), Small("Fig5", ScriptFig5), Small("Ranking", ScriptRanking))
+	for _, w := range workloads {
+		for _, cse := range []bool{true, false} {
+			res, err := RunOne(w, cse, cfg)
+			if err != nil {
+				t.Fatalf("%s cse=%v: %v", w.Name, cse, err)
+			}
+			for _, d := range res.Lint {
+				t.Errorf("%s cse=%v: %s", w.Name, cse, d)
+			}
+			if res.Lint == nil {
+				t.Errorf("%s cse=%v: Options.Lint set but Result.Lint is nil", w.Name, cse)
+			}
+		}
+	}
+}
+
+// TestLocalSharingPlansLintClean covers the related-work baseline mode,
+// whose plans are phase-2 consolidations with vacuous pins.
+func TestLocalSharingPlansLintClean(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, w := range []*datagen.Workload{Small("S1", ScriptS1), Small("S2", ScriptS2)} {
+		res, err := runLocal(w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, d := range res.Lint {
+			t.Errorf("%s: %s", w.Name, d)
+		}
+	}
+}

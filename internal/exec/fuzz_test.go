@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/exec"
+	"repro/internal/lint"
 	"repro/internal/logical"
 	"repro/internal/opt"
 	"repro/internal/plan"
@@ -32,6 +33,12 @@ func TestRandomScriptEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: reference failed: %v\nscript:\n%s", seed, err, w.Script)
 		}
+		// A generated script binds, so the script analyzers must find
+		// no errors in it (warnings like unused assignments are the
+		// generator's business).
+		if r := lint.AnalyzeScriptSource(w.Script, "seed"); r.Errors() > 0 {
+			t.Errorf("seed %d: script lint: %v\nscript:\n%s", seed, r.Diags, w.Script)
+		}
 		merged := rules.DefaultConfig()
 		merged.EnableProjectMerge = true
 		merged.EnableFilterPushdown = true
@@ -49,6 +56,7 @@ func TestRandomScriptEquivalence(t *testing.T) {
 				opts.Rules = prof.cfg
 				opts.Cluster.Machines = 7
 				opts.Rules.Machines = 7
+				opts.Lint = true
 				m, err := logical.BuildSource(w.Script, w.Cat)
 				if err != nil {
 					t.Fatal(err)
@@ -61,6 +69,15 @@ func TestRandomScriptEquivalence(t *testing.T) {
 				if res.Cost > res.Phase1Cost*(1+1e-9) {
 					t.Errorf("seed %d %s cse=%v: phase-2 cost %v exceeds phase-1 %v",
 						seed, prof.name, cse, res.Cost, res.Phase1Cost)
+				}
+				// Lint-as-oracle: the plan analyzers check the global
+				// sharing invariants on every generated plan — the
+				// silent cost regressions execution can't catch.
+				for _, d := range res.Lint {
+					if d.Severity == lint.Error {
+						t.Errorf("seed %d %s cse=%v: plan lint: %s\nplan:\n%s",
+							seed, prof.name, cse, d, plan.Format(res.Plan))
+					}
 				}
 				if err := opt.ValidatePlan(res.Plan); err != nil {
 					t.Errorf("seed %d %s cse=%v: static validation: %v\nplan:\n%s",

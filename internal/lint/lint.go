@@ -1,0 +1,168 @@
+// Package lint is the static-analysis framework of the repository:
+// named analyzers produce Diagnostics with stable codes, severities,
+// and locations, collected into a Report with human and JSON
+// renderers.
+//
+// Two analyzer families exist:
+//
+//   - Plan analyzers (codes P1–P5) run over an optimized plan.Node
+//     DAG and check the paper's *global* common-subexpression
+//     invariants — single-Spool sharing, pin consistency across
+//     consumer paths, DAG/tree cost coherence, missed CSEs, and
+//     redundant enforcers. They complement opt.ValidatePlan, which
+//     checks only local per-node physical soundness (codes V1–V8).
+//
+//   - Script analyzers (codes S1–S3) run over the sqlparse AST and
+//     catch script-level mistakes before optimization: unused or
+//     shadowed assignments, references to columns absent from the
+//     derived schema, and statements whose result never reaches an
+//     OUTPUT.
+//
+// Sharing bugs manifest as silent cost regressions rather than wrong
+// answers, so execution tests cannot catch them; these analyzers are
+// wired as oracles into the fuzz and bench harnesses and surfaced
+// through the scopelint CLI.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Info diagnostics are observations, not defects.
+	Info Severity = iota
+	// Warning diagnostics are likely defects that do not invalidate
+	// the plan or script.
+	Warning
+	// Error diagnostics are invariant violations.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Diagnostic is one finding: a stable code, the analyzer that produced
+// it, a severity, a location, and a message. Locations are either
+// script positions ("file:line:col") or operator paths into the plan
+// DAG ("Sequence/Output/HashAgg(G14)").
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	Pos      string   `json:"pos"`
+	Message  string   `json:"message"`
+}
+
+// String renders the diagnostic in the conventional
+// "pos: severity: message [code]" compiler format.
+func (d Diagnostic) String() string {
+	pos := d.Pos
+	if pos == "" {
+		pos = "<plan>"
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Message, d.Code)
+}
+
+// Report is an ordered collection of diagnostics.
+type Report struct {
+	Diags []Diagnostic
+}
+
+// Add appends a diagnostic.
+func (r *Report) Add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+// Addf appends a diagnostic built from a format string.
+func (r *Report) Addf(code, analyzer string, sev Severity, pos, format string, args ...any) {
+	r.Add(Diagnostic{Code: code, Analyzer: analyzer, Severity: sev, Pos: pos,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// Merge appends every diagnostic of other.
+func (r *Report) Merge(other *Report) {
+	if other != nil {
+		r.Diags = append(r.Diags, other.Diags...)
+	}
+}
+
+// Empty reports whether the report holds no diagnostics.
+func (r *Report) Empty() bool { return len(r.Diags) == 0 }
+
+// Errors counts the Error-severity diagnostics.
+func (r *Report) Errors() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Sort orders diagnostics by severity (errors first), then code, then
+// position, for deterministic output.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Pos < b.Pos
+	})
+}
+
+// String renders the report one diagnostic per line.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// JSON encodes the diagnostics as a JSON array (an empty report
+// encodes as "[]", not "null").
+func (r *Report) JSON() ([]byte, error) {
+	ds := r.Diags
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	return json.MarshalIndent(ds, "", "  ")
+}
+
+// Err converts the report into a single error summarizing the first
+// diagnostic, or nil when the report is empty. It lets error-based
+// callers consume analyzer output without caring about the framework.
+func (r *Report) Err() error {
+	if r.Empty() {
+		return nil
+	}
+	if len(r.Diags) == 1 {
+		return fmt.Errorf("%s", r.Diags[0])
+	}
+	return fmt.Errorf("%s (and %d more findings)", r.Diags[0], len(r.Diags)-1)
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{Info: "info", Warning: "warning", Error: "error", Severity(9): "Severity(9)"}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", int(sev), got, want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Code: "P2", Analyzer: "pin-consistency", Severity: Error,
+		Pos: "Sequence/Output(G3)", Message: "conflicting pins"}
+	if got, want := d.String(), "Sequence/Output(G3): error: conflicting pins [P2]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d.Pos = ""
+	if got := d.String(); !strings.HasPrefix(got, "<plan>: ") {
+		t.Errorf("empty pos should render as <plan>, got %q", got)
+	}
+}
+
+func TestReportSortAndCounts(t *testing.T) {
+	r := &Report{}
+	r.Addf("S1", "unused-assign", Warning, "f:2:1", "w1")
+	r.Addf("P3", "cost-coherence", Error, "b", "e2")
+	r.Addf("P1", "single-spool", Error, "a", "e1")
+	r.Addf("P1", "single-spool", Error, "a", "e1-dup")
+	if r.Empty() {
+		t.Fatal("report with 4 diags reports Empty")
+	}
+	if got := r.Errors(); got != 3 {
+		t.Fatalf("Errors() = %d, want 3", got)
+	}
+	r.Sort()
+	var order []string
+	for _, d := range r.Diags {
+		order = append(order, d.Code)
+	}
+	if got, want := strings.Join(order, ","), "P1,P1,P3,S1"; got != want {
+		t.Errorf("sorted code order %s, want %s (errors first, then code, then pos)", got, want)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	r := &Report{}
+	if b, err := r.JSON(); err != nil || string(b) != "[]" {
+		t.Fatalf("empty report JSON = %q, %v; want []", b, err)
+	}
+	r.Addf("P5", "redundant-enforcer", Warning, "Sort(G2)", "redundant sort")
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("JSON output does not decode: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0]["severity"] != "warning" || decoded[0]["code"] != "P5" {
+		t.Errorf("decoded JSON = %v; want one P5 warning with lowercase severity", decoded)
+	}
+}
+
+func TestReportErr(t *testing.T) {
+	r := &Report{}
+	if err := r.Err(); err != nil {
+		t.Fatalf("empty report Err() = %v, want nil", err)
+	}
+	r.Addf("V1", "validate", Error, "HashAgg(G4)", "mismatch")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "[V1]") {
+		t.Fatalf("Err() = %v, want it to carry the code", err)
+	}
+	r.Addf("V2", "validate", Error, "x", "second")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "1 more finding") {
+		t.Fatalf("Err() = %v, want a more-findings suffix", err)
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	a := &Report{}
+	a.Addf("S1", "unused-assign", Warning, "f:1:1", "one")
+	b := &Report{}
+	b.Addf("S2", "unknown-column", Error, "f:2:2", "two")
+	a.Merge(b)
+	a.Merge(nil)
+	if len(a.Diags) != 2 {
+		t.Fatalf("merged report has %d diags, want 2", len(a.Diags))
+	}
+}
+
+func TestAnalyzerCatalogs(t *testing.T) {
+	wantPlan := []string{"P1", "P2", "P3", "P4", "P5"}
+	for i, a := range PlanAnalyzers() {
+		if a.Code != wantPlan[i] || a.Name == "" || a.Doc == "" || a.run == nil {
+			t.Errorf("plan analyzer %d = {%s %s}: want code %s with name, doc, and run", i, a.Code, a.Name, wantPlan[i])
+		}
+	}
+	wantScript := []string{"S1", "S2", "S3"}
+	for i, a := range ScriptAnalyzers() {
+		if a.Code != wantScript[i] || a.Name == "" || a.Doc == "" || a.run == nil {
+			t.Errorf("script analyzer %d = {%s %s}: want code %s with name, doc, and run", i, a.Code, a.Name, wantScript[i])
+		}
+	}
+}

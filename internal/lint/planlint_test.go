@@ -1,0 +1,295 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cost"
+	"repro/internal/lint"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/rules"
+)
+
+// optimizeS1 optimizes the paper's motivating script with CSE on under
+// the default cluster and the SCOPE rule profile, returning the result
+// and the matching analyzer configuration. Every corruption test
+// re-optimizes so mutations cannot leak between tests.
+func optimizeS1(t *testing.T) (*opt.Result, lint.PlanConfig) {
+	t.Helper()
+	w := bench.Small("S1", bench.ScriptS1)
+	m, err := logical.BuildSource(w.Script, w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := opt.DefaultOptions()
+	opts.Rules = rules.SCOPEProfile()
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == res.Phase1Plan || res.Stats.BudgetExhausted {
+		t.Fatal("S1 with CSE should be won by a consolidated phase-2 plan")
+	}
+	model := cost.NewModel(opts.Cluster)
+	return res, lint.PlanConfig{CSE: true, Consolidated: true, Model: &model}
+}
+
+// sharedSpool returns the plan's spool node together with its
+// consumers (it must have at least two for the corruptions to mean
+// anything).
+func sharedSpool(t *testing.T, root *plan.Node) (sp *plan.Node, parents []*plan.Node) {
+	t.Helper()
+	spools := plan.FindAll(root, relop.KindPhysSpool)
+	if len(spools) != 1 {
+		t.Fatalf("S1 plan has %d spools, want 1", len(spools))
+	}
+	sp = spools[0]
+	for _, n := range plan.Operators(root) {
+		for _, c := range n.Children {
+			if c == sp {
+				parents = append(parents, n)
+				break
+			}
+		}
+	}
+	if len(parents) < 2 {
+		t.Fatalf("spool has %d consumers, want >= 2", len(parents))
+	}
+	return sp, parents
+}
+
+func replaceChild(t *testing.T, parent, old, new *plan.Node) {
+	t.Helper()
+	for i, c := range parent.Children {
+		if c == old {
+			parent.Children[i] = new
+			return
+		}
+	}
+	t.Fatal("old child not found under parent")
+}
+
+func hasCode(ds []lint.Diagnostic, code, fragment string) bool {
+	for _, d := range ds {
+		if d.Code == code && strings.Contains(d.Message, fragment) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConsolidatedPlanClean pins the baseline: the real optimizer's
+// consolidated S1 plan passes every analyzer under the strict
+// configuration.
+func TestConsolidatedPlanClean(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	if r := lint.AnalyzePlan(res.Plan, cfg); !r.Empty() {
+		t.Fatalf("consolidated S1 plan has findings:\n%s", r)
+	}
+}
+
+// TestP2ConflictingPins is the subsystem's acceptance case: corrupt a
+// consolidated plan so two consumer paths reach the shared group under
+// different pinned optimization contexts, and P2 must flag it with its
+// stable code.
+func TestP2ConflictingPins(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, parents := sharedSpool(t, res.Plan)
+	rogue := *sp
+	rogue.CtxKey = sp.CtxKey + "|rogue-pin"
+	replaceChild(t, parents[0], sp, &rogue)
+
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	if !hasCode(r.Diags, "P2", "conflicting pinned contexts") {
+		t.Fatalf("conflicting pins not flagged by P2; findings:\n%s", r)
+	}
+	for _, d := range r.Diags {
+		if d.Code == "P2" {
+			if d.Severity != lint.Error {
+				t.Errorf("P2 severity = %v, want error", d.Severity)
+			}
+			if d.Analyzer != "pin-consistency" {
+				t.Errorf("P2 analyzer = %q, want pin-consistency", d.Analyzer)
+			}
+		}
+	}
+}
+
+// TestP2DivergentDelivery corrupts the delivered physical properties on
+// one consumer path while keeping the pinned context: P2 must notice
+// the divergence.
+func TestP2DivergentDelivery(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, parents := sharedSpool(t, res.Plan)
+	rogue := *sp
+	rogue.Dlvd.Order = nil
+	if rogue.Dlvd.Order.Equal(sp.Dlvd.Order) && rogue.Dlvd.Part.Equal(sp.Dlvd.Part) {
+		if rogue.Dlvd.Part.Kind == props.PartSerial {
+			rogue.Dlvd.Part.Kind = props.PartBroadcast
+		} else {
+			rogue.Dlvd.Part.Kind = props.PartSerial
+		}
+	}
+	replaceChild(t, parents[0], sp, &rogue)
+
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	if !hasCode(r.Diags, "P2", "on one consumer path but") &&
+		!hasCode(r.Diags, "P1", "distinct Spool nodes") {
+		t.Fatalf("divergent delivery not flagged; findings:\n%s", r)
+	}
+}
+
+// TestP1DuplicateSpool duplicates the spool node itself (same group,
+// same context): the winner cache must never hand out two distinct
+// materializations of one (group, context) pair, and the DAG cost
+// model would charge them as one.
+func TestP1DuplicateSpool(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, parents := sharedSpool(t, res.Plan)
+	dup := *sp
+	replaceChild(t, parents[0], sp, &dup)
+
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	if !hasCode(r.Diags, "P1", "distinct Spool nodes") {
+		t.Fatalf("duplicate spool not flagged by P1; findings:\n%s", r)
+	}
+}
+
+// TestSingleConsumerSpool bypasses the spool on one path so it keeps a
+// single consumer: P3 must flag the read count below two. (Consumer
+// counting deliberately uses DAG path multiplicities, not parent-edge
+// counts — one pointer-shared consumer can read a spool twice.)
+func TestSingleConsumerSpool(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, parents := sharedSpool(t, res.Plan)
+	replaceChild(t, parents[0], sp, sp.Children[0])
+
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	if !hasCode(r.Diags, "P3", "sharing requires at least two consumers") {
+		t.Fatalf("read count below two not flagged by P3; findings:\n%s", r)
+	}
+}
+
+// TestP4DuplicateComputation clones the shared subplan onto one
+// consumer path (recomputation instead of sharing): P4 must flag the
+// two structurally equal subplans.
+func TestP4DuplicateComputation(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, parents := sharedSpool(t, res.Plan)
+	clone := *sp.Children[0] // distinct node, same operator and children
+	replaceChild(t, parents[0], sp, &clone)
+
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	if !hasCode(r.Diags, "P4", "computed independently") {
+		t.Fatalf("duplicated computation not flagged by P4; findings:\n%s", r)
+	}
+}
+
+// TestP5RedundantSort wraps a sort whose input already delivers the
+// requested order: P5 must warn.
+func TestP5RedundantSort(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	var target *plan.Node
+	for _, n := range plan.Operators(res.Plan) {
+		if !n.Dlvd.Order.Empty() {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("SCOPE-profile S1 plan should contain a sorted stream")
+	}
+	var parent *plan.Node
+	for _, n := range plan.Operators(res.Plan) {
+		for _, c := range n.Children {
+			if c == target {
+				parent = n
+			}
+		}
+	}
+	if parent == nil {
+		t.Fatal("sorted node has no parent")
+	}
+	redundant := &plan.Node{
+		Op:       &relop.Sort{Order: target.Dlvd.Order},
+		Children: []*plan.Node{target},
+		Group:    target.Group,
+		Schema:   target.Schema,
+		Rel:      target.Rel,
+		Dlvd:     target.Dlvd,
+	}
+	replaceChild(t, parent, target, redundant)
+
+	r := lint.AnalyzePlan(res.Plan, lint.PlanConfig{CSE: cfg.CSE, Model: cfg.Model})
+	if !hasCode(r.Diags, "P5", "redundant sort") {
+		t.Fatalf("redundant sort not flagged by P5; findings:\n%s", r)
+	}
+}
+
+// TestP5RedundantExchange wraps a repartition to the partitioning its
+// input already delivers: P5 must warn.
+func TestP5RedundantExchange(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	var target *plan.Node
+	for _, n := range plan.Operators(res.Plan) {
+		if n.Dlvd.Part.Kind == props.PartHash {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no hash-partitioned stream in this plan")
+	}
+	var parent *plan.Node
+	for _, n := range plan.Operators(res.Plan) {
+		for _, c := range n.Children {
+			if c == target {
+				parent = n
+			}
+		}
+	}
+	if parent == nil {
+		t.Fatal("hash-partitioned node has no parent")
+	}
+	redundant := &plan.Node{
+		Op:       &relop.Repartition{To: target.Dlvd.Part},
+		Children: []*plan.Node{target},
+		Group:    target.Group,
+		Schema:   target.Schema,
+		Rel:      target.Rel,
+		Dlvd:     target.Dlvd,
+	}
+	replaceChild(t, parent, target, redundant)
+
+	r := lint.AnalyzePlan(res.Plan, lint.PlanConfig{CSE: cfg.CSE, Model: cfg.Model})
+	if !hasCode(r.Diags, "P5", "redundant exchange") {
+		t.Fatalf("redundant exchange not flagged by P5; findings:\n%s", r)
+	}
+}
+
+// TestAnalyzePlanNil covers the nil-root guard.
+func TestAnalyzePlanNil(t *testing.T) {
+	if r := lint.AnalyzePlan(nil, lint.PlanConfig{}); !r.Empty() {
+		t.Fatalf("nil root should yield an empty report, got %v", r.Diags)
+	}
+}
+
+// TestPlanPaths checks the operator-path location scheme.
+func TestPlanPaths(t *testing.T) {
+	res, _ := optimizeS1(t)
+	paths := lint.PlanPaths(res.Plan)
+	root := paths[res.Plan]
+	if !strings.Contains(root, "(G") {
+		t.Errorf("root path %q should carry its memo group", root)
+	}
+	for n, p := range paths {
+		if n != res.Plan && !strings.Contains(p, "/") {
+			t.Errorf("non-root path %q should be a chain", p)
+		}
+	}
+}

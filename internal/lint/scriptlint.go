@@ -1,0 +1,407 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// ScriptAnalyzer is one named check over a parsed SCOPE script.
+type ScriptAnalyzer struct {
+	// Name is the analyzer's short kebab-case name.
+	Name string
+	// Code is the stable diagnostic code every finding carries.
+	Code string
+	// Doc is a one-line description for catalogs and CLI help.
+	Doc string
+	run func(c *scriptCtx)
+}
+
+// scriptCtx is the shared binding state handed to each script
+// analyzer.
+type scriptCtx struct {
+	file   string
+	script *sqlparse.Script
+	// assigns lists the assignment statements in order with their
+	// statement index.
+	assigns []assignInfo
+	// schemas maps an assignment name to its most recent derived
+	// output schema (nil when it could not be derived).
+	schemas map[string]*derivedSchema
+	report  *Report
+}
+
+type assignInfo struct {
+	idx  int
+	stmt *sqlparse.AssignStmt
+}
+
+// derivedSchema is the statically derived output column list of one
+// assignment. Complete is false when some output column could not be
+// named (the analyzers then skip checks that would need it).
+type derivedSchema struct {
+	cols     map[string]bool
+	order    []string
+	complete bool
+}
+
+func (c *scriptCtx) pos(tok sqlparse.Token) string {
+	return fmt.Sprintf("%s:%d:%d", c.file, tok.Line, tok.Col)
+}
+
+func (c *scriptCtx) addf(a *ScriptAnalyzer, sev Severity, tok sqlparse.Token, format string, args ...any) {
+	c.report.Addf(a.Code, a.Name, sev, c.pos(tok), format, args...)
+}
+
+// ScriptAnalyzers returns the script-analyzer catalog in code order.
+func ScriptAnalyzers() []*ScriptAnalyzer {
+	return []*ScriptAnalyzer{
+		{Name: "unused-assign", Code: "S1",
+			Doc: "intermediate assignments must be referenced, and never shadow an earlier one",
+			run: runUnusedAssign},
+		{Name: "unknown-column", Code: "S2",
+			Doc: "column references must exist in the derived schema of their sources",
+			run: runUnknownColumn},
+		{Name: "dead-statement", Code: "S3",
+			Doc: "every statement's result must transitively reach an OUTPUT",
+			run: runDeadStatement},
+	}
+}
+
+// AnalyzeScript runs every script analyzer over a parsed script and
+// returns the sorted report. file labels diagnostic positions.
+func AnalyzeScript(script *sqlparse.Script, file string) *Report {
+	r := &Report{}
+	if script == nil {
+		return r
+	}
+	if file == "" {
+		file = "<script>"
+	}
+	c := &scriptCtx{file: file, script: script, schemas: map[string]*derivedSchema{}, report: r}
+	for i, st := range script.Stmts {
+		if as, ok := st.(*sqlparse.AssignStmt); ok {
+			c.assigns = append(c.assigns, assignInfo{idx: i, stmt: as})
+		}
+	}
+	c.deriveSchemas()
+	for _, a := range ScriptAnalyzers() {
+		a.run(c)
+	}
+	r.Sort()
+	return r
+}
+
+// AnalyzeScriptSource parses src and runs the script analyzers. A
+// parse failure becomes a single S0 error diagnostic rather than an
+// error return, so callers can treat unparsable and unclean scripts
+// uniformly.
+func AnalyzeScriptSource(src, file string) *Report {
+	script, err := sqlparse.Parse(src)
+	if err != nil {
+		r := &Report{}
+		if file == "" {
+			file = "<script>"
+		}
+		r.Addf("S0", "parse", Error, file, "script does not parse: %v", err)
+		return r
+	}
+	return AnalyzeScript(script, file)
+}
+
+// deriveSchemas computes each assignment's output columns in statement
+// order, mirroring the binder's naming rules (alias, else column
+// name; aggregates need an alias).
+func (c *scriptCtx) deriveSchemas() {
+	for _, ai := range c.assigns {
+		c.schemas[ai.stmt.Name] = c.deriveSchema(ai.stmt.Query)
+	}
+}
+
+func newDerived() *derivedSchema {
+	return &derivedSchema{cols: map[string]bool{}, complete: true}
+}
+
+func (d *derivedSchema) add(col string) {
+	if col == "" {
+		d.complete = false
+		return
+	}
+	if !d.cols[col] {
+		d.cols[col] = true
+		d.order = append(d.order, col)
+	}
+}
+
+func (c *scriptCtx) deriveSchema(q sqlparse.Query) *derivedSchema {
+	switch query := q.(type) {
+	case *sqlparse.ExtractQuery:
+		d := newDerived()
+		for _, col := range query.Cols {
+			d.add(col.Name)
+		}
+		return d
+	case *sqlparse.SelectQuery:
+		d := newDerived()
+		for _, it := range query.Items {
+			d.add(itemName(it))
+		}
+		return d
+	case *sqlparse.UnionQuery:
+		if len(query.Sources) > 0 {
+			if s := c.schemas[query.Sources[0]]; s != nil {
+				return s
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// itemName returns the output column name of a select item, or "" when
+// it cannot be determined statically.
+func itemName(it sqlparse.SelectItem) string {
+	if it.As != "" {
+		return it.As
+	}
+	if cr, ok := it.Expr.(*sqlparse.ColRefAST); ok {
+		return cr.Name
+	}
+	return ""
+}
+
+// sourcesOf lists the named intermediates a statement consumes.
+func sourcesOf(st sqlparse.Stmt) []string {
+	switch s := st.(type) {
+	case *sqlparse.AssignStmt:
+		switch q := s.Query.(type) {
+		case *sqlparse.SelectQuery:
+			return q.From
+		case *sqlparse.UnionQuery:
+			return q.Sources
+		}
+	case *sqlparse.OutputStmt:
+		return []string{s.Src}
+	}
+	return nil
+}
+
+// runUnusedAssign is S1: an assignment whose name is never referenced
+// by a later statement is dead weight, and an assignment reassigning
+// an already-bound name shadows it (the binder rejects the script; the
+// analyzer pinpoints both sites).
+func runUnusedAssign(c *scriptCtx) {
+	a := ScriptAnalyzers()[0]
+	lastAssign := map[string]int{}
+	for _, ai := range c.assigns {
+		if prev, dup := lastAssign[ai.stmt.Name]; dup {
+			c.addf(a, Warning, ai.stmt.Tok,
+				"assignment to %q shadows the assignment at statement %d; the earlier result becomes unreachable",
+				ai.stmt.Name, prev+1)
+		}
+		lastAssign[ai.stmt.Name] = ai.idx
+	}
+	for _, ai := range c.assigns {
+		used := false
+		for j := ai.idx + 1; j < len(c.script.Stmts) && !used; j++ {
+			// A reassignment of the same name ends this binding's
+			// visibility.
+			if as, ok := c.script.Stmts[j].(*sqlparse.AssignStmt); ok && as.Name == ai.stmt.Name {
+				break
+			}
+			for _, src := range sourcesOf(c.script.Stmts[j]) {
+				if src == ai.stmt.Name {
+					used = true
+					break
+				}
+			}
+		}
+		if !used {
+			c.addf(a, Warning, ai.stmt.Tok,
+				"result %q is never referenced by a later statement", ai.stmt.Name)
+		}
+	}
+}
+
+// collectColRefs walks an expression tree and appends every column
+// reference.
+func collectColRefs(e sqlparse.Expr, out *[]*sqlparse.ColRefAST) {
+	switch x := e.(type) {
+	case *sqlparse.ColRefAST:
+		*out = append(*out, x)
+	case *sqlparse.CallExpr:
+		for _, arg := range x.Args {
+			collectColRefs(arg, out)
+		}
+	case *sqlparse.BinaryExpr:
+		collectColRefs(x.L, out)
+		collectColRefs(x.R, out)
+	}
+}
+
+// runUnknownColumn is S2: every column reference in a SELECT (items,
+// WHERE, GROUP BY, HAVING) must exist in the derived schema of its
+// sources, and OUTPUT ORDER BY columns must exist in the output's
+// source. Checks are skipped when a source schema could not be fully
+// derived, so the analyzer never produces false positives on scripts
+// it does not understand.
+func runUnknownColumn(c *scriptCtx) {
+	a := ScriptAnalyzers()[1]
+	checkRef := func(ref *sqlparse.ColRefAST, from []string, extra map[string]bool) {
+		if ref.Qualifier != "" {
+			inFrom := false
+			for _, f := range from {
+				if f == ref.Qualifier {
+					inFrom = true
+					break
+				}
+			}
+			if !inFrom {
+				c.addf(a, Error, ref.Tok,
+					"qualifier %q of column %s names no FROM source", ref.Qualifier, ref)
+				return
+			}
+			s := c.schemas[ref.Qualifier]
+			if s == nil || !s.complete {
+				return
+			}
+			if !s.cols[ref.Name] {
+				c.addf(a, Error, ref.Tok,
+					"column %s is absent from %q's derived schema %v", ref, ref.Qualifier, s.order)
+			}
+			return
+		}
+		for _, f := range from {
+			s := c.schemas[f]
+			if s == nil || !s.complete {
+				return // unknown source schema: stay silent
+			}
+			if s.cols[ref.Name] {
+				return
+			}
+		}
+		if extra[ref.Name] {
+			return
+		}
+		c.addf(a, Error, ref.Tok,
+			"column %q is absent from the derived schema of %v", ref.Name, from)
+	}
+	for _, ai := range c.assigns {
+		q, ok := ai.stmt.Query.(*sqlparse.SelectQuery)
+		if !ok {
+			continue
+		}
+		// Every FROM source must be a known intermediate for column
+		// checks to mean anything.
+		known := true
+		for _, f := range q.From {
+			if c.schemas[f] == nil {
+				known = false
+				break
+			}
+		}
+		if !known {
+			continue
+		}
+		var refs []*sqlparse.ColRefAST
+		for _, it := range q.Items {
+			collectColRefs(it.Expr, &refs)
+		}
+		collectColRefs(q.Where, &refs)
+		for i := range q.GroupBy {
+			refs = append(refs, &q.GroupBy[i])
+		}
+		for _, ref := range refs {
+			checkRef(ref, q.From, nil)
+		}
+		if q.Having != nil {
+			// HAVING additionally sees the select list's output
+			// columns (aggregate aliases).
+			aliases := map[string]bool{}
+			for _, it := range q.Items {
+				if n := itemName(it); n != "" {
+					aliases[n] = true
+				}
+			}
+			var hrefs []*sqlparse.ColRefAST
+			collectColRefs(q.Having, &hrefs)
+			for _, ref := range hrefs {
+				checkRef(ref, q.From, aliases)
+			}
+		}
+	}
+	for _, st := range c.script.Stmts {
+		out, ok := st.(*sqlparse.OutputStmt)
+		if !ok {
+			continue
+		}
+		s := c.schemas[out.Src]
+		if s == nil || !s.complete {
+			continue
+		}
+		for i := range out.OrderBy {
+			ref := &out.OrderBy[i].Col
+			if ref.Qualifier == "" && !s.cols[ref.Name] {
+				c.addf(a, Error, ref.Tok,
+					"ORDER BY column %q is absent from %q's derived schema %v", ref.Name, out.Src, s.order)
+			}
+		}
+	}
+}
+
+// runDeadStatement is S3: an assignment that is referenced but whose
+// result never transitively reaches an OUTPUT is computed for nothing.
+// Assignments with no reference at all are S1's findings and are not
+// repeated here.
+func runDeadStatement(c *scriptCtx) {
+	a := ScriptAnalyzers()[2]
+	// Most recent assignment index per name, as seen walking forward:
+	// uses resolve to the latest binding before the consuming
+	// statement.
+	live := map[int]bool{}
+	binding := map[string]int{} // name -> statement index of current binding
+	bindAt := make([]map[string]int, len(c.script.Stmts))
+	for i, st := range c.script.Stmts {
+		snapshot := map[string]int{}
+		for k, v := range binding {
+			snapshot[k] = v
+		}
+		bindAt[i] = snapshot
+		if as, ok := st.(*sqlparse.AssignStmt); ok {
+			binding[as.Name] = i
+		}
+	}
+	var mark func(i int)
+	mark = func(i int) {
+		if live[i] {
+			return
+		}
+		live[i] = true
+		for _, src := range sourcesOf(c.script.Stmts[i]) {
+			if j, ok := bindAt[i][src]; ok {
+				mark(j)
+			}
+		}
+	}
+	for i, st := range c.script.Stmts {
+		if _, ok := st.(*sqlparse.OutputStmt); ok {
+			mark(i)
+		}
+	}
+	// Which assignments are directly referenced at all (S1 covers the
+	// unreferenced ones).
+	referenced := map[int]bool{}
+	for i, st := range c.script.Stmts {
+		for _, src := range sourcesOf(st) {
+			if j, ok := bindAt[i][src]; ok {
+				referenced[j] = true
+			}
+		}
+	}
+	for _, ai := range c.assigns {
+		if !live[ai.idx] && referenced[ai.idx] {
+			c.addf(a, Warning, ai.stmt.Tok,
+				"result %q is consumed only by statements that never reach an OUTPUT", ai.stmt.Name)
+		}
+	}
+}

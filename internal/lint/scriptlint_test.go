@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// cleanScript is a correct two-consumer script: every analyzer must
+// stay silent on it.
+const cleanScript = `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) as S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) as S1 FROM R GROUP BY A,B;
+OUTPUT R1 TO "o1";
+`
+
+func findings(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	r := AnalyzeScriptSource(src, "test.scope")
+	return r.Diags
+}
+
+func codes(ds []Diagnostic) string {
+	var cs []string
+	for _, d := range ds {
+		cs = append(cs, d.Code)
+	}
+	return strings.Join(cs, ",")
+}
+
+func requireCode(t *testing.T, ds []Diagnostic, code, msgFragment string) Diagnostic {
+	t.Helper()
+	for _, d := range ds {
+		if d.Code == code && strings.Contains(d.Message, msgFragment) {
+			if !strings.HasPrefix(d.Pos, "test.scope:") {
+				t.Errorf("%s finding has pos %q, want file:line:col", code, d.Pos)
+			}
+			return d
+		}
+	}
+	t.Fatalf("no %s finding containing %q; got: %v", code, msgFragment, ds)
+	return Diagnostic{}
+}
+
+func TestScriptCleanIsSilent(t *testing.T) {
+	if ds := findings(t, cleanScript); len(ds) != 0 {
+		t.Fatalf("clean script has findings: %v", ds)
+	}
+}
+
+func TestScriptParseFailure(t *testing.T) {
+	ds := findings(t, "THIS IS NOT SCOPE")
+	if len(ds) != 1 || ds[0].Code != "S0" || ds[0].Severity != Error {
+		t.Fatalf("unparsable script should yield one S0 error, got %v", ds)
+	}
+}
+
+func TestUnusedAssign(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+R2 = SELECT B FROM R0;
+OUTPUT R1 TO "o1";
+`
+	ds := findings(t, src)
+	d := requireCode(t, ds, "S1", `result "R2" is never referenced`)
+	if d.Severity != Warning {
+		t.Errorf("S1 severity = %v, want warning", d.Severity)
+	}
+	if got := codes(ds); got != "S1" {
+		t.Errorf("findings = %s, want exactly one S1", got)
+	}
+}
+
+func TestShadowedAssign(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+R1 = SELECT B FROM R0;
+OUTPUT R1 TO "o1";
+`
+	ds := findings(t, src)
+	requireCode(t, ds, "S1", `shadows the assignment at statement 2`)
+}
+
+func TestShadowUsedBetween(t *testing.T) {
+	// The first R1 binding is consumed by R2 before being shadowed:
+	// only the shadow finding may fire, not unused.
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+R2 = SELECT A FROM R1;
+R1 = SELECT B FROM R0;
+OUTPUT R1 TO "o1";
+OUTPUT R2 TO "o2";
+`
+	ds := findings(t, src)
+	requireCode(t, ds, "S1", "shadows")
+	for _, d := range ds {
+		if strings.Contains(d.Message, "never referenced") {
+			t.Errorf("first binding is used before the shadow; unexpected %v", d)
+		}
+	}
+}
+
+func TestUnknownColumn(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A,NoSuch FROM R0;
+OUTPUT R1 TO "o1";
+`
+	ds := findings(t, src)
+	d := requireCode(t, ds, "S2", `column "NoSuch" is absent`)
+	if d.Severity != Error {
+		t.Errorf("S2 severity = %v, want error", d.Severity)
+	}
+}
+
+func TestUnknownColumnInWhereAndGroupBy(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0 WHERE Bogus > 1;
+R2 = SELECT A,Sum(B) as S FROM R0 GROUP BY Phantom;
+OUTPUT R1 TO "o1";
+OUTPUT R2 TO "o2";
+`
+	ds := findings(t, src)
+	requireCode(t, ds, "S2", `"Bogus"`)
+	requireCode(t, ds, "S2", `"Phantom"`)
+}
+
+func TestUnknownQualifier(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+T0 = EXTRACT A,B FROM "test2.log" USING LogExtractor;
+R1 = SELECT R0.A,T0.B FROM R0,T0 WHERE R0.A=Elsewhere.B;
+OUTPUT R1 TO "o1";
+`
+	ds := findings(t, src)
+	requireCode(t, ds, "S2", `qualifier "Elsewhere"`)
+}
+
+func TestUnknownQualifiedColumn(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT R0.Ghost FROM R0;
+OUTPUT R1 TO "o1";
+`
+	ds := findings(t, src)
+	requireCode(t, ds, "S2", `column R0.Ghost is absent`)
+}
+
+func TestHavingSeesAggregateAliases(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A,Sum(B) as S FROM R0 GROUP BY A HAVING S > 10;
+OUTPUT R1 TO "o1";
+`
+	if ds := findings(t, src); len(ds) != 0 {
+		t.Fatalf("HAVING over the aggregate alias is legal; got %v", ds)
+	}
+}
+
+func TestOutputOrderByUnknownColumn(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+OUTPUT R1 TO "o1" ORDER BY B;
+`
+	ds := findings(t, src)
+	requireCode(t, ds, "S2", `ORDER BY column "B"`)
+}
+
+func TestDeadStatement(t *testing.T) {
+	// R1 is referenced (by R2), but the chain never reaches an OUTPUT:
+	// R1 is S3, R2 is S1 (unreferenced), and the live chain is silent.
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+R2 = SELECT A FROM R1;
+R3 = SELECT B FROM R0;
+OUTPUT R3 TO "o1";
+`
+	ds := findings(t, src)
+	d := requireCode(t, ds, "S3", `result "R1" is consumed only by statements that never reach an OUTPUT`)
+	if d.Severity != Warning {
+		t.Errorf("S3 severity = %v, want warning", d.Severity)
+	}
+	requireCode(t, ds, "S1", `result "R2" is never referenced`)
+	for _, d := range ds {
+		if strings.Contains(d.Message, `"R0"`) || strings.Contains(d.Message, `"R3"`) {
+			t.Errorf("live statement flagged: %v", d)
+		}
+	}
+}
+
+func TestUnionSchemaDerivation(t *testing.T) {
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+T0 = EXTRACT A,B FROM "test2.log" USING LogExtractor;
+U = SELECT * FROM R0 UNION ALL SELECT * FROM T0;
+R1 = SELECT Nope FROM U;
+OUTPUT R1 TO "o1";
+`
+	// Union schema derivation may be partial; the only hard requirement
+	// is no panic and no false positive on the legal parts.
+	ds := findings(t, src)
+	for _, d := range ds {
+		if d.Code == "S2" && !strings.Contains(d.Message, "Nope") {
+			t.Errorf("unexpected S2 on a legal reference: %v", d)
+		}
+	}
+}
+
+func TestAnalyzeScriptNil(t *testing.T) {
+	if r := AnalyzeScript(nil, "x"); !r.Empty() {
+		t.Fatalf("nil script should produce an empty report, got %v", r.Diags)
+	}
+}

@@ -3,47 +3,102 @@ package opt
 import (
 	"fmt"
 
+	"repro/internal/lint"
 	"repro/internal/plan"
 	"repro/internal/props"
 	"repro/internal/relop"
 	"repro/internal/rules"
 )
 
-// ValidatePlan statically checks the physical soundness of a plan —
-// the properties the execution simulator would verify dynamically,
-// available also for plans too large to execute (the paper's LS
-// scripts are evaluated by estimated cost only; this check is what
-// makes that comparison trustworthy):
+// Validation diagnostic codes. Each checkNode branch owns one stable
+// code so tests and tooling can match findings structurally instead of
+// by message text.
+const (
+	// CodeDlvdMismatch: recorded delivered properties differ from the
+	// derivation over the children's.
+	CodeDlvdMismatch = "V1"
+	// CodeStreamAggCluster: stream aggregation over input not
+	// clustered on its keys.
+	CodeStreamAggCluster = "V2"
+	// CodeAggColocation: global/single aggregation over input not
+	// colocated by key, or any aggregation over broadcast input.
+	CodeAggColocation = "V3"
+	// CodeOutputDistribution: OUTPUT over broadcast input, or an
+	// ordered OUTPUT whose input is not globally sorted.
+	CodeOutputDistribution = "V4"
+	// CodeEnforcerColumns: an enforcer (sort, repartition) names
+	// columns absent from its input schema.
+	CodeEnforcerColumns = "V5"
+	// CodeMergeJoinOrder: merge join inputs unsorted on the join keys
+	// or sorted in non-corresponding key order.
+	CodeMergeJoinOrder = "V6"
+	// CodeJoinColocation: join inputs not co-partitioned.
+	CodeJoinColocation = "V7"
+)
+
+// ValidatePlan statically checks the physical soundness of a plan and
+// returns the first violation as an error, for callers that only need
+// a pass/fail signal. ValidatePlanDiags exposes every finding.
+func ValidatePlan(root *plan.Node) error {
+	ds := ValidatePlanDiags(root)
+	if len(ds) == 0 {
+		return nil
+	}
+	if len(ds) == 1 {
+		return fmt.Errorf("%s [%s]", ds[0].Message, ds[0].Code)
+	}
+	return fmt.Errorf("%s [%s] (and %d more findings)", ds[0].Message, ds[0].Code, len(ds)-1)
+}
+
+// ValidatePlanDiags statically checks the physical soundness of a
+// plan — the properties the execution simulator would verify
+// dynamically, available also for plans too large to execute (the
+// paper's LS scripts are evaluated by estimated cost only; this check
+// is what makes that comparison trustworthy):
 //
 //   - every node's recorded delivered properties equal the derivation
-//     from its children's;
-//   - stream aggregations receive input clustered on their keys;
+//     from its children's (V1);
+//   - stream aggregations receive input clustered on their keys (V2);
 //   - Global and Single aggregations receive input colocated by key
-//     (serial, or hash on a subset of the keys);
-//   - no aggregation or output consumes broadcast data;
-//   - merge/hash joins receive co-partitioned inputs (serial pairs,
+//     (serial, or hash on a subset of the keys), and no aggregation
+//     consumes broadcast data (V3);
+//   - no output consumes broadcast data, and ordered outputs receive
+//     globally sorted input (V4);
+//   - enforcer columns exist in their input's schema (V5);
+//   - merge joins receive inputs sorted on corresponding keys (V6);
+//   - merge/hash joins receive co-partitioned inputs: serial pairs,
 //     corresponding exact hash schemes under the key pairing, or one
-//     broadcast side), and merge joins sorted inputs;
-//   - enforcer columns exist in their input's schema.
-func ValidatePlan(root *plan.Node) error {
+//     broadcast side (V7).
+//
+// Findings are reported through the lint framework in post-order (a
+// node's children are checked before the node), one diagnostic per
+// violated rule, localized by operator path.
+func ValidatePlanDiags(root *plan.Node) []lint.Diagnostic {
+	r := &lint.Report{}
+	paths := lint.PlanPaths(root)
 	seen := map[*plan.Node]bool{}
-	var walk func(n *plan.Node) error
-	walk = func(n *plan.Node) error {
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
 		if seen[n] {
-			return nil
+			return
 		}
 		seen[n] = true
 		for _, c := range n.Children {
-			if err := walk(c); err != nil {
-				return err
-			}
+			walk(c)
 		}
-		return checkNode(n)
+		checkNode(n, paths[n], r)
 	}
-	return walk(root)
+	walk(root)
+	return r.Diags
 }
 
-func checkNode(n *plan.Node) error {
+// addv appends one validation finding. All validation rules are
+// physical-soundness invariants, so every finding is an error.
+func addv(r *lint.Report, code, pos, format string, args ...any) {
+	r.Addf(code, "validate", lint.Error, pos, format, args...)
+}
+
+func checkNode(n *plan.Node, pos string, r *lint.Report) {
 	dlvds := make([]props.Delivered, len(n.Children))
 	for i, c := range n.Children {
 		dlvds[i] = c.Dlvd
@@ -52,7 +107,7 @@ func checkNode(n *plan.Node) error {
 	// the derivation exactly.
 	want := rules.DeriveDelivered(n.Op, dlvds)
 	if !want.Part.Equal(n.Dlvd.Part) || !want.Order.Equal(n.Dlvd.Order) {
-		return fmt.Errorf("plan check: %s: recorded delivered %v differs from derived %v",
+		addv(r, CodeDlvdMismatch, pos, "plan check: %s: recorded delivered %v differs from derived %v",
 			n.Op, n.Dlvd, want)
 	}
 	child := func(i int) *plan.Node { return n.Children[i] }
@@ -61,52 +116,50 @@ func checkNode(n *plan.Node) error {
 		in := child(0)
 		keys := props.NewColSet(op.Keys...)
 		if !in.Dlvd.Order.HasPrefixSet(keys) {
-			return fmt.Errorf("plan check: %s: input order %v does not cluster keys %v",
+			addv(r, CodeStreamAggCluster, pos, "plan check: %s: input order %v does not cluster keys %v",
 				n.Op, in.Dlvd.Order, keys)
 		}
-		return checkAggDistribution(n, op.Keys, op.Phase, in)
+		checkAggDistribution(n, op.Keys, op.Phase, in, pos, r)
 	case *relop.HashAgg:
-		return checkAggDistribution(n, op.Keys, op.Phase, child(0))
+		checkAggDistribution(n, op.Keys, op.Phase, child(0), pos, r)
 	case *relop.PhysOutput:
 		in := child(0)
 		if in.Dlvd.Part.Kind == props.PartBroadcast {
-			return fmt.Errorf("plan check: output over broadcast input duplicates rows")
+			addv(r, CodeOutputDistribution, pos, "plan check: output over broadcast input duplicates rows")
 		}
 		if !op.Order.Empty() {
 			// A globally sorted file needs locally sorted input that
 			// is either serial or range-partitioned consistently with
 			// the output order.
 			if !in.Dlvd.Order.Satisfies(op.Order) {
-				return fmt.Errorf("plan check: ordered output %q input order %v misses %v",
+				addv(r, CodeOutputDistribution, pos, "plan check: ordered output %q input order %v misses %v",
 					op.Path, in.Dlvd.Order, op.Order)
 			}
 			switch in.Dlvd.Part.Kind {
 			case props.PartSerial:
 			case props.PartRange:
 				if !op.Order.Satisfies(in.Dlvd.Part.SortCols) && !in.Dlvd.Part.SortCols.Satisfies(op.Order) {
-					return fmt.Errorf("plan check: ordered output %q range keys %v inconsistent with order %v",
+					addv(r, CodeOutputDistribution, pos, "plan check: ordered output %q range keys %v inconsistent with order %v",
 						op.Path, in.Dlvd.Part.SortCols, op.Order)
 				}
 			default:
-				return fmt.Errorf("plan check: ordered output %q over %v input is not globally sorted",
+				addv(r, CodeOutputDistribution, pos, "plan check: ordered output %q over %v input is not globally sorted",
 					op.Path, in.Dlvd.Part)
 			}
 		}
 	case *relop.Sort:
 		if !op.Order.Columns().SubsetOf(child(0).Schema.ColSet()) {
-			return fmt.Errorf("plan check: sort %v over schema %v", op.Order, child(0).Schema)
+			addv(r, CodeEnforcerColumns, pos, "plan check: sort %v over schema %v", op.Order, child(0).Schema)
 		}
 	case *relop.Repartition:
 		if op.To.Kind == props.PartHash && !op.To.Cols.SubsetOf(child(0).Schema.ColSet()) {
-			return fmt.Errorf("plan check: repartition %v over schema %v", op.To, child(0).Schema)
+			addv(r, CodeEnforcerColumns, pos, "plan check: repartition %v over schema %v", op.To, child(0).Schema)
 		}
 	case *relop.SortMergeJoin:
-		if err := checkJoinDistribution(op.LeftKeys, op.RightKeys, child(0), child(1)); err != nil {
-			return err
-		}
+		checkJoinDistribution(op.LeftKeys, op.RightKeys, child(0), child(1), pos, r)
 		if !sortedOnKeyPrefix(child(0).Dlvd.Order, op.LeftKeys) ||
 			!sortedOnKeyPrefix(child(1).Dlvd.Order, op.RightKeys) {
-			return fmt.Errorf("plan check: merge join inputs not sorted on keys: %v / %v",
+			addv(r, CodeMergeJoinOrder, pos, "plan check: merge join inputs not sorted on keys: %v / %v",
 				child(0).Dlvd.Order, child(1).Dlvd.Order)
 		}
 		lo, ro := child(0).Dlvd.Order, child(1).Dlvd.Order
@@ -114,55 +167,54 @@ func checkNode(n *plan.Node) error {
 			li := keyIndex(op.LeftKeys, lo[i].Col)
 			ri := keyIndex(op.RightKeys, ro[i].Col)
 			if li != ri {
-				return fmt.Errorf("plan check: merge join key orders do not correspond: %v vs %v", lo, ro)
+				addv(r, CodeMergeJoinOrder, pos, "plan check: merge join key orders do not correspond: %v vs %v", lo, ro)
+				break
 			}
 		}
 	case *relop.HashJoin:
-		if err := checkJoinDistribution(op.LeftKeys, op.RightKeys, child(0), child(1)); err != nil {
-			return err
-		}
+		checkJoinDistribution(op.LeftKeys, op.RightKeys, child(0), child(1), pos, r)
 	}
-	return nil
 }
 
-func checkAggDistribution(n *plan.Node, keys []string, phase relop.AggPhase, in *plan.Node) error {
+func checkAggDistribution(n *plan.Node, keys []string, phase relop.AggPhase, in *plan.Node, pos string, r *lint.Report) {
 	if in.Dlvd.Part.Kind == props.PartBroadcast {
-		return fmt.Errorf("plan check: %s: aggregation over broadcast input", n.Op)
+		addv(r, CodeAggColocation, pos, "plan check: %s: aggregation over broadcast input", n.Op)
+		return
 	}
 	if phase == relop.AggLocal {
-		return nil
+		return
 	}
 	keySet := props.NewColSet(keys...)
 	p := in.Dlvd.Part
 	switch p.Kind {
 	case props.PartSerial:
-		return nil
+		return
 	case props.PartHash, props.PartRange:
 		// Hash or range keys within the grouping keys colocate equal
 		// groups.
 		if p.Cols.SubsetOf(keySet) && !p.Cols.Empty() {
-			return nil
+			return
 		}
 	}
-	return fmt.Errorf("plan check: %s (%v): input partitioning %v does not colocate keys %v",
+	addv(r, CodeAggColocation, pos, "plan check: %s (%v): input partitioning %v does not colocate keys %v",
 		n.Op, phase, p, keySet)
 }
 
 // checkJoinDistribution verifies equal join keys meet on one machine:
 // serial-serial, one broadcast side, or hash schemes over
 // corresponding key columns on both sides.
-func checkJoinDistribution(lKeys, rKeys []string, l, r *plan.Node) error {
+func checkJoinDistribution(lKeys, rKeys []string, l, r *plan.Node, pos string, rep *lint.Report) {
 	lp, rp := l.Dlvd.Part, r.Dlvd.Part
 	if lp.Kind == props.PartBroadcast || rp.Kind == props.PartBroadcast {
 		if lp.Kind == rp.Kind {
-			return fmt.Errorf("plan check: join with both sides broadcast")
+			addv(rep, CodeJoinColocation, pos, "plan check: join with both sides broadcast")
 		}
 		// Any non-broadcast probe distribution works: the inner is
 		// replicated everywhere.
-		return nil
+		return
 	}
 	if lp.Kind == props.PartSerial && rp.Kind == props.PartSerial {
-		return nil
+		return
 	}
 	if lp.Kind == props.PartHash && rp.Kind == props.PartHash {
 		// Hash columns must be join keys and correspond pairwise.
@@ -170,7 +222,8 @@ func checkJoinDistribution(lKeys, rKeys []string, l, r *plan.Node) error {
 		for _, c := range lp.Cols.Cols() {
 			i := keyIndex(lKeys, c)
 			if i < 0 {
-				return fmt.Errorf("plan check: join left partitioned on non-key %q", c)
+				addv(rep, CodeJoinColocation, pos, "plan check: join left partitioned on non-key %q", c)
+				return
 			}
 			lIdx = append(lIdx, i)
 		}
@@ -178,21 +231,24 @@ func checkJoinDistribution(lKeys, rKeys []string, l, r *plan.Node) error {
 		for _, c := range rp.Cols.Cols() {
 			i := keyIndex(rKeys, c)
 			if i < 0 {
-				return fmt.Errorf("plan check: join right partitioned on non-key %q", c)
+				addv(rep, CodeJoinColocation, pos, "plan check: join right partitioned on non-key %q", c)
+				return
 			}
 			rIdx[i] = true
 		}
 		if len(lIdx) != len(rIdx) {
-			return fmt.Errorf("plan check: join partition schemes differ in arity: %v vs %v", lp, rp)
+			addv(rep, CodeJoinColocation, pos, "plan check: join partition schemes differ in arity: %v vs %v", lp, rp)
+			return
 		}
 		for _, i := range lIdx {
 			if !rIdx[i] {
-				return fmt.Errorf("plan check: join partition schemes do not correspond: %v vs %v", lp, rp)
+				addv(rep, CodeJoinColocation, pos, "plan check: join partition schemes do not correspond: %v vs %v", lp, rp)
+				return
 			}
 		}
-		return nil
+		return
 	}
-	return fmt.Errorf("plan check: join inputs not co-located: %v vs %v", lp, rp)
+	addv(rep, CodeJoinColocation, pos, "plan check: join inputs not co-located: %v vs %v", lp, rp)
 }
 
 func keyIndex(keys []string, col string) int {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/lint"
 	"repro/internal/plan"
 	"repro/internal/props"
 	"repro/internal/relop"
@@ -108,5 +109,121 @@ func TestValidatePlanRejectsBadPlans(t *testing.T) {
 		joinSchema, props.Delivered{Part: lhash.Dlvd.Part}, lhash, rhashA)
 	if err := ValidatePlan(okJoin); err != nil {
 		t.Errorf("corresponding join schemes should pass: %v", err)
+	}
+}
+
+// TestValidatePlanDiagsCodes drives every checkNode branch with a
+// deliberately broken plan and asserts the finding carries the
+// branch's stable code, so tools can match structurally instead of by
+// message text.
+func TestValidatePlanDiagsCodes(t *testing.T) {
+	schema := relop.Schema{{Name: "A", Type: relop.TInt}, {Name: "B", Type: relop.TInt}}
+	rs := relop.Schema{{Name: "A2", Type: relop.TInt}, {Name: "B2", Type: relop.TInt}}
+	random := props.Delivered{Part: props.RandomPartitioning()}
+	sum := []relop.Aggregate{{Func: relop.AggSum, Arg: "B", As: "S"}}
+	extract := func() *plan.Node {
+		return mkCheckNode(&relop.PhysExtract{Path: "t", Columns: schema}, schema, random)
+	}
+	// serial returns an input claiming serial distribution and the
+	// given sort order. The claim mismatches the extract derivation on
+	// purpose (that V1 finding is beside the point for the join and
+	// output branches, which assert their own codes).
+	serial := func(s relop.Schema, order ...string) *plan.Node {
+		return mkCheckNode(&relop.PhysExtract{Path: "t", Columns: s}, s,
+			props.Delivered{Part: props.SerialPartitioning(), Order: props.NewOrdering(order...)})
+	}
+	hashOn := func(s relop.Schema, col string) *plan.Node {
+		p := props.Partitioning{Kind: props.PartHash, Cols: props.NewColSet(col), Exact: true}
+		return mkCheckNode(&relop.PhysExtract{Path: "t", Columns: s}, s, props.Delivered{Part: p})
+	}
+	bcast := func(s relop.Schema) *plan.Node {
+		return mkCheckNode(&relop.PhysExtract{Path: "t", Columns: s}, s,
+			props.Delivered{Part: props.BroadcastPartitioning()})
+	}
+
+	cases := []struct {
+		name     string
+		node     *plan.Node
+		code     string
+		fragment string
+	}{
+		{"dlvd-mismatch", mkCheckNode(&relop.PhysFilter{Pred: relop.Lit(relop.IntVal(1))}, schema,
+			props.Delivered{Part: props.HashPartitioning(props.NewColSet("A"))}, extract()),
+			CodeDlvdMismatch, "differs from derived"},
+		{"streamagg-uncluster", mkCheckNode(&relop.StreamAgg{Keys: []string{"A"}, Aggs: sum}, schema,
+			random, extract()),
+			CodeStreamAggCluster, "does not cluster"},
+		{"agg-broadcast", mkCheckNode(&relop.HashAgg{Keys: []string{"A"}, Aggs: sum, Phase: relop.AggGlobal}, schema,
+			props.Delivered{Part: props.BroadcastPartitioning()}, bcast(schema)),
+			CodeAggColocation, "broadcast input"},
+		{"agg-noncolocated", mkCheckNode(&relop.HashAgg{Keys: []string{"A"}, Aggs: sum, Phase: relop.AggGlobal}, schema,
+			random, extract()),
+			CodeAggColocation, "does not colocate"},
+		{"output-broadcast", mkCheckNode(&relop.PhysOutput{Path: "o"}, schema,
+			props.Delivered{Part: props.BroadcastPartitioning()}, bcast(schema)),
+			CodeOutputDistribution, "duplicates rows"},
+		{"output-order-missing", mkCheckNode(&relop.PhysOutput{Path: "o", Order: props.NewOrdering("A")}, schema,
+			props.Delivered{Part: props.SerialPartitioning()}, serial(schema)),
+			CodeOutputDistribution, "misses"},
+		{"output-not-global", mkCheckNode(&relop.PhysOutput{Path: "o", Order: props.NewOrdering("A")}, schema,
+			props.Delivered{Part: hashOn(schema, "A").Dlvd.Part, Order: props.NewOrdering("A")},
+			mkCheckNode(&relop.PhysExtract{Path: "t", Columns: schema}, schema,
+				props.Delivered{Part: props.Partitioning{Kind: props.PartHash, Cols: props.NewColSet("A"), Exact: true},
+					Order: props.NewOrdering("A")})),
+			CodeOutputDistribution, "not globally sorted"},
+		{"sort-unknown-col", mkCheckNode(&relop.Sort{Order: props.NewOrdering("Z")}, schema,
+			props.Delivered{Part: random.Part, Order: props.NewOrdering("Z")}, extract()),
+			CodeEnforcerColumns, "sort"},
+		{"repartition-unknown-col", mkCheckNode(&relop.Repartition{To: props.HashPartitioning(props.NewColSet("Z"))}, schema,
+			props.Delivered{Part: props.HashPartitioning(props.NewColSet("Z"))}, extract()),
+			CodeEnforcerColumns, "repartition"},
+		{"mergejoin-unsorted", mkCheckNode(&relop.SortMergeJoin{LeftKeys: []string{"A"}, RightKeys: []string{"A2"}},
+			schema.Concat(rs), props.Delivered{Part: props.SerialPartitioning()},
+			serial(schema), serial(rs)),
+			CodeMergeJoinOrder, "not sorted on keys"},
+		{"mergejoin-order-mismatch", mkCheckNode(&relop.SortMergeJoin{LeftKeys: []string{"A", "B"}, RightKeys: []string{"A2", "B2"}},
+			schema.Concat(rs), props.Delivered{Part: props.SerialPartitioning()},
+			serial(schema, "A", "B"), serial(rs, "B2", "A2")),
+			CodeMergeJoinOrder, "do not correspond"},
+		{"join-both-broadcast", mkCheckNode(&relop.HashJoin{LeftKeys: []string{"A"}, RightKeys: []string{"A2"}},
+			schema.Concat(rs), props.Delivered{Part: props.BroadcastPartitioning()},
+			bcast(schema), bcast(rs)),
+			CodeJoinColocation, "both sides broadcast"},
+		{"join-not-colocated", mkCheckNode(&relop.HashJoin{LeftKeys: []string{"A"}, RightKeys: []string{"A2"}},
+			schema.Concat(rs), props.Delivered{Part: props.SerialPartitioning()},
+			serial(schema), hashOn(rs, "A2")),
+			CodeJoinColocation, "not co-located"},
+		{"join-left-nonkey", mkCheckNode(&relop.HashJoin{LeftKeys: []string{"A"}, RightKeys: []string{"A2"}},
+			schema.Concat(rs), props.Delivered{Part: props.SerialPartitioning()},
+			hashOn(schema, "B"), hashOn(rs, "A2")),
+			CodeJoinColocation, "left partitioned on non-key"},
+		{"join-right-nonkey", mkCheckNode(&relop.HashJoin{LeftKeys: []string{"A"}, RightKeys: []string{"A2"}},
+			schema.Concat(rs), props.Delivered{Part: props.SerialPartitioning()},
+			hashOn(schema, "A"), hashOn(rs, "B2")),
+			CodeJoinColocation, "right partitioned on non-key"},
+		{"join-arity-mismatch", mkCheckNode(&relop.HashJoin{LeftKeys: []string{"A", "B"}, RightKeys: []string{"A2", "B2"}},
+			schema.Concat(rs),
+			props.Delivered{Part: props.Partitioning{Kind: props.PartHash, Cols: props.NewColSet("A", "B"), Exact: true}},
+			mkCheckNode(&relop.PhysExtract{Path: "t", Columns: schema}, schema,
+				props.Delivered{Part: props.Partitioning{Kind: props.PartHash, Cols: props.NewColSet("A", "B"), Exact: true}}),
+			hashOn(rs, "A2")),
+			CodeJoinColocation, "differ in arity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := ValidatePlanDiags(tc.node)
+			found := false
+			for _, d := range ds {
+				if d.Analyzer != "validate" || d.Severity != lint.Error || d.Pos == "" {
+					t.Errorf("malformed diagnostic %+v: want analyzer=validate, severity=error, non-empty pos", d)
+				}
+				if d.Code == tc.code && strings.Contains(d.Message, tc.fragment) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("want a %s finding containing %q; got %v", tc.code, tc.fragment, ds)
+			}
+		})
 	}
 }

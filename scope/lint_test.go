@@ -1,0 +1,169 @@
+package scope
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/relop"
+)
+
+func optimizeS1Lint(t *testing.T, options ...Option) *Plan {
+	t.Helper()
+	q, err := testDB(t).Compile(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := q.Optimize(options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanLintClean(t *testing.T) {
+	for _, opts := range [][]Option{
+		nil,
+		{WithCSE(false)},
+		{WithSCOPEProfile()},
+		{WithLocalSharingOnly()},
+	} {
+		p := optimizeS1Lint(t, opts...)
+		if ds := p.Lint(); len(ds) != 0 {
+			t.Errorf("optimizer plan (options %d) has lint findings: %v", len(opts), ds)
+		}
+	}
+}
+
+// TestPlanLintFlagsCorruptedPlan corrupts the optimized plan so one
+// consumer path reaches the shared group under a different pinned
+// context, and checks the public Lint API surfaces the P2 finding in
+// compiler format.
+func TestPlanLintFlagsCorruptedPlan(t *testing.T) {
+	p := optimizeS1Lint(t)
+	spools := plan.FindAll(p.res.Plan, relop.KindPhysSpool)
+	if len(spools) != 1 {
+		t.Fatalf("S1 plan has %d spools, want 1", len(spools))
+	}
+	sp := spools[0]
+	rogue := *sp
+	rogue.CtxKey = sp.CtxKey + "|rogue"
+	replaced := false
+	for _, n := range plan.Operators(p.res.Plan) {
+		for i, c := range n.Children {
+			if c == sp && !replaced {
+				n.Children[i] = &rogue
+				replaced = true
+			}
+		}
+	}
+	if !replaced {
+		t.Fatal("spool has no consumer to corrupt")
+	}
+	ds := p.Lint()
+	var hit *Diagnostic
+	for i := range ds {
+		if ds[i].Code == "P2" {
+			hit = &ds[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("conflicting pins not surfaced through Plan.Lint: %v", ds)
+	}
+	if hit.Severity != "error" || hit.Analyzer != "pin-consistency" {
+		t.Errorf("P2 finding = %+v", *hit)
+	}
+	s := hit.String()
+	if !strings.Contains(s, ": error: ") || !strings.HasSuffix(s, "[P2]") {
+		t.Errorf("diagnostic format = %q, want compiler style with trailing [P2]", s)
+	}
+}
+
+func TestDiagnosticStringEmptyPos(t *testing.T) {
+	d := Diagnostic{Code: "P3", Severity: "error", Message: "m"}
+	if got := d.String(); got != "<plan>: error: m [P3]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// exampleScripts collects every `const script` literal under
+// examples/, plus the largescript generator's shape, so the
+// acceptance check below covers all shipped example workloads.
+func exampleScripts(t *testing.T) map[string]string {
+	t.Helper()
+	scripts := map[string]string{}
+	mains, err := filepath.Glob("../examples/*/main.go")
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(filepath.Dir(path))
+		const marker = "const script = `"
+		i := strings.Index(string(src), marker)
+		if i < 0 {
+			continue // largescript generates its script programmatically
+		}
+		rest := string(src)[i+len(marker):]
+		j := strings.Index(rest, "`")
+		if j < 0 {
+			t.Fatalf("%s: unterminated script literal", path)
+		}
+		scripts[name] = rest[:j]
+	}
+	if len(scripts) < 4 {
+		t.Fatalf("expected at least 4 extracted example scripts, got %d", len(scripts))
+	}
+	// The largescript example's generated shape: disjoint shared
+	// pipelines, three consumers each.
+	var sb strings.Builder
+	groupings := []string{"A,B", "B,C", "A"}
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(&sb, "E%d = EXTRACT A,B,C,D FROM \"logs/part%d.log\" USING LogExtractor;\n", i, i)
+		fmt.Fprintf(&sb, "S%d = SELECT A,B,C,Sum(D) as S FROM E%d GROUP BY A,B,C;\n", i, i)
+		for j, g := range groupings {
+			fmt.Fprintf(&sb, "C%d_%d = SELECT %s,Sum(S) as T FROM S%d GROUP BY %s;\n", i, j, g, i, g)
+			fmt.Fprintf(&sb, "OUTPUT C%d_%d TO \"out/p%d_%d.out\";\n", i, j, i, j)
+		}
+	}
+	scripts["largescript"] = sb.String()
+	return scripts
+}
+
+// TestExampleScriptsLintClean is the repo-wide acceptance gate: every
+// example script optimized with CSE on (and under the SCOPE profile)
+// must yield zero static-analysis findings of any severity.
+func TestExampleScriptsLintClean(t *testing.T) {
+	for name, script := range exampleScripts(t) {
+		db := New()
+		q, err := db.Compile(script)
+		if err != nil {
+			t.Errorf("%s: does not compile: %v", name, err)
+			continue
+		}
+		for _, profile := range []struct {
+			name string
+			opts []Option
+		}{
+			{"default", nil},
+			{"scope", []Option{WithSCOPEProfile()}},
+			{"nocse", []Option{WithCSE(false)}},
+		} {
+			p, err := q.Optimize(profile.opts...)
+			if err != nil {
+				t.Errorf("%s/%s: optimize: %v", name, profile.name, err)
+				continue
+			}
+			if ds := p.Lint(); len(ds) != 0 {
+				t.Errorf("%s/%s: plan has lint findings:\n%v\nplan:\n%s",
+					name, profile.name, ds, p.Explain())
+			}
+		}
+	}
+}

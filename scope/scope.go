@@ -222,8 +222,9 @@ type Stats struct {
 
 // Plan is an optimized physical plan.
 type Plan struct {
-	db  *DB
-	res *opt.Result
+	db   *DB
+	res  *opt.Result
+	opts opt.Options
 }
 
 // Optimize optimizes the query and returns the best plan. Each call
@@ -242,7 +243,7 @@ func (q *Query) Optimize(options ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{db: q.db, res: res}, nil
+	return &Plan{db: q.db, res: res, opts: cfg.opts}, nil
 }
 
 // EstimatedCost returns the plan's DAG-aware estimated cost.
@@ -298,6 +299,53 @@ func (p *Plan) Rounds() []Round {
 // optimizer only emits valid plans; Validate exists for auditing and
 // for plans loaded or transformed externally.
 func (p *Plan) Validate() error { return opt.ValidatePlan(p.res.Plan) }
+
+// Diagnostic is one static-analysis finding on a plan: a stable code
+// (P1–P5 for the global sharing invariants, V1–V7 for local physical
+// soundness), the analyzer that produced it, a severity ("error",
+// "warning", "info"), an operator-path location, and a message.
+type Diagnostic struct {
+	Code     string
+	Analyzer string
+	Severity string
+	Pos      string
+	Message  string
+}
+
+// String renders the diagnostic in "pos: severity: message [code]"
+// compiler format.
+func (d Diagnostic) String() string {
+	pos := d.Pos
+	if pos == "" {
+		pos = "<plan>"
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Message, d.Code)
+}
+
+// Lint runs the full static-analysis catalog on the plan — the global
+// common-subexpression invariants of the paper (single spool per
+// shared group, pin consistency across consumer paths, DAG/tree cost
+// coherence, missed CSEs, redundant enforcers) plus the local
+// validation checks — and returns the findings, empty when clean.
+// Sharing bugs are silent cost regressions rather than wrong answers,
+// so Lint catches what Execute-based testing cannot.
+func (p *Plan) Lint() []Diagnostic {
+	ds := p.res.Lint
+	if ds == nil {
+		ds = opt.LintPlan(p.res, p.opts)
+	}
+	out := make([]Diagnostic, len(ds))
+	for i, d := range ds {
+		out[i] = Diagnostic{
+			Code:     d.Code,
+			Analyzer: d.Analyzer,
+			Severity: d.Severity.String(),
+			Pos:      d.Pos,
+			Message:  d.Message,
+		}
+	}
+	return out
+}
 
 // JSON encodes the physical plan (DAG structure preserved) for
 // external tooling or caching; LoadPlan restores it.
