@@ -172,7 +172,10 @@ func BenchmarkExecution(b *testing.B) {
 			var m exec.Metrics
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cl := exec.NewCluster(5, w.FS)
+				cl, err := exec.NewCluster(5, w.FS)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if _, err := cl.Run(res.Plan); err != nil {
 					b.Fatal(err)
 				}

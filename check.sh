@@ -36,4 +36,12 @@ go test ./... || fail "tests failed"
 echo "== go test -race (opt, core, exec) =="
 go test -race ./internal/opt/ ./internal/core/ ./internal/exec/ || fail "race tests failed"
 
+# The parallel-executor suites are the load-bearing coverage for the
+# worker pool, single-flight spools, and concurrent Cluster.Run — run
+# them by name so a renamed or skipped test cannot silently drop the
+# race coverage.
+echo "== go test -race (parallel exec suites) =="
+go test -race -count=1 -run 'Parallel|Concurrent|SingleFlight|BroadcastSpool' ./internal/exec/ ||
+	fail "parallel exec race tests failed"
+
 echo "check.sh: all green"

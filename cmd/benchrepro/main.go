@@ -5,6 +5,7 @@
 //	benchrepro -fig rounds     Sec. VIII-A round-count reduction
 //	benchrepro -fig budget     Sec. VIII-B/C ranking under a budget
 //	benchrepro -fig baselines  conventional vs local-sharing vs cost-based
+//	benchrepro -fig exec       wall-clock vs simulated execution time
 //	benchrepro -fig all        everything
 package main
 
@@ -12,12 +13,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
 
+// parseWorkers turns a comma-separated list like "1,4,8" into pool
+// widths.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, all")
+	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, all")
+	machines := flag.Int("machines", 5, "simulated cluster size for -fig exec")
+	workers := flag.String("workers", "1,4", "comma-separated worker-pool widths for -fig exec")
 	flag.Parse()
 	cfg := bench.DefaultConfig()
 
@@ -71,11 +90,25 @@ func main() {
 			fmt.Print(bench.FormatBudget(rows))
 			return nil
 		},
+		"exec": func() error {
+			wc, err := parseWorkers(*workers)
+			if err != nil {
+				return err
+			}
+			rows, err := bench.ExecTimings(*machines, wc, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Execution — wall-clock vs simulated seconds, %d machines, workers %s\n",
+				*machines, *workers)
+			fmt.Print(bench.FormatExec(rows))
+			return nil
+		},
 	}
 
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "rounds", "budget", "baselines"}
+		order = []string{"7", "8", "rounds", "budget", "baselines", "exec"}
 	} else {
 		order = []string{*fig}
 	}

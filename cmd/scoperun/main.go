@@ -1,20 +1,27 @@
 // Command scoperun optimizes a builtin workload and executes both the
 // conventional and the CSE plan on the simulated shared-nothing
 // cluster, verifying the results agree with the reference interpreter
-// and reporting the metered work of each plan.
+// and reporting the metered work and wall-clock time of each plan.
 //
 // Usage:
 //
-//	scoperun -script s1 -machines 8
+//	scoperun -script s1 -machines 8 -workers 4
+//
+// -machines is the simulated cluster size (partition count) and
+// -workers the real worker-pool width executing partition tasks;
+// metered work and results are identical at every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cost"
 	"repro/internal/datagen"
 	"repro/internal/exec"
 	"repro/internal/logical"
@@ -22,9 +29,19 @@ import (
 
 func main() {
 	script := flag.String("script", "s1", "builtin workload: s1 s2 s3 s4 fig5")
-	machines := flag.Int("machines", 8, "simulated cluster size for execution")
+	machines := flag.Int("machines", 8, "simulated cluster size for execution (must be positive)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "execution worker-pool width (must be positive)")
 	lintOut := flag.Bool("lint", false, "print static-analysis findings for each plan before executing it")
 	flag.Parse()
+
+	if *machines <= 0 {
+		fmt.Fprintf(os.Stderr, "scoperun: -machines must be positive, got %d\n", *machines)
+		os.Exit(2)
+	}
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "scoperun: -workers must be positive, got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	var w *datagen.Workload
 	switch *script {
@@ -50,6 +67,8 @@ func main() {
 	exitOn(err)
 
 	cfg := bench.DefaultConfig()
+	simCluster := cost.DefaultCluster()
+	simCluster.Machines = *machines
 	for _, cse := range []bool{false, true} {
 		label := "conventional"
 		if cse {
@@ -65,8 +84,12 @@ func main() {
 				fmt.Printf("%s  lint: %s\n", label, d)
 			}
 		}
-		cl := exec.NewCluster(*machines, w.FS)
+		cl, err := exec.NewCluster(*machines, w.FS)
+		exitOn(err)
+		cl.Workers = *workers
+		start := time.Now()
 		got, err := cl.Run(res.Plan)
+		wall := time.Since(start)
 		exitOn(err)
 		ok := true
 		for path, wt := range want {
@@ -75,9 +98,10 @@ func main() {
 			}
 		}
 		m := cl.Metrics()
-		fmt.Printf("%s  est.cost=%8.0f  disk=%8d  net=%8d  rows=%8d  exchanges=%d  spools=%d  correct=%v\n",
+		fmt.Printf("%s  est.cost=%8.0f  disk=%8d  net=%8d  rows=%8d  exchanges=%d  spools=%d  sim=%6.2fs  wall=%9s  correct=%v\n",
 			label, res.Cost, m.DiskBytesRead+m.DiskBytesWritten, m.NetBytes,
-			m.RowsProcessed, m.Exchanges, m.SpoolMaterializations, ok)
+			m.RowsProcessed, m.Exchanges, m.SpoolMaterializations,
+			m.SimulatedSeconds(simCluster), wall.Round(time.Microsecond), ok)
 		if !ok {
 			os.Exit(1)
 		}

@@ -17,7 +17,7 @@ import (
 // PaperCostScale calibrates our cost units to the magnitudes of the
 // paper's Fig. 7 (whose S1 conventional plan costs 8185 units). Only
 // presentation changes; every ratio is scale-invariant.
-const PaperCostScale = 63.3
+const PaperCostScale = 63.2058
 
 // Config parameterizes an experiment run.
 type Config struct {

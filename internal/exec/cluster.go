@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/props"
@@ -40,35 +42,81 @@ func (m Metrics) SimulatedSeconds(c cost.Cluster) float64 {
 	return disk + net + cpu
 }
 
+// add accumulates o into m; Run uses it to merge per-worker metric
+// shards into the cluster meter.
+func (m *Metrics) add(o Metrics) {
+	m.DiskBytesRead += o.DiskBytesRead
+	m.DiskBytesWritten += o.DiskBytesWritten
+	m.NetBytes += o.NetBytes
+	m.RowsProcessed += o.RowsProcessed
+	m.SpoolMaterializations += o.SpoolMaterializations
+	m.SpoolReads += o.SpoolReads
+	m.Exchanges += o.Exchanges
+}
+
 // Cluster is the simulated shared-nothing cluster.
 type Cluster struct {
-	// Machines is the number of workers (partitions).
+	// Machines is the number of simulated machines (partitions).
 	Machines int
+	// Workers bounds how many partition tasks execute concurrently
+	// during a Run; <= 0 means runtime.GOMAXPROCS(0). One worker
+	// reproduces fully serial execution. Every worker meters into its
+	// own shard, merged into the cluster meter when the run finishes,
+	// so metered totals are identical at any worker count.
+	Workers int
 	// FS is the simulated distributed file system.
 	FS *FileStore
 	// Validate enables runtime verification of the physical
 	// properties plans rely on (colocation and clustering checks).
 	Validate bool
 
+	mu      sync.Mutex // guards metrics; Run calls may be concurrent
 	metrics Metrics
 }
 
-// NewCluster returns a cluster with the given worker count over fs.
-func NewCluster(machines int, fs *FileStore) *Cluster {
+// NewCluster returns a cluster with the given machine count over fs.
+// The machine count is part of the experiment being run, so an
+// unusable value is an error rather than a silently substituted
+// default.
+func NewCluster(machines int, fs *FileStore) (*Cluster, error) {
 	if machines <= 0 {
-		machines = 4
+		return nil, fmt.Errorf("exec: cluster needs at least 1 machine, got %d", machines)
 	}
 	if fs == nil {
 		fs = NewFileStore()
 	}
-	return &Cluster{Machines: machines, FS: fs, Validate: true}
+	return &Cluster{
+		Machines: machines,
+		Workers:  defaultWorkers(),
+		FS:       fs,
+		Validate: true,
+	}, nil
 }
 
+// defaultWorkers is the worker-pool width used when Cluster.Workers
+// is unset: one partition task in flight per available CPU.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // Metrics returns the work metered since the last Reset.
-func (c *Cluster) Metrics() Metrics { return c.metrics }
+func (c *Cluster) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
 
 // Reset clears the meter.
-func (c *Cluster) Reset() { c.metrics = Metrics{} }
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	c.metrics = Metrics{}
+	c.mu.Unlock()
+}
+
+// addMetrics merges one run's metered work into the cluster meter.
+func (c *Cluster) addMetrics(m Metrics) {
+	c.mu.Lock()
+	c.metrics.add(m)
+	c.mu.Unlock()
+}
 
 // pdata is a partitioned intermediate result: one row slice per
 // machine.
@@ -95,9 +143,22 @@ func (p *pdata) rows() int64 {
 	return n
 }
 
-// bytes returns the accounted size.
+// bytes returns the accounted size across all partitions; broadcast
+// data counts every replica.
 func (p *pdata) bytes() int64 {
 	return p.rows() * int64(len(p.schema)) * 8
+}
+
+// logicalBytes returns the size of one logical copy of the data.
+// Broadcast pdata replicates the same rows on every machine, and
+// storage metering (spool writes and reads, exchange sources) must
+// not multiply by the copy count — the cost model prices those
+// against the relation's logical size.
+func (p *pdata) logicalBytes() int64 {
+	if p.broadcast {
+		return int64(len(p.parts[0])) * int64(len(p.schema)) * 8
+	}
+	return p.bytes()
 }
 
 // gather concatenates all partitions (deterministically, by machine

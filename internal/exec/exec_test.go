@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestTableEqualAndDiff(t *testing.T) {
 func TestHandBuiltPipelineMatchesReference(t *testing.T) {
 	fs := NewFileStore()
 	fs.Put("t.log", smallTable())
-	c := NewCluster(3, fs)
+	c := testCluster(t, 3, fs)
 
 	schema := smallTable().Schema
 	aggSchema := relop.Schema{
@@ -97,7 +98,7 @@ func TestHandBuiltPipelineMatchesReference(t *testing.T) {
 func TestStreamAggValidatesClustering(t *testing.T) {
 	fs := NewFileStore()
 	fs.Put("t.log", smallTable())
-	c := NewCluster(1, fs)
+	c := testCluster(t, 1, fs)
 	schema := smallTable().Schema
 	p := &plan.Node{
 		Op:     &relop.StreamAgg{Keys: []string{"A", "B", "C"}, Aggs: []relop.Aggregate{{Func: relop.AggSum, Arg: "D", As: "S"}}},
@@ -114,7 +115,7 @@ func TestStreamAggValidatesClustering(t *testing.T) {
 func TestGlobalAggValidatesColocation(t *testing.T) {
 	fs := NewFileStore()
 	fs.Put("t.log", smallTable())
-	c := NewCluster(3, fs)
+	c := testCluster(t, 3, fs)
 	schema := smallTable().Schema
 	// Global hash agg over round-robin partitions: keys span
 	// machines — must be caught.
@@ -137,7 +138,7 @@ func TestRepartitionVariants(t *testing.T) {
 	extract := &plan.Node{Op: &relop.PhysExtract{Path: "t.log", Columns: schema}, Schema: schema}
 
 	// Serial: everything on machine 0.
-	c := NewCluster(4, fs)
+	c := testCluster(t, 4, fs)
 	p := &plan.Node{Op: &relop.Repartition{To: props.SerialPartitioning()}, Schema: schema, Children: []*plan.Node{extract}}
 	out := mustRunRaw(t, c, p)
 	if len(out.parts[0]) != 8 || len(out.parts[1]) != 0 {
@@ -176,7 +177,8 @@ func TestRepartitionVariants(t *testing.T) {
 // mustRunRaw executes a row-producing plan directly (no output node).
 func mustRunRaw(t *testing.T, c *Cluster, p *plan.Node) *pdata {
 	t.Helper()
-	r := &runner{c: c, spools: map[string]*pdata{}, outputs: map[string]*Table{}}
+	r, finish := c.newRunner(context.Background())
+	defer finish()
 	out, err := r.exec(p)
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +189,7 @@ func mustRunRaw(t *testing.T, c *Cluster, p *plan.Node) *pdata {
 func TestSpoolMaterializedOnce(t *testing.T) {
 	fs := NewFileStore()
 	fs.Put("t.log", smallTable())
-	c := NewCluster(2, fs)
+	c := testCluster(t, 2, fs)
 	schema := smallTable().Schema
 	extract := &plan.Node{Op: &relop.PhysExtract{Path: "t.log", Columns: schema}, Schema: schema}
 	spool := &plan.Node{Op: &relop.PhysSpool{}, Schema: schema, Group: 5, CtxKey: "p", Children: []*plan.Node{extract}}

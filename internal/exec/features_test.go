@@ -64,7 +64,7 @@ func TestFeatureScriptEquivalence(t *testing.T) {
 				if err := opt.ValidatePlan(res.Plan); err != nil {
 					t.Fatalf("cse=%v: %v", cse, err)
 				}
-				cl := exec.NewCluster(5, w.FS)
+				cl := testClusterFS(t, 5, w.FS)
 				got, err := cl.Run(res.Plan)
 				if err != nil {
 					t.Fatalf("cse=%v: %v", cse, err)
@@ -93,7 +93,7 @@ func TestOrderedOutputIsSorted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := exec.NewCluster(5, w.FS)
+	cl := testClusterFS(t, 5, w.FS)
 	outs, err := cl.Run(res.Plan)
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ OUTPUT T2 TO "o2";
 		if err := opt.ValidatePlan(res.Plan); err != nil {
 			t.Fatalf("cse=%v: %v", cse, err)
 		}
-		cl := exec.NewCluster(4, w.FS)
+		cl := testClusterFS(t, 4, w.FS)
 		got, err := cl.Run(res.Plan)
 		if err != nil {
 			t.Fatalf("cse=%v: %v", cse, err)
@@ -211,7 +211,7 @@ OUTPUT R TO "top.out" ORDER BY S DESC, A;
 	if err := opt.ValidatePlan(res.Plan); err != nil {
 		t.Fatal(err)
 	}
-	cl := exec.NewCluster(4, w.FS)
+	cl := testClusterFS(t, 4, w.FS)
 	outs, err := cl.Run(res.Plan) // exec validates the DESC order itself
 	if err != nil {
 		t.Fatal(err)
@@ -262,7 +262,7 @@ OUTPUT G TO "o";
 		if err := opt.ValidatePlan(res.Plan); err != nil {
 			t.Fatal(err)
 		}
-		cl := exec.NewCluster(4, w.FS)
+		cl := testClusterFS(t, 4, w.FS)
 		outs, err := cl.Run(res.Plan)
 		if err != nil {
 			t.Fatal(err)

@@ -83,7 +83,7 @@ func TestRandomScriptEquivalence(t *testing.T) {
 					t.Errorf("seed %d %s cse=%v: static validation: %v\nplan:\n%s",
 						seed, prof.name, cse, err, plan.Format(res.Plan))
 				}
-				cl := exec.NewCluster(7, w.FS)
+				cl := testClusterFS(t, 7, w.FS)
 				got, err := cl.Run(res.Plan)
 				if err != nil {
 					t.Fatalf("seed %d %s cse=%v: execute: %v\nscript:\n%s\nplan:\n%s",

@@ -114,7 +114,7 @@ func TestPlanEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s cse=%v: %v", pname, cse, err)
 					}
-					cl := exec.NewCluster(5, w.FS)
+					cl := testClusterFS(t, 5, w.FS)
 					got, err := cl.Run(res.Plan)
 					if err != nil {
 						t.Fatalf("%s cse=%v: execution failed: %v", pname, cse, err)
@@ -157,7 +157,7 @@ func TestSimulatorAgreesWithCostModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cl := exec.NewCluster(5, w.FS)
+		cl := testClusterFS(t, 5, w.FS)
 		if _, err := cl.Run(res.Plan); err != nil {
 			t.Fatal(err)
 		}

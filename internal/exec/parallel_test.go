@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+)
+
+// testCluster builds a cluster or fails the test; the constructor
+// returns an error for non-positive machine counts.
+func testCluster(t testing.TB, machines int, fs *FileStore) *Cluster {
+	t.Helper()
+	c, err := NewCluster(machines, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterRejectsNonPositiveMachines(t *testing.T) {
+	for _, m := range []int{0, -1, -100} {
+		if _, err := NewCluster(m, nil); err == nil {
+			t.Errorf("NewCluster(%d) should fail instead of substituting a default", m)
+		}
+	}
+	c, err := NewCluster(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machines != 1 {
+		t.Errorf("Machines = %d, want 1", c.Machines)
+	}
+	if c.Workers <= 0 {
+		t.Errorf("Workers default = %d, want positive", c.Workers)
+	}
+}
+
+// broadcastSpoolPlan builds Sequence(Output o1, Output o2) where both
+// outputs read one shared Spool over a broadcast exchange of the
+// 8-row test table.
+func broadcastSpoolPlan(schema relop.Schema) *plan.Node {
+	node := func(op relop.Operator, children ...*plan.Node) *plan.Node {
+		return &plan.Node{Op: op, Children: children, Schema: schema, CtxKey: "x"}
+	}
+	spool := node(&relop.PhysSpool{},
+		node(&relop.Repartition{To: props.BroadcastPartitioning()},
+			node(&relop.PhysExtract{Path: "t.log", Columns: schema})))
+	spool.Group = 1
+	return node(&relop.PhysSequence{},
+		node(&relop.PhysOutput{Path: "o1"}, spool),
+		node(&relop.PhysOutput{Path: "o2"}, spool))
+}
+
+// TestBroadcastSpoolMetering pins the metered bytes of a broadcast
+// spool to the relation's logical size: replicas must not multiply
+// the spool write or the per-consumer reads, matching the cost
+// model's accounting.
+func TestBroadcastSpoolMetering(t *testing.T) {
+	fs := NewFileStore()
+	fs.Put("t.log", smallTable())
+	c := testCluster(t, 3, fs)
+	c.Workers = 4
+
+	outs, err := c.Run(broadcastSpoolPlan(smallTable().Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"o1", "o2"} {
+		if got := outs[path]; got == nil || !got.Equal(smallTable()) {
+			t.Errorf("output %q should be the full table", path)
+		}
+	}
+	// 8 rows x 4 cols x 8 bytes = 256 logical bytes.
+	const logical = 256
+	m := c.Metrics()
+	if m.SpoolMaterializations != 1 || m.SpoolReads != 2 {
+		t.Errorf("spool counters = %+v", m)
+	}
+	// Writes: one spool materialization + two outputs.
+	if want := int64(3 * logical); m.DiskBytesWritten != want {
+		t.Errorf("DiskBytesWritten = %d, want %d (broadcast replicas must not be re-counted)", m.DiskBytesWritten, want)
+	}
+	// Reads: the extract + two spool reads.
+	if want := int64(3 * logical); m.DiskBytesRead != want {
+		t.Errorf("DiskBytesRead = %d, want %d", m.DiskBytesRead, want)
+	}
+	// The broadcast exchange itself ships one copy per machine.
+	if want := int64(3 * logical); m.NetBytes != want {
+		t.Errorf("NetBytes = %d, want %d", m.NetBytes, want)
+	}
+	if m.RowsProcessed != 8 {
+		t.Errorf("RowsProcessed = %d, want 8", m.RowsProcessed)
+	}
+}
+
+// TestBroadcastSpoolMeteringDeterministic asserts the meter reads the
+// same at every worker count — per-worker shards must merge to
+// identical totals no matter how partitions are scheduled.
+func TestBroadcastSpoolMeteringDeterministic(t *testing.T) {
+	var base Metrics
+	for i, workers := range []int{1, 2, 8} {
+		fs := NewFileStore()
+		fs.Put("t.log", smallTable())
+		c := testCluster(t, 3, fs)
+		c.Workers = workers
+		if _, err := c.Run(broadcastSpoolPlan(smallTable().Schema)); err != nil {
+			t.Fatal(err)
+		}
+		m := c.Metrics()
+		if i == 0 {
+			base = m
+		} else if m != base {
+			t.Errorf("workers=%d metrics %+v differ from workers=1 %+v", workers, m, base)
+		}
+	}
+}
+
+// TestPartitionErrorAbortsRun exercises first-error propagation: a
+// failing partition task (a filter predicate referencing a missing
+// column) must abort the whole run with that error.
+func TestPartitionErrorAbortsRun(t *testing.T) {
+	fs := NewFileStore()
+	fs.Put("t.log", smallTable())
+	c := testCluster(t, 3, fs)
+	c.Workers = 4
+	schema := smallTable().Schema
+	p := &plan.Node{
+		Op: &relop.PhysOutput{Path: "o"}, Schema: schema, CtxKey: "x",
+		Children: []*plan.Node{{
+			Op: &relop.PhysFilter{Pred: relop.Col("NOPE")}, Schema: schema, CtxKey: "x",
+			Children: []*plan.Node{{
+				Op: &relop.PhysExtract{Path: "t.log", Columns: schema}, Schema: schema, CtxKey: "x",
+			}},
+		}},
+	}
+	if _, err := c.Run(p); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("run should fail with the partition error, got %v", err)
+	}
+}
+
+// TestConcurrentRunsOnOneCluster runs the same plan twice
+// concurrently on a single cluster: both runs must succeed, produce
+// the full result, and the shared meter must total exactly two runs'
+// worth of work. Under -race this is the regression test for the
+// old unsynchronized Cluster.metrics and FileStore map.
+func TestConcurrentRunsOnOneCluster(t *testing.T) {
+	fs := NewFileStore()
+	fs.Put("t.log", smallTable())
+	c := testCluster(t, 3, fs)
+	c.Workers = 4
+	p := broadcastSpoolPlan(smallTable().Schema)
+
+	// One run, for the metric baseline.
+	if _, err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	single := c.Metrics()
+	c.Reset()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs, err := c.Run(p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got := outs["o1"]; got == nil || !got.Equal(smallTable()) {
+				t.Errorf("run %d: wrong o1", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+	double := single
+	double.add(single)
+	if got := c.Metrics(); got != double {
+		t.Errorf("two concurrent runs metered %+v, want exactly double one run %+v", got, double)
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/plan"
@@ -11,7 +12,7 @@ import (
 func TestRangePartitionColocatesAndOrders(t *testing.T) {
 	fs := NewFileStore()
 	fs.Put("t.log", smallTable())
-	c := NewCluster(3, fs)
+	c := testCluster(t, 3, fs)
 	schema := smallTable().Schema
 	extract := &plan.Node{Op: &relop.PhysExtract{Path: "t.log", Columns: schema}, Schema: schema}
 	order := props.NewOrdering("B", "A")
@@ -61,7 +62,7 @@ func TestRangePartitionColocatesAndOrders(t *testing.T) {
 func TestRangePartitionDescending(t *testing.T) {
 	fs := NewFileStore()
 	fs.Put("t.log", smallTable())
-	c := NewCluster(2, fs)
+	c := testCluster(t, 2, fs)
 	schema := smallTable().Schema
 	extract := &plan.Node{Op: &relop.PhysExtract{Path: "t.log", Columns: schema}, Schema: schema}
 	order := props.Ordering{{Col: "D", Desc: true}}
@@ -91,7 +92,7 @@ func TestRangePartitionDescending(t *testing.T) {
 func TestRangePartitionMissingColumn(t *testing.T) {
 	fs := NewFileStore()
 	fs.Put("t.log", smallTable())
-	c := NewCluster(2, fs)
+	c := testCluster(t, 2, fs)
 	schema := smallTable().Schema
 	extract := &plan.Node{Op: &relop.PhysExtract{Path: "t.log", Columns: schema}, Schema: schema}
 	p := &plan.Node{
@@ -99,7 +100,8 @@ func TestRangePartitionMissingColumn(t *testing.T) {
 		Schema:   schema,
 		Children: []*plan.Node{extract},
 	}
-	r := &runner{c: c, spools: map[string]*pdata{}, outputs: map[string]*Table{}}
+	r, finish := c.newRunner(context.Background())
+	defer finish()
 	if _, err := r.exec(p); err == nil {
 		t.Error("range over missing column should fail")
 	}

@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/plan"
 	"repro/internal/props"
@@ -16,55 +18,179 @@ import (
 // optimization context) is materialized once and re-read by every
 // consumer; any other node referenced several times re-executes per
 // reference, exactly as the DAG-aware cost model assumes.
+//
+// Execution is parallel: partition tasks run across a bounded worker
+// pool (Cluster.Workers wide), independent sequence branches execute
+// concurrently, and shared spools are materialized single-flight —
+// the first consumer to arrive executes the shared subtree while
+// concurrent consumers block and then read. Results and metered
+// totals are identical at every worker count, and concurrent Run
+// calls on one Cluster are safe.
 func (c *Cluster) Run(root *plan.Node) (map[string]*Table, error) {
-	r := &runner{c: c, spools: map[string]*pdata{}, outputs: map[string]*Table{}}
+	return c.RunContext(context.Background(), root)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled the run
+// stops scheduling work and returns the cancellation cause.
+func (c *Cluster) RunContext(ctx context.Context, root *plan.Node) (map[string]*Table, error) {
+	r, finish := c.newRunner(ctx)
+	defer finish()
 	if _, err := r.exec(root); err != nil {
 		return nil, err
 	}
 	return r.outputs, nil
 }
 
+// runner is the per-Run execution state. One runner never outlives
+// its Run call; the spool table and outputs are private to it, and
+// all metered work is merged into the cluster exactly once when the
+// run finishes.
 type runner struct {
-	c       *Cluster
-	spools  map[string]*pdata
+	c      *Cluster
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	// slots hands out worker ids; its capacity bounds how many
+	// partition tasks execute at once. shards[i] is worker i's private
+	// metric shard, written without synchronization.
+	slots  chan int
+	shards []Metrics
+
+	mu      sync.Mutex // guards coord, spools, outputs, actuals
+	coord   Metrics    // operator-granular metering outside the pool
+	spools  map[string]*spoolEntry
 	outputs map[string]*Table
 	// actuals, when non-nil, records per-node output row counts
 	// (EXPLAIN ANALYZE support).
 	actuals map[*plan.Node]int64
 }
 
-func (r *runner) exec(n *plan.Node) (*pdata, error) {
-	switch op := n.Op.(type) {
-	case *relop.PhysSequence:
-		for _, ch := range n.Children {
-			if _, err := r.exec(ch); err != nil {
-				return nil, err
-			}
+// spoolEntry is the single-flight state of one shared spool: the
+// first consumer to arrive materializes and closes done; concurrent
+// consumers block on done and then read.
+type spoolEntry struct {
+	done chan struct{}
+	p    *pdata
+	err  error
+}
+
+func (c *Cluster) newRunner(ctx context.Context) (*runner, func()) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	r := &runner{
+		c:       c,
+		ctx:     ctx,
+		cancel:  cancel,
+		slots:   make(chan int, workers),
+		shards:  make([]Metrics, workers),
+		spools:  map[string]*spoolEntry{},
+		outputs: map[string]*Table{},
+	}
+	for i := 0; i < workers; i++ {
+		r.slots <- i
+	}
+	finish := func() {
+		cancel(nil)
+		total := r.coord
+		for i := range r.shards {
+			total.add(r.shards[i])
 		}
-		if r.actuals != nil {
-			r.actuals[n] = 0
+		c.addMetrics(total)
+	}
+	return r, finish
+}
+
+// meter records coordinator-side metered work (operator-granular
+// metering that does not happen inside partition tasks).
+func (r *runner) meter(f func(*Metrics)) {
+	r.mu.Lock()
+	f(&r.coord)
+	r.mu.Unlock()
+}
+
+func (r *runner) recordActual(n *plan.Node, rows int64) {
+	if r.actuals == nil {
+		return
+	}
+	r.mu.Lock()
+	r.actuals[n] = rows
+	r.mu.Unlock()
+}
+
+// forEach runs fn(i, shard) for every i in [0, n) across the bounded
+// worker pool; shard is the executing worker's private metric shard.
+// The first error cancels the whole run — tasks already running
+// finish, queued ones are dropped — and is returned.
+func (r *runner) forEach(n int, fn func(i int, shard *Metrics) error) error {
+	var wg sync.WaitGroup
+launch:
+	for i := 0; i < n; i++ {
+		select {
+		case <-r.ctx.Done():
+			break launch
+		case slot := <-r.slots:
+			wg.Add(1)
+			go func(i, slot int) {
+				defer wg.Done()
+				defer func() { r.slots <- slot }()
+				if err := fn(i, &r.shards[slot]); err != nil {
+					r.cancel(err)
+				}
+			}(i, slot)
 		}
-		return newPData(relop.Schema{}, r.c.Machines), nil
-	case *relop.PhysSpool:
-		key := fmt.Sprintf("%d|%s", n.Group, n.CtxKey)
-		if p, ok := r.spools[key]; ok {
-			r.c.metrics.SpoolReads++
-			r.c.metrics.DiskBytesRead += p.bytes()
-			return p, nil
-		}
-		in, err := r.exec(n.Children[0])
+	}
+	wg.Wait()
+	return context.Cause(r.ctx)
+}
+
+// execAll executes the given nodes concurrently (on coordinator
+// goroutines; row work stays bounded by the worker pool) and returns
+// their results in order.
+func (r *runner) execAll(nodes []*plan.Node) ([]*pdata, error) {
+	out := make([]*pdata, len(nodes))
+	if len(nodes) == 1 {
+		p, err := r.exec(nodes[0])
 		if err != nil {
 			return nil, err
 		}
-		r.spools[key] = in
-		if r.actuals != nil {
-			r.actuals[n] = in.rows()
+		out[0] = p
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	for i, ch := range nodes {
+		wg.Add(1)
+		go func(i int, ch *plan.Node) {
+			defer wg.Done()
+			p, err := r.exec(ch)
+			if err != nil {
+				r.cancel(err)
+				return
+			}
+			out[i] = p
+		}(i, ch)
+	}
+	wg.Wait()
+	if err := context.Cause(r.ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (r *runner) exec(n *plan.Node) (*pdata, error) {
+	if err := context.Cause(r.ctx); err != nil {
+		return nil, err
+	}
+	switch op := n.Op.(type) {
+	case *relop.PhysSequence:
+		if err := r.sequence(n); err != nil {
+			return nil, err
 		}
-		r.c.metrics.SpoolMaterializations++
-		r.c.metrics.DiskBytesWritten += in.bytes()
-		r.c.metrics.SpoolReads++
-		r.c.metrics.DiskBytesRead += in.bytes()
-		return in, nil
+		r.recordActual(n, 0)
+		return newPData(relop.Schema{}, r.c.Machines), nil
+	case *relop.PhysSpool:
+		return r.spool(n)
 	case *relop.PhysOutput:
 		in, err := r.exec(n.Children[0])
 		if err != nil {
@@ -76,32 +202,122 @@ func (r *runner) exec(n *plan.Node) (*pdata, error) {
 				return nil, fmt.Errorf("exec: output %q: %w", op.Path, err)
 			}
 		}
-		r.c.metrics.DiskBytesWritten += t.Bytes()
+		r.meter(func(m *Metrics) { m.DiskBytesWritten += t.Bytes() })
 		r.c.FS.Put(op.Path, t)
+		r.mu.Lock()
 		r.outputs[op.Path] = t
-		if r.actuals != nil {
-			r.actuals[n] = int64(len(t.Rows))
-		}
+		r.mu.Unlock()
+		r.recordActual(n, int64(len(t.Rows)))
 		return in, nil
 	}
-	// Row-producing operators.
-	ins := make([]*pdata, len(n.Children))
-	for i, ch := range n.Children {
-		p, err := r.exec(ch)
-		if err != nil {
-			return nil, err
-		}
-		ins[i] = p
-		r.c.metrics.RowsProcessed += p.rows()
+	// Row-producing operators: inputs execute concurrently.
+	ins, err := r.execAll(n.Children)
+	if err != nil {
+		return nil, err
 	}
+	var inRows int64
+	for _, p := range ins {
+		inRows += p.rows()
+	}
+	r.meter(func(m *Metrics) { m.RowsProcessed += inRows })
 	out, err := r.apply(n, ins)
 	if err != nil {
 		return nil, err
 	}
-	if r.actuals != nil {
-		r.actuals[n] = out.rows()
-	}
+	r.recordActual(n, out.rows())
 	return out, nil
+}
+
+// sequence executes the statements of a script. Independent branches
+// run concurrently; if any branch extracts a file another branch
+// outputs, the whole sequence falls back to serial statement order.
+func (r *runner) sequence(n *plan.Node) error {
+	if sequenceHasFileDeps(n.Children) {
+		for _, ch := range n.Children {
+			if _, err := r.exec(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := r.execAll(n.Children)
+	return err
+}
+
+// sequenceHasFileDeps reports whether any subtree reads a file path
+// some subtree writes, in which case statement order is load-bearing.
+func sequenceHasFileDeps(children []*plan.Node) bool {
+	extracts, outputs := map[string]bool{}, map[string]bool{}
+	for _, ch := range children {
+		ioPaths(ch, map[*plan.Node]bool{}, extracts, outputs)
+	}
+	for p := range extracts {
+		if outputs[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// ioPaths collects the extract and output paths of a subtree, walking
+// shared (DAG) nodes once.
+func ioPaths(n *plan.Node, seen map[*plan.Node]bool, extracts, outputs map[string]bool) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	switch op := n.Op.(type) {
+	case *relop.PhysExtract:
+		extracts[op.Path] = true
+	case *relop.PhysOutput:
+		outputs[op.Path] = true
+	}
+	for _, ch := range n.Children {
+		ioPaths(ch, seen, extracts, outputs)
+	}
+}
+
+// spool materializes a shared subexpression single-flight: the first
+// consumer to arrive executes the shared subtree, concurrent
+// consumers block and then read — the runtime analogue of the plan-
+// level one-Spool invariant (lint P1). Metering uses the spool's
+// logical size, so a broadcast spool does not over-count its
+// replicas against the cost model's accounting.
+func (r *runner) spool(n *plan.Node) (*pdata, error) {
+	key := fmt.Sprintf("%d|%s", n.Group, n.CtxKey)
+	r.mu.Lock()
+	if e, ok := r.spools[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-r.ctx.Done():
+			return nil, context.Cause(r.ctx)
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		r.meter(func(m *Metrics) {
+			m.SpoolReads++
+			m.DiskBytesRead += e.p.logicalBytes()
+		})
+		return e.p, nil
+	}
+	e := &spoolEntry{done: make(chan struct{})}
+	r.spools[key] = e
+	r.mu.Unlock()
+	e.p, e.err = r.exec(n.Children[0])
+	close(e.done)
+	if e.err != nil {
+		return nil, e.err
+	}
+	r.recordActual(n, e.p.rows())
+	r.meter(func(m *Metrics) {
+		m.SpoolMaterializations++
+		m.DiskBytesWritten += e.p.logicalBytes()
+		m.SpoolReads++
+		m.DiskBytesRead += e.p.logicalBytes()
+	})
+	return e.p, nil
 }
 
 func (r *runner) apply(n *plan.Node, ins []*pdata) (*pdata, error) {
@@ -133,14 +349,19 @@ func (r *runner) apply(n *plan.Node, ins []*pdata) (*pdata, error) {
 
 // union concatenates inputs partition-wise (UNION ALL).
 func (r *runner) union(ins []*pdata, schema relop.Schema) (*pdata, error) {
-	out := newPData(schema, r.c.Machines)
 	for _, in := range ins {
 		if in.broadcast {
 			return nil, fmt.Errorf("exec: union over broadcast input would multiply rows")
 		}
-		for m, part := range in.parts {
-			out.parts[m] = append(out.parts[m], part...)
+	}
+	out := newPData(schema, r.c.Machines)
+	if err := r.forEach(r.c.Machines, func(m int, _ *Metrics) error {
+		for _, in := range ins {
+			out.parts[m] = append(out.parts[m], in.parts[m]...)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -158,31 +379,41 @@ func (r *runner) extract(op *relop.PhysExtract) (*pdata, error) {
 			op.Path, t.Schema, op.Columns.Names())
 	}
 	out := newPData(op.Columns, r.c.Machines)
-	for i, row := range t.Rows {
-		nr := make(relop.Row, len(idx))
-		for j, k := range idx {
-			nr[j] = row[k]
+	width := int64(len(op.Columns)) * 8
+	if err := r.forEach(r.c.Machines, func(m int, shard *Metrics) error {
+		// Round-robin distribution: machine m owns rows m, m+M, ...
+		for i := m; i < len(t.Rows); i += r.c.Machines {
+			row := t.Rows[i]
+			nr := make(relop.Row, len(idx))
+			for j, k := range idx {
+				nr[j] = row[k]
+			}
+			out.parts[m] = append(out.parts[m], nr)
 		}
-		m := i % r.c.Machines
-		out.parts[m] = append(out.parts[m], nr)
+		shard.DiskBytesRead += int64(len(out.parts[m])) * width
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	r.c.metrics.DiskBytesRead += out.bytes()
 	return out, nil
 }
 
 func (r *runner) filter(op *relop.PhysFilter, in *pdata) (*pdata, error) {
 	out := newPData(in.schema, r.c.Machines)
 	out.broadcast = in.broadcast
-	for m, part := range in.parts {
-		for _, row := range part {
+	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+		for _, row := range in.parts[m] {
 			v, err := relop.EvalScalar(op.Pred, row, in.schema)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if v.Kind == relop.TInt && v.I != 0 {
 				out.parts[m] = append(out.parts[m], row)
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -190,18 +421,21 @@ func (r *runner) filter(op *relop.PhysFilter, in *pdata) (*pdata, error) {
 func (r *runner) project(op *relop.PhysProject, in *pdata, schema relop.Schema) (*pdata, error) {
 	out := newPData(schema, r.c.Machines)
 	out.broadcast = in.broadcast
-	for m, part := range in.parts {
-		for _, row := range part {
+	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+		for _, row := range in.parts[m] {
 			nr := make(relop.Row, len(op.Items))
 			for j, it := range op.Items {
 				v, err := relop.EvalScalar(it.Expr, row, in.schema)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				nr[j] = v
 			}
 			out.parts[m] = append(out.parts[m], nr)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -209,26 +443,28 @@ func (r *runner) project(op *relop.PhysProject, in *pdata, schema relop.Schema) 
 func (r *runner) sortOp(op *relop.Sort, in *pdata) (*pdata, error) {
 	out := newPData(in.schema, r.c.Machines)
 	out.broadcast = in.broadcast
-	for m, part := range in.parts {
-		cp := make([]relop.Row, len(part))
-		copy(cp, part)
+	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+		cp := make([]relop.Row, len(in.parts[m]))
+		copy(cp, in.parts[m])
 		if err := sortRows(cp, in.schema, op.Order); err != nil {
-			return nil, err
+			return err
 		}
 		out.parts[m] = cp
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
-	r.c.metrics.Exchanges++
+	r.meter(func(m *Metrics) { m.Exchanges++ })
 	// Broadcast input: operate on its single logical copy.
 	src := in.parts
-	srcBytes := in.bytes()
 	if in.broadcast {
 		src = [][]relop.Row{in.parts[0]}
-		srcBytes = int64(len(in.parts[0])) * int64(len(in.schema)) * 8
 	}
+	srcBytes := in.logicalBytes()
 	out := newPData(in.schema, r.c.Machines)
 	switch op.To.Kind {
 	case props.PartSerial:
@@ -237,7 +473,7 @@ func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
 			all = append(all, part...)
 		}
 		out.parts[0] = all
-		r.c.metrics.NetBytes += srcBytes
+		r.meter(func(m *Metrics) { m.NetBytes += srcBytes })
 	case props.PartBroadcast:
 		var all []relop.Row
 		for _, part := range src {
@@ -247,45 +483,80 @@ func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
 			out.parts[m] = all
 		}
 		out.broadcast = true
-		r.c.metrics.NetBytes += srcBytes * int64(r.c.Machines)
+		r.meter(func(m *Metrics) { m.NetBytes += srcBytes * int64(r.c.Machines) })
 	case props.PartHash:
 		idx, ok := in.schema.Indexes(op.To.Cols.Cols())
 		if !ok {
 			return nil, fmt.Errorf("exec: repartition columns %v not in schema %v", op.To.Cols, in.schema)
 		}
-		for _, part := range src {
-			for _, row := range part {
-				d := hashDest(row, idx, r.c.Machines)
-				out.parts[d] = append(out.parts[d], row)
-			}
-		}
-		r.c.metrics.NetBytes += srcBytes
-	case props.PartRange:
-		if err := rangePartition(op.To.SortCols, in.schema, src, out); err != nil {
+		if err := r.scatter(src, out, func(row relop.Row) int {
+			return hashDest(row, idx, r.c.Machines)
+		}); err != nil {
 			return nil, err
 		}
-		r.c.metrics.NetBytes += srcBytes
+	case props.PartRange:
+		dest, err := rangeDest(op.To.SortCols, in.schema, src, r.c.Machines)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.scatter(src, out, dest); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("exec: cannot repartition to %v", op.To)
 	}
 	if !op.MergeOrder.Empty() {
 		// Merge receive: each machine merges the sorted streams it
 		// received; sorting achieves the same deterministic result.
-		for m := range out.parts {
+		if err := r.forEach(len(out.parts), func(m int, _ *Metrics) error {
 			cp := make([]relop.Row, len(out.parts[m]))
 			copy(cp, out.parts[m])
 			if err := sortRows(cp, in.schema, op.MergeOrder); err != nil {
-				return nil, err
+				return err
 			}
 			out.parts[m] = cp
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
 }
 
+// scatter routes every source row to dest(row), parallelizing over
+// source partitions with per-source staging buckets and then
+// concatenating per destination in source order, so the result is
+// identical to a serial scatter. Each task meters the bytes its
+// source partition sends across the network.
+func (r *runner) scatter(src [][]relop.Row, out *pdata, dest func(relop.Row) int) error {
+	machines := len(out.parts)
+	width := int64(len(out.schema)) * 8
+	stage := make([][][]relop.Row, len(src))
+	if err := r.forEach(len(src), func(s int, shard *Metrics) error {
+		buckets := make([][]relop.Row, machines)
+		for _, row := range src[s] {
+			d := dest(row)
+			buckets[d] = append(buckets[d], row)
+		}
+		stage[s] = buckets
+		shard.NetBytes += int64(len(src[s])) * width
+		return nil
+	}); err != nil {
+		return err
+	}
+	return r.forEach(machines, func(d int, _ *Metrics) error {
+		for s := range stage {
+			out.parts[d] = append(out.parts[d], stage[s][d]...)
+		}
+		return nil
+	})
+}
+
 // aggregate implements stream and hash aggregation. Stream mode
 // requires clustered input (validated); Global/Single phases require
-// each key to be colocated on a single machine (validated).
+// each key to be colocated on a single machine (validated). Partitions
+// aggregate in parallel; the cross-partition colocation check runs
+// over the collected per-partition key sets afterwards.
 func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.AggPhase, in *pdata, schema relop.Schema, stream bool) (*pdata, error) {
 	if in.broadcast {
 		return nil, fmt.Errorf("exec: aggregation over broadcast input would multiply results")
@@ -306,9 +577,10 @@ func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.Ag
 		}
 		argIdx[i] = j
 	}
-	globalSeen := map[string]int{}
 	out := newPData(schema, r.c.Machines)
-	for m, part := range in.parts {
+	partKeys := make([][]string, len(in.parts))
+	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+		part := in.parts[m]
 		groups := map[string][]*relop.AggState{}
 		var order []string
 		keyRows := map[string]relop.Row{}
@@ -321,7 +593,7 @@ func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.Ag
 				// key must not reappear in this partition.
 				if k != lastKey {
 					if closed[k] {
-						return nil, fmt.Errorf("exec: stream aggregation input not clustered on %v (key %s reappeared)", keys, k)
+						return fmt.Errorf("exec: stream aggregation input not clustered on %v (key %s reappeared)", keys, k)
 					}
 					if lastKey != "" {
 						closed[lastKey] = true
@@ -348,13 +620,6 @@ func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.Ag
 			}
 		}
 		for _, k := range order {
-			if r.c.Validate && phase != relop.AggLocal {
-				if prev, dup := globalSeen[k]; dup && prev != m {
-					return nil, fmt.Errorf("exec: %v aggregation on %v saw key %s on machines %d and %d (input not colocated)",
-						phase, keys, k, prev, m)
-				}
-				globalSeen[k] = m
-			}
 			row := keyRows[k]
 			nr := make(relop.Row, 0, len(keys)+len(aggs))
 			for _, ki := range keyIdx {
@@ -364,6 +629,22 @@ func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.Ag
 				nr = append(nr, groups[k][i].Result())
 			}
 			out.parts[m] = append(out.parts[m], nr)
+		}
+		partKeys[m] = order
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if r.c.Validate && phase != relop.AggLocal {
+		globalSeen := map[string]int{}
+		for m, order := range partKeys {
+			for _, k := range order {
+				if prev, dup := globalSeen[k]; dup && prev != m {
+					return nil, fmt.Errorf("exec: %v aggregation on %v saw key %s on machines %d and %d (input not colocated)",
+						phase, keys, k, prev, m)
+				}
+				globalSeen[k] = m
+			}
 		}
 	}
 	return out, nil
@@ -382,7 +663,7 @@ func (r *runner) join(lKeys, rKeys []string, l, rIn *pdata, schema relop.Schema)
 		return nil, fmt.Errorf("exec: right join keys %v not in %v", rKeys, rIn.schema)
 	}
 	out := newPData(schema, r.c.Machines)
-	for m := 0; m < r.c.Machines; m++ {
+	if err := r.forEach(r.c.Machines, func(m int, _ *Metrics) error {
 		build := map[string][]relop.Row{}
 		for _, row := range rIn.parts[m] {
 			k := keyOf(row, rIdx)
@@ -397,21 +678,25 @@ func (r *runner) join(lKeys, rKeys []string, l, rIn *pdata, schema relop.Schema)
 				out.parts[m] = append(out.parts[m], nr)
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// rangePartition distributes rows into ordered key ranges over the
-// given key order: boundaries are the quantiles of the distinct key
-// tuples present in the data, so rows equal on the keys always share
-// a partition and partition i's keys sort entirely before partition
-// i+1's — the parallel path to globally sorted output.
-func rangePartition(order props.Ordering, schema relop.Schema, src [][]relop.Row, out *pdata) error {
+// rangeDest computes the destination function of a range exchange
+// over the given key order: boundaries are the quantiles of the
+// distinct key tuples present in the data, so rows equal on the keys
+// always share a partition and partition i's keys sort entirely
+// before partition i+1's — the parallel path to globally sorted
+// output.
+func rangeDest(order props.Ordering, schema relop.Schema, src [][]relop.Row, machines int) (func(relop.Row) int, error) {
 	idx := make([]int, len(order))
 	for i, sc := range order {
 		j := schema.Index(sc.Col)
 		if j < 0 {
-			return fmt.Errorf("exec: range key %q not in schema %v", sc.Col, schema)
+			return nil, fmt.Errorf("exec: range key %q not in schema %v", sc.Col, schema)
 		}
 		idx[i] = j
 	}
@@ -440,7 +725,6 @@ func rangePartition(order props.Ordering, schema relop.Schema, src [][]relop.Row
 		}
 	}
 	sort.SliceStable(keys, func(i, j int) bool { return cmpKeys(keys[i], keys[j]) < 0 })
-	machines := len(out.parts)
 	// Boundary b[i] is the first key of partition i+1.
 	var bounds []relop.Row
 	for i := 1; i < machines; i++ {
@@ -449,7 +733,7 @@ func rangePartition(order props.Ordering, schema relop.Schema, src [][]relop.Row
 			bounds = append(bounds, keys[pos])
 		}
 	}
-	dest := func(row relop.Row) int {
+	return func(row relop.Row) int {
 		// First boundary strictly greater than the row's key.
 		lo, hi := 0, len(bounds)
 		for lo < hi {
@@ -461,26 +745,16 @@ func rangePartition(order props.Ordering, schema relop.Schema, src [][]relop.Row
 			}
 		}
 		return lo
-	}
-	for _, part := range src {
-		for _, row := range part {
-			d := dest(row)
-			out.parts[d] = append(out.parts[d], row)
-		}
-	}
-	return nil
+	}, nil
 }
 
 // RunAnalyzed executes the plan like Run while recording the actual
 // output row count of every distinct plan node — the executable side
 // of EXPLAIN ANALYZE. Spools record their materialized size once.
 func (c *Cluster) RunAnalyzed(root *plan.Node) (map[string]*Table, map[*plan.Node]int64, error) {
-	r := &runner{
-		c:       c,
-		spools:  map[string]*pdata{},
-		outputs: map[string]*Table{},
-		actuals: map[*plan.Node]int64{},
-	}
+	r, finish := c.newRunner(context.Background())
+	defer finish()
+	r.actuals = map[*plan.Node]int64{}
 	if _, err := r.exec(root); err != nil {
 		return nil, nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/relop"
 )
@@ -96,8 +97,10 @@ func (t *Table) Diff(u *Table) string {
 }
 
 // FileStore maps file paths to tables — the simulator's distributed
-// file system.
+// file system. It is safe for concurrent use: parallel runs write
+// their outputs through Put while other partitions read inputs.
 type FileStore struct {
+	mu    sync.RWMutex
 	files map[string]*Table
 }
 
@@ -108,17 +111,23 @@ func NewFileStore() *FileStore {
 
 // Put stores a table under path.
 func (fs *FileStore) Put(path string, t *Table) {
+	fs.mu.Lock()
 	fs.files[path] = t
+	fs.mu.Unlock()
 }
 
 // Get returns the table stored under path.
 func (fs *FileStore) Get(path string) (*Table, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	t, ok := fs.files[path]
 	return t, ok
 }
 
 // Paths lists stored paths in sorted order.
 func (fs *FileStore) Paths() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	out := make([]string, 0, len(fs.files))
 	for p := range fs.files {
 		out = append(out, p)

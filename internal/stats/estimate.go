@@ -1,19 +1,35 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // EstimateGroupBy derives the statistics of a grouping of in on the
 // given key columns with nAggs aggregate output columns. The output
 // cardinality is the product of the key distinct counts, damped and
 // capped at the input cardinality (the classic attribute-value-
-// independence estimate with a correlation discount: each additional
-// key contributes the square root of its distinct count, as in
-// SQL Server and SCOPE).
+// independence estimate with a correlation discount: one key
+// contributes its full distinct count, every other key the square
+// root of its distinct count, as in SQL Server and SCOPE).
+//
+// The estimate is canonicalized to be key-order invariant: GROUP BY
+// {A,B} and {B,A} describe the same relation, and fingerprint-
+// identical subexpressions must get identical estimates or the CSE
+// framework's plan choice would depend on the order keys were
+// written. The undamped factor is the key with the largest distinct
+// count (the dominant term under any ordering).
 func EstimateGroupBy(in Relation, keys []string, nAggs int) Relation {
-	rows := float64(1)
+	// Multiply in sorted order so the estimate is bit-identical for
+	// every key permutation (float multiplication is not associative).
+	ds := make([]float64, len(keys))
 	for i, k := range keys {
-		d := float64(in.DistinctOf(k))
-		if i == 0 {
+		ds[i] = float64(in.DistinctOf(k))
+	}
+	sort.Float64s(ds)
+	rows := float64(1)
+	for i, d := range ds {
+		if i == len(ds)-1 {
 			rows *= d
 		} else {
 			rows *= math.Sqrt(d)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -89,6 +90,43 @@ func TestEstimateGroupBy(t *testing.T) {
 	}
 	if d := g.DistinctOf("B"); d != 100 {
 		t.Errorf("distinct B after grouping = %d", d)
+	}
+}
+
+// TestEstimateGroupByPermutationInvariant is the regression test for
+// a key-order sensitivity: the first key used to contribute its full
+// distinct count and later keys √d, so GROUP BY {A,B} and {B,A} got
+// different row estimates and could flip the CSE plan choice for
+// fingerprint-identical subexpressions. The canonicalized estimate
+// must be bit-identical under every permutation, with the largest
+// distinct count as the undamped factor.
+func TestEstimateGroupByPermutationInvariant(t *testing.T) {
+	in := BaseRelation(testTable(), []string{"A", "B", "C", "D"})
+	perms := [][]string{
+		{"A", "B", "C"}, {"A", "C", "B"}, {"B", "A", "C"},
+		{"B", "C", "A"}, {"C", "A", "B"}, {"C", "B", "A"},
+	}
+	base := EstimateGroupBy(in, perms[0], 1)
+	for _, p := range perms[1:] {
+		g := EstimateGroupBy(in, p, 1)
+		if g.Rows != base.Rows {
+			t.Errorf("GROUP BY %v rows = %d, but %v rows = %d", p, g.Rows, perms[0], base.Rows)
+		}
+	}
+	// The undamped factor is C (5000 distinct, the largest):
+	// 5000 · √1000 · √100.
+	want := int64(5000 * math.Sqrt(1000) * math.Sqrt(100))
+	if base.Rows != want {
+		t.Errorf("rows = %d, want %d (largest key undamped)", base.Rows, want)
+	}
+	// Two-key permutations too.
+	ab := EstimateGroupBy(in, []string{"A", "B"}, 0)
+	ba := EstimateGroupBy(in, []string{"B", "A"}, 0)
+	if ab.Rows != ba.Rows {
+		t.Errorf("GROUP BY {A,B} = %d != {B,A} = %d", ab.Rows, ba.Rows)
+	}
+	if want := int64(1000 * math.Sqrt(100)); ab.Rows != want {
+		t.Errorf("GROUP BY {A,B} rows = %d, want %d", ab.Rows, want)
 	}
 }
 

@@ -367,12 +367,14 @@ func (db *DB) LoadPlan(data []byte) (*Plan, error) {
 
 // ExplainAnalyze executes the plan on the simulated cluster and
 // renders the operator tree annotated with estimated versus actual
-// row counts — the estimator's report card on this query.
+// row counts — the estimator's report card on this query. machines
+// must be positive; it is part of the experiment, not a preference
+// with a fallback.
 func (p *Plan) ExplainAnalyze(machines int) (string, error) {
-	if machines <= 0 {
-		machines = 8
+	cl, err := exec.NewCluster(machines, p.db.fs)
+	if err != nil {
+		return "", err
 	}
-	cl := exec.NewCluster(machines, p.db.fs)
 	_, actuals, err := cl.RunAnalyzed(p.res.Plan)
 	if err != nil {
 		return "", err
@@ -403,11 +405,13 @@ type ExecStats struct {
 // loaded with LoadTable, returning every OUTPUT file keyed by path.
 // Execution validates the physical properties the plan relies on
 // (colocation and clustering) and fails loudly on violations.
+// machines must be positive. Partitions execute across a worker pool
+// sized to the available CPUs; results are identical to a serial run.
 func (p *Plan) Execute(machines int) (map[string]*Result, ExecStats, error) {
-	if machines <= 0 {
-		machines = 8
+	cl, err := exec.NewCluster(machines, p.db.fs)
+	if err != nil {
+		return nil, ExecStats{}, err
 	}
-	cl := exec.NewCluster(machines, p.db.fs)
 	outs, err := cl.Run(p.res.Plan)
 	if err != nil {
 		return nil, ExecStats{}, err
