@@ -33,8 +33,8 @@ go build ./... || fail "build failed"
 echo "== go test =="
 go test ./... || fail "tests failed"
 
-echo "== go test -race (opt, core, exec) =="
-go test -race ./internal/opt/ ./internal/core/ ./internal/exec/ || fail "race tests failed"
+echo "== go test -race (opt, core, exec, share) =="
+go test -race ./internal/opt/ ./internal/core/ ./internal/exec/ ./internal/share/ || fail "race tests failed"
 
 # The parallel-executor suites are the load-bearing coverage for the
 # worker pool, single-flight spools, and concurrent Cluster.Run — run
@@ -43,5 +43,14 @@ go test -race ./internal/opt/ ./internal/core/ ./internal/exec/ || fail "race te
 echo "== go test -race (parallel exec suites) =="
 go test -race -count=1 -run 'Parallel|Concurrent|SingleFlight|BroadcastSpool' ./internal/exec/ ||
 	fail "parallel exec race tests failed"
+
+# Session batch mode over the example scripts: later scripts must hit
+# the cross-query cache, and every script must match its cache-disabled
+# baseline (scoperun exits nonzero on a mismatch).
+echo "== session smoke (scoperun -session examples/session) =="
+out=$(go run ./cmd/scoperun -session examples/session -machines 8 -workers 4) ||
+	fail "session smoke run failed"
+echo "$out"
+echo "$out" | grep -q 'hits=1' || fail "session smoke run produced no cache hits"
 
 echo "check.sh: all green"

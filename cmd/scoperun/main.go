@@ -10,14 +10,25 @@
 // -machines is the simulated cluster size (partition count) and
 // -workers the real worker-pool width executing partition tasks;
 // metered work and results are identical at every worker count.
+//
+// Batch server mode:
+//
+//	scoperun -session examples/session
+//
+// runs every *.scope file in the directory (sorted) through one
+// cross-query sharing session over the builtin micro dataset,
+// reporting per-script cache hits, misses, admissions, and the bytes
+// saved versus a cache-disabled run of the same script.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -25,6 +36,8 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/exec"
 	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/share"
 )
 
 func main() {
@@ -32,6 +45,7 @@ func main() {
 	machines := flag.Int("machines", 8, "simulated cluster size for execution (must be positive)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "execution worker-pool width (must be positive)")
 	lintOut := flag.Bool("lint", false, "print static-analysis findings for each plan before executing it")
+	sessionDir := flag.String("session", "", "batch mode: run every *.scope script in this directory through one shared-result session")
 	flag.Parse()
 
 	if *machines <= 0 {
@@ -41,6 +55,11 @@ func main() {
 	if *workers <= 0 {
 		fmt.Fprintf(os.Stderr, "scoperun: -workers must be positive, got %d\n", *workers)
 		os.Exit(2)
+	}
+
+	if *sessionDir != "" {
+		runSession(*sessionDir, *machines, *workers)
+		return
 	}
 
 	var w *datagen.Workload
@@ -116,6 +135,80 @@ func main() {
 	for _, p := range paths {
 		fmt.Printf("  %s: %d rows, schema %v\n", p, len(want[p].Rows), want[p].Schema.Names())
 	}
+}
+
+// runSession is the batch server mode: every *.scope script in dir,
+// in sorted order, runs through one share.Session over the builtin
+// micro dataset (test.log / test2.log), so later scripts can serve
+// common subexpressions from earlier scripts' admitted results. Each
+// script is also executed cache-disabled against an identical cold
+// dataset; the difference in metered disk+net bytes is what sharing
+// saved, and the outputs of the two runs must agree bit for bit.
+func runSession(dir string, machines, workers int) {
+	entries, err := os.ReadDir(dir)
+	exitOn(err)
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".scope") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "scoperun: no .scope scripts in %s\n", dir)
+		os.Exit(1)
+	}
+
+	// Same generator, same seed: the warm and cold datasets are
+	// identical, but the cold side never sees the session cache.
+	warm := bench.Small("session", "")
+	cold := bench.Small("session-cold", "")
+	sess, err := share.NewSession(share.Config{
+		Catalog: warm.Cat, FS: warm.FS, Machines: machines, Workers: workers,
+	})
+	exitOn(err)
+
+	fmt.Printf("session: %d scripts from %s on %d machines\n\n", len(names), dir, machines)
+	var warmBytes, coldBytes int64
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		exitOn(err)
+		rep, err := sess.Run(string(src))
+		exitOn(err)
+
+		m, err := logical.BuildSource(string(src), cold.Cat)
+		exitOn(err)
+		res, err := opt.Optimize(m, opt.DefaultOptions())
+		exitOn(err)
+		cl, err := exec.NewCluster(machines, cold.FS)
+		exitOn(err)
+		cl.Workers = workers
+		want, err := cl.Run(res.Plan)
+		exitOn(err)
+		cm := cl.Metrics()
+
+		ok := len(want) == len(rep.Outputs)
+		for p, wt := range want {
+			if gt := rep.Outputs[p]; gt == nil || !gt.Equal(wt) {
+				ok = false
+			}
+		}
+		wb := rep.Metrics.DiskBytesRead + rep.Metrics.NetBytes
+		cb := cm.DiskBytesRead + cm.NetBytes
+		warmBytes += wb
+		coldBytes += cb
+		fmt.Printf("%-22s hits=%d  misses=%d  admitted=%d  cacheRead=%8d  savedBytes=%8d  correct=%v\n",
+			name, rep.CacheHits, rep.CacheMisses, rep.Admitted,
+			rep.Metrics.CacheBytesRead, cb-wb, ok)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+	st := sess.CacheStats()
+	fmt.Printf("\ncache: entries=%d  bytes=%d  insertions=%d  evictions=%d  invalidations=%d\n",
+		st.Entries, st.Bytes, st.Insertions, st.Evictions, st.Invalidations)
+	fmt.Printf("total: warm disk+net=%d  cold disk+net=%d  saved=%d\n",
+		warmBytes, coldBytes, coldBytes-warmBytes)
 }
 
 func exitOn(err error) {

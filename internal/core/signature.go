@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/memo"
+	"repro/internal/relop"
+)
+
+// CanonicalSignatures computes a canonical structural signature for
+// every live group's initial subexpression. Two groups in *different*
+// memos get equal signatures exactly when they compute the same
+// relation modulo the rewrites the binder does not normalize itself:
+// the top-level conjuncts of a Filter predicate are sorted, so
+// `WHERE a > 1 AND b < 5` and `WHERE b < 5 AND a > 1` sign
+// identically.
+//
+// Definition-1 fingerprints are collision-prone by design (the XOR of
+// children is order-insensitive and all operators of one kind share
+// an OpID); within a single memo Alg. 1 resolves collisions with
+// StructurallyEqual, but a cross-query cache cannot deep-compare into
+// a memo that no longer exists. The canonical signature is the
+// persistent stand-in: cache keys pair (fingerprint, signature,
+// schema) so near-miss expressions that share a fingerprint never
+// alias a cached artifact.
+func CanonicalSignatures(m *memo.Memo) map[memo.GroupID]string {
+	sigs := make(map[memo.GroupID]string, m.NumGroups())
+	var compute func(g memo.GroupID) string
+	compute = func(g memo.GroupID) string {
+		if s, ok := sigs[g]; ok {
+			return s
+		}
+		e := m.Group(g).Exprs[0]
+		var b strings.Builder
+		b.WriteString(canonicalOpSig(e.Op))
+		b.WriteByte('[')
+		for i, c := range e.Children {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(compute(c))
+		}
+		b.WriteByte(']')
+		s := b.String()
+		sigs[g] = s
+		return s
+	}
+	for _, g := range m.Groups() {
+		compute(g.ID)
+	}
+	return sigs
+}
+
+// canonicalOpSig is Operator.Sig with order-insensitive parts
+// canonicalized: Filter sorts its top-level AND conjuncts.
+func canonicalOpSig(op relop.Operator) string {
+	f, ok := op.(*relop.Filter)
+	if !ok {
+		return op.Sig()
+	}
+	conj := flattenAnd(f.Pred, nil)
+	sort.Strings(conj)
+	return "Filter(" + strings.Join(conj, " AND ") + ")"
+}
+
+// flattenAnd collects the string forms of a predicate's top-level AND
+// conjuncts.
+func flattenAnd(s relop.Scalar, out []string) []string {
+	if b, ok := s.(*relop.BinExpr); ok && b.Op == relop.OpAnd {
+		return flattenAnd(b.R, flattenAnd(b.L, out))
+	}
+	return append(out, s.String())
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/logical"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// stabilityCatalog returns one catalog shared by every build in a
+// test — cross-script fingerprint stability is a per-session property
+// and leaf FileIDs are assigned by the catalog.
+func stabilityCatalog() *stats.Catalog {
+	cat := stats.NewCatalog()
+	for _, p := range []string{"test.log", "other.log"} {
+		cat.Put(p, &stats.TableStats{Rows: 1_000_000, Columns: map[string]stats.ColumnStats{
+			"A": {Distinct: 100, AvgBytes: 8},
+			"B": {Distinct: 50, AvgBytes: 8},
+			"C": {Distinct: 200, AvgBytes: 8},
+			"D": {Distinct: 1 << 30, AvgBytes: 8},
+		}})
+	}
+	return cat
+}
+
+// groupByKeys builds src against cat and returns the GroupBy group's
+// Definition-1 fingerprint and canonical signature — the two halves
+// of the cross-query cache key for the aggregation subexpression,
+// which is what a session cache would share. (Scripts may differ
+// above it: SELECT B,A adds a consumer-side column-reorder Project
+// that is not part of the shared computation.)
+func groupByKeys(t *testing.T, cat *stats.Catalog, src string) (uint64, string) {
+	t.Helper()
+	m, err := logical.BuildSource(src, cat)
+	if err != nil {
+		t.Fatalf("build %q: %v", src, err)
+	}
+	fps, sigs := Fingerprints(m), CanonicalSignatures(m)
+	for _, g := range m.Groups() {
+		if g.Exprs[0].Op.Kind() == relop.KindGroupBy {
+			return fps[g.ID], sigs[g.ID]
+		}
+	}
+	t.Fatalf("no GroupBy group in %q", src)
+	return 0, ""
+}
+
+// TestFingerprintStableAcrossEquivalentScripts: semantically
+// identical scripts — reordered projection lists, commuted top-level
+// conjuncts, renamed aliases — must produce equal Definition-1
+// fingerprints, or a session cache could never recognize reuse.
+func TestFingerprintStableAcrossEquivalentScripts(t *testing.T) {
+	cat := stabilityCatalog()
+	base := `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 WHERE A > 1 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`
+	fp0, sig0 := groupByKeys(t, cat, base)
+	variants := map[string]string{
+		"reordered projection": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT B,A,Sum(D) as S FROM R0 WHERE A > 1 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`,
+		"commuted conjuncts": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 WHERE B < 5 AND A > 1 GROUP BY A,B;
+OUTPUT R TO "o";
+`,
+		"renamed alias": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as T FROM R0 WHERE A > 1 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`,
+		"renamed rowset": `
+Q0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+Q = SELECT A,B,Sum(D) as S FROM Q0 WHERE A > 1 AND B < 5 GROUP BY A,B;
+OUTPUT Q TO "o";
+`,
+	}
+	for name, src := range variants {
+		fp, _ := groupByKeys(t, cat, src)
+		if fp != fp0 {
+			t.Errorf("%s: fingerprint %x differs from base %x", name, fp, fp0)
+		}
+	}
+	// Commuted conjuncts additionally agree on the canonical
+	// signature (the full cache key), so they hit the cache.
+	if _, sig := groupByKeys(t, cat, variants["commuted conjuncts"]); sig != sig0 {
+		t.Errorf("commuted conjuncts: signature differs from base:\n%s\nvs\n%s", sig, sig0)
+	}
+	// Rowset names are binder-internal; they must not leak into the
+	// signature either.
+	if _, sig := groupByKeys(t, cat, variants["renamed rowset"]); sig != sig0 {
+		t.Errorf("renamed rowset: signature differs from base:\n%s\nvs\n%s", sig, sig0)
+	}
+}
+
+// TestFingerprintStableAcrossRepeatedBuilds: rebuilding the same
+// script twice against one catalog yields identical keys (leaf
+// FileIDs come from the catalog, not per-build discovery order).
+func TestFingerprintStableAcrossRepeatedBuilds(t *testing.T) {
+	cat := stabilityCatalog()
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+S0 = EXTRACT C,D FROM "other.log" USING LogExtractor;
+R = SELECT A, Sum(D) as S FROM R0, S0 WHERE A == C GROUP BY A;
+OUTPUT R TO "o";
+`
+	fp1, sig1 := groupByKeys(t, cat, src)
+	fp2, sig2 := groupByKeys(t, cat, src)
+	if fp1 != fp2 || sig1 != sig2 {
+		t.Errorf("repeated build changed keys: fp %x vs %x", fp1, fp2)
+	}
+	// A script that touches other.log first must not renumber
+	// test.log's leaf.
+	warp := `
+W = EXTRACT A,B FROM "other.log" USING LogExtractor;
+OUTPUT W TO "w";
+`
+	if _, err := logical.BuildSource(warp, cat); err != nil {
+		t.Fatal(err)
+	}
+	if fp3, _ := groupByKeys(t, cat, src); fp3 != fp1 {
+		t.Errorf("fingerprint changed after unrelated build: %x vs %x", fp3, fp1)
+	}
+}
+
+// TestNearMissScriptsDoNotShareCacheKeys: scripts that are close but
+// not equivalent must differ in fingerprint or — when the kind-XOR
+// fingerprint collides by design — in canonical signature, so the
+// (fp, sig, schema) cache key never aliases them.
+func TestNearMissScriptsDoNotShareCacheKeys(t *testing.T) {
+	cat := stabilityCatalog()
+	base := `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 WHERE A > 1 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`
+	fp0, sig0 := groupByKeys(t, cat, base)
+	nearMisses := map[string]string{
+		"different constant": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 WHERE A > 2 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`,
+		"different predicate column": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 WHERE C > 1 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`,
+		"different grouping keys": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,C,Sum(D) as S FROM R0 WHERE A > 1 AND B < 5 GROUP BY A,C;
+OUTPUT R TO "o";
+`,
+		"different aggregate input": `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,Sum(C) as S FROM R0 WHERE A > 1 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`,
+		"different source table": `
+R0 = EXTRACT A,B,C,D FROM "other.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) as S FROM R0 WHERE A > 1 AND B < 5 GROUP BY A,B;
+OUTPUT R TO "o";
+`,
+	}
+	for name, src := range nearMisses {
+		fp, sig := groupByKeys(t, cat, src)
+		if fp == fp0 && sig == sig0 {
+			t.Errorf("%s: collides with base on the full cache key (fp=%x)", name, fp)
+		}
+	}
+	// The source-table variant must differ in the fingerprint itself:
+	// leaves carry catalog FileIDs.
+	if fp, _ := groupByKeys(t, cat, nearMisses["different source table"]); fp == fp0 {
+		t.Errorf("different source table: fingerprints collide (%x)", fp)
+	}
+}
+
+// TestCatalogFileIDStability pins the leaf-id contract Fingerprints
+// relies on: ids are per-path, stable across repeated asks, distinct
+// across paths.
+func TestCatalogFileIDStability(t *testing.T) {
+	cat := stabilityCatalog()
+	a1 := cat.FileID("test.log")
+	b1 := cat.FileID("other.log")
+	if a1 == b1 {
+		t.Errorf("distinct paths share FileID %d", a1)
+	}
+	if a2 := cat.FileID("test.log"); a2 != a1 {
+		t.Errorf("FileID(test.log) moved %d -> %d", a1, a2)
+	}
+}

@@ -148,6 +148,11 @@ func (m Model) rawOpCost(op relop.Operator, out stats.Relation, in []stats.Relat
 		// Parallel scan over the whole cluster plus per-row parse.
 		par := float64(m.C.Machines)
 		return m.scanCost(out, par) + m.cpuCost(out.Rows, par, 2)
+	case *relop.PhysCacheScan:
+		// Reading a cached artifact prices like one extra spool
+		// consumer: a scan of the materialized partitions under their
+		// recorded layout. No parse work — rows are already decoded.
+		return m.scanCost(out, m.Parallelism(o.Part, out)) + m.cpuCost(out.Rows, m.Parallelism(o.Part, out), 0.2)
 	case *relop.Repartition:
 		return m.repartitionCost(in[0], inParts[0], o.To, !o.MergeOrder.Empty())
 	case *relop.Sort:

@@ -26,6 +26,15 @@ type Metrics struct {
 	SpoolReads            int
 	// Exchanges counts repartition operations executed.
 	Exchanges int
+	// CacheReads counts CacheScan operators executed; CacheBytesRead
+	// is the artifact bytes they loaded. Cache traffic is metered
+	// separately from DiskBytesRead so cold-vs-warm comparisons can
+	// isolate what the session cache saved.
+	CacheReads     int
+	CacheBytesRead int64
+	// CacheBytesWritten counts spool bytes persisted into the session
+	// cache (admission writes piggybacked on spool materialization).
+	CacheBytesWritten int64
 }
 
 // SimulatedSeconds converts the metered work into wall-clock seconds
@@ -52,6 +61,9 @@ func (m *Metrics) add(o Metrics) {
 	m.SpoolMaterializations += o.SpoolMaterializations
 	m.SpoolReads += o.SpoolReads
 	m.Exchanges += o.Exchanges
+	m.CacheReads += o.CacheReads
+	m.CacheBytesRead += o.CacheBytesRead
+	m.CacheBytesWritten += o.CacheBytesWritten
 }
 
 // Cluster is the simulated shared-nothing cluster.
@@ -69,6 +81,13 @@ type Cluster struct {
 	// Validate enables runtime verification of the physical
 	// properties plans rely on (colocation and clustering checks).
 	Validate bool
+	// PersistSpools maps spool keys ("group|ctxkey", as formed by the
+	// runner) to FileStore paths: when a spool with a listed key
+	// materializes, its logical content is also written to the given
+	// path. Sessions use this to persist admitted shared
+	// subexpressions into the cross-query cache. Set it before Run;
+	// it is read concurrently during execution.
+	PersistSpools map[string]string
 
 	mu      sync.Mutex // guards metrics; Run calls may be concurrent
 	metrics Metrics

@@ -317,6 +317,14 @@ func (r *runner) spool(n *plan.Node) (*pdata, error) {
 		m.SpoolReads++
 		m.DiskBytesRead += e.p.logicalBytes()
 	})
+	if path, persist := r.c.PersistSpools[key]; persist && !e.p.broadcast {
+		// Session-cache admission: the materialized spool content is
+		// also persisted into the shared FileStore, metered as cache
+		// bytes written (distinct from the plan's own disk traffic).
+		t := &Table{Schema: e.p.schema, Rows: e.p.gather()}
+		r.c.FS.Put(path, t)
+		r.meter(func(m *Metrics) { m.CacheBytesWritten += t.Bytes() })
+	}
 	return e.p, nil
 }
 
@@ -324,6 +332,8 @@ func (r *runner) apply(n *plan.Node, ins []*pdata) (*pdata, error) {
 	switch op := n.Op.(type) {
 	case *relop.PhysExtract:
 		return r.extract(op)
+	case *relop.PhysCacheScan:
+		return r.cacheScan(op)
 	case *relop.PhysFilter:
 		return r.filter(op, ins[0])
 	case *relop.PhysProject:
@@ -395,6 +405,73 @@ func (r *runner) extract(op *relop.PhysExtract) (*pdata, error) {
 	}); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// cacheScan loads a session-cached artifact from the FileStore and
+// redistributes it into the recorded physical layout: hash artifacts
+// re-scatter with the same hash function the exchange operators use
+// (so colocation promises hold), serial artifacts land on machine 0,
+// range artifacts rebuild quantile ranges over the recorded key, and
+// unordered artifacts round-robin like a file scan. The recorded
+// per-machine order is re-established with a stable sort. The load is
+// metered as cache traffic, distinct from plan disk I/O.
+func (r *runner) cacheScan(op *relop.PhysCacheScan) (*pdata, error) {
+	t, ok := r.c.FS.Get(op.Path)
+	if !ok {
+		return nil, fmt.Errorf("exec: cached artifact %q not found", op.Path)
+	}
+	if len(t.Schema) != len(op.Columns) {
+		return nil, fmt.Errorf("exec: cached artifact %q schema %v does not match %v",
+			op.Path, t.Schema, op.Columns)
+	}
+	out := newPData(op.Columns, r.c.Machines)
+	switch op.Part.Kind {
+	case props.PartSerial:
+		out.parts[0] = append([]relop.Row(nil), t.Rows...)
+	case props.PartHash:
+		idx, ok := t.Schema.Indexes(op.Part.Cols.Cols())
+		if !ok {
+			return nil, fmt.Errorf("exec: cached artifact %q missing partition columns %v",
+				op.Path, op.Part.Cols)
+		}
+		for _, row := range t.Rows {
+			d := hashDest(row, idx, r.c.Machines)
+			out.parts[d] = append(out.parts[d], row)
+		}
+	case props.PartRange:
+		dest, err := rangeDest(op.Part.SortCols, t.Schema, [][]relop.Row{t.Rows}, r.c.Machines)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range t.Rows {
+			d := dest(row)
+			out.parts[d] = append(out.parts[d], row)
+		}
+	case props.PartBroadcast:
+		// Sessions never admit broadcast spools; a broadcast CacheScan
+		// is a planner bug.
+		return nil, fmt.Errorf("exec: cached artifact %q recorded broadcast partitioning", op.Path)
+	default:
+		for i, row := range t.Rows {
+			d := i % r.c.Machines
+			out.parts[d] = append(out.parts[d], row)
+		}
+	}
+	if !op.Order.Empty() {
+		for m := range out.parts {
+			cp := make([]relop.Row, len(out.parts[m]))
+			copy(cp, out.parts[m])
+			if err := sortRows(cp, op.Columns, op.Order); err != nil {
+				return nil, err
+			}
+			out.parts[m] = cp
+		}
+	}
+	r.meter(func(m *Metrics) {
+		m.CacheReads++
+		m.CacheBytesRead += t.Bytes()
+	})
 	return out, nil
 }
 

@@ -102,18 +102,60 @@ func (t *Table) Diff(u *Table) string {
 type FileStore struct {
 	mu    sync.RWMutex
 	files map[string]*Table
+	// versions counts mutations (Put or Remove) per path; session
+	// caches use it to invalidate entries whose source files changed.
+	versions map[string]int64
+	// removes / removedBytes meter Remove calls (cache eviction work).
+	removes      int64
+	removedBytes int64
 }
 
 // NewFileStore returns an empty store.
 func NewFileStore() *FileStore {
-	return &FileStore{files: map[string]*Table{}}
+	return &FileStore{files: map[string]*Table{}, versions: map[string]int64{}}
 }
 
-// Put stores a table under path.
+// Put stores a table under path, bumping the path's version.
 func (fs *FileStore) Put(path string, t *Table) {
 	fs.mu.Lock()
 	fs.files[path] = t
+	fs.versions[path]++
 	fs.mu.Unlock()
+}
+
+// Remove deletes the table stored under path, returning its accounted
+// size and whether it existed. Removal is a mutation, so it bumps the
+// path's version; the removed bytes are metered on the store (see
+// RemoveStats) since eviction happens outside any cluster run.
+func (fs *FileStore) Remove(path string) (int64, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	t, ok := fs.files[path]
+	if !ok {
+		return 0, false
+	}
+	delete(fs.files, path)
+	fs.versions[path]++
+	n := t.Bytes()
+	fs.removes++
+	fs.removedBytes += n
+	return n, true
+}
+
+// RemoveStats reports how many Remove calls deleted a file and the
+// total accounted bytes they freed.
+func (fs *FileStore) RemoveStats() (count int64, bytes int64) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.removes, fs.removedBytes
+}
+
+// Version returns how many times path has been mutated (Put or
+// Remove). Zero means the store has never held the path.
+func (fs *FileStore) Version(path string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.versions[path]
 }
 
 // Get returns the table stored under path.

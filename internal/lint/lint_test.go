@@ -96,7 +96,7 @@ func TestReportMerge(t *testing.T) {
 }
 
 func TestAnalyzerCatalogs(t *testing.T) {
-	wantPlan := []string{"P1", "P2", "P3", "P4", "P5"}
+	wantPlan := []string{"P1", "P2", "P3", "P4", "P5", "P6"}
 	for i, a := range PlanAnalyzers() {
 		if a.Code != wantPlan[i] || a.Name == "" || a.Doc == "" || a.run == nil {
 			t.Errorf("plan analyzer %d = {%s %s}: want code %s with name, doc, and run", i, a.Code, a.Name, wantPlan[i])

@@ -32,6 +32,10 @@ type PlanConfig struct {
 	// Memo, when available, lets analyzers name shared groups
 	// precisely; all checks degrade gracefully without it.
 	Memo *memo.Memo
+	// CacheHolds, when non-nil, reports whether an active session
+	// cache holds a valid materialized result for a fingerprint. The
+	// rebuilt-cached-subexpression analyzer (P6) only applies then.
+	CacheHolds func(fp uint64) bool
 }
 
 // PlanAnalyzer is one named global-invariant check over an optimized
@@ -82,6 +86,9 @@ func PlanAnalyzers() []*PlanAnalyzer {
 		{Name: "redundant-enforcer", Code: "P5",
 			Doc: "no exchange over an already-satisfying partitioning and no sort over already-sorted input",
 			run: runRedundantEnforcer},
+		{Name: "rebuilt-cached-subexpression", Code: "P6",
+			Doc: "no subplan recomputes a subexpression whose materialized result the active session cache holds",
+			run: runRebuiltCached},
 	}
 }
 
@@ -295,7 +302,7 @@ func runCostCoherence(c *planCtx) {
 func computationRoot(n *plan.Node) bool {
 	switch op := n.Op.(type) {
 	case *relop.Sort, *relop.Repartition, *relop.PhysSpool,
-		*relop.PhysOutput, *relop.PhysSequence:
+		*relop.PhysOutput, *relop.PhysSequence, *relop.PhysCacheScan:
 		return false
 	case *relop.StreamAgg:
 		return op.Phase != relop.AggLocal
@@ -340,10 +347,12 @@ func runMissedCSE(c *planCtx) {
 	// spool sits above the sharing frontier, where each consumer
 	// independently compensates toward its own requirements —
 	// coinciding pipelines there are not missed sharing opportunities.
+	// CacheScans count as a sharing frontier too: the subexpression
+	// was shared across queries rather than within this one.
 	hasSpool := map[*plan.Node]bool{}
 	for i := len(c.nodes) - 1; i >= 0; i-- { // children before parents
 		n := c.nodes[i]
-		s := n.IsSpool()
+		s := n.IsSpool() || n.Op.Kind() == relop.KindCacheScan
 		for _, ch := range n.Children {
 			s = s || hasSpool[ch]
 		}
@@ -405,6 +414,33 @@ func runMissedCSE(c *planCtx) {
 		for _, m := range class {
 			shadowed[m] = true
 			shadow(m)
+		}
+	}
+}
+
+// runRebuiltCached is P6: when an active session cache holds a valid
+// materialized result for a subexpression, a plan that recomputes that
+// subexpression from scratch left cross-query sharing on the table.
+// The optimizer's CacheScan candidate loses legitimately when the
+// cached layout needs expensive compensation, so this is a warning,
+// not an error. Enforcers, spools, terminal operators, and CacheScans
+// themselves are skipped; each fingerprint is reported once at its
+// topmost occurrence.
+func runRebuiltCached(c *planCtx) {
+	a := PlanAnalyzers()[5]
+	if c.cfg.CacheHolds == nil {
+		return
+	}
+	seen := map[uint64]bool{}
+	for _, n := range c.nodes { // topo order: parents first
+		if !computationRoot(n) || n.FP == 0 || seen[n.FP] {
+			continue
+		}
+		seen[n.FP] = true
+		if c.cfg.CacheHolds(n.FP) {
+			c.addf(a, Warning, n,
+				"subplan %q (fp=%x) is recomputed although the session cache holds its materialized result",
+				n.Op.Sig(), n.FP)
 		}
 	}
 }

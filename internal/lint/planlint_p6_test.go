@@ -1,0 +1,127 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/plan"
+	"repro/internal/relop"
+)
+
+// TestP6RebuiltCachedSubexpression: when the session cache claims to
+// hold a subexpression the plan recomputes, P6 must warn — once per
+// fingerprint.
+func TestP6RebuiltCachedSubexpression(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, _ := sharedSpool(t, res.Plan)
+	target := sp.Children[0]
+	if target.FP == 0 {
+		t.Fatal("spool child should carry a fingerprint")
+	}
+	cfg.CacheHolds = func(fp uint64) bool { return fp == target.FP }
+
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	found := 0
+	for _, d := range r.Diags {
+		if d.Code == "P6" {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Fatalf("P6 fired %d time(s), want exactly 1; findings:\n%s", found, r)
+	}
+}
+
+// TestP6SilentWithoutCacheOrHit: no probe installed, or a probe that
+// never matches, must produce no P6 findings.
+func TestP6SilentWithoutCacheOrHit(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	for _, d := range r.Diags {
+		if d.Code == "P6" {
+			t.Fatalf("P6 fired without a cache probe: %s", d)
+		}
+	}
+	cfg.CacheHolds = func(uint64) bool { return false }
+	r = lint.AnalyzePlan(res.Plan, cfg)
+	for _, d := range r.Diags {
+		if d.Code == "P6" {
+			t.Fatalf("P6 fired although the cache holds nothing: %s", d)
+		}
+	}
+}
+
+// TestP6SkipsCacheScans: a plan that already reads the cached result
+// through a CacheScan is not "rebuilding" it.
+func TestP6SkipsCacheScans(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, _ := sharedSpool(t, res.Plan)
+	target := sp.Children[0]
+	// Replace the spool's input with a CacheScan for the same
+	// fingerprint, as the optimizer would on a hit.
+	sp.Children[0] = &plan.Node{
+		Op: &relop.PhysCacheScan{
+			Path:    "__cache/x",
+			Columns: target.Schema,
+			Part:    target.Dlvd.Part,
+			Order:   target.Dlvd.Order,
+			FP:      target.FP,
+		},
+		Group:  target.Group,
+		CtxKey: target.CtxKey,
+		Schema: target.Schema,
+		Rel:    target.Rel,
+		Dlvd:   target.Dlvd,
+		FP:     target.FP,
+	}
+	cfg.CacheHolds = func(fp uint64) bool { return fp == target.FP }
+	// The mutation can upset other analyzers (cost coherence); only
+	// P6's behavior is under test.
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	for _, d := range r.Diags {
+		if d.Code == "P6" {
+			t.Fatalf("P6 flagged a plan that reads the cache: %s", d)
+		}
+	}
+}
+
+// TestP4TreatsCacheScanAsSharingFrontier: identical consumer
+// pipelines above two reads of one cached artifact are compensation,
+// not a missed CSE.
+func TestP4TreatsCacheScanAsSharingFrontier(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, parents := sharedSpool(t, res.Plan)
+	target := sp.Children[0]
+	cs := &plan.Node{
+		Op: &relop.PhysCacheScan{
+			Path:    "__cache/x",
+			Columns: target.Schema,
+			Part:    target.Dlvd.Part,
+			Order:   target.Dlvd.Order,
+			FP:      target.FP,
+		},
+		Group:  sp.Group,
+		CtxKey: sp.CtxKey,
+		Schema: sp.Schema,
+		Rel:    sp.Rel,
+		Dlvd:   sp.Dlvd,
+		FP:     target.FP,
+	}
+	// Give every consumer its own CacheScan instance: without the
+	// frontier exemption, identical sibling reads would look like a
+	// missed CSE to P4.
+	for _, p := range parents {
+		for i, c := range p.Children {
+			if c == sp {
+				cp := *cs
+				p.Children[i] = &cp
+			}
+		}
+	}
+	r := lint.AnalyzePlan(res.Plan, lint.PlanConfig{CSE: true, Model: cfg.Model})
+	for _, d := range r.Diags {
+		if d.Code == "P4" {
+			t.Fatalf("P4 flagged cache reads as a missed CSE: %s", d)
+		}
+	}
+}

@@ -20,10 +20,9 @@ import (
 
 // Builder binds one script into one memo.
 type Builder struct {
-	m       *memo.Memo
-	cat     *stats.Catalog
-	env     map[string]memo.GroupID // named intermediates
-	fileIDs map[string]int
+	m   *memo.Memo
+	cat *stats.Catalog
+	env map[string]memo.GroupID // named intermediates
 }
 
 // Build parses nothing; it binds an already parsed script against the
@@ -35,10 +34,9 @@ func Build(script *sqlparse.Script, cat *stats.Catalog) (*memo.Memo, error) {
 		cat = stats.NewCatalog()
 	}
 	b := &Builder{
-		m:       memo.New(),
-		cat:     cat,
-		env:     map[string]memo.GroupID{},
-		fileIDs: map[string]int{},
+		m:   memo.New(),
+		cat: cat,
+		env: map[string]memo.GroupID{},
 	}
 	var outputs []memo.GroupID
 	for _, st := range script.Stmts {
@@ -126,11 +124,10 @@ func (b *Builder) bindExtract(q *sqlparse.ExtractQuery) (memo.GroupID, error) {
 		}
 		schema[i] = relop.Column{Name: c.Name, Type: ty}
 	}
-	fid, ok := b.fileIDs[q.Path]
-	if !ok {
-		fid = len(b.fileIDs) + 1
-		b.fileIDs[q.Path] = fid
-	}
+	// File ids come from the catalog so the same path fingerprints
+	// identically in every script bound against it (cross-query CSE
+	// depends on stable leaf ids, Definition 1).
+	fid := b.cat.FileID(q.Path)
 	op := &relop.Extract{Path: q.Path, Columns: schema, Extractor: q.Extractor, FileID: fid}
 	rel := stats.BaseRelation(b.cat.Table(q.Path), schema.Names())
 	return b.insert(op, nil, schema, rel), nil

@@ -79,5 +79,6 @@ func (o *Optimizer) wrapEnforcer(base *plan.Node, op relop.Operator) *plan.Node 
 		OpCost: o.model.OpCost(op, base.Rel,
 			[]stats.Relation{base.Rel},
 			[]props.Partitioning{base.Dlvd.Part}),
+		FP: base.FP,
 	}
 }

@@ -20,6 +20,17 @@ func (o *Optimizer) logPhysOpt(g *memo.Group, ereq props.ExtRequired, phase int)
 	}
 	var best *plan.Node
 	bestCost := 0.0
+	consider := func(node *plan.Node) {
+		for _, cand := range o.enforce(node, ereq.Required) {
+			if !cand.Dlvd.Satisfies(ereq.Required) {
+				continue
+			}
+			tc := plan.TreeCost(cand)
+			if best == nil || tc < bestCost {
+				best, bestCost = cand, tc
+			}
+		}
+	}
 	exprs := append([]*memo.Expr{}, g.Exprs...)
 	for _, e := range exprs {
 		if !e.Op.Kind().IsLogical() {
@@ -30,16 +41,15 @@ func (o *Optimizer) logPhysOpt(g *memo.Group, ereq props.ExtRequired, phase int)
 			if node == nil {
 				continue
 			}
-			for _, cand := range o.enforce(node, ereq.Required) {
-				if !cand.Dlvd.Satisfies(ereq.Required) {
-					continue
-				}
-				tc := plan.TreeCost(cand)
-				if best == nil || tc < bestCost {
-					best, bestCost = cand, tc
-				}
-			}
+			consider(node)
 		}
+	}
+	// A session-cache hit competes like any other implementation: a
+	// CacheScan leaf priced as a read of the materialized partitions,
+	// enforced toward the requirement when its recorded properties
+	// fall short.
+	if cs := o.cacheScanCandidate(g, ereq, phase); cs != nil {
+		consider(cs)
 	}
 	if best == nil {
 		return &memo.Winner{}
@@ -113,6 +123,7 @@ func (o *Optimizer) assemble(g *memo.Group, op relop.Operator, children []*plan.
 		Rel:      g.Props.Rel,
 		Dlvd:     rules.DeriveDelivered(op, dlvds),
 		OpCost:   o.model.OpCost(op, g.Props.Rel, rels, parts),
+		FP:       o.fps[g.ID],
 	}
 }
 

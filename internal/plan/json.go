@@ -33,6 +33,7 @@ type jsonNode struct {
 	Part     jsonPart     `json:"part"`
 	Order    []jsonSort   `json:"order,omitempty"`
 	OpCost   float64      `json:"opCost"`
+	FP       uint64       `json:"fp,omitempty"`
 }
 
 type jsonColumn struct {
@@ -70,6 +71,7 @@ type jsonOp struct {
 	Items     []jsonItem   `json:"items,omitempty"`
 	Pred      *jsonScalar  `json:"pred,omitempty"`
 	Sel       float64      `json:"sel,omitempty"`
+	FP        uint64       `json:"fp,omitempty"`
 }
 
 type jsonAgg struct {
@@ -110,6 +112,7 @@ func MarshalPlan(root *Node) ([]byte, error) {
 			Part:     encPart(n.Dlvd.Part),
 			Order:    encOrder(n.Dlvd.Order),
 			OpCost:   n.OpCost,
+			FP:       n.FP,
 		}
 		var err error
 		jn.Op, err = encOp(n.Op)
@@ -150,6 +153,7 @@ func UnmarshalPlan(data []byte) (*Node, error) {
 		n.Rel = stats.Relation{Rows: jn.Rows, RowBytes: jn.RowBytes}
 		n.Dlvd = props.Delivered{Part: decPart(jn.Part), Order: decOrder(jn.Order)}
 		n.OpCost = jn.OpCost
+		n.FP = jn.FP
 		for _, c := range jn.Schema {
 			n.Schema = append(n.Schema, relop.Column{Name: c.Name, Type: decType(c.Type)})
 		}

@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/props"
+	"repro/internal/relop"
+)
+
+// TestPlanJSONFingerprintRoundTrip: node fingerprints are part of the
+// persisted plan — a loaded plan must expose the same FPs so session
+// tooling (P6 lint, cache admission over stored plans) keeps working.
+func TestPlanJSONFingerprintRoundTrip(t *testing.T) {
+	seq, spool := sharedSpoolPlan()
+	var stamp func(n *Node)
+	stamp = func(n *Node) {
+		n.FP = uint64(n.Group) * 0x9e3779b97f4a7c15
+		for _, c := range n.Children {
+			stamp(c)
+		}
+	}
+	stamp(seq)
+	data, err := MarshalPlan(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[props.GroupID]uint64{}
+	for _, n := range Operators(seq) {
+		want[n.Group] = n.FP
+	}
+	for _, n := range Operators(back) {
+		if n.FP != want[n.Group] {
+			t.Errorf("G%d: FP %x, want %x", n.Group, n.FP, want[n.Group])
+		}
+	}
+	_ = spool
+}
+
+// TestPlanJSONCacheScanRoundTrip: the CacheScan leaf survives the
+// JSON encoding with its recorded path, layout, and fingerprint.
+func TestPlanJSONCacheScanRoundTrip(t *testing.T) {
+	schema := relop.Schema{{Name: "A", Type: relop.TInt}, {Name: "S", Type: relop.TInt}}
+	op := &relop.PhysCacheScan{
+		Path:    "__cache/deadbeef-1",
+		Columns: schema,
+		Part:    props.HashPartitioning(props.NewColSet("A")),
+		Order:   props.NewOrdering("A"),
+		FP:      0xdeadbeef,
+	}
+	n := mkNode(op, 9, "ctx", 3)
+	n.FP = op.FP
+	n.Schema = schema
+	n.Dlvd = props.Delivered{Part: op.Part, Order: op.Order}
+
+	data, err := MarshalPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Op.(*relop.PhysCacheScan)
+	if !ok {
+		t.Fatalf("decoded op = %T, want *relop.PhysCacheScan", back.Op)
+	}
+	if got.Path != op.Path || got.FP != op.FP {
+		t.Errorf("decoded = {path %q fp %x}, want {path %q fp %x}", got.Path, got.FP, op.Path, op.FP)
+	}
+	if !got.Part.Equal(op.Part) || got.Order.Key() != op.Order.Key() {
+		t.Errorf("decoded layout = %v/%v, want %v/%v", got.Part, got.Order, op.Part, op.Order)
+	}
+	if len(got.Columns) != len(schema) || back.FP != n.FP {
+		t.Errorf("decoded columns/FP mismatch: %d cols, fp %x", len(got.Columns), back.FP)
+	}
+	if got.Sig() != op.Sig() {
+		t.Errorf("Sig changed across round-trip: %q vs %q", got.Sig(), op.Sig())
+	}
+}

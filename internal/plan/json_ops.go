@@ -47,6 +47,13 @@ func encOp(op relop.Operator) (jsonOp, error) {
 		// No parameters.
 	case *relop.PhysOutput:
 		j.Path, j.Order = o.Path, encOrder(o.Order)
+	case *relop.PhysCacheScan:
+		j.Path, j.FP = o.Path, o.FP
+		for _, c := range o.Columns {
+			j.Columns = append(j.Columns, jsonColumn{Name: c.Name, Type: c.Type.String()})
+		}
+		to := encPart(o.Part)
+		j.To, j.Order = &to, encOrder(o.Order)
 	default:
 		return jsonOp{}, fmt.Errorf("plan json: cannot encode operator %T", op)
 	}
@@ -102,6 +109,18 @@ func decOp(j jsonOp) (relop.Operator, error) {
 		return &relop.PhysUnion{}, nil
 	case "Output":
 		return &relop.PhysOutput{Path: j.Path, Order: decOrder(j.Order)}, nil
+	case "CacheScan":
+		var schema relop.Schema
+		for _, c := range j.Columns {
+			schema = append(schema, relop.Column{Name: c.Name, Type: decType(c.Type)})
+		}
+		var part props.Partitioning
+		if j.To != nil {
+			part = decPart(*j.To)
+		}
+		return &relop.PhysCacheScan{
+			Path: j.Path, Columns: schema, Part: part, Order: decOrder(j.Order), FP: j.FP,
+		}, nil
 	default:
 		return nil, fmt.Errorf("plan json: unknown operator kind %q", j.Kind)
 	}

@@ -46,6 +46,13 @@ type Node struct {
 	// OpCost is the operator's own estimated cost (excluding
 	// children).
 	OpCost float64
+	// FP is the Definition-1 fingerprint of the logical subexpression
+	// this node computes, when known (zero otherwise). Spools carry
+	// their input computation's fingerprint; enforcers carry none.
+	// Session caches use it to match plan nodes against cached
+	// artifacts, and it survives the JSON round-trip so reloaded
+	// plans can participate in caching.
+	FP uint64
 }
 
 // spoolKey identifies a distinct materialization.

@@ -37,6 +37,11 @@ const (
 	KindPhysOutput
 	KindPhysSequence
 	KindPhysUnion
+	// KindCacheScan reads a session-cached materialized result. It is
+	// appended after the existing kinds: OpKind values are the
+	// fingerprint OpIDs, so renumbering would silently change every
+	// fingerprint.
+	KindCacheScan
 )
 
 var kindNames = map[OpKind]string{
@@ -50,6 +55,7 @@ var kindNames = map[OpKind]string{
 	KindPhysSpool: "Spool", KindPhysOutput: "Output",
 	KindPhysSequence: "Sequence",
 	KindUnion:        "UnionAll", KindPhysUnion: "UnionAll",
+	KindCacheScan: "CacheScan",
 }
 
 // String renders the kind name.

@@ -56,6 +56,11 @@ func DeriveDelivered(op relop.Operator, children []props.Delivered) props.Delive
 		return props.Delivered{Part: l.Part}
 	case *relop.PhysSpool:
 		return child(0)
+	case *relop.PhysCacheScan:
+		// A cache hit delivers exactly the properties the artifact was
+		// materialized under — the recorded half of the cross-query
+		// property history.
+		return props.Delivered{Part: o.Part, Order: o.Order}
 	case *relop.PhysOutput:
 		return child(0)
 	case *relop.PhysSequence:

@@ -1,0 +1,250 @@
+// Package share implements cross-query common-subexpression sharing:
+// a session-scoped cache of materialized intermediate results keyed
+// by expression fingerprint, and a Session that runs a sequence of
+// compiled scripts against one simulated cluster, offering cached
+// results to the optimizer and admitting new ones cost-based.
+//
+// The cache extends the paper's within-query framework across query
+// boundaries. Within one script, Algorithm 1 merges equivalent
+// subexpressions into shared memo groups and phase 2 reconciles
+// their physical properties; across scripts the memo is gone, so
+// equivalence is re-established from the Definition-1 fingerprint
+// plus a canonical signature (fingerprints collide by design), and
+// the recorded delivered properties play the role of the Sec. V
+// property history: a hit partitioned on {A,B} satisfies a consumer
+// requiring colocation on {A,B} with no exchange.
+package share
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// Source records one input file an artifact was derived from,
+// together with the invalidation state observed at materialization
+// time: the FileStore content version and the catalog statistics
+// epoch. A mismatch on either at lookup time invalidates the entry —
+// new data makes the artifact wrong, new statistics make its recorded
+// cost basis wrong.
+type Source struct {
+	Path    string
+	Version int64
+	Epoch   int64
+}
+
+// entry is one cached materialized result.
+type entry struct {
+	opt.CacheEntry
+	sig       string
+	schemaKey string
+	bytes     int64
+	sources   []Source
+	lastUse   int64
+}
+
+// Stats summarizes cache state and activity.
+type Stats struct {
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
+	// Insertions, Evictions, and Invalidations count entry lifecycle
+	// events: admitted artifacts, LRU/size evictions, and entries
+	// dropped because a source table's data or statistics changed.
+	Insertions    int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// Cache is a fingerprint-keyed store of materialized results. It
+// implements opt.ResultCache. Artifacts live in the session's
+// FileStore under "__cache/" paths; evicting or invalidating an entry
+// removes its artifact. All methods are safe for concurrent use.
+type Cache struct {
+	fs  *exec.FileStore
+	cat *stats.Catalog
+
+	mu       sync.Mutex
+	maxBytes int64
+	entries  map[string]*entry
+	bytes    int64
+	clock    int64
+	stats    Stats
+}
+
+// DefaultCacheBytes is the cache-size bound used when none is given.
+const DefaultCacheBytes = 1 << 30
+
+// NewCache returns an empty cache over the session's FileStore and
+// catalog, bounded to maxBytes of artifact payload (<= 0 uses
+// DefaultCacheBytes).
+func NewCache(fs *exec.FileStore, cat *stats.Catalog, maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{fs: fs, cat: cat, maxBytes: maxBytes, entries: map[string]*entry{}}
+}
+
+// schemaKey canonically renders a schema for key comparison.
+func schemaKey(s relop.Schema) string {
+	k := ""
+	for _, c := range s {
+		k += fmt.Sprintf("%s:%d,", c.Name, c.Type)
+	}
+	return k
+}
+
+// cacheKey is the full match key: fingerprint, canonical signature,
+// and schema. The signature and schema guard against Definition-1
+// fingerprint collisions (kind-XOR loses structure by design).
+func cacheKey(fp uint64, sig, sk string) string {
+	return fmt.Sprintf("%016x|%s|%s", fp, sig, sk)
+}
+
+// valid reports whether e's sources are unchanged: same FileStore
+// content versions, same catalog statistics epochs.
+func (c *Cache) valid(e *entry) bool {
+	for _, s := range e.sources {
+		if c.fs.Version(s.Path) != s.Version || c.cat.Epoch(s.Path) != s.Epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// drop removes entry k, deleting its artifact. Caller holds c.mu.
+func (c *Cache) drop(k string, invalidated bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		return
+	}
+	delete(c.entries, k)
+	c.bytes -= e.bytes
+	c.fs.Remove(e.Path)
+	if invalidated {
+		c.stats.Invalidations++
+	} else {
+		c.stats.Evictions++
+	}
+}
+
+// Lookup implements opt.ResultCache: it returns the valid cached
+// artifact matching (fp, sig, schema), dropping it first when a
+// source mutated. A hit refreshes the entry's LRU position.
+func (c *Cache) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey(fp, sig, schemaKey(schema))
+	e, ok := c.entries[k]
+	if !ok {
+		return opt.CacheEntry{}, false
+	}
+	if !c.valid(e) {
+		c.drop(k, true)
+		return opt.CacheEntry{}, false
+	}
+	c.clock++
+	e.lastUse = c.clock
+	return e.CacheEntry, true
+}
+
+// Holds implements opt.ResultCache: it reports whether any valid
+// entry exists for fp, regardless of signature. The P6 lint analyzer
+// uses it as a loose probe.
+func (c *Cache) Holds(fp uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.FP != fp {
+			continue
+		}
+		if !c.valid(e) {
+			c.drop(k, true)
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Contains reports whether a valid entry exists for the exact key,
+// without refreshing its LRU position — the session's admission probe.
+func (c *Cache) Contains(fp uint64, sig string, schema relop.Schema) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey(fp, sig, schemaKey(schema))]
+	if !ok {
+		return false
+	}
+	if !c.valid(e) {
+		c.drop(cacheKey(fp, sig, schemaKey(schema)), true)
+		return false
+	}
+	return true
+}
+
+// Put admits one materialized artifact, then evicts least-recently-
+// used entries until the cache fits its byte bound. Re-admitting an
+// existing key replaces the old entry (and artifact) first.
+func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sk := schemaKey(ce.Schema)
+	k := cacheKey(ce.FP, sig, sk)
+	if old, ok := c.entries[k]; ok {
+		delete(c.entries, k)
+		c.bytes -= old.bytes
+		if old.Path != ce.Path {
+			c.fs.Remove(old.Path)
+		}
+	}
+	c.clock++
+	c.entries[k] = &entry{
+		CacheEntry: ce,
+		sig:        sig,
+		schemaKey:  sk,
+		bytes:      bytes,
+		sources:    sources,
+		lastUse:    c.clock,
+	}
+	c.bytes += bytes
+	c.stats.Insertions++
+	for c.bytes > c.maxBytes && len(c.entries) > 0 {
+		lru, min := "", int64(0)
+		for ek, e := range c.entries {
+			if lru == "" || e.lastUse < min {
+				lru, min = ek, e.lastUse
+			}
+		}
+		c.drop(lru, false)
+	}
+}
+
+// SourcesByPath returns the recorded sources of the entry whose
+// artifact lives at path (empty when unknown). Sessions use it to
+// propagate provenance through artifacts derived from other cached
+// artifacts.
+func (c *Cache) SourcesByPath(path string) []Source {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.Path == path {
+			return append([]Source(nil), e.sources...)
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of cache occupancy and lifecycle counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	return s
+}

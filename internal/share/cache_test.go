@@ -1,0 +1,161 @@
+package share
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+func cacheFixture(maxBytes int64) (*Cache, *exec.FileStore, *stats.Catalog) {
+	fs := exec.NewFileStore()
+	cat := stats.NewCatalog()
+	return NewCache(fs, cat, maxBytes), fs, cat
+}
+
+func artifact(fs *exec.FileStore, path string, rows int) *exec.Table {
+	t := &exec.Table{Schema: relop.Schema{{Name: "A", Type: relop.TInt}}}
+	for i := 0; i < rows; i++ {
+		t.Rows = append(t.Rows, relop.Row{relop.IntVal(int64(i))})
+	}
+	fs.Put(path, t)
+	return t
+}
+
+func entryFor(fs *exec.FileStore, cat *stats.Catalog, fp uint64, path string, rows int) (opt.CacheEntry, []Source) {
+	t := artifact(fs, path, rows)
+	_ = t
+	src := []Source{{Path: "src.log", Version: fs.Version("src.log"), Epoch: cat.Epoch("src.log")}}
+	return opt.CacheEntry{
+		Path:   path,
+		Schema: relop.Schema{{Name: "A", Type: relop.TInt}},
+		Part:   props.RandomPartitioning(),
+		FP:     fp,
+	}, src
+}
+
+func TestCacheLookupMatchesAllThreeKeys(t *testing.T) {
+	c, fs, cat := cacheFixture(0)
+	ce, src := entryFor(fs, cat, 42, "__cache/a", 3)
+	c.Put(ce, "sig-a", 100, src)
+
+	if _, ok := c.Lookup(42, "sig-a", ce.Schema); !ok {
+		t.Error("exact key should hit")
+	}
+	if !c.Holds(42) {
+		t.Error("Holds(42) should be true")
+	}
+	// Same fingerprint, different signature: the collision safety net.
+	if _, ok := c.Lookup(42, "sig-b", ce.Schema); ok {
+		t.Error("different signature must miss")
+	}
+	// Same fingerprint and signature, different schema.
+	other := relop.Schema{{Name: "B", Type: relop.TInt}}
+	if _, ok := c.Lookup(42, "sig-a", other); ok {
+		t.Error("different schema must miss")
+	}
+	if _, ok := c.Lookup(7, "sig-a", ce.Schema); ok {
+		t.Error("unknown fingerprint must miss")
+	}
+	if c.Holds(7) {
+		t.Error("Holds(7) should be false")
+	}
+}
+
+func TestCacheInvalidationOnVersionAndEpoch(t *testing.T) {
+	c, fs, cat := cacheFixture(0)
+	ce, src := entryFor(fs, cat, 1, "__cache/v", 3)
+	c.Put(ce, "s", 10, src)
+
+	artifact(fs, "src.log", 1) // bump the source's content version
+	if _, ok := c.Lookup(1, "s", ce.Schema); ok {
+		t.Error("entry must be invalid after its source's version changed")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 invalidation and 0 entries", st)
+	}
+	if _, ok := fs.Get("__cache/v"); ok {
+		t.Error("invalidation must remove the artifact")
+	}
+
+	ce2, src2 := entryFor(fs, cat, 2, "__cache/e", 3)
+	c.Put(ce2, "s", 10, src2)
+	cat.Put("src.log", &stats.TableStats{Rows: 1}) // bump the stats epoch
+	if c.Holds(2) {
+		t.Error("entry must be invalid after its source's stats epoch changed")
+	}
+}
+
+func TestCacheEvictionBySize(t *testing.T) {
+	c, fs, cat := cacheFixture(250)
+	for i := 0; i < 3; i++ {
+		ce, src := entryFor(fs, cat, uint64(i+1), fmt.Sprintf("__cache/%d", i), 3)
+		c.Put(ce, "s", 100, src)
+	}
+	st := c.Stats()
+	if st.Bytes > 250 {
+		t.Errorf("cache holds %d bytes, bound 250", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("overflowing the byte bound must evict")
+	}
+	// The oldest entry went first and its artifact with it.
+	if c.Holds(1) {
+		t.Error("LRU entry should have been evicted")
+	}
+	if _, ok := fs.Get("__cache/0"); ok {
+		t.Error("eviction must remove the artifact")
+	}
+	if !c.Holds(3) {
+		t.Error("newest entry should survive")
+	}
+}
+
+func TestCacheLRURefreshOnLookup(t *testing.T) {
+	c, fs, cat := cacheFixture(250)
+	ce1, src1 := entryFor(fs, cat, 1, "__cache/1", 3)
+	c.Put(ce1, "s", 100, src1)
+	ce2, src2 := entryFor(fs, cat, 2, "__cache/2", 3)
+	c.Put(ce2, "s", 100, src2)
+	// Touch entry 1 so entry 2 becomes the eviction victim.
+	if _, ok := c.Lookup(1, "s", ce1.Schema); !ok {
+		t.Fatal("entry 1 should hit")
+	}
+	ce3, src3 := entryFor(fs, cat, 3, "__cache/3", 3)
+	c.Put(ce3, "s", 100, src3)
+	if !c.Holds(1) || c.Holds(2) {
+		t.Errorf("LRU order ignored the refresh: holds1=%v holds2=%v", c.Holds(1), c.Holds(2))
+	}
+}
+
+// TestCacheConcurrency exercises the cache under the race detector:
+// concurrent lookups, puts, and probes must be safe.
+func TestCacheConcurrency(t *testing.T) {
+	c, fs, cat := cacheFixture(10_000)
+	schema := relop.Schema{{Name: "A", Type: relop.TInt}}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fp := uint64(w*50 + i)
+				ce, src := entryFor(fs, cat, fp, fmt.Sprintf("__cache/c%d-%d", w, i), 2)
+				c.Put(ce, "s", 50, src)
+				c.Lookup(fp, "s", schema)
+				c.Holds(fp)
+				c.Contains(fp, "s", schema)
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Insertions != 400 {
+		t.Errorf("insertions = %d, want 400", st.Insertions)
+	}
+}

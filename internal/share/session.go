@@ -1,0 +1,247 @@
+package share
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a session.
+type Config struct {
+	// Catalog and FS are the statistics catalog and file store the
+	// session's scripts compile and run against. Both are required.
+	Catalog *stats.Catalog
+	FS      *exec.FileStore
+	// Machines is the execution partition count (required positive).
+	Machines int
+	// Workers bounds the execution worker pool (0 = one per CPU).
+	Workers int
+	// CacheBytes bounds the result cache (0 = DefaultCacheBytes).
+	CacheBytes int64
+	// ExpectedReuse is the admission formula's estimate of how many
+	// future scripts will reuse an admitted artifact (0 = 1).
+	ExpectedReuse float64
+	// Opt overrides the optimizer configuration (nil = defaults with
+	// CSE on). The session always installs its own cache.
+	Opt *opt.Options
+}
+
+// Session runs a sequence of scripts against one cluster, sharing
+// materialized common subexpressions across them through a Cache.
+type Session struct {
+	cfg   Config
+	cache *Cache
+	opts  opt.Options
+	seq   int
+	model cost.Model
+}
+
+// NewSession validates cfg and returns a session with an empty cache.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Catalog == nil || cfg.FS == nil {
+		return nil, errors.New("share: session needs a catalog and a file store")
+	}
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("share: session needs at least 1 machine, got %d", cfg.Machines)
+	}
+	if cfg.ExpectedReuse <= 0 {
+		cfg.ExpectedReuse = 1
+	}
+	opts := opt.DefaultOptions()
+	if cfg.Opt != nil {
+		opts = *cfg.Opt
+	}
+	return &Session{
+		cfg:   cfg,
+		cache: NewCache(cfg.FS, cfg.Catalog, cfg.CacheBytes),
+		opts:  opts,
+		model: cost.NewModel(opts.Cluster),
+	}, nil
+}
+
+// Cache exposes the session's result cache (e.g. for lint probes).
+func (s *Session) Cache() *Cache { return s.cache }
+
+// CacheStats returns a snapshot of the session cache.
+func (s *Session) CacheStats() Stats { return s.cache.Stats() }
+
+// RunReport describes one script execution inside a session.
+type RunReport struct {
+	// Outputs holds every OUTPUT file the script produced, by path.
+	Outputs map[string]*exec.Table
+	// Metrics is the metered work of this script's execution alone.
+	Metrics exec.Metrics
+	// Cost is the optimizer's DAG-aware estimate for the chosen plan.
+	Cost float64
+	// CacheHits counts distinct CacheScan operators in the executed
+	// plan — subexpressions served from earlier scripts' results.
+	CacheHits int
+	// CacheMisses counts shared subexpressions this script
+	// materialized that were not in the cache (whether or not the
+	// admission formula then kept them).
+	CacheMisses int
+	// Admitted and AdmittedBytes describe the artifacts this run
+	// persisted into the cache.
+	Admitted      int
+	AdmittedBytes int64
+}
+
+// pending is one spool selected for persistence, committed into the
+// cache after the run materializes its artifact.
+type pending struct {
+	spool *plan.Node
+	child *plan.Node
+	sig   string
+	path  string
+}
+
+// Run compiles, optimizes, and executes one script. The optimizer
+// sees the session cache and may replace equivalent subexpressions
+// with CacheScans; on the way out, phase-2 spool materializations
+// passing the admission test are persisted for later scripts.
+func (s *Session) Run(src string) (*RunReport, error) {
+	m, err := logical.BuildSource(src, s.cfg.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.Cache = s.cache
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &RunReport{Cost: res.Cost}
+	rep.CacheHits = len(plan.FindAll(res.Plan, relop.KindCacheScan))
+
+	persist, pend, misses := s.admit(res)
+	rep.CacheMisses = misses
+
+	cl, err := exec.NewCluster(s.cfg.Machines, s.cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Workers > 0 {
+		cl.Workers = s.cfg.Workers
+	}
+	cl.PersistSpools = persist
+	outs, err := cl.Run(res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	rep.Outputs = outs
+	rep.Metrics = cl.Metrics()
+
+	// Commit: an artifact exists only if its spool actually
+	// materialized (broadcast spools and never-executed branches
+	// leave nothing behind).
+	for _, p := range pend {
+		t, ok := s.cfg.FS.Get(p.path)
+		if !ok {
+			continue
+		}
+		s.cache.Put(opt.CacheEntry{
+			Path:   p.path,
+			Schema: p.child.Schema,
+			Part:   p.child.Dlvd.Part,
+			Order:  p.child.Dlvd.Order,
+			FP:     p.child.FP,
+		}, p.sig, t.Bytes(), s.collectSources(p.spool))
+		rep.Admitted++
+		rep.AdmittedBytes += t.Bytes()
+	}
+	return rep, nil
+}
+
+// admit applies the cost-based admission test to every distinct spool
+// in the chosen plan and returns the PersistSpools map for the
+// cluster plus the pending cache commits. A spool is admitted when
+//
+//	(build − read) × ExpectedReuse > persist
+//
+// where build is the tree cost of computing and materializing the
+// subexpression once, read is the modeled cost of a future consumer
+// scanning the artifact under its recorded layout, and persist — the
+// write of the artifact — is priced like one such scan. Broadcast
+// spools are never admitted (their replicas are layout, not content).
+func (s *Session) admit(res *opt.Result) (map[string]string, []pending, int) {
+	persist := map[string]string{}
+	var pend []pending
+	misses := 0
+	for _, sp := range plan.FindAll(res.Plan, relop.KindPhysSpool) {
+		child := sp.Children[0]
+		if child.Dlvd.Part.Kind == props.PartBroadcast {
+			continue
+		}
+		sig := res.Sigs[child.Group]
+		if child.FP == 0 || sig == "" {
+			continue
+		}
+		if s.cache.Contains(child.FP, sig, child.Schema) {
+			continue
+		}
+		misses++
+		key := fmt.Sprintf("%d|%s", sp.Group, sp.CtxKey)
+		if _, dup := persist[key]; dup {
+			continue
+		}
+		build := plan.TreeCost(sp)
+		read := s.model.SpoolReadCost(child.Rel, child.Dlvd.Part)
+		if (build-read)*s.cfg.ExpectedReuse <= read {
+			continue
+		}
+		s.seq++
+		path := fmt.Sprintf("__cache/%016x-%d", child.FP, s.seq)
+		persist[key] = path
+		pend = append(pend, pending{spool: sp, child: child, sig: sig, path: path})
+	}
+	return persist, pend, misses
+}
+
+// collectSources gathers the input files the spool's subtree depends
+// on: every Extract path, plus — for subtrees that themselves read
+// cached artifacts — the recorded sources of those artifacts. Each
+// path is snapshotted with its current FileStore version and catalog
+// epoch; any later mutation invalidates the entry.
+func (s *Session) collectSources(spool *plan.Node) []Source {
+	paths := map[string]bool{}
+	seen := map[*plan.Node]bool{}
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		switch op := n.Op.(type) {
+		case *relop.PhysExtract:
+			paths[op.Path] = true
+		case *relop.PhysCacheScan:
+			for _, src := range s.cache.SourcesByPath(op.Path) {
+				paths[src.Path] = true
+			}
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(spool)
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	out := make([]Source, len(sorted))
+	for i, p := range sorted {
+		out[i] = Source{Path: p, Version: s.cfg.FS.Version(p), Epoch: s.cfg.Catalog.Epoch(p)}
+	}
+	return out
+}

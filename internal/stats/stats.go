@@ -13,6 +13,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ColumnStats summarizes one column of a stored file or derived
@@ -73,27 +74,68 @@ func defaultDistinct(rows int64) int64 {
 }
 
 // Catalog maps file paths to table statistics. The zero value is not
-// usable; construct with NewCatalog. Catalog is not safe for
-// concurrent mutation; optimizers read it concurrently after setup.
+// usable; construct with NewCatalog. Reads and the FileID/Epoch
+// accessors are mutex-guarded so sessions may re-register statistics
+// between scripts while earlier plans are still being inspected.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*TableStats
+	// fileIDs assigns each path a small stable integer used as the
+	// fingerprint leaf id (Definition 1). IDs are per-catalog and never
+	// reused, so the same path fingerprints identically across every
+	// script bound against this catalog — the property cross-query
+	// result caching depends on.
+	fileIDs map[string]int
+	// epochs counts statistics registrations per path; bumping it
+	// invalidates cached results derived from the path.
+	epochs map[string]int64
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*TableStats)}
+	return &Catalog{
+		tables:  make(map[string]*TableStats),
+		fileIDs: make(map[string]int),
+		epochs:  make(map[string]int64),
+	}
 }
 
 // Put registers statistics for a file path, replacing any previous
-// entry.
+// entry and bumping the path's statistics epoch.
 func (c *Catalog) Put(path string, ts *TableStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tables[path] = ts
+	c.epochs[path]++
+}
+
+// FileID returns the stable fingerprint id for path, assigning the
+// next free id on first use. IDs start at 1 and are never reused.
+func (c *Catalog) FileID(path string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.fileIDs[path]; ok {
+		return id
+	}
+	id := len(c.fileIDs) + 1
+	c.fileIDs[path] = id
+	return id
+}
+
+// Epoch returns how many times statistics have been registered for
+// path. Zero means the catalog has never seen the path.
+func (c *Catalog) Epoch(path string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epochs[path]
 }
 
 // Table returns statistics for path. Unknown files get conservative
 // defaults so the optimizer never fails for lack of stats (mirroring
 // SCOPE, which must optimize scripts over freshly produced files).
 func (c *Catalog) Table(path string) *TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if ts, ok := c.tables[path]; ok {
 		return ts
 	}
@@ -102,12 +144,16 @@ func (c *Catalog) Table(path string) *TableStats {
 
 // Has reports whether the catalog holds real statistics for path.
 func (c *Catalog) Has(path string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	_, ok := c.tables[path]
 	return ok
 }
 
 // Paths returns the registered file paths in sorted order.
 func (c *Catalog) Paths() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for p := range c.tables {
 		out = append(out, p)

@@ -1,0 +1,120 @@
+package scope
+
+import (
+	"reflect"
+	"testing"
+)
+
+const sessB = `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) as S FROM R0 GROUP BY A,B,C;
+R3 = SELECT A,C,Sum(S) as S3 FROM R GROUP BY A,C;
+OUTPUT R3 TO "b3.out" ORDER BY A, C;
+`
+
+func sessionDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.RegisterStats("test.log", 2_000_000_000,
+		ColumnStats{Name: "A", Distinct: 100},
+		ColumnStats{Name: "B", Distinct: 50},
+		ColumnStats{Name: "C", Distinct: 200},
+		ColumnStats{Name: "D", Distinct: 1 << 40},
+	)
+	rows := make([][]any, 0, 300)
+	for i := 0; i < 300; i++ {
+		rows = append(rows, []any{i % 7, i % 5, i % 11, i * 3})
+	}
+	if err := db.LoadTable("test.log", []string{"A", "B", "C", "D"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSessionSharesAcrossScripts(t *testing.T) {
+	db := sessionDB(t)
+	s, err := db.NewSession(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s1SessionOrdered()
+	runA, err := s.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runA.Admitted == 0 || runA.CacheHits != 0 {
+		t.Fatalf("script A: admitted=%d hits=%d", runA.Admitted, runA.CacheHits)
+	}
+	if st := s.CacheStats(); st.Entries == 0 || st.Bytes == 0 {
+		t.Fatalf("cache empty after admission: %+v", st)
+	}
+
+	warm, err := s.Run(sessB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits == 0 || warm.CacheBytesRead == 0 {
+		t.Fatalf("warm run did not use the cache: %+v", warm)
+	}
+
+	// Cold baseline on a fresh DB: identical results, more bytes moved.
+	cold, err := func() (*SessionRun, error) {
+		s2, err := sessionDB(t).NewSession(8)
+		if err != nil {
+			return nil, err
+		}
+		return s2.Run(sessB)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.DiskBytesRead+warm.Stats.NetBytes >= cold.Stats.DiskBytesRead+cold.Stats.NetBytes {
+		t.Errorf("warm disk+net %d not below cold %d",
+			warm.Stats.DiskBytesRead+warm.Stats.NetBytes, cold.Stats.DiskBytesRead+cold.Stats.NetBytes)
+	}
+	if !reflect.DeepEqual(warm.Outputs["b3.out"], cold.Outputs["b3.out"]) {
+		t.Error("warm and cold results differ")
+	}
+}
+
+func TestSessionInvalidatesOnLoadTable(t *testing.T) {
+	db := sessionDB(t)
+	s, err := db.NewSession(8, WithSessionWorkers(2), WithCacheBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(s1SessionOrdered()); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the source table: dependent entries must not serve B.
+	rows := make([][]any, 0, 100)
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []any{i % 7, i % 5, i % 11, i * 31})
+	}
+	if err := db.LoadTable("test.log", []string{"A", "B", "C", "D"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Run(sessB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 0 {
+		t.Errorf("stale hit after LoadTable: %+v", warm)
+	}
+	if st := s.CacheStats(); st.Invalidations == 0 {
+		t.Errorf("no invalidation recorded: %+v", st)
+	}
+}
+
+// s1SessionOrdered is the motivating script with deterministic output
+// order, so session results compare bit-for-bit.
+func s1SessionOrdered() string {
+	return `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) as S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) as S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) as S2 FROM R GROUP BY B,C;
+OUTPUT R1 TO "a1.out" ORDER BY A, B;
+OUTPUT R2 TO "a2.out" ORDER BY B, C;
+`
+}
