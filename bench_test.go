@@ -259,3 +259,43 @@ func BenchmarkIndependenceScaling(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOptRoundEngine measures the phase-2 round engine on S2
+// (where branch-and-bound pruning fires) under each engine variant:
+// the full engine, pruning ablated, cross-round winner reuse ablated,
+// and the engine forced serial. Every variant reaches the same plan;
+// the metrics show the search effort each optimization removes.
+func BenchmarkOptRoundEngine(b *testing.B) {
+	w := bench.Small("S2", bench.ScriptS2)
+	for _, v := range []struct {
+		name   string
+		mutate func(*bench.Config)
+	}{
+		{"Full", nil},
+		{"NoPrune", func(c *bench.Config) { c.DisableRoundPruning = true }},
+		{"NoReuse", func(c *bench.Config) { c.DisableWinnerReuse = true; c.Lint = false }},
+		{"Serial", func(c *bench.Config) { c.OptWorkers = 1 }},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			cfg := bench.DefaultConfig()
+			cfg.UsePaperBudgets = false
+			if v.mutate != nil {
+				v.mutate(&cfg)
+			}
+			var st struct{ rounds, pruned, p2 int }
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunOne(w, true, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.rounds = res.Stats.Rounds
+				st.pruned = res.Stats.RoundsPruned
+				st.p2 = res.Stats.Phase2Tasks
+			}
+			b.ReportMetric(float64(st.rounds), "rounds")
+			b.ReportMetric(float64(st.pruned), "rounds_pruned")
+			b.ReportMetric(float64(st.p2), "phase2_tasks")
+		})
+	}
+}

@@ -33,8 +33,8 @@ go build ./... || fail "build failed"
 echo "== go test =="
 go test ./... || fail "tests failed"
 
-echo "== go test -race (opt, core, exec, share) =="
-go test -race ./internal/opt/ ./internal/core/ ./internal/exec/ ./internal/share/ || fail "race tests failed"
+echo "== go test -race (opt, core, memo, exec, share) =="
+go test -race ./internal/opt/ ./internal/core/ ./internal/memo/ ./internal/exec/ ./internal/share/ || fail "race tests failed"
 
 # The parallel-executor suites are the load-bearing coverage for the
 # worker pool, single-flight spools, and concurrent Cluster.Run — run
@@ -43,6 +43,23 @@ go test -race ./internal/opt/ ./internal/core/ ./internal/exec/ ./internal/share
 echo "== go test -race (parallel exec suites) =="
 go test -race -count=1 -run 'Parallel|Concurrent|SingleFlight|BroadcastSpool' ./internal/exec/ ||
 	fail "parallel exec race tests failed"
+
+# Same discipline for the phase-2 round engine: the equivalence sweep
+# and budget-expiry tests are the load-bearing coverage for the
+# parallel round workers, so run them by name under the race detector.
+echo "== go test -race (parallel phase-2 suites) =="
+go test -race -count=1 -run 'ParallelRound|Equivalence|BudgetExpiry' ./internal/opt/ ||
+	fail "parallel phase-2 race tests failed"
+
+# Optimizer benchmark artifact: one generation pass must emit a
+# BENCH_opt.json that its own schema validator accepts.
+echo "== opt bench smoke (benchrepro -fig opt) =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+out=$(go run ./cmd/benchrepro -fig opt -iters 1 -out "$tmpdir/BENCH_opt.json") ||
+	fail "opt bench smoke run failed"
+echo "$out" | tail -1
+echo "$out" | grep -q 'schema ok' || fail "opt bench smoke produced no schema-ok line"
 
 # Session batch mode over the example scripts: later scripts must hit
 # the cross-query cache, and every script must match its cache-disabled

@@ -6,6 +6,7 @@
 //	benchrepro -fig budget     Sec. VIII-B/C ranking under a budget
 //	benchrepro -fig baselines  conventional vs local-sharing vs cost-based
 //	benchrepro -fig exec       wall-clock vs simulated execution time
+//	benchrepro -fig opt        optimizer wall-clock + round-engine counters (BENCH_opt.json)
 //	benchrepro -fig all        everything
 package main
 
@@ -34,9 +35,11 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, all")
+	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, opt, all")
 	machines := flag.Int("machines", 5, "simulated cluster size for -fig exec")
 	workers := flag.String("workers", "1,4", "comma-separated worker-pool widths for -fig exec")
+	out := flag.String("out", "BENCH_opt.json", "output path for the -fig opt artifact")
+	iters := flag.Int("iters", 3, "optimize iterations per configuration for -fig opt (fastest wins)")
 	flag.Parse()
 	cfg := bench.DefaultConfig()
 
@@ -104,11 +107,27 @@ func main() {
 			fmt.Print(bench.FormatExec(rows))
 			return nil
 		},
+		"opt": func() error {
+			rep, err := bench.OptTimings(*iters, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Optimizer — round-engine counters and wall clock, best of %d iters\n", *iters)
+			fmt.Print(bench.FormatOpt(rep))
+			if err := bench.WriteOptJSON(rep, *out); err != nil {
+				return err
+			}
+			if err := bench.ValidateOptJSON(*out); err != nil {
+				return err
+			}
+			fmt.Printf("%s: schema ok (%d rows)\n", *out, len(rep.Rows))
+			return nil
+		},
 	}
 
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "rounds", "budget", "baselines", "exec"}
+		order = []string{"7", "8", "rounds", "budget", "baselines", "exec", "opt"}
 	} else {
 		order = []string{*fig}
 	}

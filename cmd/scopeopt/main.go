@@ -49,8 +49,9 @@ func main() {
 	exitOn(err)
 	showLint(*lintOut, cse)
 	show("exploiting common subexpressions", cse, *dot)
-	fmt.Printf("stats: shared=%d rounds=%d naive=%d duration=%v\n",
-		cse.Stats.SharedGroups, cse.Stats.Rounds, cse.Stats.NaiveCombinations, cse.Duration)
+	fmt.Printf("stats: shared=%d rounds=%d pruned=%d naive=%d duration=%v\n",
+		cse.Stats.SharedGroups, cse.Stats.Rounds, cse.Stats.RoundsPruned,
+		cse.Stats.NaiveCombinations, cse.Duration)
 	if *jsonOut != "" {
 		data, err := plan.MarshalPlan(cse.Plan)
 		exitOn(err)
@@ -61,8 +62,13 @@ func main() {
 		fmt.Println("\nphase-2 rounds (pins enforced at shared groups → DAG cost):")
 		for i, r := range cse.Rounds {
 			mark := " "
-			if r.Best {
+			switch {
+			case r.Best:
 				mark = "*"
+			case r.Pruned:
+				mark = "x" // aborted by the branch-and-bound cost bound
+			case r.Fallback:
+				mark = "!"
 			}
 			fmt.Printf("%s round %3d @G%-4d %-40s cost=%.0f\n", mark, i+1, r.LCA, r.Pins, r.Cost)
 		}

@@ -32,9 +32,15 @@ type Config struct {
 	// UsePaperBudgets applies the paper's 30 s / 60 s optimization
 	// budgets to LS1 / LS2.
 	UsePaperBudgets bool
+	// OptWorkers overrides the phase-2 round-evaluation pool width
+	// (0 = optimizer default of GOMAXPROCS; results are identical at
+	// any width).
+	OptWorkers int
 	// Ablations.
 	DisableIndependence bool
 	DisableRanking      bool
+	DisableRoundPruning bool
+	DisableWinnerReuse  bool
 	// Lint runs the plan analyzers on every optimized plan and fails
 	// the run on error-severity findings, so experiment numbers are
 	// never reported off a plan that violates the sharing invariants.
@@ -65,6 +71,11 @@ func RunOne(w *datagen.Workload, enableCSE bool, cfg Config) (*opt.Result, error
 	opts.Rules = cfg.Rules
 	opts.DisableIndependence = cfg.DisableIndependence
 	opts.DisableRanking = cfg.DisableRanking
+	opts.DisableRoundPruning = cfg.DisableRoundPruning
+	opts.DisableWinnerReuse = cfg.DisableWinnerReuse
+	if cfg.OptWorkers > 0 {
+		opts.Workers = cfg.OptWorkers
+	}
 	if cfg.MaxRoundsPerLCA > 0 {
 		opts.MaxRoundsPerLCA = cfg.MaxRoundsPerLCA
 	}

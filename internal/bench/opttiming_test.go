@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestOptTimingsArtifact runs the optimizer sweep on a cheap workload
+// subset, writes the JSON artifact, and checks both the schema
+// validator and the ablation relations the round engine guarantees:
+// every variant reaches the same plan cost, winner reuse strictly cuts
+// phase-2 tasks, pruning fires somewhere, and the no-prune variant
+// never reports a pruned round.
+func TestOptTimingsArtifact(t *testing.T) {
+	cfg := DefaultConfig()
+	rep, err := optTimingsOver(1, cfg, []*datagen.Workload{
+		Small("S1", ScriptS1),
+		Small("S2", ScriptS2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_opt.json")
+	if err := WriteOptJSON(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateOptJSON(path); err != nil {
+		t.Fatal(err)
+	}
+
+	byKey := map[[2]string]OptRow{}
+	for _, r := range rep.Rows {
+		byKey[[2]string{r.Workload, r.Variant}] = r
+	}
+	prunedTotal := 0
+	for _, wl := range []string{"S1", "S2"} {
+		full := byKey[[2]string{wl, "full"}]
+		for _, v := range OptVariants()[1:] {
+			r := byKey[[2]string{wl, v}]
+			if math.Abs(r.Cost-full.Cost) > 1e-9*full.Cost {
+				t.Errorf("%s/%s: cost %v differs from full %v", wl, v, r.Cost, full.Cost)
+			}
+		}
+		noReuse := byKey[[2]string{wl, "no-reuse"}]
+		if full.Phase2Tasks >= noReuse.Phase2Tasks {
+			t.Errorf("%s: reuse did not reduce phase-2 tasks: %d vs %d", wl, full.Phase2Tasks, noReuse.Phase2Tasks)
+		}
+		if noPrune := byKey[[2]string{wl, "no-prune"}]; noPrune.RoundsPruned != 0 {
+			t.Errorf("%s: no-prune variant pruned %d rounds", wl, noPrune.RoundsPruned)
+		}
+		if serial := byKey[[2]string{wl, "serial"}]; serial.Rounds != full.Rounds || serial.RoundsPruned != full.RoundsPruned {
+			t.Errorf("%s: serial counters differ from full: %+v vs %+v", wl, serial, full)
+		}
+		prunedTotal += full.RoundsPruned
+	}
+	if prunedTotal == 0 {
+		t.Error("branch-and-bound never pruned on S1/S2")
+	}
+}
+
+// TestValidateOptJSONRejects covers the validator's failure paths.
+func TestValidateOptJSONRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := `{"schema":"scope-bench-opt/1","machines":100,"iters":1,"workers":4,"rows":[
+	  {"workload":"S1","variant":"full","cost":10,"rounds":4,"rounds_pruned":1,"phase1_tasks":5,"phase2_tasks":9,"ns_per_optimize":100},
+	  {"workload":"S1","variant":"no-prune","cost":10,"rounds":4,"rounds_pruned":0,"phase1_tasks":5,"phase2_tasks":9,"ns_per_optimize":100},
+	  {"workload":"S1","variant":"no-reuse","cost":10,"rounds":4,"rounds_pruned":1,"phase1_tasks":5,"phase2_tasks":90,"ns_per_optimize":100},
+	  {"workload":"S1","variant":"serial","cost":10,"rounds":4,"rounds_pruned":1,"phase1_tasks":5,"phase2_tasks":9,"ns_per_optimize":100}]}`
+	if err := ValidateOptJSON(write("good.json", good)); err != nil {
+		t.Errorf("valid artifact rejected: %v", err)
+	}
+	cases := map[string]string{
+		"bad-schema.json":  `{"schema":"nope/9","rows":[{"workload":"S1","variant":"full","cost":1,"rounds":1,"phase1_tasks":1,"ns_per_optimize":1}]}`,
+		"no-rows.json":     `{"schema":"scope-bench-opt/1","rows":[]}`,
+		"bad-variant.json": `{"schema":"scope-bench-opt/1","rows":[{"workload":"S1","variant":"turbo","cost":1,"rounds":1,"phase1_tasks":1,"ns_per_optimize":1}]}`,
+		"bad-pruned.json":  `{"schema":"scope-bench-opt/1","rows":[{"workload":"S1","variant":"full","cost":1,"rounds":1,"rounds_pruned":2,"phase1_tasks":1,"ns_per_optimize":1}]}`,
+		"missing-variant.json": `{"schema":"scope-bench-opt/1","rows":[
+		  {"workload":"S1","variant":"full","cost":1,"rounds":1,"phase1_tasks":1,"ns_per_optimize":1}]}`,
+		"not-json.json": `{`,
+	}
+	for name, body := range cases {
+		if err := ValidateOptJSON(write(name, body)); err == nil {
+			t.Errorf("%s: invalid artifact accepted", name)
+		}
+	}
+}

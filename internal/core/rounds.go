@@ -49,6 +49,14 @@ type RoundPlanner struct {
 	bestCost  float64
 	bestCombo []int
 	haveBest  bool
+
+	// Batch protocol state: a combination read past the current
+	// component's boundary is stashed for the next batch, and the
+	// combos of the last ComponentBatch are kept for ReportBatch.
+	pending     []int
+	pendingComp int
+	batch       [][]int
+	batchComp   int
 }
 
 // NewRoundPlanner builds a planner over the shared groups associated
@@ -117,7 +125,7 @@ func (p *RoundPlanner) Next() (props.Pins, bool) {
 		if p.maxRounds > 0 && p.emitted >= p.maxRounds {
 			return nil, false
 		}
-		combo, ok := p.nextCombo()
+		combo, _, ok := p.take()
 		if !ok {
 			return nil, false
 		}
@@ -130,6 +138,92 @@ func (p *RoundPlanner) Next() (props.Pins, bool) {
 		p.emitted++
 		p.bestCombo = combo
 		return pins, true
+	}
+}
+
+// take returns the next raw combination together with the index of
+// the component it belongs to, honoring a combination stashed by a
+// previous ComponentBatch boundary read.
+func (p *RoundPlanner) take() ([]int, int, bool) {
+	if p.pending != nil {
+		combo, ci := p.pending, p.pendingComp
+		p.pending = nil
+		return combo, ci, true
+	}
+	combo, ok := p.nextCombo()
+	if !ok {
+		return nil, -1, false
+	}
+	// nextCombo returns while p.comp is the emitting component.
+	return combo, p.comp, true
+}
+
+// ComponentBatch returns the pins of every remaining round of the
+// current component in emission order — exactly the rounds repeated
+// Next calls would emit, dedup and the round cap included — or
+// ok=false when the planner is exhausted. The rounds of one batch are
+// mutually independent of each other's outcomes (the greedy search
+// fixes a component's best pins only at its boundary), so callers may
+// evaluate them concurrently; ReportBatch must be called with the
+// per-round costs before the next ComponentBatch.
+func (p *RoundPlanner) ComponentBatch() ([]props.Pins, bool) {
+	var pins []props.Pins
+	p.batch = nil
+	p.batchComp = -1
+	for {
+		if p.maxRounds > 0 && p.emitted >= p.maxRounds {
+			break
+		}
+		combo, ci, ok := p.take()
+		if !ok {
+			break
+		}
+		if p.batchComp == -1 {
+			p.batchComp = ci
+		} else if ci != p.batchComp {
+			if len(p.batch) > 0 {
+				// First combination of the next component: stash it
+				// for the next batch.
+				p.pending, p.pendingComp = combo, ci
+				break
+			}
+			// The previous component deduplicated away entirely; keep
+			// going in the new one.
+			p.batchComp = ci
+		}
+		pn := p.pinsFor(combo)
+		key := pn.Key()
+		if p.seen[key] {
+			continue
+		}
+		p.seen[key] = true
+		p.emitted++
+		p.batch = append(p.batch, combo)
+		pins = append(pins, pn)
+	}
+	return pins, len(pins) > 0
+}
+
+// ReportBatch records the costs of the rounds returned by the last
+// ComponentBatch, in the same order. It applies the same strict-less
+// argmin as interleaved Report calls would: the earliest lowest-cost
+// round of the batch fixes the component's best property sets, so
+// batch evaluation is bit-identical to serial evaluation.
+func (p *RoundPlanner) ReportBatch(costs []float64) {
+	if p.batchComp < 0 {
+		return
+	}
+	for i, c := range costs {
+		if i >= len(p.batch) {
+			break
+		}
+		if !p.haveBest || c < p.bestCost {
+			p.bestCost = c
+			p.haveBest = true
+			for _, gi := range p.components[p.batchComp] {
+				p.bestPins[gi] = p.batch[i][gi]
+			}
+		}
 	}
 }
 

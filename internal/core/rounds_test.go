@@ -262,3 +262,107 @@ func TestCrossJoinsNotIndependent(t *testing.T) {
 		t.Errorf("cross-join components = %v, want one pair", comps)
 	}
 }
+
+// drainBatched runs the planner to exhaustion through the batch
+// protocol, returning the emitted pin sequence and the best pins.
+func drainBatched(p *RoundPlanner, costFn func(props.Pins) float64) ([]string, props.Pins) {
+	var emitted []string
+	for {
+		pins, ok := p.ComponentBatch()
+		if !ok {
+			break
+		}
+		costs := make([]float64, len(pins))
+		for i, pn := range pins {
+			emitted = append(emitted, pn.Key())
+			costs[i] = costFn(pn)
+		}
+		p.ReportBatch(costs)
+	}
+	return emitted, p.BestPins()
+}
+
+// TestComponentBatchMatchesNext: the batch protocol must emit exactly
+// the round sequence repeated Next/Report calls emit — same rounds,
+// same order, same best pins — across independent components, the
+// dependent full product, caps, and cost functions that move the
+// greedy per-component argmin around.
+func TestComponentBatchMatchesNext(t *testing.T) {
+	mkPlanner := func(cap int, comps [][]int) func() *RoundPlanner {
+		return func() *RoundPlanner {
+			groups := []SharedGroupHistory{histOf(5, 3, "p"), histOf(6, 4, "q"), histOf(7, 2, "r")}
+			return NewRoundPlanner(groups, comps, cap)
+		}
+	}
+	costs := map[string]func(props.Pins) float64{
+		"constant": func(props.Pins) float64 { return 1 },
+		"bykey": func(p props.Pins) float64 {
+			return float64(len(p.Key()) % 7)
+		},
+		"descending": func() func(props.Pins) float64 {
+			c := 100.0
+			return func(props.Pins) float64 { c--; return c }
+		}(),
+	}
+	shapes := map[string]func() *RoundPlanner{
+		"independent": mkPlanner(0, [][]int{{0}, {1}, {2}}),
+		"mixed":       mkPlanner(0, [][]int{{0, 2}, {1}}),
+		"dependent":   mkPlanner(0, nil),
+		"capped":      mkPlanner(4, [][]int{{0}, {1}, {2}}),
+		"cap1":        mkPlanner(1, [][]int{{0}, {1}, {2}}),
+	}
+	for sn, mk := range shapes {
+		for cn, costFn := range costs {
+			serial := mk()
+			var want []string
+			for {
+				pins, ok := serial.Next()
+				if !ok {
+					break
+				}
+				want = append(want, pins.Key())
+				serial.Report(costFn(pins))
+			}
+			wantBest := serial.BestPins().Key()
+
+			got, gotBestPins := drainBatched(mk(), costFn)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: batched emitted %d rounds, serial %d", sn, cn, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s/%s: round %d: batched %q, serial %q", sn, cn, i, got[i], want[i])
+				}
+			}
+			if gotBestPins.Key() != wantBest {
+				t.Errorf("%s/%s: best pins: batched %q, serial %q", sn, cn, gotBestPins.Key(), wantBest)
+			}
+		}
+	}
+}
+
+// TestComponentBatchBoundaries: one batch never spans two components,
+// and consecutive batches cover the components in evaluation order.
+func TestComponentBatchBoundaries(t *testing.T) {
+	groups := []SharedGroupHistory{histOf(5, 3, "p"), histOf(6, 2, "q")}
+	p := NewRoundPlanner(groups, [][]int{{0}, {1}}, 0)
+	var sizes []int
+	for {
+		pins, ok := p.ComponentBatch()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, len(pins))
+		costs := make([]float64, len(pins))
+		for i := range costs {
+			costs[i] = 1
+		}
+		p.ReportBatch(costs)
+	}
+	// Component 0 emits its 3 rounds; component 1 emits 2, one of
+	// which duplicates the best-pinned combination already seen, so it
+	// dedups down to 1.
+	if len(sizes) != 2 || sizes[0] != 3 || sizes[1] != 1 {
+		t.Errorf("batch sizes = %v, want [3 1]", sizes)
+	}
+}

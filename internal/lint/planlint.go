@@ -36,6 +36,26 @@ type PlanConfig struct {
 	// cache holds a valid materialized result for a fingerprint. The
 	// rebuilt-cached-subexpression analyzer (P6) only applies then.
 	CacheHolds func(fp uint64) bool
+	// Rounds, when available, carries the phase-2 round traces that
+	// produced the plan so the cost-coherence analyzer (P3) can check
+	// the branch-and-bound bookkeeping: a pruned round's recorded cost
+	// must be +Inf (its exact cost was never computed), and the round
+	// selected as Best must be a completed one.
+	Rounds []RoundCost
+}
+
+// RoundCost is the lint-facing view of one phase-2 round trace.
+type RoundCost struct {
+	// Cost is the round's recorded DAG-aware cost (+Inf when the round
+	// was pruned or infeasible).
+	Cost float64
+	// Pruned marks a round aborted by the branch-and-bound cost bound.
+	Pruned bool
+	// Fallback marks the synthetic trace emitted when no evaluated
+	// round produced a plan.
+	Fallback bool
+	// Best marks the round whose plan was kept.
+	Best bool
 }
 
 // PlanAnalyzer is one named global-invariant check over an optimized
@@ -226,6 +246,18 @@ func runPinConsistency(c *planCtx) {
 // is read at least twice under DAG execution semantics.
 func runCostCoherence(c *planCtx) {
 	a := PlanAnalyzers()[2]
+	for i, r := range c.cfg.Rounds {
+		if r.Pruned && !math.IsInf(r.Cost, 1) {
+			c.addf(a, Error, nil,
+				"round %d is marked pruned but records finite cost %.1f; a pruned round's exact cost is unknown and must be recorded as +Inf",
+				i, r.Cost)
+		}
+		if r.Best && r.Pruned && !r.Fallback {
+			c.addf(a, Error, nil,
+				"round %d is marked best but was pruned; the kept plan must come from a completed round",
+				i)
+		}
+	}
 	model := cost.NewModel(cost.DefaultCluster())
 	if c.cfg.Model != nil {
 		model = *c.cfg.Model

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -291,5 +292,37 @@ func TestPlanPaths(t *testing.T) {
 		if n != res.Plan && !strings.Contains(p, "/") {
 			t.Errorf("non-root path %q should be a chain", p)
 		}
+	}
+}
+
+// TestP3RoundCoherence: the round-trace bookkeeping checks accept a
+// real optimizer run (pruned rounds recorded as +Inf) and reject
+// fabricated traces where a pruned round carries a finite cost or is
+// selected as best.
+func TestP3RoundCoherence(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	for _, r := range res.Rounds {
+		cfg.Rounds = append(cfg.Rounds, lint.RoundCost{
+			Cost: r.Cost, Pruned: r.Pruned, Fallback: r.Fallback, Best: r.Best,
+		})
+	}
+	if r := lint.AnalyzePlan(res.Plan, cfg); !r.Empty() {
+		t.Fatalf("real round traces must lint clean:\n%s", r)
+	}
+
+	bad := cfg
+	bad.Rounds = append([]lint.RoundCost{}, cfg.Rounds...)
+	bad.Rounds = append(bad.Rounds, lint.RoundCost{Cost: 123, Pruned: true})
+	r := lint.AnalyzePlan(res.Plan, bad)
+	if !hasCode(r.Diags, "P3", "finite cost") {
+		t.Errorf("finite-cost pruned round not flagged:\n%s", r)
+	}
+
+	bad = cfg
+	bad.Rounds = append([]lint.RoundCost{}, cfg.Rounds...)
+	bad.Rounds = append(bad.Rounds, lint.RoundCost{Cost: math.Inf(1), Pruned: true, Best: true})
+	r = lint.AnalyzePlan(res.Plan, bad)
+	if !hasCode(r.Diags, "P3", "marked best but was pruned") {
+		t.Errorf("pruned best round not flagged:\n%s", r)
 	}
 }

@@ -294,6 +294,19 @@ func (g *Group) SetWinner(key string, w *Winner) {
 	g.winners[key] = w
 }
 
+// SetWinnerIfAbsent caches w for the context key only when the key has
+// no winner yet, reporting whether it stored. The parallel phase-2
+// merge uses it so that when several round workers independently
+// computed the same context, the one earliest in deterministic combo
+// order supplies the canonical plan pointer.
+func (g *Group) SetWinnerIfAbsent(key string, w *Winner) bool {
+	if _, ok := g.winners[key]; ok {
+		return false
+	}
+	g.winners[key] = w
+	return true
+}
+
 // ClearWinners drops all cached winners (used by tests and by
 // re-optimization experiments that change the cost model).
 func (g *Group) ClearWinners() {

@@ -258,3 +258,21 @@ func TestMemoScales(t *testing.T) {
 		t.Errorf("parents after redirect = %v", got)
 	}
 }
+
+func TestSetWinnerIfAbsent(t *testing.T) {
+	m := New()
+	g := m.Group(m.Insert(&relop.Extract{Path: "t"}, nil, lp(1)))
+	first := &Winner{Cost: 5}
+	if !g.SetWinnerIfAbsent("any", first) {
+		t.Error("first store must report true")
+	}
+	if g.SetWinnerIfAbsent("any", &Winner{Cost: 3}) {
+		t.Error("second store must report false")
+	}
+	if w, ok := g.Winner("any"); !ok || w != first {
+		t.Errorf("winner = %+v, want the first stored pointer", w)
+	}
+	if !g.SetWinnerIfAbsent("h=B", &Winner{Cost: 7}) {
+		t.Error("distinct key must store")
+	}
+}

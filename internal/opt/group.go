@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memo"
-	"repro/internal/plan"
 	"repro/internal/props"
 )
 
@@ -37,11 +36,13 @@ func (o *Optimizer) optimizeGroup(gid memo.GroupID, ereq props.ExtRequired, phas
 	}
 
 	key := o.winnerKey(g, ereq, phase)
-	if w, ok := g.Winner(key); ok {
-		if phase == 1 && g.Shared && w.Plan != nil {
-			g.BumpHistoryWins(w.Plan.Dlvd)
+	if o.reuseWinners(phase) {
+		if w, ok := o.winner(g, key); ok {
+			if phase == 1 && g.Shared && w.Plan != nil {
+				g.BumpHistoryWins(w.Plan.Dlvd)
+			}
+			return w
 		}
-		return w
 	}
 	if phase == 1 {
 		o.stats.Phase1Tasks++
@@ -60,7 +61,7 @@ func (o *Optimizer) optimizeGroup(gid memo.GroupID, ereq props.ExtRequired, phas
 		// winning phase-1 plans are promising phase-2 enforcements.
 		g.BumpHistoryWins(w.Plan.Dlvd)
 	}
-	g.SetWinner(key, w)
+	o.setWinner(g, key, w)
 	return w
 }
 
@@ -110,39 +111,79 @@ func (o *Optimizer) optimizeLCA(g *memo.Group, ereq props.ExtRequired) *memo.Win
 			o.stats.BudgetExhausted = true
 			break
 		}
-		pins, ok := planner.Next()
+		pins, ok := planner.ComponentBatch()
 		if !ok {
 			break
 		}
-		o.stats.Rounds++
-		merged := ereq.ForShared
-		for s, r := range pins {
-			merged = merged.With(s, r)
+		// The batch leader runs first against the live incumbent; its
+		// exact DAG cost then tightens the frozen pruning bound the
+		// batch siblings are evaluated under. The bound stays frozen
+		// across siblings so their prune decisions are independent of
+		// evaluation order.
+		results := make([]roundResult, len(pins))
+		results[0] = o.evalRound(g, ereq, pins[0], bestCost)
+		if results[0].skipped {
+			o.stats.BudgetExhausted = true
+			break
 		}
-		w := o.logPhysOpt(g, ereq.WithPins(merged), 2)
-		trace := RoundTrace{LCA: g.ID, Pins: pins.Key()}
-		if w.Plan == nil {
-			trace.Cost = math.Inf(1)
-			o.rounds = append(o.rounds, trace)
-			planner.Report(math.Inf(1))
-			continue
+		o.absorb(results[0].worker)
+		bound := bestCost
+		if results[0].cost < bound {
+			bound = results[0].cost
 		}
-		c := plan.DAGCost(w.Plan, o.model)
-		trace.Cost = c
-		o.rounds = append(o.rounds, trace)
-		planner.Report(c)
-		if c < bestCost {
-			best, bestCost = w, c
-			bestTrace = len(o.rounds) - 1
+		if len(pins) > 1 {
+			rest := pins[1:]
+			parallelEach(o.workers(), len(rest), func(i int) {
+				results[i+1] = o.evalRound(g, ereq, rest[i], bound)
+			})
+		}
+		// Merge in combo order so traces, winner pointers, and the
+		// strict-less incumbent update are identical at any width.
+		costs := make([]float64, 0, len(pins))
+		exhausted := false
+		for i, r := range results {
+			if r.skipped {
+				exhausted = true
+				break
+			}
+			if i > 0 {
+				o.absorb(r.worker)
+			}
+			o.stats.Rounds++
+			if r.pruned {
+				o.stats.RoundsPruned++
+			}
+			o.rounds = append(o.rounds, RoundTrace{
+				LCA: g.ID, Pins: pins[i].Key(), Cost: r.cost, Pruned: r.pruned,
+			})
+			costs = append(costs, r.cost)
+			if r.cost < bestCost {
+				best, bestCost = r.win, r.cost
+				bestTrace = len(o.rounds) - 1
+			}
+		}
+		planner.ReportBatch(costs)
+		if exhausted {
+			o.stats.BudgetExhausted = true
+			break
 		}
 	}
 	if bestTrace >= 0 {
 		o.rounds[bestTrace].Best = true
 	}
 	if best == nil {
-		// Budget spent before any round completed: fall back to
-		// plain optimization of this group.
+		// Budget spent (or every round infeasible) before any round
+		// produced a plan: fall back to plain optimization of this
+		// group, and leave a synthetic trace so the Result records why
+		// no evaluated round was marked Best. Fallback traces do not
+		// count toward Stats.Rounds.
 		best = o.logPhysOpt(g, ereq, 2)
+		ft := RoundTrace{LCA: g.ID, Pins: ereq.ForShared.Key(), Cost: math.Inf(1), Fallback: true}
+		if best.Plan != nil {
+			ft.Cost = o.dagCost(best.Plan)
+			ft.Best = true
+		}
+		o.rounds = append(o.rounds, ft)
 	}
 	return best
 }

@@ -14,7 +14,10 @@ import (
 // and enforcer insertion. It returns the group's best plan under the
 // context as a winner (Plan nil when infeasible).
 func (o *Optimizer) logPhysOpt(g *memo.Group, ereq props.ExtRequired, phase int) *memo.Winner {
-	if !o.explored[g.ID] {
+	// After exploreAll certified the memo (phase 2), exploration is a
+	// no-op and must be skipped: round workers share the memo and the
+	// explored map read-only.
+	if !o.exploredAll && !o.explored[g.ID] {
 		rules.Explore(o.m, g, o.opts.Rules)
 		o.explored[g.ID] = true
 	}

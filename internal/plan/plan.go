@@ -15,6 +15,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cost"
 	"repro/internal/props"
@@ -95,6 +96,18 @@ func TreeCost(root *Node) float64 {
 // other operators are charged once per reference path, as they truly
 // execute per consumer.
 func DAGCost(root *Node, m cost.Model) float64 {
+	c, _ := DAGCostBounded(root, m, math.Inf(1))
+	return c
+}
+
+// DAGCostBounded is DAGCost with a branch-and-bound upper limit: the
+// accumulation aborts the moment the partial total exceeds bound,
+// returning (+Inf, true). Operator and spool-read costs are
+// non-negative, so every partial total is a lower bound of the final
+// DAG cost and the early exit is sound: a pruned plan provably costs
+// more than bound. A bound of +Inf never prunes and returns the exact
+// cost.
+func DAGCostBounded(root *Node, m cost.Model, bound float64) (float64, bool) {
 	order := topoOrder(root)
 	em := map[*Node]float64{root: 1}
 	seenSpool := map[string]bool{}
@@ -119,8 +132,11 @@ func DAGCost(root *Node, m cost.Model) float64 {
 				em[c] += e
 			}
 		}
+		if total > bound {
+			return math.Inf(1), true
+		}
 	}
-	return total
+	return total, false
 }
 
 // topoOrder returns the pointer DAG's nodes with every parent before

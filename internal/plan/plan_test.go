@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -240,6 +241,28 @@ func TestDAGCostProperties(t *testing.T) {
 		}
 		if dc2 := DAGCost(root, m); !approx(dc, dc2) {
 			t.Fatalf("seed %d: DAGCost not deterministic: %v vs %v", seed, dc, dc2)
+		}
+	}
+}
+
+func TestDAGCostBounded(t *testing.T) {
+	seq, _ := sharedSpoolPlan()
+	m := cost.NewModel(cost.DefaultCluster())
+	exact := DAGCost(seq, m)
+
+	// A bound at or above the exact cost never prunes and returns the
+	// exact value.
+	for _, b := range []float64{exact, exact * 2, math.Inf(1)} {
+		got, pruned := DAGCostBounded(seq, m, b)
+		if pruned || !approx(got, exact) {
+			t.Errorf("bound %v: got (%v, pruned=%v), want (%v, false)", b, got, pruned, exact)
+		}
+	}
+	// Any bound strictly below the exact cost aborts with +Inf.
+	for _, b := range []float64{0, exact / 2, exact - 1e-6} {
+		got, pruned := DAGCostBounded(seq, m, b)
+		if !pruned || !math.IsInf(got, 1) {
+			t.Errorf("bound %v: got (%v, pruned=%v), want (+Inf, true)", b, got, pruned)
 		}
 	}
 }

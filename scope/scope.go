@@ -168,6 +168,13 @@ func WithMaxRounds(n int) Option {
 	return func(c *optConfig) { c.opts.MaxRoundsPerLCA = n }
 }
 
+// WithOptWorkers sets the phase-2 round-evaluation pool width
+// (default: GOMAXPROCS). Plans, costs, and round traces are identical
+// at any width; only optimization wall clock changes.
+func WithOptWorkers(n int) Option {
+	return func(c *optConfig) { c.opts.Workers = n }
+}
+
 // WithSCOPEProfile restricts plans to sort-merge pipelines, matching
 // the execution stack of the paper's prototype (Fig. 8 plan shapes).
 func WithSCOPEProfile() Option {
@@ -215,6 +222,9 @@ type Stats struct {
 	Rounds int
 	// NaiveRounds is what a full cartesian product would have run.
 	NaiveRounds int
+	// RoundsPruned counts rounds aborted by the branch-and-bound cost
+	// bound before their exact DAG cost was known (included in Rounds).
+	RoundsPruned int
 	// BudgetExhausted reports that the optimization budget stopped
 	// phase 2 early.
 	BudgetExhausted bool
@@ -268,6 +278,7 @@ func (p *Plan) Stats() Stats {
 		SharedGroups:    s.SharedGroups,
 		Rounds:          s.Rounds,
 		NaiveRounds:     s.NaiveCombinations,
+		RoundsPruned:    s.RoundsPruned,
 		BudgetExhausted: s.BudgetExhausted,
 	}
 }
@@ -282,6 +293,12 @@ type Round struct {
 	Pins string
 	Cost float64
 	Best bool
+	// Pruned marks a round aborted by the branch-and-bound cost bound;
+	// its Cost is +Inf.
+	Pruned bool
+	// Fallback marks the synthetic trace left when no evaluated round
+	// produced a plan (budget expired or every combination infeasible).
+	Fallback bool
 }
 
 // Rounds traces the phase-2 rounds in evaluation order — how the
@@ -289,7 +306,7 @@ type Round struct {
 func (p *Plan) Rounds() []Round {
 	out := make([]Round, len(p.res.Rounds))
 	for i, r := range p.res.Rounds {
-		out[i] = Round{Pins: r.Pins, Cost: r.Cost, Best: r.Best}
+		out[i] = Round{Pins: r.Pins, Cost: r.Cost, Best: r.Best, Pruned: r.Pruned, Fallback: r.Fallback}
 	}
 	return out
 }
