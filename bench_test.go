@@ -15,6 +15,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/exec"
 	"repro/internal/logical"
+	"repro/internal/obs"
 )
 
 // BenchmarkFig7 regenerates the paper's Fig. 7: for every evaluation
@@ -296,6 +297,62 @@ func BenchmarkOptRoundEngine(b *testing.B) {
 			b.ReportMetric(float64(st.rounds), "rounds")
 			b.ReportMetric(float64(st.pruned), "rounds_pruned")
 			b.ReportMetric(float64(st.p2), "phase2_tasks")
+		})
+	}
+}
+
+// BenchmarkTracerOverhead measures the observability tax on the full
+// optimize-and-execute path of the S1–S4 micro-scripts. Off is the
+// default nil-tracer configuration — every span site reduces to one
+// pointer check, so Off must stay within 2% of a build without the
+// instrumentation (the acceptance bar for the tracing layer). On
+// records every optimizer and executor span, bounding what -trace
+// costs when it is actually requested.
+func BenchmarkTracerOverhead(b *testing.B) {
+	scripts := []struct{ name, src string }{
+		{"S1", bench.ScriptS1}, {"S2", bench.ScriptS2},
+		{"S3", bench.ScriptS3}, {"S4", bench.ScriptS4},
+	}
+	for _, v := range []struct {
+		name   string
+		traced bool
+	}{{"Off", false}, {"On", true}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var ws []*datagen.Workload
+			for _, s := range scripts {
+				ws = append(ws, bench.Small(s.name, s.src))
+			}
+			cfg := bench.DefaultConfig()
+			cfg.UsePaperBudgets = false
+			var spans int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, w := range ws {
+					c := cfg
+					if v.traced {
+						c.Tracer = obs.NewTracer()
+					}
+					res, err := bench.RunOne(w, true, c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cl, err := exec.NewCluster(5, w.FS)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cl.Trace = c.Tracer
+					if _, err := cl.Run(res.Plan); err != nil {
+						b.Fatal(err)
+					}
+					if v.traced {
+						spans += c.Tracer.Len()
+					}
+				}
+			}
+			if v.traced {
+				b.ReportMetric(float64(spans)/float64(b.N), "spans/op")
+			}
 		})
 	}
 }

@@ -51,6 +51,14 @@ echo "== go test -race (parallel phase-2 suites) =="
 go test -race -count=1 -run 'ParallelRound|Equivalence|BudgetExpiry' ./internal/opt/ ||
 	fail "parallel phase-2 race tests failed"
 
+# The observability layer is lock-light shared state by design
+# (atomic metrics registry, one-mutex tracer) — always race-test it,
+# plus the registry merge invariants that back batch reporting.
+echo "== go test -race (obs + registry merge suites) =="
+go test -race -count=1 ./internal/obs/ || fail "obs race tests failed"
+go test -race -count=1 -run 'RegistryMerge|SessionPublish' ./internal/exec/ ./internal/share/ ||
+	fail "registry merge race tests failed"
+
 # Optimizer benchmark artifact: one generation pass must emit a
 # BENCH_opt.json that its own schema validator accepts.
 echo "== opt bench smoke (benchrepro -fig opt) =="
@@ -60,6 +68,17 @@ out=$(go run ./cmd/benchrepro -fig opt -iters 1 -out "$tmpdir/BENCH_opt.json") |
 	fail "opt bench smoke run failed"
 echo "$out" | tail -1
 echo "$out" | grep -q 'schema ok' || fail "opt bench smoke produced no schema-ok line"
+
+# Trace smoke: a traced EXPLAIN ANALYZE run must emit well-formed,
+# non-empty Chrome trace_event JSON (scopetrace validates structure
+# and span presence) and annotate plan nodes with actual row counts.
+echo "== trace smoke (scoperun -trace -analyze + scopetrace) =="
+out=$(go run ./cmd/scoperun -script s1 -machines 5 -workers 4 -analyze -trace "$tmpdir/trace.json") ||
+	fail "trace smoke run failed"
+echo "$out" | grep -q 'actual=' || fail "analyze output carries no actual row counts"
+out=$(go run ./cmd/scopetrace "$tmpdir/trace.json") || fail "trace validation failed"
+echo "$out"
+echo "$out" | grep -q 'trace ok' || fail "trace file failed validation"
 
 # Session batch mode over the example scripts: later scripts must hit
 # the cross-query cache, and every script must match its cache-disabled

@@ -7,6 +7,7 @@
 //	benchrepro -fig baselines  conventional vs local-sharing vs cost-based
 //	benchrepro -fig exec       wall-clock vs simulated execution time
 //	benchrepro -fig opt        optimizer wall-clock + round-engine counters (BENCH_opt.json)
+//	benchrepro -fig analyze    estimated vs actual row accuracy (EXPLAIN ANALYZE sweep)
 //	benchrepro -fig all        everything
 package main
 
@@ -14,30 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 )
 
-// parseWorkers turns a comma-separated list like "1,4,8" into pool
-// widths.
-func parseWorkers(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad worker count %q", f)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
 func main() {
-	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, opt, all")
-	machines := flag.Int("machines", 5, "simulated cluster size for -fig exec")
-	workers := flag.String("workers", "1,4", "comma-separated worker-pool widths for -fig exec")
+	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, opt, analyze, all")
+	machines := cliflags.Machines(flag.CommandLine, 5)
+	workers := cliflags.WorkersList(flag.CommandLine, "1,4")
 	out := flag.String("out", "BENCH_opt.json", "output path for the -fig opt artifact")
 	iters := flag.Int("iters", 3, "optimize iterations per configuration for -fig opt (fastest wins)")
 	flag.Parse()
@@ -93,8 +79,18 @@ func main() {
 			fmt.Print(bench.FormatBudget(rows))
 			return nil
 		},
+		"analyze": func() error {
+			rows, snap, err := bench.Accuracy(*machines, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("EXPLAIN ANALYZE — estimated vs actual rows per plan node, %d machines\n", *machines)
+			fmt.Print(bench.FormatAccuracy(rows))
+			fmt.Printf("\naggregate metrics over the analyzed runs:\n%s", snap)
+			return nil
+		},
 		"exec": func() error {
-			wc, err := parseWorkers(*workers)
+			wc, err := cliflags.ParseWorkersList(*workers)
 			if err != nil {
 				return err
 			}
@@ -127,7 +123,7 @@ func main() {
 
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "rounds", "budget", "baselines", "exec", "opt"}
+		order = []string{"7", "8", "rounds", "budget", "baselines", "exec", "opt", "analyze"}
 	} else {
 		order = []string{*fig}
 	}

@@ -49,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var targets []*datagen.Workload
 	if *builtin != "" {
-		w, err := builtinWorkload(*builtin)
+		w, err := bench.BuiltinWorkload(*builtin)
 		if err != nil {
 			fmt.Fprintln(stderr, "scopelint:", err)
 			return 2
@@ -95,7 +95,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			report.Diags = append(report.Diags, d)
 		}
 	}
-	report.Sort()
+	// Human output ranks by severity; -json output is diffed across
+	// runs and sorts by file so the order is reproducible even when
+	// two targets produce findings of equal severity.
+	if *jsonOut {
+		report.SortByFile()
+	} else {
+		report.Sort()
+	}
 
 	if *jsonOut {
 		data, err := report.JSON()
@@ -116,25 +123,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-func builtinWorkload(name string) (*datagen.Workload, error) {
-	switch name {
-	case "s1":
-		return bench.Small("S1", bench.ScriptS1), nil
-	case "s2":
-		return bench.Small("S2", bench.ScriptS2), nil
-	case "s3":
-		return bench.Small("S3", bench.ScriptS3), nil
-	case "s4":
-		return bench.Small("S4", bench.ScriptS4), nil
-	case "fig5":
-		return bench.Small("Fig5", bench.ScriptFig5), nil
-	case "ls1":
-		return datagen.LargeScript1(), nil
-	case "ls2":
-		return datagen.LargeScript2(), nil
-	default:
-		return nil, fmt.Errorf("unknown builtin script %q", name)
-	}
 }

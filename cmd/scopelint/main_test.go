@@ -70,6 +70,51 @@ OUTPUT R1 TO "o1";
 	}
 }
 
+// TestJSONOrderDeterministic passes two finding-producing files in
+// reverse name order and checks -json output is sorted by file, then
+// code, then position — not by argument or analyzer order.
+func TestJSONOrderDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+R2 = SELECT B FROM R0;
+OUTPUT R1 TO "o1";
+`
+	pa := filepath.Join(dir, "aa.scope")
+	pb := filepath.Join(dir, "bb.scope")
+	for _, p := range []string{pa, pb} {
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", pb, pa}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var ds []struct {
+		Code string `json:"code"`
+		Pos  string `json:"pos"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &ds); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(ds) < 2 {
+		t.Fatalf("want findings from both files, got %+v", ds)
+	}
+	for i := 1; i < len(ds); i++ {
+		prev := ds[i-1].Pos[:strings.IndexByte(ds[i-1].Pos, ':')]
+		cur := ds[i].Pos[:strings.IndexByte(ds[i].Pos, ':')]
+		if prev > cur || (prev == cur && ds[i-1].Code > ds[i].Code) {
+			t.Errorf("finding %d (%s %s) sorts after %d (%s %s)",
+				i-1, ds[i-1].Pos, ds[i-1].Code, i, ds[i].Pos, ds[i].Code)
+		}
+	}
+	if !strings.HasPrefix(ds[0].Pos, pa) {
+		t.Errorf("first finding is %q, want the alphabetically first file %q", ds[0].Pos, pa)
+	}
+}
+
 func TestSourceOnlySkipsPlans(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-source-only", "-script", "s1"}, &out, &errb); code != 0 {

@@ -7,6 +7,7 @@
 //	scopeopt -script s1            # one of: s1 s2 s3 s4 fig5 ls1 ls2
 //	scopeopt -file my.scope        # a script file (uses default stats)
 //	scopeopt -script s1 -dot       # emit Graphviz instead of trees
+//	scopeopt -script s1 -trace out.json   # Chrome trace of the optimization
 package main
 
 import (
@@ -15,8 +16,10 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 	"repro/internal/datagen"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -29,7 +32,8 @@ func main() {
 	cseOnly := flag.Bool("cse-only", false, "skip the conventional baseline")
 	showRounds := flag.Bool("rounds", false, "trace every phase-2 re-optimization round")
 	jsonOut := flag.String("json", "", "also write the CSE plan as JSON to this file")
-	lintOut := flag.Bool("lint", false, "print static-analysis findings for each plan before explaining it")
+	lintOut := cliflags.Lint(flag.CommandLine)
+	traceOut := cliflags.Trace(flag.CommandLine)
 	flag.Parse()
 
 	w, err := workload(*script, *file)
@@ -38,6 +42,9 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := bench.DefaultConfig()
+	if *traceOut != "" {
+		cfg.Tracer = obs.NewTracer()
+	}
 
 	if !*cseOnly {
 		conv, err := bench.RunOne(w, false, cfg)
@@ -49,9 +56,11 @@ func main() {
 	exitOn(err)
 	showLint(*lintOut, cse)
 	show("exploiting common subexpressions", cse, *dot)
-	fmt.Printf("stats: shared=%d rounds=%d pruned=%d naive=%d duration=%v\n",
-		cse.Stats.SharedGroups, cse.Stats.Rounds, cse.Stats.RoundsPruned,
-		cse.Stats.NaiveCombinations, cse.Duration)
+	fmt.Printf("stats (duration=%v):\n%s", cse.Duration, cse.Stats)
+	if *traceOut != "" {
+		exitOn(cfg.Tracer.WriteFile(*traceOut))
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, cfg.Tracer.Len())
+	}
 	if *jsonOut != "" {
 		data, err := plan.MarshalPlan(cse.Plan)
 		exitOn(err)
@@ -87,24 +96,7 @@ func workload(name, file string) (*datagen.Workload, error) {
 		}
 		return w, nil
 	}
-	switch name {
-	case "s1":
-		return bench.Small("S1", bench.ScriptS1), nil
-	case "s2":
-		return bench.Small("S2", bench.ScriptS2), nil
-	case "s3":
-		return bench.Small("S3", bench.ScriptS3), nil
-	case "s4":
-		return bench.Small("S4", bench.ScriptS4), nil
-	case "fig5":
-		return bench.Small("Fig5", bench.ScriptFig5), nil
-	case "ls1":
-		return datagen.LargeScript1(), nil
-	case "ls2":
-		return datagen.LargeScript2(), nil
-	default:
-		return nil, fmt.Errorf("unknown builtin script %q", name)
-	}
+	return bench.BuiltinWorkload(name)
 }
 
 func show(title string, res *opt.Result, dot bool) {

@@ -11,6 +11,16 @@
 // -workers the real worker-pool width executing partition tasks;
 // metered work and results are identical at every worker count.
 //
+// Observability:
+//
+//	scoperun -script s1 -trace out.json -analyze
+//
+// -trace writes every optimizer and executor span as Chrome
+// trace_event JSON (open in chrome://tracing or Perfetto); the span
+// tree is deterministic at any -workers width. -analyze reruns each
+// plan in EXPLAIN ANALYZE mode and prints it annotated with estimated
+// versus actual rows and bytes per node, flagging mis-estimations.
+//
 // Batch server mode:
 //
 //	scoperun -session examples/session
@@ -32,52 +42,43 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 	"repro/internal/cost"
-	"repro/internal/datagen"
 	"repro/internal/exec"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/opt"
+	"repro/internal/plan"
 	"repro/internal/share"
 )
 
 func main() {
 	script := flag.String("script", "s1", "builtin workload: s1 s2 s3 s4 fig5")
-	machines := flag.Int("machines", 8, "simulated cluster size for execution (must be positive)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "execution worker-pool width (must be positive)")
-	lintOut := flag.Bool("lint", false, "print static-analysis findings for each plan before executing it")
+	cluster := cliflags.ClusterFlags(flag.CommandLine, 8, runtime.GOMAXPROCS(0))
+	lintOut := cliflags.Lint(flag.CommandLine)
+	traceOut := cliflags.Trace(flag.CommandLine)
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: print each executed plan annotated with estimated vs actual rows and bytes")
 	sessionDir := flag.String("session", "", "batch mode: run every *.scope script in this directory through one shared-result session")
 	flag.Parse()
 
-	if *machines <= 0 {
-		fmt.Fprintf(os.Stderr, "scoperun: -machines must be positive, got %d\n", *machines)
+	if err := cluster.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "scoperun: %v\n", err)
 		os.Exit(2)
 	}
-	if *workers <= 0 {
-		fmt.Fprintf(os.Stderr, "scoperun: -workers must be positive, got %d\n", *workers)
-		os.Exit(2)
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
 	}
 
 	if *sessionDir != "" {
-		runSession(*sessionDir, *machines, *workers)
+		runSession(*sessionDir, cluster.Machines, cluster.Workers, tracer)
+		writeTrace(tracer, *traceOut)
 		return
 	}
 
-	var w *datagen.Workload
-	switch *script {
-	case "s1":
-		w = bench.Small("S1", bench.ScriptS1)
-	case "s2":
-		w = bench.Small("S2", bench.ScriptS2)
-	case "s3":
-		w = bench.Small("S3", bench.ScriptS3)
-	case "s4":
-		w = bench.Small("S4", bench.ScriptS4)
-	case "fig5":
-		w = bench.Small("Fig5", bench.ScriptFig5)
-	default:
-		fmt.Fprintf(os.Stderr, "scoperun: unknown script %q\n", *script)
-		os.Exit(1)
-	}
+	w, err := bench.BuiltinWorkload(*script)
+	exitOn(err)
 
 	// Reference result.
 	mRef, err := logical.BuildSource(w.Script, w.Cat)
@@ -86,8 +87,9 @@ func main() {
 	exitOn(err)
 
 	cfg := bench.DefaultConfig()
+	cfg.Tracer = tracer
 	simCluster := cost.DefaultCluster()
-	simCluster.Machines = *machines
+	simCluster.Machines = cluster.Machines
 	for _, cse := range []bool{false, true} {
 		label := "conventional"
 		if cse {
@@ -103,11 +105,18 @@ func main() {
 				fmt.Printf("%s  lint: %s\n", label, d)
 			}
 		}
-		cl, err := exec.NewCluster(*machines, w.FS)
+		cl, err := exec.NewCluster(cluster.Machines, w.FS)
 		exitOn(err)
-		cl.Workers = *workers
+		cl.Workers = cluster.Workers
+		cl.Trace = tracer
 		start := time.Now()
-		got, err := cl.Run(res.Plan)
+		var got map[string]*exec.Table
+		var actuals map[*plan.Node]exec.NodeActual
+		if *analyze {
+			got, actuals, err = cl.RunAnalyzed(res.Plan)
+		} else {
+			got, err = cl.Run(res.Plan)
+		}
 		wall := time.Since(start)
 		exitOn(err)
 		ok := true
@@ -121,10 +130,14 @@ func main() {
 			label, res.Cost, m.DiskBytesRead+m.DiskBytesWritten, m.NetBytes,
 			m.RowsProcessed, m.Exchanges, m.SpoolMaterializations,
 			m.SimulatedSeconds(simCluster), wall.Round(time.Microsecond), ok)
+		if *analyze {
+			fmt.Printf("\n== %s EXPLAIN ANALYZE ==\n%s\n", strings.TrimSpace(label), exec.NewAnalysis(res.Plan, actuals, 0))
+		}
 		if !ok {
 			os.Exit(1)
 		}
 	}
+	writeTrace(tracer, *traceOut)
 
 	fmt.Println("\noutputs:")
 	var paths []string
@@ -137,6 +150,16 @@ func main() {
 	}
 }
 
+// writeTrace exports the collected spans as Chrome trace_event JSON.
+// No-op when tracing is off.
+func writeTrace(tr *obs.Tracer, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	exitOn(tr.WriteFile(path))
+	fmt.Printf("trace written to %s (%d spans)\n", path, tr.Len())
+}
+
 // runSession is the batch server mode: every *.scope script in dir,
 // in sorted order, runs through one share.Session over the builtin
 // micro dataset (test.log / test2.log), so later scripts can serve
@@ -144,7 +167,7 @@ func main() {
 // script is also executed cache-disabled against an identical cold
 // dataset; the difference in metered disk+net bytes is what sharing
 // saved, and the outputs of the two runs must agree bit for bit.
-func runSession(dir string, machines, workers int) {
+func runSession(dir string, machines, workers int, tracer *obs.Tracer) {
 	entries, err := os.ReadDir(dir)
 	exitOn(err)
 	var names []string
@@ -163,8 +186,10 @@ func runSession(dir string, machines, workers int) {
 	// identical, but the cold side never sees the session cache.
 	warm := bench.Small("session", "")
 	cold := bench.Small("session-cold", "")
+	reg := obs.NewRegistry()
 	sess, err := share.NewSession(share.Config{
 		Catalog: warm.Cat, FS: warm.FS, Machines: machines, Workers: workers,
+		Tracer: tracer, Obs: reg,
 	})
 	exitOn(err)
 
@@ -204,9 +229,7 @@ func runSession(dir string, machines, workers int) {
 			os.Exit(1)
 		}
 	}
-	st := sess.CacheStats()
-	fmt.Printf("\ncache: entries=%d  bytes=%d  insertions=%d  evictions=%d  invalidations=%d\n",
-		st.Entries, st.Bytes, st.Insertions, st.Evictions, st.Invalidations)
+	fmt.Printf("\nsession metrics:\n%s", reg.Snapshot())
 	fmt.Printf("total: warm disk+net=%d  cold disk+net=%d  saved=%d\n",
 		warmBytes, coldBytes, coldBytes-warmBytes)
 }

@@ -1,0 +1,60 @@
+// Command scopetrace validates and summarizes the Chrome trace_event
+// JSON files written by scopeopt -trace and scoperun -trace: it
+// checks the file is well-formed (non-empty traceEvents, named events,
+// non-negative timestamps and durations) and reports how many spans
+// each subsystem contributed. CI uses it as the trace smoke gate; it
+// is also the quick sanity check before loading a trace into
+// chrome://tracing or Perfetto.
+//
+// Usage:
+//
+//	scopetrace out.json [more.json ...]
+//
+// The exit status is 1 when any file fails validation, 2 on usage
+// errors, and 0 when every file is a well-formed non-empty trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scopetrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "scopetrace: no trace files; pass one or more trace_event JSON paths")
+		fs.Usage()
+		return 2
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "scopetrace:", err)
+			return 2
+		}
+		sum, err := obs.ValidateTrace(data)
+		if err != nil {
+			fmt.Fprintf(stdout, "%s: INVALID: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: %s\n", path, sum)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

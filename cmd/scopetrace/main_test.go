@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeTraceFile records a tiny two-span trace and exports it.
+func writeTraceFile(t *testing.T) string {
+	t.Helper()
+	tr := obs.NewTracer()
+	root := tr.Start(obs.Span{}, "opt", "optimize", "optimize")
+	tr.Start(root, "exec", "run", "run").End()
+	root.End()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidTraceExitsZero(t *testing.T) {
+	path := writeTraceFile(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "trace ok") || !strings.Contains(out.String(), "opt=1") {
+		t.Errorf("stdout = %q, want a trace-ok summary with opt span count", out.String())
+	}
+}
+
+func TestInvalidTraceExitsOne(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"traceEvents":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "INVALID") {
+		t.Errorf("stdout = %q, want an INVALID line", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.json")}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit = %d, want 2", code)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/lint"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/rules"
@@ -45,6 +46,9 @@ type Config struct {
 	// the run on error-severity findings, so experiment numbers are
 	// never reported off a plan that violates the sharing invariants.
 	Lint bool
+	// Tracer, when non-nil, receives optimizer spans from every
+	// RunOne. The span tree is deterministic at any OptWorkers width.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the configuration the experiments use.
@@ -83,6 +87,7 @@ func RunOne(w *datagen.Workload, enableCSE bool, cfg Config) (*opt.Result, error
 		opts.Timeout = time.Duration(w.BudgetSeconds) * time.Second
 	}
 	opts.Lint = cfg.Lint
+	opts.Tracer = cfg.Tracer
 	res, err := opt.Optimize(m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)

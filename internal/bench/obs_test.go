@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// traceAt optimizes and executes the Fig. 5 workload with both pools
+// at the given width, recording every span, and returns the rendered
+// span tree.
+func traceAt(t *testing.T, width int) string {
+	t.Helper()
+	w := Small("Fig5", ScriptFig5)
+	cfg := DefaultConfig()
+	cfg.Tracer = obs.NewTracer()
+	cfg.OptWorkers = width
+	res, err := RunOne(w, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := exec.NewCluster(5, w.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Workers = width
+	cl.Trace = cfg.Tracer
+	if _, err := cl.Run(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Tracer.TreeString()
+}
+
+// TestTraceDeterministicAcrossWorkers is the tracing acceptance
+// criterion: the same script optimized and executed at one worker and
+// at eight yields the identical span tree (names, ids, parentage, and
+// integer args — everything but timestamps). Span identities come
+// from memo-group and plan ids, and scheduling-dependent work (spool
+// materialization, LCA rounds) parents to stable anchors, so the
+// goroutine interleaving cannot leak into the tree.
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	seq := traceAt(t, 1)
+	par := traceAt(t, 8)
+	if seq != par {
+		t.Errorf("span tree differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+	for _, want := range []string{"opt.optimize", "opt.phase2", "opt.lca", "exec.run", "exec.spool-materialize"} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("span tree is missing %q spans:\n%s", want, seq)
+		}
+	}
+}
+
+// TestAccuracySweep runs the EXPLAIN ANALYZE accuracy sweep and
+// checks its calibration: every workload is scored, q-errors are
+// finite and >= 1 by construction, and — since the calibrated
+// catalogs describe the physical data exactly — no node should miss
+// by more than the mis-estimation threshold.
+func TestAccuracySweep(t *testing.T) {
+	rows, snap, err := Accuracy(5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("accuracy sweep scored %d workloads, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes == 0 {
+			t.Errorf("%s: no nodes scored", r.Script)
+		}
+		if r.MeanQ < 1 || r.MaxQ < r.MeanQ {
+			t.Errorf("%s: implausible q-errors mean=%v max=%v", r.Script, r.MeanQ, r.MaxQ)
+		}
+		if r.Flagged != 0 {
+			t.Errorf("%s: %d nodes flagged on calibrated stats (max_q=%.2f)", r.Script, r.Flagged, r.MaxQ)
+		}
+	}
+	if snap.Counters["exec.rows_processed"] == 0 {
+		t.Error("aggregate snapshot metered no rows")
+	}
+	out := FormatAccuracy(rows)
+	if !strings.Contains(out, "mean-q") || !strings.Contains(out, "S1") {
+		t.Errorf("FormatAccuracy output malformed:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/datagen"
@@ -113,6 +114,30 @@ const (
 func Small(name, script string) *datagen.Workload {
 	return datagen.SmallWorkloadCols(name, script, smallPhysRows, smallStatScale, 7,
 		datagen.MicroScriptColumns())
+}
+
+// BuiltinWorkload resolves the builtin script names the CLIs accept
+// (s1 s2 s3 s4 fig5 ls1 ls2). Every tool that takes a -script flag
+// resolves it here, so the name set cannot drift between commands.
+func BuiltinWorkload(name string) (*datagen.Workload, error) {
+	switch name {
+	case "s1":
+		return Small("S1", ScriptS1), nil
+	case "s2":
+		return Small("S2", ScriptS2), nil
+	case "s3":
+		return Small("S3", ScriptS3), nil
+	case "s4":
+		return Small("S4", ScriptS4), nil
+	case "fig5":
+		return Small("Fig5", ScriptFig5), nil
+	case "ls1":
+		return datagen.LargeScript1(), nil
+	case "ls2":
+		return datagen.LargeScript2(), nil
+	default:
+		return nil, fmt.Errorf("unknown builtin script %q", name)
+	}
 }
 
 // PaperSavings records the savings the paper reports in Fig. 7, for

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/relop"
 )
@@ -88,6 +89,15 @@ type Cluster struct {
 	// subexpressions into the cross-query cache. Set it before Run;
 	// it is read concurrently during execution.
 	PersistSpools map[string]string
+	// Trace, when non-nil, records execution spans: one per run, per
+	// operator, per partition task, plus single-flight spool
+	// materializations. Span identities derive from plan node ids, so
+	// the span tree is deterministic at any Workers width. Nil
+	// disables tracing at zero cost.
+	Trace *obs.Tracer
+	// Obs, when non-nil, receives every finished run's metered totals
+	// (Metrics.Publish); safe with concurrent Run calls.
+	Obs *obs.Registry
 
 	mu      sync.Mutex // guards metrics; Run calls may be concurrent
 	metrics Metrics

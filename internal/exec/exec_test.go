@@ -179,7 +179,7 @@ func mustRunRaw(t *testing.T, c *Cluster, p *plan.Node) *pdata {
 	t.Helper()
 	r, finish := c.newRunner(context.Background())
 	defer finish()
-	out, err := r.exec(p)
+	out, err := r.exec(p, r.span)
 	if err != nil {
 		t.Fatal(err)
 	}

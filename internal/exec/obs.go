@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// This file adapts Metrics to the unified observability layer and
+// holds the span-identity helpers. The public Metrics fields stay the
+// source of truth; Snapshot/Publish/String are derived views.
+
+// Snapshot converts the metered totals to a unified metrics snapshot
+// under the "exec." prefix.
+func (m Metrics) Snapshot() obs.Snapshot {
+	out := obs.NewSnapshot()
+	out.Counters["exec.disk_bytes_read"] = m.DiskBytesRead
+	out.Counters["exec.disk_bytes_written"] = m.DiskBytesWritten
+	out.Counters["exec.net_bytes"] = m.NetBytes
+	out.Counters["exec.rows_processed"] = m.RowsProcessed
+	out.Counters["exec.spool_materializations"] = int64(m.SpoolMaterializations)
+	out.Counters["exec.spool_reads"] = int64(m.SpoolReads)
+	out.Counters["exec.exchanges"] = int64(m.Exchanges)
+	out.Counters["exec.cache_reads"] = int64(m.CacheReads)
+	out.Counters["exec.cache_bytes_read"] = m.CacheBytesRead
+	out.Counters["exec.cache_bytes_written"] = m.CacheBytesWritten
+	return out
+}
+
+// Publish folds one run's totals into a registry (nil-safe): the
+// counters of Snapshot plus a per-run row-count histogram, so a batch
+// registry shows the distribution of run sizes, not just their sum.
+func (m Metrics) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s := m.Snapshot()
+	s.Hists["exec.run_rows_processed"] = obs.HistObservation(m.RowsProcessed)
+	r.Record(s)
+}
+
+// String renders the metrics in the stable snapshot layout.
+func (m Metrics) String() string { return m.Snapshot().String() }
+
+// nodeID is the deterministic span identity of a plan node: the memo
+// group that produced it plus a hash of the optimization context it
+// was chosen under. Two references to one shared node trace under the
+// same id regardless of which goroutine executes them.
+func nodeID(n *plan.Node) string {
+	return fmt.Sprintf("G%d.%08x", n.Group, fnv32(n.CtxKey))
+}
+
+// fnv32 is FNV-1a over s; CtxKeys embed pin signatures and can be
+// long, so spans carry this fixed-width digest instead.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}

@@ -1,0 +1,87 @@
+package exec_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/rules"
+)
+
+// optimizeWorkload compiles and optimizes a builtin script with CSE on.
+func optimizeWorkload(t *testing.T, script string) (*opt.Result, *exec.FileStore) {
+	t.Helper()
+	w := bench.Small("W", script)
+	opts := opt.DefaultOptions()
+	opts.EnableCSE = true
+	opts.Rules = rules.SCOPEProfile()
+	m, err := logical.BuildSource(w.Script, w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, w.FS
+}
+
+// TestConcurrentRunRegistryMerge is the additive invariant of the
+// metrics registry under parallel execution: N concurrent Cluster.Run
+// calls publishing into one shared registry leave exactly the sum of N
+// independent per-run snapshots — no double counts, no lost updates.
+func TestConcurrentRunRegistryMerge(t *testing.T) {
+	res, fs := optimizeWorkload(t, bench.ScriptS1)
+
+	// Per-run baseline: one run on a private cluster and registry.
+	priv := obs.NewRegistry()
+	cl := testClusterFS(t, 5, fs)
+	cl.Workers = 4
+	cl.Obs = priv
+	if _, err := cl.Run(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	perRun := priv.Snapshot()
+	if perRun.Counters["exec.rows_processed"] == 0 {
+		t.Fatal("per-run snapshot metered no rows")
+	}
+
+	const n = 6
+	want := obs.NewSnapshot()
+	for i := 0; i < n; i++ {
+		want = want.Add(perRun)
+	}
+
+	shared := obs.NewRegistry()
+	scl := testClusterFS(t, 5, fs)
+	scl.Workers = 4
+	scl.Obs = shared
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = scl.Run(res.Plan)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+
+	got := shared.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("shared registry after %d concurrent runs:\n%vwant %d x per-run snapshot:\n%v", n, got, n, want)
+	}
+	if hv := got.Hists["exec.run_rows_processed"]; hv.Count != n {
+		t.Errorf("run-size histogram count = %d, want %d", hv.Count, n)
+	}
+}

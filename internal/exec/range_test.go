@@ -102,7 +102,7 @@ func TestRangePartitionMissingColumn(t *testing.T) {
 	}
 	r, finish := c.newRunner(context.Background())
 	defer finish()
-	if _, err := r.exec(p); err == nil {
+	if _, err := r.exec(p, r.span); err == nil {
 		t.Error("range over missing column should fail")
 	}
 }

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/props"
 	"repro/internal/relop"
@@ -35,7 +35,7 @@ func (c *Cluster) Run(root *plan.Node) (map[string]*Table, error) {
 func (c *Cluster) RunContext(ctx context.Context, root *plan.Node) (map[string]*Table, error) {
 	r, finish := c.newRunner(ctx)
 	defer finish()
-	if _, err := r.exec(root); err != nil {
+	if _, err := r.exec(root, r.span); err != nil {
 		return nil, err
 	}
 	return r.outputs, nil
@@ -54,14 +54,19 @@ type runner struct {
 	// metric shard, written without synchronization.
 	slots  chan int
 	shards []Metrics
+	// tr records execution spans (nil = disabled); span is the
+	// run-root span every top-level node and every single-flight spool
+	// materialization parents to.
+	tr   *obs.Tracer
+	span obs.Span
 
 	mu      sync.Mutex // guards coord, spools, outputs, actuals
 	coord   Metrics    // operator-granular metering outside the pool
 	spools  map[string]*spoolEntry
 	outputs map[string]*Table
-	// actuals, when non-nil, records per-node output row counts
+	// actuals, when non-nil, records per-node output rows and bytes
 	// (EXPLAIN ANALYZE support).
-	actuals map[*plan.Node]int64
+	actuals map[*plan.Node]NodeActual
 }
 
 // spoolEntry is the single-flight state of one shared spool: the
@@ -85,9 +90,11 @@ func (c *Cluster) newRunner(ctx context.Context) (*runner, func()) {
 		cancel:  cancel,
 		slots:   make(chan int, workers),
 		shards:  make([]Metrics, workers),
+		tr:      c.Trace,
 		spools:  map[string]*spoolEntry{},
 		outputs: map[string]*Table{},
 	}
+	r.span = r.tr.Start(obs.Span{}, "exec", "run", "run")
 	for i := 0; i < workers; i++ {
 		r.slots <- i
 	}
@@ -98,6 +105,9 @@ func (c *Cluster) newRunner(ctx context.Context) (*runner, func()) {
 			total.add(r.shards[i])
 		}
 		c.addMetrics(total)
+		total.Publish(c.Obs)
+		r.span.Arg("rows_processed", total.RowsProcessed)
+		r.span.End()
 	}
 	return r, finish
 }
@@ -110,20 +120,22 @@ func (r *runner) meter(f func(*Metrics)) {
 	r.mu.Unlock()
 }
 
-func (r *runner) recordActual(n *plan.Node, rows int64) {
+func (r *runner) recordActual(n *plan.Node, rows, bytes int64) {
 	if r.actuals == nil {
 		return
 	}
 	r.mu.Lock()
-	r.actuals[n] = rows
+	r.actuals[n] = NodeActual{Rows: rows, Bytes: bytes}
 	r.mu.Unlock()
 }
 
 // forEach runs fn(i, shard) for every i in [0, n) across the bounded
 // worker pool; shard is the executing worker's private metric shard.
-// The first error cancels the whole run — tasks already running
-// finish, queued ones are dropped — and is returned.
-func (r *runner) forEach(n int, fn func(i int, shard *Metrics) error) error {
+// When tracing, each task records a span named label under parent
+// (identity "p<i>", so the tree is scheduling-independent). The first
+// error cancels the whole run — tasks already running finish, queued
+// ones are dropped — and is returned.
+func (r *runner) forEach(parent obs.Span, label string, n int, fn func(i int, shard *Metrics) error) error {
 	var wg sync.WaitGroup
 launch:
 	for i := 0; i < n; i++ {
@@ -135,7 +147,13 @@ launch:
 			go func(i, slot int) {
 				defer wg.Done()
 				defer func() { r.slots <- slot }()
-				if err := fn(i, &r.shards[slot]); err != nil {
+				var psp obs.Span
+				if r.tr != nil {
+					psp = r.tr.Start(parent, "exec", label, fmt.Sprintf("p%d", i))
+				}
+				err := fn(i, &r.shards[slot])
+				psp.End()
+				if err != nil {
 					r.cancel(err)
 				}
 			}(i, slot)
@@ -148,10 +166,10 @@ launch:
 // execAll executes the given nodes concurrently (on coordinator
 // goroutines; row work stays bounded by the worker pool) and returns
 // their results in order.
-func (r *runner) execAll(nodes []*plan.Node) ([]*pdata, error) {
+func (r *runner) execAll(nodes []*plan.Node, parent obs.Span) ([]*pdata, error) {
 	out := make([]*pdata, len(nodes))
 	if len(nodes) == 1 {
-		p, err := r.exec(nodes[0])
+		p, err := r.exec(nodes[0], parent)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +181,7 @@ func (r *runner) execAll(nodes []*plan.Node) ([]*pdata, error) {
 		wg.Add(1)
 		go func(i int, ch *plan.Node) {
 			defer wg.Done()
-			p, err := r.exec(ch)
+			p, err := r.exec(ch, parent)
 			if err != nil {
 				r.cancel(err)
 				return
@@ -178,21 +196,38 @@ func (r *runner) execAll(nodes []*plan.Node) ([]*pdata, error) {
 	return out, nil
 }
 
-func (r *runner) exec(n *plan.Node) (*pdata, error) {
+// exec wraps execNode in a per-operator span: name is the operator
+// kind, identity is the node's group and context (nodeID), and the
+// output row count lands as an argument. Children trace under this
+// span, so the tree mirrors the plan DAG.
+func (r *runner) exec(n *plan.Node, parent obs.Span) (*pdata, error) {
+	if r.tr == nil {
+		return r.execNode(n, parent)
+	}
+	sp := r.tr.Start(parent, "exec", n.Op.Kind().String(), nodeID(n))
+	p, err := r.execNode(n, sp)
+	if err == nil && p != nil {
+		sp.Arg("rows", p.rows())
+	}
+	sp.End()
+	return p, err
+}
+
+func (r *runner) execNode(n *plan.Node, sp obs.Span) (*pdata, error) {
 	if err := context.Cause(r.ctx); err != nil {
 		return nil, err
 	}
 	switch op := n.Op.(type) {
 	case *relop.PhysSequence:
-		if err := r.sequence(n); err != nil {
+		if err := r.sequence(n, sp); err != nil {
 			return nil, err
 		}
-		r.recordActual(n, 0)
+		r.recordActual(n, 0, 0)
 		return newPData(relop.Schema{}, r.c.Machines), nil
 	case *relop.PhysSpool:
-		return r.spool(n)
+		return r.spool(n, sp)
 	case *relop.PhysOutput:
-		in, err := r.exec(n.Children[0])
+		in, err := r.exec(n.Children[0], sp)
 		if err != nil {
 			return nil, err
 		}
@@ -207,11 +242,11 @@ func (r *runner) exec(n *plan.Node) (*pdata, error) {
 		r.mu.Lock()
 		r.outputs[op.Path] = t
 		r.mu.Unlock()
-		r.recordActual(n, int64(len(t.Rows)))
+		r.recordActual(n, int64(len(t.Rows)), t.Bytes())
 		return in, nil
 	}
 	// Row-producing operators: inputs execute concurrently.
-	ins, err := r.execAll(n.Children)
+	ins, err := r.execAll(n.Children, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -220,27 +255,27 @@ func (r *runner) exec(n *plan.Node) (*pdata, error) {
 		inRows += p.rows()
 	}
 	r.meter(func(m *Metrics) { m.RowsProcessed += inRows })
-	out, err := r.apply(n, ins)
+	out, err := r.apply(n, ins, sp)
 	if err != nil {
 		return nil, err
 	}
-	r.recordActual(n, out.rows())
+	r.recordActual(n, out.rows(), out.logicalBytes())
 	return out, nil
 }
 
 // sequence executes the statements of a script. Independent branches
 // run concurrently; if any branch extracts a file another branch
 // outputs, the whole sequence falls back to serial statement order.
-func (r *runner) sequence(n *plan.Node) error {
+func (r *runner) sequence(n *plan.Node, sp obs.Span) error {
 	if sequenceHasFileDeps(n.Children) {
 		for _, ch := range n.Children {
-			if _, err := r.exec(ch); err != nil {
+			if _, err := r.exec(ch, sp); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	_, err := r.execAll(n.Children)
+	_, err := r.execAll(n.Children, sp)
 	return err
 }
 
@@ -283,7 +318,7 @@ func ioPaths(n *plan.Node, seen map[*plan.Node]bool, extracts, outputs map[strin
 // level one-Spool invariant (lint P1). Metering uses the spool's
 // logical size, so a broadcast spool does not over-count its
 // replicas against the cost model's accounting.
-func (r *runner) spool(n *plan.Node) (*pdata, error) {
+func (r *runner) spool(n *plan.Node, sp obs.Span) (*pdata, error) {
 	key := fmt.Sprintf("%d|%s", n.Group, n.CtxKey)
 	r.mu.Lock()
 	if e, ok := r.spools[key]; ok {
@@ -305,12 +340,27 @@ func (r *runner) spool(n *plan.Node) (*pdata, error) {
 	e := &spoolEntry{done: make(chan struct{})}
 	r.spools[key] = e
 	r.mu.Unlock()
-	e.p, e.err = r.exec(n.Children[0])
+	// Which consumer materializes is scheduling-dependent, so the
+	// materialization (and the shared subtree under it) parents to the
+	// run root rather than to this consumer's span: every consumer's
+	// own Spool span then looks identical, and the tree stays
+	// deterministic at any worker width.
+	var msp obs.Span
+	if r.tr != nil {
+		msp = r.tr.Start(r.span, "exec", "spool-materialize", nodeID(n))
+	}
+	e.p, e.err = r.exec(n.Children[0], msp)
+	if r.tr != nil {
+		if e.err == nil {
+			msp.Arg("bytes", e.p.logicalBytes())
+		}
+		msp.End()
+	}
 	close(e.done)
 	if e.err != nil {
 		return nil, e.err
 	}
-	r.recordActual(n, e.p.rows())
+	r.recordActual(n, e.p.rows(), e.p.logicalBytes())
 	r.meter(func(m *Metrics) {
 		m.SpoolMaterializations++
 		m.DiskBytesWritten += e.p.logicalBytes()
@@ -328,44 +378,44 @@ func (r *runner) spool(n *plan.Node) (*pdata, error) {
 	return e.p, nil
 }
 
-func (r *runner) apply(n *plan.Node, ins []*pdata) (*pdata, error) {
+func (r *runner) apply(n *plan.Node, ins []*pdata, sp obs.Span) (*pdata, error) {
 	switch op := n.Op.(type) {
 	case *relop.PhysExtract:
-		return r.extract(op)
+		return r.extract(op, sp)
 	case *relop.PhysCacheScan:
-		return r.cacheScan(op)
+		return r.cacheScan(op, sp)
 	case *relop.PhysFilter:
-		return r.filter(op, ins[0])
+		return r.filter(op, ins[0], sp)
 	case *relop.PhysProject:
-		return r.project(op, ins[0], n.Schema)
+		return r.project(op, ins[0], n.Schema, sp)
 	case *relop.Sort:
-		return r.sortOp(op, ins[0])
+		return r.sortOp(op, ins[0], sp)
 	case *relop.Repartition:
-		return r.repartition(op, ins[0])
+		return r.repartition(op, ins[0], sp)
 	case *relop.StreamAgg:
-		return r.aggregate(op.Keys, op.Aggs, op.Phase, ins[0], n.Schema, true)
+		return r.aggregate(op.Keys, op.Aggs, op.Phase, ins[0], n.Schema, true, sp)
 	case *relop.HashAgg:
-		return r.aggregate(op.Keys, op.Aggs, op.Phase, ins[0], n.Schema, false)
+		return r.aggregate(op.Keys, op.Aggs, op.Phase, ins[0], n.Schema, false, sp)
 	case *relop.SortMergeJoin:
-		return r.join(op.LeftKeys, op.RightKeys, ins[0], ins[1], n.Schema)
+		return r.join(op.LeftKeys, op.RightKeys, ins[0], ins[1], n.Schema, sp)
 	case *relop.HashJoin:
-		return r.join(op.LeftKeys, op.RightKeys, ins[0], ins[1], n.Schema)
+		return r.join(op.LeftKeys, op.RightKeys, ins[0], ins[1], n.Schema, sp)
 	case *relop.PhysUnion:
-		return r.union(ins, n.Schema)
+		return r.union(ins, n.Schema, sp)
 	default:
 		return nil, fmt.Errorf("exec: unsupported operator %T", n.Op)
 	}
 }
 
 // union concatenates inputs partition-wise (UNION ALL).
-func (r *runner) union(ins []*pdata, schema relop.Schema) (*pdata, error) {
+func (r *runner) union(ins []*pdata, schema relop.Schema, sp obs.Span) (*pdata, error) {
 	for _, in := range ins {
 		if in.broadcast {
 			return nil, fmt.Errorf("exec: union over broadcast input would multiply rows")
 		}
 	}
 	out := newPData(schema, r.c.Machines)
-	if err := r.forEach(r.c.Machines, func(m int, _ *Metrics) error {
+	if err := r.forEach(sp, "part", r.c.Machines, func(m int, _ *Metrics) error {
 		for _, in := range ins {
 			out.parts[m] = append(out.parts[m], in.parts[m]...)
 		}
@@ -376,7 +426,7 @@ func (r *runner) union(ins []*pdata, schema relop.Schema) (*pdata, error) {
 	return out, nil
 }
 
-func (r *runner) extract(op *relop.PhysExtract) (*pdata, error) {
+func (r *runner) extract(op *relop.PhysExtract, sp obs.Span) (*pdata, error) {
 	t, ok := r.c.FS.Get(op.Path)
 	if !ok {
 		return nil, fmt.Errorf("exec: input file %q not found", op.Path)
@@ -390,7 +440,7 @@ func (r *runner) extract(op *relop.PhysExtract) (*pdata, error) {
 	}
 	out := newPData(op.Columns, r.c.Machines)
 	width := int64(len(op.Columns)) * 8
-	if err := r.forEach(r.c.Machines, func(m int, shard *Metrics) error {
+	if err := r.forEach(sp, "part", r.c.Machines, func(m int, shard *Metrics) error {
 		// Round-robin distribution: machine m owns rows m, m+M, ...
 		for i := m; i < len(t.Rows); i += r.c.Machines {
 			row := t.Rows[i]
@@ -416,7 +466,7 @@ func (r *runner) extract(op *relop.PhysExtract) (*pdata, error) {
 // unordered artifacts round-robin like a file scan. The recorded
 // per-machine order is re-established with a stable sort. The load is
 // metered as cache traffic, distinct from plan disk I/O.
-func (r *runner) cacheScan(op *relop.PhysCacheScan) (*pdata, error) {
+func (r *runner) cacheScan(op *relop.PhysCacheScan, sp obs.Span) (*pdata, error) {
 	t, ok := r.c.FS.Get(op.Path)
 	if !ok {
 		return nil, fmt.Errorf("exec: cached artifact %q not found", op.Path)
@@ -472,13 +522,16 @@ func (r *runner) cacheScan(op *relop.PhysCacheScan) (*pdata, error) {
 		m.CacheReads++
 		m.CacheBytesRead += t.Bytes()
 	})
+	if r.tr != nil {
+		sp.Arg("cache_bytes", t.Bytes())
+	}
 	return out, nil
 }
 
-func (r *runner) filter(op *relop.PhysFilter, in *pdata) (*pdata, error) {
+func (r *runner) filter(op *relop.PhysFilter, in *pdata, sp obs.Span) (*pdata, error) {
 	out := newPData(in.schema, r.c.Machines)
 	out.broadcast = in.broadcast
-	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+	if err := r.forEach(sp, "part", len(in.parts), func(m int, _ *Metrics) error {
 		for _, row := range in.parts[m] {
 			v, err := relop.EvalScalar(op.Pred, row, in.schema)
 			if err != nil {
@@ -495,10 +548,10 @@ func (r *runner) filter(op *relop.PhysFilter, in *pdata) (*pdata, error) {
 	return out, nil
 }
 
-func (r *runner) project(op *relop.PhysProject, in *pdata, schema relop.Schema) (*pdata, error) {
+func (r *runner) project(op *relop.PhysProject, in *pdata, schema relop.Schema, sp obs.Span) (*pdata, error) {
 	out := newPData(schema, r.c.Machines)
 	out.broadcast = in.broadcast
-	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+	if err := r.forEach(sp, "part", len(in.parts), func(m int, _ *Metrics) error {
 		for _, row := range in.parts[m] {
 			nr := make(relop.Row, len(op.Items))
 			for j, it := range op.Items {
@@ -517,10 +570,10 @@ func (r *runner) project(op *relop.PhysProject, in *pdata, schema relop.Schema) 
 	return out, nil
 }
 
-func (r *runner) sortOp(op *relop.Sort, in *pdata) (*pdata, error) {
+func (r *runner) sortOp(op *relop.Sort, in *pdata, sp obs.Span) (*pdata, error) {
 	out := newPData(in.schema, r.c.Machines)
 	out.broadcast = in.broadcast
-	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+	if err := r.forEach(sp, "part", len(in.parts), func(m int, _ *Metrics) error {
 		cp := make([]relop.Row, len(in.parts[m]))
 		copy(cp, in.parts[m])
 		if err := sortRows(cp, in.schema, op.Order); err != nil {
@@ -534,7 +587,7 @@ func (r *runner) sortOp(op *relop.Sort, in *pdata) (*pdata, error) {
 	return out, nil
 }
 
-func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
+func (r *runner) repartition(op *relop.Repartition, in *pdata, sp obs.Span) (*pdata, error) {
 	r.meter(func(m *Metrics) { m.Exchanges++ })
 	// Broadcast input: operate on its single logical copy.
 	src := in.parts
@@ -568,7 +621,7 @@ func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
 		}
 		if err := r.scatter(src, out, func(row relop.Row) int {
 			return hashDest(row, idx, r.c.Machines)
-		}); err != nil {
+		}, sp); err != nil {
 			return nil, err
 		}
 	case props.PartRange:
@@ -576,7 +629,7 @@ func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := r.scatter(src, out, dest); err != nil {
+		if err := r.scatter(src, out, dest, sp); err != nil {
 			return nil, err
 		}
 	default:
@@ -585,7 +638,7 @@ func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
 	if !op.MergeOrder.Empty() {
 		// Merge receive: each machine merges the sorted streams it
 		// received; sorting achieves the same deterministic result.
-		if err := r.forEach(len(out.parts), func(m int, _ *Metrics) error {
+		if err := r.forEach(sp, "merge", len(out.parts), func(m int, _ *Metrics) error {
 			cp := make([]relop.Row, len(out.parts[m]))
 			copy(cp, out.parts[m])
 			if err := sortRows(cp, in.schema, op.MergeOrder); err != nil {
@@ -605,11 +658,11 @@ func (r *runner) repartition(op *relop.Repartition, in *pdata) (*pdata, error) {
 // concatenating per destination in source order, so the result is
 // identical to a serial scatter. Each task meters the bytes its
 // source partition sends across the network.
-func (r *runner) scatter(src [][]relop.Row, out *pdata, dest func(relop.Row) int) error {
+func (r *runner) scatter(src [][]relop.Row, out *pdata, dest func(relop.Row) int, sp obs.Span) error {
 	machines := len(out.parts)
 	width := int64(len(out.schema)) * 8
 	stage := make([][][]relop.Row, len(src))
-	if err := r.forEach(len(src), func(s int, shard *Metrics) error {
+	if err := r.forEach(sp, "send", len(src), func(s int, shard *Metrics) error {
 		buckets := make([][]relop.Row, machines)
 		for _, row := range src[s] {
 			d := dest(row)
@@ -621,7 +674,7 @@ func (r *runner) scatter(src [][]relop.Row, out *pdata, dest func(relop.Row) int
 	}); err != nil {
 		return err
 	}
-	return r.forEach(machines, func(d int, _ *Metrics) error {
+	return r.forEach(sp, "recv", machines, func(d int, _ *Metrics) error {
 		for s := range stage {
 			out.parts[d] = append(out.parts[d], stage[s][d]...)
 		}
@@ -634,7 +687,7 @@ func (r *runner) scatter(src [][]relop.Row, out *pdata, dest func(relop.Row) int
 // each key to be colocated on a single machine (validated). Partitions
 // aggregate in parallel; the cross-partition colocation check runs
 // over the collected per-partition key sets afterwards.
-func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.AggPhase, in *pdata, schema relop.Schema, stream bool) (*pdata, error) {
+func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.AggPhase, in *pdata, schema relop.Schema, stream bool, sp obs.Span) (*pdata, error) {
 	if in.broadcast {
 		return nil, fmt.Errorf("exec: aggregation over broadcast input would multiply results")
 	}
@@ -656,7 +709,7 @@ func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.Ag
 	}
 	out := newPData(schema, r.c.Machines)
 	partKeys := make([][]string, len(in.parts))
-	if err := r.forEach(len(in.parts), func(m int, _ *Metrics) error {
+	if err := r.forEach(sp, "part", len(in.parts), func(m int, _ *Metrics) error {
 		part := in.parts[m]
 		groups := map[string][]*relop.AggState{}
 		var order []string
@@ -730,7 +783,7 @@ func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.Ag
 // join performs a per-machine hash join of co-located partitions; the
 // plan's exchange operators are responsible for colocation (a
 // broadcast inner is colocated with everything).
-func (r *runner) join(lKeys, rKeys []string, l, rIn *pdata, schema relop.Schema) (*pdata, error) {
+func (r *runner) join(lKeys, rKeys []string, l, rIn *pdata, schema relop.Schema, sp obs.Span) (*pdata, error) {
 	lIdx, ok := l.schema.Indexes(lKeys)
 	if !ok {
 		return nil, fmt.Errorf("exec: left join keys %v not in %v", lKeys, l.schema)
@@ -740,7 +793,7 @@ func (r *runner) join(lKeys, rKeys []string, l, rIn *pdata, schema relop.Schema)
 		return nil, fmt.Errorf("exec: right join keys %v not in %v", rKeys, rIn.schema)
 	}
 	out := newPData(schema, r.c.Machines)
-	if err := r.forEach(r.c.Machines, func(m int, _ *Metrics) error {
+	if err := r.forEach(sp, "part", r.c.Machines, func(m int, _ *Metrics) error {
 		build := map[string][]relop.Row{}
 		for _, row := range rIn.parts[m] {
 			k := keyOf(row, rIdx)
@@ -826,52 +879,16 @@ func rangeDest(order props.Ordering, schema relop.Schema, src [][]relop.Row, mac
 }
 
 // RunAnalyzed executes the plan like Run while recording the actual
-// output row count of every distinct plan node — the executable side
-// of EXPLAIN ANALYZE. Spools record their materialized size once.
-func (c *Cluster) RunAnalyzed(root *plan.Node) (map[string]*Table, map[*plan.Node]int64, error) {
+// output rows and bytes of every distinct plan node — the executable
+// side of EXPLAIN ANALYZE. Spools record their materialized size
+// once. Wrap the result in NewAnalysis for estimate-accuracy
+// reporting.
+func (c *Cluster) RunAnalyzed(root *plan.Node) (map[string]*Table, map[*plan.Node]NodeActual, error) {
 	r, finish := c.newRunner(context.Background())
 	defer finish()
-	r.actuals = map[*plan.Node]int64{}
-	if _, err := r.exec(root); err != nil {
+	r.actuals = map[*plan.Node]NodeActual{}
+	if _, err := r.exec(root, r.span); err != nil {
 		return nil, nil, err
 	}
 	return r.outputs, r.actuals, nil
-}
-
-// FormatAnalyzed renders the plan tree annotated with estimated
-// versus actual row counts from a RunAnalyzed execution.
-func FormatAnalyzed(root *plan.Node, actuals map[*plan.Node]int64) string {
-	var b strings.Builder
-	seen := map[string]bool{}
-	var walk func(n *plan.Node, prefix string, last, top bool)
-	walk = func(n *plan.Node, prefix string, last, top bool) {
-		connector, childPrefix := "", ""
-		if !top {
-			if last {
-				connector = prefix + "└── "
-				childPrefix = prefix + "    "
-			} else {
-				connector = prefix + "├── "
-				childPrefix = prefix + "│   "
-			}
-		}
-		if n.IsSpool() {
-			k := fmt.Sprintf("%d|%s", n.Group, n.CtxKey)
-			if seen[k] {
-				fmt.Fprintf(&b, "%s%s (shared, see above)\n", connector, n.Op)
-				return
-			}
-			seen[k] = true
-		}
-		actual := "?"
-		if a, ok := actuals[n]; ok {
-			actual = fmt.Sprintf("%d", a)
-		}
-		fmt.Fprintf(&b, "%s%s  [est=%d actual=%s]\n", connector, n.Op, n.Rel.Rows, actual)
-		for i, ch := range n.Children {
-			walk(ch, childPrefix, i == len(n.Children)-1, false)
-		}
-	}
-	walk(root, "", true, true)
-	return b.String()
 }

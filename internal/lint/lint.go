@@ -134,6 +134,36 @@ func (r *Report) Sort() {
 	})
 }
 
+// SortByFile orders diagnostics by file (the position's component
+// before the first ':'), then code, then full position, then message.
+// This is the order of machine-readable output: consumers diff -json
+// findings across runs, so ties must never depend on the order
+// analyzers happened to execute in.
+func (r *Report) SortByFile() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if af, bf := posFile(a.Pos), posFile(b.Pos); af != bf {
+			return af < bf
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Message < b.Message
+	})
+}
+
+// posFile is the file component of a position ("file:line:col" or
+// "file: Sequence/Output"); a position with no ':' is its own file.
+func posFile(pos string) string {
+	if i := strings.IndexByte(pos, ':'); i >= 0 {
+		return pos[:i]
+	}
+	return pos
+}
+
 // String renders the report one diagnostic per line.
 func (r *Report) String() string {
 	var b strings.Builder

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -107,5 +108,29 @@ func TestAnalyzerCatalogs(t *testing.T) {
 		if a.Code != wantScript[i] || a.Name == "" || a.Doc == "" || a.run == nil {
 			t.Errorf("script analyzer %d = {%s %s}: want code %s with name, doc, and run", i, a.Code, a.Name, wantScript[i])
 		}
+	}
+}
+
+func TestSortByFile(t *testing.T) {
+	r := &Report{}
+	r.Addf("P2", "pin-consistency", Error, "b.scope: Sequence/Output", "plan finding")
+	r.Addf("S2", "unknown-column", Error, "a.scope:3:8", "late in a")
+	r.Addf("S1", "unused-assign", Warning, "a.scope:2:1", "early in a")
+	r.Addf("S1", "unused-assign", Warning, "a.scope:1:1", "earliest in a")
+	r.Addf("S1", "unused-assign", Warning, "noseparator", "no colon at all")
+	r.SortByFile()
+	var got []string
+	for _, d := range r.Diags {
+		got = append(got, d.Code+"@"+d.Pos)
+	}
+	want := []string{
+		"S1@a.scope:1:1",
+		"S1@a.scope:2:1",
+		"S2@a.scope:3:8",
+		"P2@b.scope: Sequence/Output",
+		"S1@noseparator",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortByFile order = %v, want %v", got, want)
 	}
 }

@@ -1,0 +1,162 @@
+// Chrome trace_event export. The JSON Object Format is documented in
+// the Trace Event Format spec and accepted by Perfetto and
+// chrome://tracing: a top-level object with a traceEvents array of
+// complete ("ph":"X") events carrying microsecond timestamps.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceEvent is one entry of the traceEvents array. Complete events
+// use Ph "X" with Ts/Dur; metadata events use Ph "M".
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the recorded spans as Chrome trace_event JSON.
+// Each root span and its subtree land on their own track (tid), so
+// the optimizer run and the executor run show as separate lanes in
+// Perfetto. Track numbering follows root recording order — roots are
+// opened serially by the CLIs, so the file layout is stable too.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: cannot export a nil tracer")
+	}
+	spans := t.snapshot()
+	roots, kids := children(spans)
+	f := traceFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = append(f.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "scope"},
+	})
+	for tid, r := range roots {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("%s.%s %s", spans[r].cat, spans[r].name, spans[r].id)},
+		})
+		emitSubtree(&f, spans, kids, r, tid)
+	}
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the trace to path; see WriteJSON.
+func (t *Tracer) WriteFile(path string) error {
+	if t == nil {
+		return fmt.Errorf("obs: cannot export a nil tracer")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func emitSubtree(f *traceFile, spans []spanRecord, kids [][]int, i, tid int) {
+	rec := spans[i]
+	dur := rec.dur
+	if dur < 0 {
+		dur = 0 // span never ended; render as instantaneous
+	}
+	ev := traceEvent{
+		Name: rec.name,
+		Cat:  rec.cat,
+		Ph:   "X",
+		Ts:   float64(rec.start) / 1e3,
+		Dur:  float64(dur) / 1e3,
+		Pid:  1,
+		Tid:  tid,
+	}
+	ev.Args = map[string]any{"id": rec.id}
+	for _, a := range rec.args {
+		ev.Args[a.Key] = a.Val
+	}
+	f.TraceEvents = append(f.TraceEvents, ev)
+	for _, k := range kids[i] {
+		emitSubtree(f, spans, kids, k, tid)
+	}
+}
+
+// TraceSummary reports what a validated trace file contains.
+type TraceSummary struct {
+	Spans int            // complete ("X") events
+	ByCat map[string]int // span count per category
+}
+
+func (s TraceSummary) String() string {
+	return fmt.Sprintf("trace ok: %d spans (opt=%d exec=%d other=%d)",
+		s.Spans, s.ByCat["opt"], s.ByCat["exec"],
+		s.Spans-s.ByCat["opt"]-s.ByCat["exec"])
+}
+
+// ValidateTrace parses data as Chrome trace_event JSON and checks it
+// is well-formed: a traceEvents array with at least one complete
+// event, every complete event carrying a name, a non-negative
+// timestamp, and a non-negative duration. It is the check behind the
+// scopetrace CLI and the check.sh trace smoke leg.
+func ValidateTrace(data []byte) (TraceSummary, error) {
+	sum := TraceSummary{ByCat: map[string]int{}}
+	var f struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Cat  string   `json:"cat"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return sum, fmt.Errorf("obs: not trace_event JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return sum, fmt.Errorf("obs: traceEvents array is missing or empty")
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return sum, fmt.Errorf("obs: event %d has no name", i)
+		}
+		if ev.Ph == "" {
+			return sum, fmt.Errorf("obs: event %d (%s) has no phase", i, ev.Name)
+		}
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return sum, fmt.Errorf("obs: event %d (%s) has a missing or negative ts", i, ev.Name)
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return sum, fmt.Errorf("obs: event %d (%s) has a missing or negative dur", i, ev.Name)
+		}
+		sum.Spans++
+		sum.ByCat[ev.Cat]++
+	}
+	if sum.Spans == 0 {
+		return sum, fmt.Errorf("obs: trace has no complete (ph=X) events")
+	}
+	return sum, nil
+}

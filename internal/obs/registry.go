@@ -1,0 +1,362 @@
+// Metrics registry: named counters, gauges, and histograms with
+// atomic fast paths. The registry exists to unify the per-subsystem
+// stat structs (opt.Stats, exec.Metrics, share.Stats): each keeps its
+// public fields and gains a Publish method that folds a finished
+// run's totals into a shared registry, so one Snapshot describes a
+// whole batch regardless of how many clusters and sessions ran — and
+// concurrent publishers merge race-free.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Nil-safe: methods on
+// a nil *Counter (from a nil registry) are no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a level metric (a size, not a rate): publishing sets it,
+// merging snapshots keeps the newer level rather than summing.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed power-of-two bucket count: bucket i holds
+// observations whose value needs i significant bits (bucket 0 holds
+// v <= 0). 64 buckets cover the full int64 range with no
+// configuration, which keeps Observe allocation-free.
+const histBuckets = 65
+
+// Histogram is a distribution metric over int64 observations with
+// power-of-two buckets.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one observation. Max is over the observations and
+// zero: the metered quantities are non-negative, so starting the
+// running maximum at zero keeps the update a simple CAS loop.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Registry is a set of named metrics. Nil-safe: lookups on a nil
+// registry return nil instruments whose methods are no-ops, so
+// publishers need no guards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistValue is the snapshot of one histogram.
+type HistValue struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets map[int]int64 // non-empty power-of-two buckets only
+}
+
+// Snapshot is a point-in-time copy of a registry (or of one stat
+// struct, via the per-subsystem Snapshot methods). Snapshots are
+// plain values: comparable with reflect.DeepEqual and mergeable with
+// Add.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistValue
+}
+
+// HistObservation returns the HistValue of a single observation, for
+// stat structs that express "this run observed v" in a snapshot.
+func HistObservation(v int64) HistValue {
+	return HistValue{Count: 1, Sum: v, Max: maxInt64(v, 0), Buckets: map[int]int64{bucketOf(v): 1}}
+}
+
+// NewSnapshot returns an empty snapshot with initialized maps.
+func NewSnapshot() Snapshot {
+	return Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistValue{},
+	}
+}
+
+// Snapshot copies the registry's current state. Nil-safe.
+func (r *Registry) Snapshot() Snapshot {
+	s := NewSnapshot()
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hv := HistValue{
+			Count:   h.count.Load(),
+			Sum:     h.sum.Load(),
+			Max:     h.max.Load(),
+			Buckets: map[int]int64{},
+		}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n != 0 {
+				hv.Buckets[i] = n
+			}
+		}
+		s.Hists[name] = hv
+	}
+	return s
+}
+
+// Add merges o into a copy of s and returns it: counters and
+// histograms sum (the additive invariant behind the merge tests),
+// gauges are levels so o's value wins where present.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := NewSnapshot()
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range o.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Hists {
+		out.Hists[k] = copyHist(v)
+	}
+	for k, v := range o.Hists {
+		cur, ok := out.Hists[k]
+		if !ok {
+			out.Hists[k] = copyHist(v)
+			continue
+		}
+		cur.Count += v.Count
+		cur.Sum += v.Sum
+		cur.Max = maxInt64(cur.Max, v.Max)
+		for b, n := range v.Buckets {
+			cur.Buckets[b] += n
+		}
+		out.Hists[k] = cur
+	}
+	return out
+}
+
+func copyHist(v HistValue) HistValue {
+	out := v
+	out.Buckets = make(map[int]int64, len(v.Buckets))
+	for b, n := range v.Buckets {
+		out.Buckets[b] = n
+	}
+	return out
+}
+
+// Record folds a snapshot into the registry: counters add, gauges
+// set, histograms merge (max and buckets included). Nil-safe. It is
+// how the stat structs publish without knowing registry internals.
+func (r *Registry) Record(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, v := range s.Hists {
+		h := r.Histogram(name)
+		h.count.Add(v.Count)
+		h.sum.Add(v.Sum)
+		for {
+			cur := h.max.Load()
+			if v.Max <= cur {
+				break
+			}
+			if h.max.CompareAndSwap(cur, v.Max) {
+				break
+			}
+		}
+		for b, n := range v.Buckets {
+			if b >= 0 && b < histBuckets {
+				h.buckets[b].Add(n)
+			}
+		}
+	}
+}
+
+// String renders the snapshot in a stable, human-readable layout:
+// one metric per line, sorted by name within each kind. All three
+// CLIs print snapshots through this method, so the reporting format
+// lives in exactly one place.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	writeSorted := func(m map[string]int64) {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-36s %d\n", name, m[name])
+		}
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		writeSorted(s.Counters)
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		writeSorted(s.Gauges)
+	}
+	if len(s.Hists) > 0 {
+		b.WriteString("histograms:\n")
+		names := make([]string, 0, len(s.Hists))
+		for name := range s.Hists {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Hists[name]
+			mean := int64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(&b, "  %-36s count=%d sum=%d mean=%d max=%d\n",
+				name, h.Count, h.Sum, mean, h.Max)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics)\n"
+	}
+	return b.String()
+}

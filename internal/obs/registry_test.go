@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(3)
+	r.Record(NewSnapshot())
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Hists) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exec.rows").Add(10)
+	r.Counter("exec.rows").Add(5)
+	r.Gauge("share.cache_bytes").Set(100)
+	r.Gauge("share.cache_bytes").Set(80)
+	r.Histogram("exec.run_rows").Observe(3)
+	r.Histogram("exec.run_rows").Observe(12)
+
+	s := r.Snapshot()
+	if s.Counters["exec.rows"] != 15 {
+		t.Fatalf("counter = %d", s.Counters["exec.rows"])
+	}
+	if s.Gauges["share.cache_bytes"] != 80 {
+		t.Fatalf("gauge = %d", s.Gauges["share.cache_bytes"])
+	}
+	h := s.Hists["exec.run_rows"]
+	if h.Count != 2 || h.Sum != 15 || h.Max != 12 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if h.Buckets[bucketOf(3)] != 1 || h.Buckets[bucketOf(12)] != 1 {
+		t.Fatalf("hist buckets = %v", h.Buckets)
+	}
+}
+
+// TestSnapshotAddMergesLikeRegistry: folding two snapshots with Add
+// must equal publishing both into one registry via Record — the
+// invariant the concurrent-run merge tests in exec and share build
+// on.
+func TestSnapshotAddMergesLikeRegistry(t *testing.T) {
+	a := NewSnapshot()
+	a.Counters["exec.rows"] = 10
+	a.Gauges["share.entries"] = 2
+	a.Hists["exec.run_rows"] = HistValue{Count: 1, Sum: 10, Max: 10, Buckets: map[int]int64{bucketOf(10): 1}}
+
+	b := NewSnapshot()
+	b.Counters["exec.rows"] = 5
+	b.Counters["opt.rounds"] = 3
+	b.Gauges["share.entries"] = 4
+	b.Hists["exec.run_rows"] = HistValue{Count: 2, Sum: 7, Max: 6, Buckets: map[int]int64{bucketOf(1): 1, bucketOf(6): 1}}
+
+	merged := a.Add(b)
+
+	r := NewRegistry()
+	r.Record(a)
+	r.Record(b)
+	if got := r.Snapshot(); !reflect.DeepEqual(got, merged) {
+		t.Fatalf("Record-then-Snapshot != Add:\n%+v\nvs\n%+v", got, merged)
+	}
+	if merged.Counters["exec.rows"] != 15 || merged.Counters["opt.rounds"] != 3 {
+		t.Fatalf("counters: %v", merged.Counters)
+	}
+	if merged.Gauges["share.entries"] != 4 {
+		t.Fatalf("gauge should take the later level: %v", merged.Gauges)
+	}
+	h := merged.Hists["exec.run_rows"]
+	if h.Count != 3 || h.Sum != 17 || h.Max != 10 {
+		t.Fatalf("hist merge: %+v", h)
+	}
+}
+
+// TestSnapshotAddDoesNotAlias: Add must deep-copy so later mutation
+// of the result cannot corrupt the inputs.
+func TestSnapshotAddDoesNotAlias(t *testing.T) {
+	a := NewSnapshot()
+	a.Hists["h"] = HistValue{Count: 1, Sum: 1, Max: 1, Buckets: map[int]int64{1: 1}}
+	out := a.Add(NewSnapshot())
+	out.Hists["h"].Buckets[1] = 99
+	if a.Hists["h"].Buckets[1] != 1 {
+		t.Fatal("Add aliased the input histogram buckets")
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c").Add(1)
+				r.Histogram("h").Observe(int64(i))
+				r.Gauge("g").Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", s.Counters["c"], workers*perWorker)
+	}
+	h := s.Hists["h"]
+	if h.Count != workers*perWorker || h.Max != perWorker-1 {
+		t.Fatalf("hist = %+v", h)
+	}
+}
+
+func TestSnapshotStringStable(t *testing.T) {
+	s := NewSnapshot()
+	s.Counters["exec.rows_processed"] = 42
+	s.Counters["exec.disk_bytes_read"] = 1024
+	s.Gauges["share.cache_entries"] = 2
+	s.Hists["exec.run_rows"] = HistValue{Count: 2, Sum: 10, Max: 7, Buckets: map[int]int64{3: 2}}
+
+	want := strings.Join([]string{
+		"counters:",
+		"  exec.disk_bytes_read                 1024",
+		"  exec.rows_processed                  42",
+		"gauges:",
+		"  share.cache_entries                  2",
+		"histograms:",
+		"  exec.run_rows                        count=2 sum=10 mean=5 max=7",
+		"",
+	}, "\n")
+	if got := s.String(); got != want {
+		t.Fatalf("String:\n%q\nwant:\n%q", got, want)
+	}
+	if NewSnapshot().String() != "(no metrics)\n" {
+		t.Fatalf("empty snapshot: %q", NewSnapshot().String())
+	}
+}

@@ -1,0 +1,220 @@
+// Package obs is the unified observability layer: a low-overhead span
+// tracer exported as Chrome trace_event JSON (viewable in Perfetto)
+// and a race-safe metrics registry unifying the per-subsystem stat
+// structs behind one snapshot interface.
+//
+// Design constraints, in order:
+//
+//  1. Disabled must be free. Every method is safe on a nil *Tracer
+//     and on the zero Span, and the nil path performs no allocation —
+//     callers thread a possibly-nil tracer through hot loops without
+//     guarding each call. The only thing call sites guard is the
+//     construction of span IDs (fmt.Sprintf), which the tracer cannot
+//     do for them.
+//
+//  2. Deterministic modulo timestamps. Span IDs are derived from plan
+//     and memo-group identities, never from goroutine scheduling, and
+//     parent links are explicit. TreeString renders the span forest
+//     with children ordered by content, so the same script traced at
+//     any worker-pool width yields byte-identical trees even though
+//     the append order of concurrent spans differs run to run.
+//
+//  3. Append-only under one mutex. Spans are records in a flat slice;
+//     Start/End/Arg are O(1) critical sections, cheap enough that the
+//     executor can afford a span per partition task.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records a forest of spans. The zero value is not usable; use
+// NewTracer. A nil *Tracer is the disabled tracer: every method is a
+// no-op and Start returns the zero Span.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []spanRecord
+}
+
+// spanRecord is the internal storage for one span. Parent is an index
+// into the tracer's span slice, -1 for roots.
+type spanRecord struct {
+	cat    string
+	name   string
+	id     string
+	parent int32
+	start  int64 // ns since tracer epoch
+	dur    int64 // ns; -1 while the span is open
+	args   []Arg
+}
+
+// Arg is a deterministic integer annotation on a span. Only integers
+// are allowed: they are what the subsystems meter, and they keep the
+// rendered tree free of float formatting noise.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Enabled reports whether spans are being recorded. Call sites use it
+// to skip span-ID construction on the nil path.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span is a handle to an open (or finished) span. The zero Span is
+// valid and inert: Arg and End on it are no-ops, and passing it as a
+// parent to Start creates a root span.
+type Span struct {
+	t   *Tracer
+	idx int32
+}
+
+// Start opens a span under parent (zero Span for a root). cat groups
+// spans by subsystem ("opt", "exec"), name is the kind of work, and
+// id is the deterministic identity of this instance — derived from
+// plan/group IDs by the caller, never from scheduling order.
+func (t *Tracer) Start(parent Span, cat, name, id string) Span {
+	if t == nil {
+		return Span{}
+	}
+	now := time.Since(t.epoch).Nanoseconds()
+	p := int32(-1)
+	if parent.t == t {
+		p = parent.idx
+	}
+	t.mu.Lock()
+	idx := int32(len(t.spans))
+	t.spans = append(t.spans, spanRecord{
+		cat: cat, name: name, id: id, parent: p, start: now, dur: -1,
+	})
+	t.mu.Unlock()
+	return Span{t: t, idx: idx}
+}
+
+// Arg attaches an integer annotation to the span.
+func (s Span) Arg(key string, val int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.idx]
+	rec.args = append(rec.args, Arg{Key: key, Val: val})
+	s.t.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the
+// first duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := time.Since(s.t.epoch).Nanoseconds()
+	s.t.mu.Lock()
+	rec := &s.t.spans[s.idx]
+	if rec.dur < 0 {
+		rec.dur = now - rec.start
+	}
+	s.t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// CostArg converts an estimated cost to a span argument: costs are
+// rounded to integer units, and the +Inf sentinel (used by the
+// optimizer for "no plan under this bound") maps to -1.
+func CostArg(c float64) int64 {
+	if math.IsInf(c, 1) || c > math.MaxInt64/2 {
+		return -1
+	}
+	return int64(math.Round(c))
+}
+
+// snapshot copies the span records so rendering can work without
+// holding the mutex.
+func (t *Tracer) snapshot() []spanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]spanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// children builds the parent→children index (recording order) and the
+// list of roots.
+func children(spans []spanRecord) (roots []int, kids [][]int) {
+	kids = make([][]int, len(spans))
+	for i, s := range spans {
+		if s.parent < 0 {
+			roots = append(roots, i)
+		} else {
+			kids[s.parent] = append(kids[s.parent], i)
+		}
+	}
+	return roots, kids
+}
+
+// TreeString renders the span forest deterministically: timestamps
+// and durations are omitted, and the children of every span (and the
+// roots) are sorted by their full rendered subtree. Two traces of the
+// same work compare equal with == regardless of how goroutines
+// interleaved, which is exactly the property the determinism tests
+// assert.
+func (t *Tracer) TreeString() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.snapshot()
+	roots, kids := children(spans)
+	rendered := make([]string, 0, len(roots))
+	for _, r := range roots {
+		rendered = append(rendered, renderSubtree(spans, kids, r, 0))
+	}
+	sort.Strings(rendered)
+	return strings.Join(rendered, "")
+}
+
+func renderSubtree(spans []spanRecord, kids [][]int, i, depth int) string {
+	var b strings.Builder
+	rec := spans[i]
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(&b, "%s.%s %s", rec.cat, rec.name, rec.id)
+	args := append([]Arg(nil), rec.args...)
+	sort.Slice(args, func(a, c int) bool {
+		if args[a].Key != args[c].Key {
+			return args[a].Key < args[c].Key
+		}
+		return args[a].Val < args[c].Val
+	})
+	for _, a := range args {
+		fmt.Fprintf(&b, " %s=%d", a.Key, a.Val)
+	}
+	b.WriteByte('\n')
+	sub := make([]string, 0, len(kids[i]))
+	for _, k := range kids[i] {
+		sub = append(sub, renderSubtree(spans, kids, k, depth+1))
+	}
+	sort.Strings(sub)
+	for _, s := range sub {
+		b.WriteString(s)
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Start(Span{}, "exec", "op", "G1")
+	sp.Arg("rows", 7)
+	child := tr.Start(sp, "exec", "part", "p0")
+	child.End()
+	sp.End()
+	if tr.Len() != 0 {
+		t.Fatalf("nil tracer recorded %d spans", tr.Len())
+	}
+	if got := tr.TreeString(); got != "" {
+		t.Fatalf("nil tracer TreeString = %q", got)
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer WriteJSON should error")
+	}
+}
+
+func TestNilTracerAllocationFree(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(Span{}, "exec", "op", "G1")
+		sp.Arg("rows", 7)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(Span{}, "opt", "optimize", "optimize")
+	p1 := tr.Start(root, "opt", "phase1", "phase1")
+	p1.Arg("tasks", 3)
+	p1.End()
+	p2 := tr.Start(root, "opt", "phase2", "phase2")
+	r1 := tr.Start(p2, "opt", "round", "G7:hash")
+	r1.Arg("cost", 100)
+	r1.End()
+	r2 := tr.Start(p2, "opt", "round", "G7:sort")
+	r2.Arg("cost", 90)
+	r2.End()
+	p2.End()
+	root.End()
+
+	want := strings.Join([]string{
+		"opt.optimize optimize",
+		"  opt.phase1 phase1 tasks=3",
+		"  opt.phase2 phase2",
+		"    opt.round G7:hash cost=100",
+		"    opt.round G7:sort cost=90",
+		"",
+	}, "\n")
+	if got := tr.TreeString(); got != want {
+		t.Fatalf("TreeString:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTreeStringOrderIndependent is the core determinism property:
+// spans recorded in any interleaving render identically as long as
+// their identities and parent links match.
+func TestTreeStringOrderIndependent(t *testing.T) {
+	a := func() string {
+		tr := NewTracer()
+		root := tr.Start(Span{}, "exec", "run", "run")
+		for _, p := range []struct {
+			id   string
+			rows int64
+		}{{"p0", 1}, {"p1", 2}, {"p2", 3}} {
+			sp := tr.Start(root, "exec", "part", p.id)
+			sp.Arg("rows", p.rows)
+			sp.End()
+		}
+		root.End()
+		return tr.TreeString()
+	}()
+	b := func() string {
+		tr := NewTracer()
+		root := tr.Start(Span{}, "exec", "run", "run")
+		for _, p := range []struct {
+			id   string
+			rows int64
+		}{{"p2", 3}, {"p0", 1}, {"p1", 2}} {
+			sp := tr.Start(root, "exec", "part", p.id)
+			sp.Arg("rows", p.rows)
+			sp.End()
+		}
+		root.End()
+		return tr.TreeString()
+	}()
+	if a != b {
+		t.Fatalf("recording order leaked into TreeString:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(Span{}, "exec", "run", "run")
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Start(root, "exec", "part", fmt.Sprintf("w%d.%d", w, i))
+				sp.Arg("i", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Len(); got != workers*50+1 {
+		t.Fatalf("recorded %d spans, want %d", got, workers*50+1)
+	}
+	// The tree must include every span exactly once.
+	tree := tr.TreeString()
+	if n := strings.Count(tree, "exec.part"); n != workers*50 {
+		t.Fatalf("tree has %d partition spans, want %d", n, workers*50)
+	}
+}
+
+func TestWriteJSONValidates(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start(Span{}, "opt", "optimize", "optimize")
+	sp := tr.Start(root, "opt", "phase1", "phase1")
+	sp.Arg("tasks", 2)
+	sp.End()
+	root.End()
+	run := tr.Start(Span{}, "exec", "run", "run")
+	open := tr.Start(run, "exec", "op", "G1.deadbeef")
+	_ = open // deliberately left open: export must still be valid
+	run.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	if sum.Spans != 4 {
+		t.Fatalf("summary counted %d spans, want 4", sum.Spans)
+	}
+	if sum.ByCat["opt"] != 2 || sum.ByCat["exec"] != 2 {
+		t.Fatalf("bad per-category counts: %v", sum.ByCat)
+	}
+	if !strings.Contains(sum.String(), "trace ok") {
+		t.Fatalf("summary string: %q", sum.String())
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := []struct{ name, data string }{
+		{"not json", "hello"},
+		{"empty events", `{"traceEvents":[]}`},
+		{"no name", `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]}`},
+		{"no phase", `{"traceEvents":[{"name":"x","ts":0,"dur":1}]}`},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"X","ts":-1,"dur":1}]}`},
+		{"missing dur", `{"traceEvents":[{"name":"x","ph":"X","ts":0}]}`},
+		{"only metadata", `{"traceEvents":[{"name":"process_name","ph":"M","ts":0}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ValidateTrace([]byte(c.data)); err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestCostArg(t *testing.T) {
+	if got := CostArg(99.6); got != 100 {
+		t.Fatalf("CostArg(99.6) = %d", got)
+	}
+	inf := CostArg(math.Inf(1))
+	if inf != -1 {
+		t.Fatalf("CostArg(+Inf) = %d, want -1", inf)
+	}
+}

@@ -1,10 +1,12 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/props"
 )
 
@@ -70,6 +72,16 @@ func (o *Optimizer) optimizeGroup(gid memo.GroupID, ereq props.ExtRequired, phas
 // enforceable property sets, and keep the combination whose plan has
 // the lowest DAG-aware cost.
 func (o *Optimizer) optimizeLCA(g *memo.Group, ereq props.ExtRequired) *memo.Winner {
+	// The LCA span parents to the global phase-2 span (inherited by
+	// round workers), not to whatever round happens to contain a
+	// nested LCA: a flat tree keyed by group id and context is
+	// deterministic; nesting by evaluation path would not be.
+	var lcaSpan obs.Span
+	if o.tr.Enabled() {
+		lcaSpan = o.tr.Start(o.p2span, "opt", "lca", fmt.Sprintf("G%d|%s", g.ID, ereq.Key()))
+		lcaSpan.Arg("shared", int64(len(g.LCAOf)))
+		defer lcaSpan.End()
+	}
 	histories := make([]core.SharedGroupHistory, 0, len(g.LCAOf))
 	for _, s := range g.LCAOf {
 		sg := o.m.Group(s)
@@ -121,7 +133,7 @@ func (o *Optimizer) optimizeLCA(g *memo.Group, ereq props.ExtRequired) *memo.Win
 		// across siblings so their prune decisions are independent of
 		// evaluation order.
 		results := make([]roundResult, len(pins))
-		results[0] = o.evalRound(g, ereq, pins[0], bestCost)
+		results[0] = o.evalRound(g, ereq, pins[0], bestCost, lcaSpan)
 		if results[0].skipped {
 			o.stats.BudgetExhausted = true
 			break
@@ -134,7 +146,7 @@ func (o *Optimizer) optimizeLCA(g *memo.Group, ereq props.ExtRequired) *memo.Win
 		if len(pins) > 1 {
 			rest := pins[1:]
 			parallelEach(o.workers(), len(rest), func(i int) {
-				results[i+1] = o.evalRound(g, ereq, rest[i], bound)
+				results[i+1] = o.evalRound(g, ereq, rest[i], bound, lcaSpan)
 			})
 		}
 		// Merge in combo order so traces, winner pointers, and the
@@ -177,12 +189,19 @@ func (o *Optimizer) optimizeLCA(g *memo.Group, ereq props.ExtRequired) *memo.Win
 		// group, and leave a synthetic trace so the Result records why
 		// no evaluated round was marked Best. Fallback traces do not
 		// count toward Stats.Rounds.
+		var fsp obs.Span
+		if o.tr.Enabled() {
+			fsp = o.tr.Start(lcaSpan, "opt", "round", "fallback|"+ereq.ForShared.Key())
+			fsp.Arg("fallback", 1)
+		}
 		best = o.logPhysOpt(g, ereq, 2)
 		ft := RoundTrace{LCA: g.ID, Pins: ereq.ForShared.Key(), Cost: math.Inf(1), Fallback: true}
 		if best.Plan != nil {
 			ft.Cost = o.dagCost(best.Plan)
 			ft.Best = true
 		}
+		fsp.Arg("cost", obs.CostArg(ft.Cost))
+		fsp.End()
 		o.rounds = append(o.rounds, ft)
 	}
 	return best

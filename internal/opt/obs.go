@@ -1,0 +1,32 @@
+package opt
+
+import "repro/internal/obs"
+
+// This file adapts Stats to the unified observability layer. The
+// public fields stay the source of truth; Snapshot/Publish/String are
+// derived views so CLIs and registries report optimizer effort in the
+// same shape as executor and cache metrics.
+
+// Snapshot converts the stats to a unified metrics snapshot under the
+// "opt." prefix.
+func (s Stats) Snapshot() obs.Snapshot {
+	out := obs.NewSnapshot()
+	out.Counters["opt.shared_groups"] = int64(s.SharedGroups)
+	out.Counters["opt.rounds"] = int64(s.Rounds)
+	out.Counters["opt.rounds_pruned"] = int64(s.RoundsPruned)
+	out.Counters["opt.naive_combinations"] = int64(s.NaiveCombinations)
+	out.Counters["opt.phase1_tasks"] = int64(s.Phase1Tasks)
+	out.Counters["opt.phase2_tasks"] = int64(s.Phase2Tasks)
+	var exhausted int64
+	if s.BudgetExhausted {
+		exhausted = 1
+	}
+	out.Counters["opt.budget_exhausted"] = exhausted
+	return out
+}
+
+// Publish folds the stats into a registry (nil-safe).
+func (s Stats) Publish(r *obs.Registry) { r.Record(s.Snapshot()) }
+
+// String renders the stats in the stable snapshot layout.
+func (s Stats) String() string { return s.Snapshot().String() }

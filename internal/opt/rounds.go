@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/props"
 	"repro/internal/rules"
@@ -40,9 +41,13 @@ type roundResult struct {
 // bound. A partial total above the bound aborts the round (Pruned,
 // +Inf): the aborted round provably costs more than a completed one,
 // so the chosen plan is identical with pruning on or off.
-func (o *Optimizer) evalRound(g *memo.Group, ereq props.ExtRequired, pins props.Pins, bound float64) roundResult {
+func (o *Optimizer) evalRound(g *memo.Group, ereq props.ExtRequired, pins props.Pins, bound float64, lcaSpan obs.Span) roundResult {
 	if o.expired() {
 		return roundResult{skipped: true}
+	}
+	var sp obs.Span
+	if o.tr.Enabled() {
+		sp = o.tr.Start(lcaSpan, "opt", "round", pins.Key())
 	}
 	w := o.clone()
 	merged := ereq.ForShared
@@ -51,9 +56,18 @@ func (o *Optimizer) evalRound(g *memo.Group, ereq props.ExtRequired, pins props.
 	}
 	win := w.logPhysOpt(g, ereq.WithPins(merged), 2)
 	if win.Plan == nil {
+		sp.Arg("cost", obs.CostArg(math.Inf(1)))
+		sp.End()
 		return roundResult{win: win, cost: math.Inf(1), worker: w}
 	}
 	c, pruned := w.dagCostBounded(win.Plan, bound)
+	if o.tr.Enabled() {
+		sp.Arg("cost", obs.CostArg(c))
+		if pruned {
+			sp.Arg("pruned", 1)
+		}
+		sp.End()
+	}
 	return roundResult{win: win, cost: c, pruned: pruned, worker: w}
 }
 
@@ -73,6 +87,8 @@ func (o *Optimizer) clone() *Optimizer {
 		overlay:     map[memo.GroupID]map[string]*memo.Winner{},
 		parent:      o,
 		dagMemo:     map[*plan.Node]float64{},
+		tr:          o.tr,
+		p2span:      o.p2span,
 	}
 }
 

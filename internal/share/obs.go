@@ -1,0 +1,29 @@
+package share
+
+import "repro/internal/obs"
+
+// This file adapts the cache's Stats to the unified observability
+// layer. The public Stats fields stay the source of truth;
+// Snapshot/Publish/String are derived views under the "share." prefix.
+//
+// Occupancy (Entries, Bytes) maps to gauges — levels, not rates —
+// while the lifecycle counts map to counters. Session.Run publishes
+// lifecycle *deltas* per run so batch registries stay additive; this
+// Snapshot reports the cumulative values as held by the struct.
+
+// Snapshot converts the cache stats to a unified metrics snapshot.
+func (s Stats) Snapshot() obs.Snapshot {
+	out := obs.NewSnapshot()
+	out.Counters["share.cache_insertions"] = s.Insertions
+	out.Counters["share.cache_evictions"] = s.Evictions
+	out.Counters["share.cache_invalidations"] = s.Invalidations
+	out.Gauges["share.cache_entries"] = int64(s.Entries)
+	out.Gauges["share.cache_bytes"] = s.Bytes
+	return out
+}
+
+// Publish folds the stats into a registry. Nil-safe.
+func (s Stats) Publish(r *obs.Registry) { r.Record(s.Snapshot()) }
+
+// String renders the stats in the stable snapshot layout.
+func (s Stats) String() string { return s.Snapshot().String() }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/props"
@@ -33,6 +34,13 @@ type Config struct {
 	// Opt overrides the optimizer configuration (nil = defaults with
 	// CSE on). The session always installs its own cache.
 	Opt *opt.Options
+	// Tracer, when non-nil, receives optimizer and executor spans for
+	// every Run. The span tree is deterministic at any Workers width.
+	Tracer *obs.Tracer
+	// Obs, when non-nil, receives each finished run's metrics: the
+	// optimizer's stats, the execution totals, and the session's
+	// sharing counters. Safe to share across concurrent sessions.
+	Obs *obs.Registry
 }
 
 // Session runs a sequence of scripts against one cluster, sharing
@@ -43,6 +51,11 @@ type Session struct {
 	opts  opt.Options
 	seq   int
 	model cost.Model
+	// lastStats is the cache state as of the previous publish. The
+	// cache counts cumulatively over the session's lifetime, but the
+	// registry wants per-run increments (so a batch total is the sum
+	// of its runs); publishing the delta bridges the two.
+	lastStats Stats
 }
 
 // NewSession validates cfg and returns a session with an empty cache.
@@ -115,6 +128,9 @@ func (s *Session) Run(src string) (*RunReport, error) {
 	}
 	opts := s.opts
 	opts.Cache = s.cache
+	if s.cfg.Tracer != nil {
+		opts.Tracer = s.cfg.Tracer
+	}
 	res, err := opt.Optimize(m, opts)
 	if err != nil {
 		return nil, err
@@ -133,6 +149,8 @@ func (s *Session) Run(src string) (*RunReport, error) {
 	if s.cfg.Workers > 0 {
 		cl.Workers = s.cfg.Workers
 	}
+	cl.Trace = s.cfg.Tracer
+	cl.Obs = s.cfg.Obs
 	cl.PersistSpools = persist
 	outs, err := cl.Run(res.Plan)
 	if err != nil {
@@ -159,7 +177,33 @@ func (s *Session) Run(src string) (*RunReport, error) {
 		rep.Admitted++
 		rep.AdmittedBytes += t.Bytes()
 	}
+	s.publish(res, rep)
 	return rep, nil
+}
+
+// publish folds one run's observability totals into cfg.Obs: the
+// optimizer's stats, the run-level sharing report, and the cache
+// lifecycle deltas since the previous publish. Execution metrics are
+// published by the cluster itself (cl.Obs). No-op without a registry.
+func (s *Session) publish(res *opt.Result, rep *RunReport) {
+	r := s.cfg.Obs
+	if r == nil {
+		return
+	}
+	res.Stats.Publish(r)
+	cur := s.cache.Stats()
+	snap := obs.NewSnapshot()
+	snap.Counters["share.cache_hits"] = int64(rep.CacheHits)
+	snap.Counters["share.cache_misses"] = int64(rep.CacheMisses)
+	snap.Counters["share.admitted"] = int64(rep.Admitted)
+	snap.Counters["share.admitted_bytes"] = rep.AdmittedBytes
+	snap.Counters["share.cache_insertions"] = cur.Insertions - s.lastStats.Insertions
+	snap.Counters["share.cache_evictions"] = cur.Evictions - s.lastStats.Evictions
+	snap.Counters["share.cache_invalidations"] = cur.Invalidations - s.lastStats.Invalidations
+	snap.Gauges["share.cache_entries"] = int64(cur.Entries)
+	snap.Gauges["share.cache_bytes"] = cur.Bytes
+	r.Record(snap)
+	s.lastStats = cur
 }
 
 // admit applies the cost-based admission test to every distinct spool

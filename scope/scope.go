@@ -384,9 +384,11 @@ func (db *DB) LoadPlan(data []byte) (*Plan, error) {
 
 // ExplainAnalyze executes the plan on the simulated cluster and
 // renders the operator tree annotated with estimated versus actual
-// row counts — the estimator's report card on this query. machines
-// must be positive; it is part of the experiment, not a preference
-// with a fallback.
+// rows and bytes, the per-node q-error, and MISESTIMATE flags on
+// nodes whose estimate missed by more than the default threshold —
+// the estimator's report card on this query. machines must be
+// positive; it is part of the experiment, not a preference with a
+// fallback.
 func (p *Plan) ExplainAnalyze(machines int) (string, error) {
 	cl, err := exec.NewCluster(machines, p.db.fs)
 	if err != nil {
@@ -396,7 +398,7 @@ func (p *Plan) ExplainAnalyze(machines int) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return exec.FormatAnalyzed(p.res.Plan, actuals), nil
+	return exec.NewAnalysis(p.res.Plan, actuals, 0).String(), nil
 }
 
 // Result is one OUTPUT file produced by Execute.
