@@ -13,9 +13,16 @@
 //	scopelint -script s1             # lint a builtin workload
 //	scopelint -json my.scope         # machine-readable findings
 //	scopelint -source-only my.scope  # skip optimization and plan checks
+//	scopelint -disable P4,S2 my.scope # drop findings by code
+//
+// Individual findings are suppressed in the script itself with a
+// `//lint:ignore CODE reason` comment on the flagged line or the line
+// above; the S4 analyzer rejects malformed, unknown, or unused
+// directives.
 //
 // The exit status is 1 when any finding is reported, 2 on usage or
-// optimizer errors, and 0 when every target is clean.
+// optimizer errors (including an unknown code in -disable), and 0
+// when every target is clean.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/datagen"
@@ -43,7 +51,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	builtin := fs.String("script", "", "lint a builtin workload: s1 s2 s3 s4 fig5 ls1 ls2")
 	sourceOnly := fs.Bool("source-only", false, "run only the script analyzers, skip optimization")
 	noCSE := fs.Bool("nocse", false, "lint the conventional plan instead of the CSE plan")
+	disable := fs.String("disable", "", "comma-separated diagnostic codes to drop from the report (e.g. P4,S2)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	disabled, err := parseDisable(*disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "scopelint:", err)
 		return 2
 	}
 
@@ -95,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			report.Diags = append(report.Diags, d)
 		}
 	}
+	report = report.Filter(disabled...)
 	// Human output ranks by severity; -json output is diffed across
 	// runs and sorts by file so the order is reproducible even when
 	// two targets produce findings of equal severity.
@@ -123,4 +139,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseDisable splits and validates a -disable value against the full
+// registered code set (script + plan + reserved + validation). An
+// unknown code is a usage error: a typo like -disable P9 silently
+// disabling nothing would defeat the flag's purpose.
+func parseDisable(value string) ([]string, error) {
+	if value == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	all := append(lint.Codes(), opt.ValidationCodes()...)
+	for _, c := range all {
+		known[c] = true
+	}
+	var out []string
+	for _, c := range strings.Split(value, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !known[c] {
+			return nil, fmt.Errorf("-disable: unknown diagnostic code %q (registered: %s)",
+				c, strings.Join(all, " "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }

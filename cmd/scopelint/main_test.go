@@ -115,6 +115,66 @@ OUTPUT R1 TO "o1";
 	}
 }
 
+// TestDisableFiltersFindings checks -disable suppresses findings at
+// the reporting level: the same script exits 1 normally and 0 with
+// its only finding's code disabled.
+func TestDisableFiltersFindings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.scope")
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+R2 = SELECT B FROM R0;
+OUTPUT R1 TO "o1";
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("baseline exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-disable", "S1", path}, &out, &errb); code != 0 {
+		t.Errorf("-disable S1: exit = %d, want 0; stdout: %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-disable S1: filtered run should print nothing, got %q", out.String())
+	}
+}
+
+// TestDisableUnknownCode pins the contract that a typo in -disable is
+// a usage error, not a silent no-op.
+func TestDisableUnknownCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-disable", "S1,Q9", "-script", "s1"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown disable code: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "Q9") {
+		t.Errorf("stderr should name the unknown code, got %q", errb.String())
+	}
+}
+
+// TestIgnoreDirectiveEndToEnd runs a file whose sole finding is
+// suppressed by a //lint:ignore comment through the CLI.
+func TestIgnoreDirectiveEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suppressed.scope")
+	src := `
+R0 = EXTRACT A,B FROM "test.log" USING LogExtractor;
+R1 = SELECT A FROM R0;
+//lint:ignore S1 kept to demonstrate suppression
+R2 = SELECT B FROM R0;
+OUTPUT R1 TO "o1";
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Errorf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
 func TestSourceOnlySkipsPlans(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-source-only", "-script", "s1"}, &out, &errb); code != 0 {

@@ -1,0 +1,133 @@
+// Command scopevet runs the repository's Go-source analyzer suite —
+// the source-level counterpart of scopelint's plan/script catalog. It
+// mechanically enforces the disciplines the repo's correctness claims
+// rest on:
+//
+//	rangemap   map iteration order must not reach output, emission,
+//	           or an unsorted slice (bit-identical at any -workers)
+//	nondet     no wall clock, math/rand, or %p in the
+//	           deterministic-output packages (allowlisted metering
+//	           sites aside)
+//	rawio      exec and share do file IO through the metered
+//	           FileStore, never package os
+//	lockheld   fields annotated `// guarded by mu` are accessed only
+//	           with the mutex acquired
+//	diagcode   every lint diagnostic code is registered in the P/S/V
+//	           catalogs, with no duplicates
+//
+// Usage:
+//
+//	scopevet ./...            # analyze packages (default ./...)
+//	scopevet -json ./...      # machine-readable findings
+//	scopevet -list            # print the analyzer catalog
+//
+// Findings are suppressed in source with
+// `//scopevet:ignore <analyzer> <reason>` on the flagged line or the
+// line above; unused or malformed directives are themselves findings.
+// The exit status is 1 when any finding survives, 2 on usage or load
+// errors, and 0 when the tree is clean. check.sh runs `scopevet
+// ./...` as a gate leg, so the tree stays clean from here on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scopevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzer catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := vet.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "scopevet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := vet.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "scopevet:", err)
+		return 2
+	}
+	res, err := vet.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "scopevet:", err)
+		return 2
+	}
+	if *jsonOut {
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			Pos      string `json:"pos"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(res.Diags))
+		for _, d := range res.Diags {
+			out = append(out, finding{Analyzer: d.Analyzer, Pos: d.Pos.String(), Message: d.Message})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "scopevet:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(res.Diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "%d finding(s)", len(res.Diags))
+			if res.Suppressed > 0 {
+				fmt.Fprintf(stdout, ", %d suppressed", res.Suppressed)
+			}
+			fmt.Fprintln(stdout)
+		}
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod. Loading and import resolution both need to run from inside
+// the module.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s; run scopevet from inside the module", dir)
+		}
+		dir = parent
+	}
+}

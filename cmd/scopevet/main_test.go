@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListCatalog(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"rangemap", "nondet", "rawio", "lockheld", "diagcode"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestCleanPackage analyzes one small in-repo package end to end: the
+// tree is kept scopevet-clean, so the run must exit 0, and -json must
+// emit a valid (empty) array.
+func TestCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/relop"}, &out, &errb); code != 0 {
+		t.Fatalf("exited %d: %s%s", code, out.String(), errb.String())
+	}
+	var findings []map[string]string
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected a clean package, got %v", findings)
+	}
+}

@@ -78,7 +78,13 @@ func main() {
 	}
 	fmt.Printf("both plans produce identical results; CSE execution used %d exchanges and %d spools\n",
 		xs.Exchanges, xs.SpoolsShared)
-	for path, res := range cseOut {
+	paths := make([]string, 0, len(cseOut))
+	for path := range cseOut {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		res := cseOut[path]
 		fmt.Printf("  %-26s %5d rows  %v\n", path, len(res.Rows), res.Columns)
 	}
 }

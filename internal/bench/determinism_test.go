@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// renderRun optimizes workload name with CSE enabled and executes it
+// at the given worker-pool width, rendering everything the repository
+// promises is width-independent into one comparable string: canonical
+// results per output path, the full metered totals, and the
+// deterministic span-tree rendering.
+func renderRun(t *testing.T, name string, workers int) string {
+	t.Helper()
+	w, err := BuiltinWorkload(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	cfg := DefaultConfig()
+	cfg.Tracer = tr
+	if workers > 0 {
+		cfg.OptWorkers = workers
+	}
+	res, err := RunOne(w, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := exec.NewCluster(8, w.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Workers = workers
+	cl.Trace = tr
+	got, err := cl.Run(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	paths := make([]string, 0, len(got))
+	for p := range got {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(&sb, "%s:\n", p)
+		for _, row := range got[p].Canonical() {
+			fmt.Fprintf(&sb, "  %s\n", row)
+		}
+	}
+	fmt.Fprintf(&sb, "cost=%.0f\nmetrics=%+v\n", res.Cost, cl.Metrics())
+	sb.WriteString(tr.TreeString())
+	return sb.String()
+}
+
+// TestWidthDeterminism is the regression net under the scopevet
+// sweep's fixes: results, meters, and span trees must be byte-
+// identical at worker-pool widths 1 and 8 for every small builtin
+// workload — the property the rangemap/nondet analyzers enforce at
+// the source level.
+func TestWidthDeterminism(t *testing.T) {
+	for _, name := range []string{"s1", "s2", "s3", "s4"} {
+		t.Run(name, func(t *testing.T) {
+			serial := renderRun(t, name, 1)
+			parallel := renderRun(t, name, 8)
+			if serial != parallel {
+				t.Errorf("%s differs between -workers 1 and -workers 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					name, serial, parallel)
+			}
+		})
+	}
+}

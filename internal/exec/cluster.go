@@ -99,8 +99,8 @@ type Cluster struct {
 	// (Metrics.Publish); safe with concurrent Run calls.
 	Obs *obs.Registry
 
-	mu      sync.Mutex // guards metrics; Run calls may be concurrent
-	metrics Metrics
+	mu      sync.Mutex
+	metrics Metrics // guarded by mu; Run calls may be concurrent
 }
 
 // NewCluster returns a cluster with the given machine count over fs.

@@ -60,13 +60,13 @@ type runner struct {
 	tr   *obs.Tracer
 	span obs.Span
 
-	mu      sync.Mutex // guards coord, spools, outputs, actuals
-	coord   Metrics    // operator-granular metering outside the pool
-	spools  map[string]*spoolEntry
-	outputs map[string]*Table
+	mu      sync.Mutex
+	coord   Metrics                // guarded by mu; operator-granular metering outside the pool
+	spools  map[string]*spoolEntry // guarded by mu
+	outputs map[string]*Table      // guarded by mu
 	// actuals, when non-nil, records per-node output rows and bytes
 	// (EXPLAIN ANALYZE support).
-	actuals map[*plan.Node]NodeActual
+	actuals map[*plan.Node]NodeActual // guarded by mu
 }
 
 // spoolEntry is the single-flight state of one shared spool: the

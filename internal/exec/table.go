@@ -101,13 +101,13 @@ func (t *Table) Diff(u *Table) string {
 // their outputs through Put while other partitions read inputs.
 type FileStore struct {
 	mu    sync.RWMutex
-	files map[string]*Table
+	files map[string]*Table // guarded by mu
 	// versions counts mutations (Put or Remove) per path; session
 	// caches use it to invalidate entries whose source files changed.
-	versions map[string]int64
+	versions map[string]int64 // guarded by mu
 	// removes / removedBytes meter Remove calls (cache eviction work).
-	removes      int64
-	removedBytes int64
+	removes      int64 // guarded by mu
+	removedBytes int64 // guarded by mu
 }
 
 // NewFileStore returns an empty store.

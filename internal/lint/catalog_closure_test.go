@@ -1,0 +1,82 @@
+// Catalog-closure regression tests (external test package: the
+// validation codes live in internal/opt, which imports internal/lint,
+// so an in-package test could not see them).
+package lint_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/opt"
+)
+
+// allCodes is the full registered diagnostic-code set: script
+// analyzers (S), plan analyzers (P), reserved codes (S0), and the
+// optimizer's validation codes (V).
+func allCodes() []string {
+	var out []string
+	for _, a := range lint.ScriptAnalyzers() {
+		out = append(out, a.Code)
+	}
+	for _, a := range lint.PlanAnalyzers() {
+		out = append(out, a.Code)
+	}
+	out = append(out, lint.ReservedCodes()...)
+	out = append(out, opt.ValidationCodes()...)
+	return out
+}
+
+// TestCatalogClosed pins the closure invariants the scopevet diagcode
+// analyzer relies on: every registered code is well-formed and no
+// code is registered twice across the S/P/V catalogs.
+func TestCatalogClosed(t *testing.T) {
+	shape := regexp.MustCompile(`^[SPV][0-9]+$`)
+	seen := map[string]bool{}
+	for _, c := range allCodes() {
+		if !shape.MatchString(c) {
+			t.Errorf("code %q does not match the catalog shape [SPV]<n>", c)
+		}
+		if seen[c] {
+			t.Errorf("code %q is registered more than once across the catalogs", c)
+		}
+		seen[c] = true
+	}
+	if !seen["S0"] {
+		t.Error("reserved parse code S0 is missing from the registered set")
+	}
+}
+
+// TestCatalogDocumented requires every registered code to appear in
+// DESIGN.md: a diagnostic a user can encounter must have prose
+// explaining what it means. The codes are matched as standalone
+// tokens so a range like "V1-V7" cannot stand in for the codes inside
+// it.
+func TestCatalogDocumented(t *testing.T) {
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	for _, c := range allCodes() {
+		re := regexp.MustCompile(`\b` + c + `\b`)
+		if !re.Match(design) {
+			t.Errorf("registered code %s is never mentioned in DESIGN.md", c)
+		}
+	}
+}
+
+// TestLintCodes pins lint.Codes: sorted, duplicate-free, and exactly
+// the S/P/reserved set (V codes are opt's).
+func TestLintCodes(t *testing.T) {
+	codes := lint.Codes()
+	want := len(lint.ScriptAnalyzers()) + len(lint.PlanAnalyzers()) + len(lint.ReservedCodes())
+	if len(codes) != want {
+		t.Fatalf("Codes() returned %d codes, want %d", len(codes), want)
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Errorf("Codes() not sorted/unique at %d: %s >= %s", i, codes[i-1], codes[i])
+		}
+	}
+}

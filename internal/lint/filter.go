@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// Codes lists every diagnostic code the lint catalogs register —
+// script analyzers, plan analyzers, and the reserved codes — in
+// sorted order. Validation codes (V1–V7) are registered by
+// internal/opt and are not included here; callers that accept both
+// (scopelint's -disable, scope.Plan.Lint) union the two sets.
+func Codes() []string {
+	var out []string
+	for _, a := range ScriptAnalyzers() {
+		out = append(out, a.Code)
+	}
+	for _, a := range PlanAnalyzers() {
+		out = append(out, a.Code)
+	}
+	out = append(out, ReservedCodes()...)
+	sort.Strings(out)
+	return out
+}
+
+// Filter returns a copy of the report without the diagnostics whose
+// code is listed in disable. Disabling is a reporting decision, not an
+// analysis one: every analyzer still runs, so -disable can never mask
+// an analyzer crash.
+func (r *Report) Filter(disable ...string) *Report {
+	if len(disable) == 0 {
+		return r
+	}
+	off := map[string]bool{}
+	for _, c := range disable {
+		off[c] = true
+	}
+	out := &Report{}
+	for _, d := range r.Diags {
+		if !off[d.Code] {
+			out.Diags = append(out.Diags, d)
+		}
+	}
+	return out
+}
+
+// scriptIgnore is one //lint:ignore CODE reason directive found in a
+// script's raw source. The lexer skips comments, so directives are
+// extracted from the source text by line.
+type scriptIgnore struct {
+	line   int
+	code   string
+	reason string
+	// malformed is a non-empty description when the directive does not
+	// parse (missing code or reason).
+	malformed string
+	used      bool
+}
+
+const ignoreMarker = "//lint:ignore"
+
+// parseScriptIgnores scans src line by line for ignore directives.
+// The directive suppresses matching findings on its own line or the
+// line immediately below it, so both trailing-comment and
+// line-above placement work:
+//
+//	TMP = SELECT ...;   //lint:ignore S1 kept for the next revision
+//
+//	//lint:ignore S3 consumed by a commented-out OUTPUT
+//	AGG = SELECT ...;
+func parseScriptIgnores(src string) []*scriptIgnore {
+	var out []*scriptIgnore
+	for i, line := range strings.Split(src, "\n") {
+		at := strings.Index(line, ignoreMarker)
+		if at < 0 {
+			continue
+		}
+		ig := &scriptIgnore{line: i + 1}
+		rest := strings.TrimSpace(line[at+len(ignoreMarker):])
+		code, reason, _ := strings.Cut(rest, " ")
+		switch {
+		case code == "":
+			ig.malformed = "missing diagnostic code"
+		case strings.TrimSpace(reason) == "":
+			ig.malformed = "missing reason; suppressions must document why"
+		default:
+			ig.code = code
+			ig.reason = strings.TrimSpace(reason)
+		}
+		out = append(out, ig)
+	}
+	return out
+}
+
+// posLine extracts the line number from a "file:line:col" diagnostic
+// position, 0 when the position has no line.
+func posLine(pos string) int {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 3 {
+		return 0
+	}
+	n, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// runIgnoreDirective is S4: every //lint:ignore directive must name a
+// suppressible script code, carry a reason, and actually suppress a
+// finding. It runs after the other script analyzers, so their
+// findings are present in the report: matching ones are removed here
+// (that is the suppression), and a directive that removes nothing is
+// itself flagged — stale ignores must not outlive the code they
+// excused.
+func runIgnoreDirective(c *scriptCtx) {
+	if len(c.ignores) == 0 {
+		return
+	}
+	a := ScriptAnalyzers()[3]
+	suppressible := map[string]bool{}
+	for _, sa := range ScriptAnalyzers() {
+		if sa.Code != a.Code {
+			suppressible[sa.Code] = true
+		}
+	}
+	tok := func(ig *scriptIgnore) sqlparse.Token {
+		return sqlparse.Token{Line: ig.line, Col: 1}
+	}
+	var active []*scriptIgnore
+	for _, ig := range c.ignores {
+		switch {
+		case ig.malformed != "":
+			c.addf(a, Error, tok(ig), "malformed lint:ignore directive: %s (want //lint:ignore CODE reason)", ig.malformed)
+		case !suppressible[ig.code]:
+			c.addf(a, Error, tok(ig), "lint:ignore names %q, which is not a suppressible script code (S0 parse errors and plan codes cannot be ignored in source)", ig.code)
+		default:
+			active = append(active, ig)
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range c.report.Diags {
+		line := posLine(d.Pos)
+		matched := false
+		for _, ig := range active {
+			if ig.code == d.Code && line != 0 && (ig.line == line || ig.line == line-1) {
+				ig.used = true
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, d)
+		}
+	}
+	c.report.Diags = kept
+	for _, ig := range active {
+		if !ig.used {
+			c.addf(a, Warning, tok(ig), "lint:ignore %s directive suppresses nothing", ig.code)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// scriptWithUnused produces one S1 finding ("B is never referenced")
+// on line 3 when the directive argument is empty.
+func scriptWithUnused(directive string) string {
+	lines := []string{
+		`A = EXTRACT X, Y FROM "t.log" USING E;`,
+		directive,
+		`B = SELECT X FROM A;`,
+		`OUTPUT A TO "out";`,
+	}
+	if directive == "" {
+		lines = append(lines[:1], lines[2:]...)
+	}
+	return strings.Join(lines, "\n")
+}
+
+func codesOf(r *Report) []string {
+	var out []string
+	for _, d := range r.Diags {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+func TestFilterByCode(t *testing.T) {
+	r := &Report{}
+	r.Addf("S1", "unused-assign", Warning, "f:1:1", "one")
+	r.Addf("P4", "missed-cse", Warning, "plan", "two")
+	r.Addf("S1", "unused-assign", Warning, "f:2:1", "three")
+	got := r.Filter("S1")
+	if want := []string{"P4"}; strings.Join(codesOf(got), ",") != strings.Join(want, ",") {
+		t.Errorf("Filter(S1) kept %v, want %v", codesOf(got), want)
+	}
+	if len(r.Diags) != 3 {
+		t.Error("Filter mutated the receiver")
+	}
+	if got := r.Filter(); got != r {
+		t.Error("Filter() with no codes should return the report unchanged")
+	}
+}
+
+func TestIgnoreDirectiveLineAbove(t *testing.T) {
+	src := scriptWithUnused("//lint:ignore S1 kept for the next revision")
+	r := AnalyzeScriptSource(src, "t.scope")
+	if !r.Empty() {
+		t.Errorf("directive on the line above did not suppress: %v", r.Diags)
+	}
+}
+
+func TestIgnoreDirectiveSameLine(t *testing.T) {
+	src := scriptWithUnused("")
+	src = strings.Replace(src, "B = SELECT X FROM A;",
+		"B = SELECT X FROM A; //lint:ignore S1 kept for the next revision", 1)
+	r := AnalyzeScriptSource(src, "t.scope")
+	if !r.Empty() {
+		t.Errorf("trailing directive did not suppress: %v", r.Diags)
+	}
+}
+
+func TestIgnoreDirectiveBaseline(t *testing.T) {
+	r := AnalyzeScriptSource(scriptWithUnused(""), "t.scope")
+	if got := codesOf(r); strings.Join(got, ",") != "S1" {
+		t.Fatalf("baseline script should produce exactly one S1, got %v", got)
+	}
+}
+
+func TestIgnoreDirectiveUnknownCode(t *testing.T) {
+	src := scriptWithUnused("//lint:ignore S9 no such code")
+	r := AnalyzeScriptSource(src, "t.scope")
+	found := false
+	for _, d := range r.Diags {
+		if d.Code == "S4" && d.Severity == Error && strings.Contains(d.Message, `"S9"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown code in directive should be an S4 error, got %v", r.Diags)
+	}
+	// The S1 finding itself must survive: the broken directive
+	// suppressed nothing.
+	if !strings.Contains(strings.Join(codesOf(r), ","), "S1") {
+		t.Errorf("S1 finding disappeared despite a broken directive: %v", r.Diags)
+	}
+}
+
+func TestIgnoreDirectivePlanCodeRejected(t *testing.T) {
+	src := scriptWithUnused("//lint:ignore P4 plan codes have no script line")
+	r := AnalyzeScriptSource(src, "t.scope")
+	found := false
+	for _, d := range r.Diags {
+		if d.Code == "S4" && strings.Contains(d.Message, "not a suppressible script code") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("plan code in directive should be an S4 error, got %v", r.Diags)
+	}
+}
+
+func TestIgnoreDirectiveMissingReason(t *testing.T) {
+	src := scriptWithUnused("//lint:ignore S1")
+	r := AnalyzeScriptSource(src, "t.scope")
+	found := false
+	for _, d := range r.Diags {
+		if d.Code == "S4" && d.Severity == Error && strings.Contains(d.Message, "missing reason") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasonless directive should be an S4 error, got %v", r.Diags)
+	}
+}
+
+func TestIgnoreDirectiveUnused(t *testing.T) {
+	src := `A = EXTRACT X, Y FROM "t.log" USING E;
+//lint:ignore S1 nothing here to suppress
+OUTPUT A TO "out";`
+	r := AnalyzeScriptSource(src, "t.scope")
+	found := false
+	for _, d := range r.Diags {
+		if d.Code == "S4" && d.Severity == Warning && strings.Contains(d.Message, "suppresses nothing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unused directive should be an S4 warning, got %v", r.Diags)
+	}
+}
+
+func TestParseScriptIgnores(t *testing.T) {
+	igs := parseScriptIgnores("a\n//lint:ignore S1 why not\n//lint:ignore\nplain line\n")
+	if len(igs) != 2 {
+		t.Fatalf("parsed %d directives, want 2", len(igs))
+	}
+	if igs[0].line != 2 || igs[0].code != "S1" || igs[0].reason != "why not" || igs[0].malformed != "" {
+		t.Errorf("directive 0 = %+v", igs[0])
+	}
+	if igs[1].line != 3 || igs[1].malformed == "" {
+		t.Errorf("directive 1 should be malformed, got %+v", igs[1])
+	}
+}
+
+func TestPosLine(t *testing.T) {
+	cases := map[string]int{
+		"f.scope:12:3":    12,
+		"a:b:c":           0,
+		"noseparator":     0,
+		"Sequence/Output": 0,
+		"x:7:1":           7,
+	}
+	for pos, want := range cases {
+		if got := posLine(pos); got != want {
+			t.Errorf("posLine(%q) = %d, want %d", pos, got, want)
+		}
+	}
+}

@@ -29,6 +29,10 @@ type scriptCtx struct {
 	// output schema (nil when it could not be derived).
 	schemas map[string]*derivedSchema
 	report  *Report
+	// ignores holds the //lint:ignore directives extracted from the
+	// raw source (only populated via AnalyzeScriptSource — a parsed
+	// script carries no comments).
+	ignores []*scriptIgnore
 }
 
 type assignInfo struct {
@@ -65,12 +69,24 @@ func ScriptAnalyzers() []*ScriptAnalyzer {
 		{Name: "dead-statement", Code: "S3",
 			Doc: "every statement's result must transitively reach an OUTPUT",
 			run: runDeadStatement},
+		// S4 runs last: it applies the //lint:ignore directives to the
+		// findings above and flags malformed, unknown, or unused
+		// directives.
+		{Name: "ignore-directive", Code: "S4",
+			Doc: "lint:ignore directives must name a suppressible script code, carry a reason, and suppress a finding",
+			run: runIgnoreDirective},
 	}
 }
 
 // AnalyzeScript runs every script analyzer over a parsed script and
-// returns the sorted report. file labels diagnostic positions.
+// returns the sorted report. file labels diagnostic positions. A
+// parsed script carries no comments, so //lint:ignore directives are
+// only honored through AnalyzeScriptSource.
 func AnalyzeScript(script *sqlparse.Script, file string) *Report {
+	return analyzeScript(script, file, nil)
+}
+
+func analyzeScript(script *sqlparse.Script, file string, ignores []*scriptIgnore) *Report {
 	r := &Report{}
 	if script == nil {
 		return r
@@ -78,7 +94,7 @@ func AnalyzeScript(script *sqlparse.Script, file string) *Report {
 	if file == "" {
 		file = "<script>"
 	}
-	c := &scriptCtx{file: file, script: script, schemas: map[string]*derivedSchema{}, report: r}
+	c := &scriptCtx{file: file, script: script, schemas: map[string]*derivedSchema{}, report: r, ignores: ignores}
 	for i, st := range script.Stmts {
 		if as, ok := st.(*sqlparse.AssignStmt); ok {
 			c.assigns = append(c.assigns, assignInfo{idx: i, stmt: as})
@@ -92,10 +108,23 @@ func AnalyzeScript(script *sqlparse.Script, file string) *Report {
 	return r
 }
 
+// CodeParse is the reserved diagnostic code for scripts that do not
+// parse. It has no analyzer entry — there is no AST to analyze — but
+// it is registered alongside the catalogs so every emitted code is
+// accounted for.
+const CodeParse = "S0"
+
+// ReservedCodes lists the registered codes that carry no catalog
+// entry. The scopevet diagcode analyzer and the catalog-closure test
+// treat these as part of the closed code set.
+func ReservedCodes() []string { return []string{CodeParse} }
+
 // AnalyzeScriptSource parses src and runs the script analyzers. A
 // parse failure becomes a single S0 error diagnostic rather than an
 // error return, so callers can treat unparsable and unclean scripts
-// uniformly.
+// uniformly. //lint:ignore CODE reason comments in src suppress
+// matching findings on their own line or the line below; the S4
+// analyzer vets the directives themselves.
 func AnalyzeScriptSource(src, file string) *Report {
 	script, err := sqlparse.Parse(src)
 	if err != nil {
@@ -103,10 +132,10 @@ func AnalyzeScriptSource(src, file string) *Report {
 		if file == "" {
 			file = "<script>"
 		}
-		r.Addf("S0", "parse", Error, file, "script does not parse: %v", err)
+		r.Addf(CodeParse, "parse", Error, file, "script does not parse: %v", err)
 		return r
 	}
-	return AnalyzeScript(script, file)
+	return analyzeScript(script, file, parseScriptIgnores(src))
 }
 
 // deriveSchemas computes each assignment's output columns in statement

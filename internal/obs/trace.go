@@ -40,7 +40,7 @@ type Tracer struct {
 	epoch time.Time
 
 	mu    sync.Mutex
-	spans []spanRecord
+	spans []spanRecord // guarded by mu
 }
 
 // spanRecord is the internal storage for one span. Parent is an index

@@ -36,6 +36,17 @@ const (
 	CodeJoinColocation = "V7"
 )
 
+// ValidationCodes lists every code the validator can emit, in code
+// order. The scopevet diagcode analyzer and the catalog-closure test
+// treat this as the validator's registered catalog.
+func ValidationCodes() []string {
+	return []string{
+		CodeDlvdMismatch, CodeStreamAggCluster, CodeAggColocation,
+		CodeOutputDistribution, CodeEnforcerColumns, CodeMergeJoinOrder,
+		CodeJoinColocation,
+	}
+}
+
 // ValidatePlan statically checks the physical soundness of a plan and
 // returns the first violation as an error, for callers that only need
 // a pass/fail signal. ValidatePlanDiags exposes every finding.

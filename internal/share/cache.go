@@ -69,11 +69,11 @@ type Cache struct {
 	cat *stats.Catalog
 
 	mu       sync.Mutex
-	maxBytes int64
-	entries  map[string]*entry
-	bytes    int64
-	clock    int64
-	stats    Stats
+	maxBytes int64             // guarded by mu
+	entries  map[string]*entry // guarded by mu
+	bytes    int64             // guarded by mu
+	clock    int64             // guarded by mu
+	stats    Stats             // guarded by mu
 }
 
 // DefaultCacheBytes is the cache-size bound used when none is given.
@@ -116,8 +116,9 @@ func (c *Cache) valid(e *entry) bool {
 	return true
 }
 
-// drop removes entry k, deleting its artifact. Caller holds c.mu.
-func (c *Cache) drop(k string, invalidated bool) {
+// dropLocked removes entry k, deleting its artifact. Caller holds
+// c.mu.
+func (c *Cache) dropLocked(k string, invalidated bool) {
 	e, ok := c.entries[k]
 	if !ok {
 		return
@@ -144,7 +145,7 @@ func (c *Cache) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEnt
 		return opt.CacheEntry{}, false
 	}
 	if !c.valid(e) {
-		c.drop(k, true)
+		c.dropLocked(k, true)
 		return opt.CacheEntry{}, false
 	}
 	c.clock++
@@ -163,7 +164,7 @@ func (c *Cache) Holds(fp uint64) bool {
 			continue
 		}
 		if !c.valid(e) {
-			c.drop(k, true)
+			c.dropLocked(k, true)
 			continue
 		}
 		return true
@@ -181,7 +182,7 @@ func (c *Cache) Contains(fp uint64, sig string, schema relop.Schema) bool {
 		return false
 	}
 	if !c.valid(e) {
-		c.drop(cacheKey(fp, sig, schemaKey(schema)), true)
+		c.dropLocked(cacheKey(fp, sig, schemaKey(schema)), true)
 		return false
 	}
 	return true
@@ -220,7 +221,7 @@ func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source
 				lru, min = ek, e.lastUse
 			}
 		}
-		c.drop(lru, false)
+		c.dropLocked(lru, false)
 	}
 }
 

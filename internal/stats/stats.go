@@ -79,16 +79,16 @@ func defaultDistinct(rows int64) int64 {
 // between scripts while earlier plans are still being inspected.
 type Catalog struct {
 	mu     sync.RWMutex
-	tables map[string]*TableStats
+	tables map[string]*TableStats // guarded by mu
 	// fileIDs assigns each path a small stable integer used as the
 	// fingerprint leaf id (Definition 1). IDs are per-catalog and never
 	// reused, so the same path fingerprints identically across every
 	// script bound against this catalog — the property cross-query
 	// result caching depends on.
-	fileIDs map[string]int
+	fileIDs map[string]int // guarded by mu
 	// epochs counts statistics registrations per path; bumping it
 	// invalidates cached results derived from the path.
-	epochs map[string]int64
+	epochs map[string]int64 // guarded by mu
 }
 
 // NewCatalog returns an empty catalog.
@@ -164,8 +164,15 @@ func (c *Catalog) Paths() []string {
 
 // String summarizes the catalog for debugging.
 func (c *Catalog) String() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	paths := make([]string, 0, len(c.tables))
+	for p := range c.tables {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
 	s := ""
-	for _, p := range c.Paths() {
+	for _, p := range paths {
 		t := c.tables[p]
 		s += fmt.Sprintf("%s: rows=%d cols=%d\n", p, t.Rows, len(t.Columns))
 	}

@@ -1,0 +1,57 @@
+package vet_test
+
+import (
+	"testing"
+
+	"repro/internal/vet"
+	"repro/internal/vet/vettest"
+)
+
+// Each analyzer is exercised on a fixture package holding both
+// flagging and non-flagging cases, matched against `// want` comments
+// analysistest-style. Suppression directives are live in fixtures, so
+// each fixture also carries one suppressed finding.
+
+func TestRangeMapFixture(t *testing.T) {
+	vettest.Run(t, "testdata/src/rangemap", vet.RangeMap())
+}
+
+func TestNondetFixture(t *testing.T) {
+	// The fixture's allowedMeter function stands in for the reviewed
+	// metering sites of DefaultNondetAllow.
+	vettest.Run(t, "testdata/src/nondet", vet.Nondet([]string{"fixture/nondet.allowedMeter"}))
+}
+
+func TestRawIOFixture(t *testing.T) {
+	vettest.Run(t, "testdata/src/rawio", vet.RawIO())
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	vettest.Run(t, "testdata/src/lockheld", vet.LockHeld())
+}
+
+func TestDiagCodeFixture(t *testing.T) {
+	vettest.Run(t, "testdata/src/diagcode", vet.DiagCode())
+}
+
+// TestCatalog pins the suite's shape: five analyzers, unique names,
+// documented.
+func TestCatalog(t *testing.T) {
+	as := vet.Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Name == "scopevet" {
+			t.Errorf("analyzer name %q collides with the directive-checker pseudo-analyzer", a.Name)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint"
+	"repro/internal/opt"
+)
+
+// registeredCodes returns every diagnostic code the repository's
+// catalogs register — script and plan analyzers plus the reserved
+// parse code (internal/lint) and the validation codes (internal/opt)
+// — together with a duplicate list if any code is registered twice.
+func registeredCodes() (set map[string]bool, dups []string) {
+	var all []string
+	for _, a := range lint.ScriptAnalyzers() {
+		all = append(all, a.Code)
+	}
+	for _, a := range lint.PlanAnalyzers() {
+		all = append(all, a.Code)
+	}
+	all = append(all, lint.ReservedCodes()...)
+	all = append(all, opt.ValidationCodes()...)
+	set = map[string]bool{}
+	for _, c := range all {
+		if set[c] {
+			dups = append(dups, c)
+		}
+		set[c] = true
+	}
+	sort.Strings(dups)
+	return set, dups
+}
+
+// DiagCode returns the diagcode analyzer: every lint.Report.Add and
+// Addf call site whose code is a compile-time constant must use a
+// code registered in the P/S/V catalogs (an orphan code would render
+// in reports but match no documentation, no -disable flag, and no
+// catalog test), and the catalogs themselves must hold no duplicate
+// codes. Call sites that thread a catalog entry's Code field through
+// dynamically are the framework's own plumbing and are trusted.
+func DiagCode() *Analyzer {
+	a := &Analyzer{
+		Name:     "diagcode",
+		Doc:      "lint diagnostics carry codes registered in the P/S/V analyzer catalogs",
+		Packages: []string{"repro"},
+	}
+	registered, dups := registeredCodes()
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pass.Info, call)
+				if !isReportMethod(fn) {
+					return true
+				}
+				switch fn.Name() {
+				case "Addf":
+					if len(call.Args) == 0 {
+						return true
+					}
+					if code, ok := constString(pass.Info, call.Args[0]); ok && !registered[code] {
+						pass.Reportf(call.Args[0].Pos(),
+							"diagnostic code %q is not registered in any analyzer catalog; register it or use a catalog entry's Code", code)
+					}
+				case "Add":
+					if len(call.Args) != 1 {
+						return true
+					}
+					checkDiagnosticLiteral(pass, call.Args[0], registered)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	a.Finish = func(report func(Diagnostic)) {
+		for _, c := range dups {
+			report(Diagnostic{
+				Analyzer: a.Name,
+				Pos:      token.Position{Filename: "internal/lint(catalogs)"},
+				Message:  "diagnostic code " + c + " is registered more than once across the P/S/V catalogs",
+			})
+		}
+	}
+	return a
+}
+
+// isReportMethod reports whether fn is (*lint.Report).Add or Addf.
+func isReportMethod(fn *types.Func) bool {
+	if fn == nil || (fn.Name() != "Add" && fn.Name() != "Addf") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Report" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/lint"
+}
+
+// checkDiagnosticLiteral inspects a lint.Diagnostic composite literal
+// passed to Report.Add for a constant Code field.
+func checkDiagnosticLiteral(pass *Pass, arg ast.Expr, registered map[string]bool) {
+	e := ast.Unparen(arg)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		if code, ok := constString(pass.Info, kv.Value); ok && !registered[code] {
+			pass.Reportf(kv.Value.Pos(),
+				"diagnostic code %q is not registered in any analyzer catalog; register it or use a catalog entry's Code", code)
+		}
+	}
+}

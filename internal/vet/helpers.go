@@ -1,0 +1,151 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves the static callee of a call expression, or nil
+// for calls through function values, builtins, and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function (or
+// method) path.name.
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// funcDisplayName renders a declared function for allowlists and
+// messages: "pkgpath.Func" for functions, "pkgpath.Recv.Method" for
+// methods (pointer receivers spelled without the star).
+func funcDisplayName(pkg *types.Package, decl *ast.FuncDecl) string {
+	name := decl.Name.Name
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		t := decl.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return pkg.Path() + "." + name
+}
+
+// constString returns the compile-time string value of an expression,
+// or "" and false when the expression is not a string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// exprObj resolves the object a plain identifier or field selector
+// denotes, or nil for anything more complex.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// baseObj resolves the root variable of an lvalue — the object whose
+// lifetime decides whether a write outlives a loop iteration: x for
+// x, x.f, x.f.g, and x[i]; nil for anything rootless.
+func baseObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprText renders a simple lvalue for messages (base identifier plus
+// selectors); falls back to the base name.
+func exprText(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	}
+	return "?"
+}
+
+// forEachFunc visits every function declaration with a body in the
+// pass's files.
+func forEachFunc(pass *Pass, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// isSortCall reports whether a call plausibly establishes an order:
+// anything from package sort or slices, or any function or method
+// whose name mentions Sort (the repo's own canonical-order helpers).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if fn := calleeOf(info, call); fn != nil {
+		if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+			return true
+		}
+		if strings.Contains(fn.Name(), "Sort") {
+			return true
+		}
+	}
+	// Function values: fall back on the spelled name.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return strings.Contains(sel.Sel.Name, "Sort")
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return strings.Contains(id.Name, "Sort")
+	}
+	return false
+}
+
+// containsObj reports whether the expression tree mentions obj.
+func containsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,152 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+}
+
+// cachingImporter resolves module-local imports from the packages the
+// loader has already typechecked and defers everything else (the
+// standard library) to the stdlib source importer. Load typechecks in
+// `go list -deps` post-order, so a module dependency is always in the
+// cache before its importers are checked — each package is checked
+// exactly once.
+type cachingImporter struct {
+	cache map[string]*types.Package
+	src   types.ImporterFrom
+}
+
+func (ci *cachingImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci *cachingImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := ci.cache[path]; ok {
+		return pkg, nil
+	}
+	return ci.src.ImportFrom(path, dir, mode)
+}
+
+// Load resolves patterns (e.g. "./...") with `go list` run in dir and
+// parses and typechecks every matched non-stdlib package from source.
+// Only non-test Go files are analyzed: the analyzers enforce
+// production invariants, and tests legitimately use time, rand, and
+// unsorted iteration. Standard-library dependencies are typechecked
+// on demand by the stdlib source importer, which resolves import
+// paths through the go command — dir must lie inside a module.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	targetSet := map[string]bool{}
+	for _, lp := range targets {
+		targetSet[lp.ImportPath] = true
+	}
+	listed, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	srcImp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("source importer does not implement ImporterFrom")
+	}
+	imp := &cachingImporter{cache: map[string]*types.Package{}, src: srcImp}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		imp.cache[lp.ImportPath] = pkg
+		// Module dependencies outside the requested patterns are
+		// typechecked (the cache needs them) but not analyzed.
+		if targetSet[lp.ImportPath] {
+			out = append(out, &Package{
+				Path: lp.ImportPath, Dir: lp.Dir,
+				Fset: fset, Files: files, Pkg: pkg, Info: info,
+			})
+		}
+	}
+	return out, nil
+}
+
+// goList shells out to `go list -json` in dir. With deps, the
+// traversal lists every dependency in post-order (a package appears
+// only after all its dependencies), which is what lets Load typecheck
+// each module package exactly once.
+func goList(dir string, deps bool, patterns []string) ([]listedPackage, error) {
+	args := []string{"list"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json=ImportPath,Dir,Standard,GoFiles")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

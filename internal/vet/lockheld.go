@@ -1,0 +1,165 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// LockHeld returns the lockheld analyzer, which makes the
+//
+//	// guarded by mu
+//
+// field comment a checked convention: a field so annotated may only
+// be touched from a method of its struct that either acquires the
+// named mutex somewhere in its body (recv.mu.Lock or recv.mu.RLock)
+// or declares by its name — a Locked suffix — that the caller holds
+// it. The check is intentionally flow-insensitive: it cannot prove
+// the lock is held *at* the access, but it catches the common real
+// bug of a new method (or a fast path added to an old one) reaching
+// shared state with no locking at all, which is exactly how the
+// pre-PR-2 Cluster metrics race slipped in.
+//
+// The analyzer runs repo-wide; packages without annotations are
+// unaffected. Access through anything other than the receiver (a
+// constructor building a fresh value, another instance of the same
+// type) is out of scope — a value that has not escaped needs no lock,
+// and the annotation documents the instance's own mutex.
+func LockHeld() *Analyzer {
+	a := &Analyzer{
+		Name: "lockheld",
+		Doc:  "fields annotated `guarded by mu` are accessed only with the mutex acquired",
+	}
+	a.Run = func(pass *Pass) error {
+		guards := collectGuards(pass)
+		if len(guards) == 0 {
+			return nil
+		}
+		forEachFunc(pass, func(decl *ast.FuncDecl) {
+			checkMethodLocks(pass, decl, guards)
+		})
+		return nil
+	}
+	return a
+}
+
+// collectGuards maps each struct type object to its guarded fields
+// (field name → mutex field name).
+func collectGuards(pass *Pass) map[types.Object]map[string]string {
+	out := map[types.Object]map[string]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			typeObj := pass.Info.Defs[ts.Name]
+			if typeObj == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardNameOf(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if out[typeObj] == nil {
+						out[typeObj] = map[string]string{}
+					}
+					out[typeObj][name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardNameOf extracts the mutex name from a field's doc or trailing
+// comment, or "" when the field is unannotated.
+func guardNameOf(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkMethodLocks flags receiver accesses to guarded fields from
+// methods that neither acquire the guarding mutex nor carry the
+// Locked-suffix contract.
+func checkMethodLocks(pass *Pass, decl *ast.FuncDecl, guards map[types.Object]map[string]string) {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return
+	}
+	recvType := decl.Recv.List[0].Type
+	if st, ok := recvType.(*ast.StarExpr); ok {
+		recvType = st.X
+	}
+	typeIdent, ok := recvType.(*ast.Ident)
+	if !ok {
+		return
+	}
+	fields := guards[pass.Info.Uses[typeIdent]]
+	if fields == nil {
+		return
+	}
+	recvObj := pass.Info.Defs[decl.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return
+	}
+	if len(decl.Name.Name) > 6 && decl.Name.Name[len(decl.Name.Name)-6:] == "Locked" {
+		return
+	}
+	// Which guard mutexes does the body acquire through the receiver?
+	held := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := muSel.X.(*ast.Ident)
+		if !ok || pass.Info.ObjectOf(base) != recvObj {
+			return true
+		}
+		held[muSel.Sel.Name] = true
+		return true
+	})
+	reported := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Info.ObjectOf(base) != recvObj {
+			return true
+		}
+		mu, guarded := fields[sel.Sel.Name]
+		if !guarded || held[mu] || reported[sel.Sel.Name] {
+			return true
+		}
+		reported[sel.Sel.Name] = true
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but method %s never acquires %s.%s (and is not named *Locked)",
+			typeIdent.Name, sel.Sel.Name, mu, decl.Name.Name, decl.Recv.List[0].Names[0].Name, mu)
+		return true
+	})
+}

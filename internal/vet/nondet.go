@@ -1,0 +1,88 @@
+package vet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nondetPackages are the paths whose outputs the repository promises
+// are bit-identical run to run: the optimizer (plans, costs, round
+// traces), the plan representation (printing, JSON, fingerprints),
+// the executor (results, meters), and the span-identity paths of the
+// observability layer.
+var nondetPackages = []string{
+	"repro/internal/opt",
+	"repro/internal/plan",
+	"repro/internal/exec",
+	"repro/internal/obs",
+}
+
+// DefaultNondetAllow is the reviewed allowlist of wall-clock metering
+// sites: functions that legitimately read the clock because they
+// measure durations (optimizer budget, span timestamps) rather than
+// derive identities or output from it. TreeString and the determinism
+// tests never compare timestamps, so these sites cannot leak
+// nondeterminism into compared output. Every entry is re-justified in
+// DESIGN.md §9.
+func DefaultNondetAllow() []string {
+	return []string{
+		// Span timestamps: exported to Chrome trace JSON, omitted from
+		// the deterministic TreeString rendering.
+		"repro/internal/obs.NewTracer",
+		"repro/internal/obs.Tracer.Start",
+		"repro/internal/obs.Span.End",
+		// Optimizer wall-clock: the phase-2 time budget and the
+		// reported optimization duration.
+		"repro/internal/opt.Optimizer.Run",
+		"repro/internal/opt.Optimizer.expired",
+	}
+}
+
+// Nondet returns the nondet analyzer: inside the deterministic-output
+// packages, calls to time.Now/Since/Until, any use of math/rand, and
+// %p pointer formatting are flagged unless the enclosing function is
+// on the allowlist. Pointer formatting is singled out because a %p
+// inside a span ID or plan rendering silently keys output on
+// allocation addresses, which differ every run.
+func Nondet(allow []string) *Analyzer {
+	allowed := map[string]bool{}
+	for _, name := range allow {
+		allowed[name] = true
+	}
+	a := &Analyzer{
+		Name:     "nondet",
+		Doc:      "no wall clock, math/rand, or %p formatting in deterministic-output packages",
+		Packages: nondetPackages,
+	}
+	a.Run = func(pass *Pass) error {
+		forEachFunc(pass, func(decl *ast.FuncDecl) {
+			if allowed[funcDisplayName(pass.Pkg, decl)] {
+				return
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if fn := calleeOf(pass.Info, x); fn != nil && fn.Pkg() != nil {
+						switch {
+						case fn.Pkg().Path() == "time" &&
+							(fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+							pass.Reportf(x.Pos(), "time.%s in deterministic package %s; meter durations only at allowlisted sites",
+								fn.Name(), pass.Pkg.Path())
+						case fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2":
+							pass.Reportf(x.Pos(), "math/rand in deterministic package %s; outputs must not depend on random state",
+								pass.Pkg.Path())
+						}
+					}
+					for _, arg := range x.Args {
+						if s, ok := constString(pass.Info, arg); ok && strings.Contains(s, "%p") {
+							pass.Reportf(arg.Pos(), "%%p formats an allocation address, which differs every run; derive identities from plan or group IDs")
+						}
+					}
+				}
+				return true
+			})
+		})
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,184 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RangeMap returns the rangemap analyzer: map iteration whose order
+// can reach an order-sensitive sink — an emitted stream (Write,
+// Fprintf, channel send), a string being concatenated, or a slice
+// that is never sorted — breaks the repository's bit-identical-
+// at-any-width guarantee, because Go randomizes map iteration order
+// per run.
+//
+// The analyzer flags a `for ... range m` over a map when its body
+//
+//   - appends to a slice declared outside the loop that the enclosing
+//     function never passes to a sort (sort.*, slices.*, or any
+//     function whose name mentions Sort),
+//   - concatenates onto a string declared outside the loop,
+//   - writes through an emission method (Write, WriteString,
+//     WriteByte, WriteRune, Print, Printf, Println) or fmt's printing
+//     functions, or
+//   - sends on a channel.
+//
+// Aggregation into maps, counters, deletes, and sorted-key collection
+// all pass. The analyzer runs repo-wide: every package either emits
+// output, fingerprints plans, or feeds something that does.
+func RangeMap() *Analyzer {
+	a := &Analyzer{
+		Name: "rangemap",
+		Doc:  "map iteration order must not reach output, emission, or an unsorted slice",
+	}
+	a.Run = func(pass *Pass) error {
+		forEachFunc(pass, func(decl *ast.FuncDecl) {
+			sorted := sortedObjects(pass.Info, decl.Body)
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(pass, rng, sorted)
+				return true
+			})
+		})
+		return nil
+	}
+	return a
+}
+
+// sortedObjects collects every object that appears inside the
+// arguments of a sort-establishing call in body.
+func sortedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// emissionMethods are method names that put bytes on an output stream
+// in iteration order.
+var emissionMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// fmtEmitters are fmt functions that emit rather than return their
+// formatting.
+var fmtEmitters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	inLoop := func(obj types.Object) bool {
+		return obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End())
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rng.For, "map iteration order reaches a channel send at line %d; iterate over sorted keys",
+				pass.Fset.Position(s.Pos()).Line)
+		case *ast.AssignStmt:
+			checkAssignSink(pass, rng, s, sorted, inLoop)
+		case *ast.CallExpr:
+			checkCallSink(pass, rng, s)
+		}
+		return true
+	})
+}
+
+// checkAssignSink flags `x = append(x, ...)` to a never-sorted outer
+// slice and `s += ...` onto an outer string.
+func checkAssignSink(pass *Pass, rng *ast.RangeStmt, s *ast.AssignStmt, sorted map[types.Object]bool, inLoop func(types.Object) bool) {
+	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+		if tv, ok := pass.Info.Types[s.Lhs[0]]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				if obj := baseObj(pass.Info, s.Lhs[0]); !inLoop(obj) {
+					pass.Reportf(rng.For, "map iteration order reaches string concatenation onto %q at line %d; iterate over sorted keys",
+						exprText(s.Lhs[0]), pass.Fset.Position(s.Pos()).Line)
+				}
+			}
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		if i >= len(s.Lhs) && len(s.Lhs) != 1 {
+			continue
+		}
+		lhs := s.Lhs[0]
+		if len(s.Lhs) > i {
+			lhs = s.Lhs[i]
+		}
+		// The lifetime that matters is the root variable's: appends to
+		// r.Rows where r is built inside this iteration never observe
+		// iteration order across keys. The sorted-later exemption also
+		// keys on the root (sort.Sort(byName(c.nodes)) mentions c).
+		obj := baseObj(pass.Info, lhs)
+		fieldObj := exprObj(pass.Info, lhs)
+		if inLoop(obj) || sorted[obj] || sorted[fieldObj] {
+			continue
+		}
+		name := exprText(lhs)
+		pass.Reportf(rng.For, "map iteration order reaches %q via append and %q is never sorted in this function; sort it or iterate over sorted keys",
+			name, name)
+	}
+}
+
+// checkCallSink flags emission calls inside the loop body.
+func checkCallSink(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	if fn := calleeOf(pass.Info, call); fn != nil {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && fmtEmitters[fn.Name()] {
+			pass.Reportf(rng.For, "map iteration order reaches fmt.%s at line %d; iterate over sorted keys",
+				fn.Name(), pass.Fset.Position(call.Pos()).Line)
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && emissionMethods[fn.Name()] {
+			pass.Reportf(rng.For, "map iteration order reaches %s.%s at line %d; iterate over sorted keys",
+				recvTypeName(sig), fn.Name(), pass.Fset.Position(call.Pos()).Line)
+		}
+	}
+}
+
+// recvTypeName names a method's receiver type for messages.
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,44 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// rawIOFuncs are the os entry points that would bypass the metered
+// simulated file system.
+var rawIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+}
+
+// RawIO returns the rawio analyzer: inside the execution substrate
+// and the cross-query cache, every byte read or written must flow
+// through exec.FileStore so the disk meters (and the cost model they
+// calibrate) stay truthful. Direct os file IO there is either a
+// metering leak or an accidental dependency on the real host file
+// system inside the deterministic simulator.
+func RawIO() *Analyzer {
+	a := &Analyzer{
+		Name:     "rawio",
+		Doc:      "exec and share must do file IO through the metered FileStore, not package os",
+		Packages: []string{"repro/internal/exec", "repro/internal/share"},
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pass.Info, call)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && rawIOFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "os.%s bypasses the metered FileStore; simulated IO in %s must be metered",
+						fn.Name(), pass.Pkg.Path())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,50 @@
+// Fixture for the diagcode analyzer: constant diagnostic codes at
+// lint.Report.Add/Addf call sites must be registered in the P/S/V
+// catalogs.
+package diagcode
+
+import "repro/internal/lint"
+
+// flagOrphanAddf passes a constant code no catalog registers.
+func flagOrphanAddf(r *lint.Report) {
+	r.Addf("Z9", "fixture", lint.Warning, "", "orphan code") // want `diagnostic code "Z9" is not registered in any analyzer catalog`
+}
+
+// flagOrphanAdd builds a literal Diagnostic with an orphan code.
+func flagOrphanAdd(r *lint.Report) {
+	r.Add(lint.Diagnostic{Code: "Q1", Analyzer: "fixture", Severity: lint.Error, Message: "orphan"}) // want `diagnostic code "Q1" is not registered in any analyzer catalog`
+}
+
+// okRegisteredPlanCode uses a catalog plan code.
+func okRegisteredPlanCode(r *lint.Report) {
+	r.Addf("P1", "fixture", lint.Error, "", "registered plan code")
+}
+
+// okReservedCode uses the reserved parse code through its constant.
+func okReservedCode(r *lint.Report) {
+	r.Add(lint.Diagnostic{Code: lint.CodeParse, Analyzer: "fixture", Severity: lint.Error, Message: "parse"})
+}
+
+// okValidationCode uses a validation code string.
+func okValidationCode(r *lint.Report) {
+	r.Addf("V3", "fixture", lint.Warning, "", "validation code")
+}
+
+// okDynamicCode threads a catalog entry's Code field through — the
+// framework's own plumbing, trusted because it is not a constant.
+func okDynamicCode(r *lint.Report, a *lint.ScriptAnalyzer) {
+	r.Addf(a.Code, a.Name, lint.Warning, "", "dynamic")
+}
+
+// okNonReportAdd calls an Add method on an unrelated type.
+type bag struct{ xs []string }
+
+func (b *bag) Add(s string)   { b.xs = append(b.xs, s) }
+func okNonReportAdd(b *bag)   { b.Add("Z9") }
+func okNonReportOther(b *bag) { b.Add("anything") }
+
+// suppressedOrphan exercises the suppression directive.
+func suppressedOrphan(r *lint.Report) {
+	//scopevet:ignore diagcode fixture exercising the suppression path
+	r.Addf("Z8", "fixture", lint.Warning, "", "suppressed orphan")
+}

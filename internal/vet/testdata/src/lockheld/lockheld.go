@@ -1,0 +1,77 @@
+// Fixture for the lockheld analyzer: fields annotated `guarded by mu`
+// are accessed only from methods that acquire the mutex or carry the
+// Locked-suffix contract.
+package lockheld
+
+import "sync"
+
+// store is the annotated struct under test.
+type store struct {
+	mu    sync.RWMutex
+	items map[string]int // guarded by mu
+	n     int            // guarded by mu
+	name  string         // unguarded: free to access
+}
+
+// Get locks before reading — fine.
+func (s *store) Get(k string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.items[k]
+	return v, ok
+}
+
+// Put locks before writing — fine.
+func (s *store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+	s.n++
+}
+
+// Race reads a guarded field with no lock anywhere in the body.
+func (s *store) Race() int {
+	return len(s.items) // want `store.items is guarded by mu, but method Race never acquires s.mu`
+}
+
+// Flip locks for one field but touches another guarded field too —
+// still flagged only if the mutex is never acquired, so this passes
+// the flow-insensitive check by design (documented limitation).
+func (s *store) Flip() {
+	s.mu.Lock()
+	s.n = -s.n
+	s.mu.Unlock()
+	s.n++ // flow-insensitive: mu was acquired somewhere, so not flagged
+}
+
+// Count touches two guarded fields with no lock: one finding per
+// field.
+func (s *store) Count() int {
+	total := s.n          // want `store.n is guarded by mu, but method Count never acquires s.mu`
+	total += len(s.items) // want `store.items is guarded by mu, but method Count never acquires s.mu`
+	return total
+}
+
+// sizeLocked declares by name that the caller holds the lock.
+func (s *store) sizeLocked() int {
+	return len(s.items)
+}
+
+// Name touches only the unguarded field.
+func (s *store) Name() string {
+	return s.name
+}
+
+// newStore is a constructor: not a method, so receiver-based guard
+// checking does not apply (the value has not escaped yet).
+func newStore() *store {
+	s := &store{items: map[string]int{}}
+	s.n = 0
+	return s
+}
+
+// suppressedPeek exercises the suppression directive.
+func (s *store) suppressedPeek() int {
+	//scopevet:ignore lockheld fixture exercising the suppression path
+	return s.n
+}

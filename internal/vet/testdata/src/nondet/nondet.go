@@ -1,0 +1,57 @@
+// Fixture for the nondet analyzer: no wall clock, math/rand, or %p
+// formatting in deterministic-output packages. The test registers
+// "fixture/nondet.allowedMeter" on the allowlist.
+package nondet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// flagNow reads the wall clock outside the allowlist.
+func flagNow() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+// flagSince measures a duration outside the allowlist.
+func flagSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in deterministic package`
+}
+
+// flagRand draws from math/rand.
+func flagRand() int {
+	return rand.Intn(10) // want `math/rand in deterministic package`
+}
+
+// flagPointerFormat keys output on an allocation address.
+func flagPointerFormat(v *int) string {
+	return fmt.Sprintf("id-%p", v) // want `%p formats an allocation address`
+}
+
+// allowedMeter is on the test's allowlist: metering wall-clock
+// durations at a reviewed site is legitimate.
+func allowedMeter() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// okDeterministic touches none of the flagged constructs.
+func okDeterministic(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// okDurationArithmetic uses time values without reading the clock.
+func okDurationArithmetic(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// suppressedNow exercises the suppression directive.
+func suppressedNow() time.Time {
+	//scopevet:ignore nondet fixture exercising the suppression path
+	return time.Now()
+}

@@ -1,0 +1,131 @@
+// Fixture for the rangemap analyzer: map iteration order must not
+// reach output, emission, or an unsorted slice.
+package rangemap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// flagAppendUnsorted appends map keys to an outer slice and never
+// sorts it — classic order leak.
+func flagAppendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order reaches "out" via append and "out" is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// okAppendSorted collects keys and sorts before returning — the
+// canonical deterministic iteration pattern.
+func okAppendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// okSortSlice passes the collected slice to sort.Slice, which also
+// counts as sorting.
+func okSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// flagEmit prints during iteration: bytes hit the stream in map
+// order.
+func flagEmit(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// flagBuilder writes through a strings.Builder during iteration.
+func flagBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want `map iteration order reaches Builder.WriteString`
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// flagConcat concatenates onto an outer string.
+func flagConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order reaches string concatenation onto "s"`
+		s += k
+	}
+	return s
+}
+
+// flagSend sends map elements on a channel in iteration order.
+func flagSend(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order reaches a channel send`
+		ch <- k
+	}
+}
+
+// okAggregate builds another map and counters — order-insensitive.
+func okAggregate(m map[string]int) (map[string]int, int) {
+	inv := map[string]int{}
+	total := 0
+	for k, v := range m {
+		inv[k] = v * 2
+		total += v
+	}
+	return inv, total
+}
+
+// okLoopLocal appends to a slice whose lifetime is one iteration, so
+// cross-key order never matters.
+func okLoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+// okFieldOfLoopLocal appends to a field of a struct built inside the
+// iteration — the root variable is loop-local, so no leak.
+func okFieldOfLoopLocal(m map[string]int) int {
+	type row struct{ cells []string }
+	n := 0
+	for k := range m {
+		r := &row{}
+		r.cells = append(r.cells, k)
+		n += len(r.cells)
+	}
+	return n
+}
+
+// okSliceRange ranges over a slice, not a map.
+func okSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// suppressed demonstrates the reviewed-suppression escape hatch.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//scopevet:ignore rangemap fixture exercising the suppression path
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Fixture for the rawio analyzer: file IO must flow through the
+// metered FileStore, not package os.
+package rawio
+
+import (
+	"os"
+	"strings"
+)
+
+// flagReadFile reads a host file directly.
+func flagReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `os.ReadFile bypasses the metered FileStore`
+}
+
+// flagOpen opens a host file directly.
+func flagOpen(path string) (*os.File, error) {
+	return os.Open(path) // want `os.Open bypasses the metered FileStore`
+}
+
+// flagWriteFile writes a host file directly.
+func flagWriteFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `os.WriteFile bypasses the metered FileStore`
+}
+
+// flagRemove deletes a host file directly.
+func flagRemove(path string) error {
+	return os.Remove(path) // want `os.Remove bypasses the metered FileStore`
+}
+
+// okEnviron uses package os for something other than file IO.
+func okEnviron() string {
+	return os.Getenv("HOME")
+}
+
+// okStoreLike models the FileStore pattern: an in-memory map, no os
+// calls.
+type okStoreLike struct {
+	files map[string]string
+}
+
+func (s *okStoreLike) get(path string) (string, bool) {
+	v, ok := s.files[path]
+	return v, ok
+}
+
+// okNonOSOpen calls a local function that happens to be named Open.
+func okNonOSOpen(path string) string {
+	return open(path)
+}
+
+func open(path string) string {
+	return strings.TrimSpace(path)
+}
+
+// suppressedReadFile exercises the suppression directive.
+func suppressedReadFile(path string) ([]byte, error) {
+	//scopevet:ignore rawio fixture exercising the suppression path
+	return os.ReadFile(path)
+}

@@ -1,0 +1,263 @@
+// Package vet is the repository's Go-source static-analysis suite
+// (scopevet): custom analyzers that mechanically enforce the
+// repo-wide disciplines every PR's correctness claims rest on —
+// results and traces bit-identical at any worker-pool width, all
+// simulated IO metered through exec.FileStore, shared state accessed
+// under its documented mutex, and every lint diagnostic carrying a
+// registered catalog code.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) on the standard library alone, because
+// the repository vendors no third-party modules. Packages are loaded
+// and typechecked from source via go/types with the stdlib source
+// importer; `go list` resolves module import paths, so analysis must
+// run from inside the module (cmd/scopevet chdirs to the module root).
+//
+// Findings are suppressed in source with
+//
+//	//scopevet:ignore <analyzer> <reason>
+//
+// on the flagged line or the line immediately above it. A suppression
+// is a reviewed decision, so the reason is mandatory; malformed or
+// misspelled directives are themselves findings (analyzer
+// "scopevet"), which keeps dead suppressions from accumulating.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: the analyzer that produced it, a source
+// position, and a message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in "file:line:col: message [analyzer]"
+// compiler format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	// Name is the analyzer's short lower-case name; suppression
+	// directives reference it.
+	Name string
+	// Doc is a one-line description for catalogs and CLI help.
+	Doc string
+	// Packages lists the import-path prefixes the analyzer audits;
+	// empty means every package. The runner applies the filter, so
+	// fixture tests exercise analyzers on packages outside it.
+	Packages []string
+	// Run analyzes one package.
+	Run func(*Pass) error
+	// Finish, when non-nil, runs once after every package has been
+	// analyzed, for whole-program checks (e.g. catalog duplicates).
+	Finish func(report func(Diagnostic))
+}
+
+// appliesTo reports whether the analyzer audits the package path.
+func (a *Analyzer) appliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //scopevet:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	used     bool
+}
+
+var ignoreRE = regexp.MustCompile(`^//scopevet:ignore\s+(\S+)(\s+(\S.*))?$`)
+
+// parseIgnores collects the suppression directives of a file set and
+// reports malformed ones (missing reason, or nothing after the
+// marker) through report.
+func parseIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) []*ignoreDirective {
+	var out []*ignoreDirective
+	bad := func(pos token.Pos, format string, args ...any) {
+		report(Diagnostic{Analyzer: "scopevet", Pos: fset.Position(pos),
+			Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//scopevet:ignore") {
+					continue
+				}
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					bad(c.Pos(), "malformed scopevet:ignore directive: want //scopevet:ignore <analyzer> <reason>")
+					continue
+				}
+				if m[3] == "" {
+					bad(c.Pos(), "scopevet:ignore %s has no reason; suppressions must document why", m[1])
+					continue
+				}
+				if known != nil && !known[m[1]] {
+					bad(c.Pos(), "scopevet:ignore names unknown analyzer %q", m[1])
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, &ignoreDirective{file: p.Filename, line: p.Line, analyzer: m[1]})
+			}
+		}
+	}
+	return out
+}
+
+// Result is the outcome of one Run: the surviving findings plus how
+// many were suppressed by directives.
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed int
+}
+
+// Run executes every analyzer over every loaded package (respecting
+// each analyzer's package filter), applies suppression directives,
+// runs Finish hooks, and returns findings sorted by position. An
+// unused suppression directive is itself a finding: stale ignores
+// must not outlive the code they excused.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	res := &Result{}
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+
+	var ignores []*ignoreDirective
+	for _, pkg := range pkgs {
+		ignores = append(ignores, parseIgnores(pkg.Fset, pkg.Files, known, collect)...)
+	}
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			if !a.appliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				report:   collect,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(collect)
+		}
+	}
+	res.Diags, res.Suppressed = applyIgnores(raw, ignores)
+	for _, ig := range ignores {
+		if !ig.used {
+			res.Diags = append(res.Diags, Diagnostic{
+				Analyzer: "scopevet",
+				Pos:      token.Position{Filename: ig.file, Line: ig.line, Column: 1},
+				Message:  fmt.Sprintf("unused scopevet:ignore %s directive suppresses nothing", ig.analyzer),
+			})
+		}
+	}
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// applyIgnores drops findings covered by a directive on the same line
+// or the line immediately above, marking the directives used.
+func applyIgnores(diags []Diagnostic, ignores []*ignoreDirective) ([]Diagnostic, int) {
+	var kept []Diagnostic
+	suppressed := 0
+	for _, d := range diags {
+		matched := false
+		for _, ig := range ignores {
+			if ig.analyzer != d.Analyzer || ig.file != d.Pos.Filename {
+				continue
+			}
+			if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+				ig.used = true
+				matched = true
+			}
+		}
+		if matched {
+			suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}
+
+// sortDiags orders findings by file, line, column, analyzer, message
+// — deterministic regardless of analyzer registration order.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Analyzers returns the full scopevet catalog in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		RangeMap(),
+		Nondet(DefaultNondetAllow()),
+		RawIO(),
+		LockHeld(),
+		DiagCode(),
+	}
+}

@@ -1,0 +1,156 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// dummyAnalyzer flags every call to an identifier named bad.
+func dummyAnalyzer() *Analyzer {
+	a := &Analyzer{Name: "dummy", Doc: "flags calls to bad()"}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// loadSrc parses src as one single-file package named path. The
+// framework never dereferences Pkg/Info itself, so a dummy analyzer
+// needs no typechecking.
+func loadSrc(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: path, Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestSuppressionAndDirectiveFindings(t *testing.T) {
+	src := `package p
+
+func f() {
+	bad()
+	//scopevet:ignore dummy reviewed fixture reason
+	bad()
+	bad() //scopevet:ignore dummy same-line reason
+	//scopevet:ignore dummy this one suppresses nothing
+	ok()
+	//scopevet:ignore nosuch unknown analyzer name
+	//scopevet:ignore dummy
+}
+`
+	res, err := Run([]*Package{loadSrc(t, "t", src)}, []*Analyzer{dummyAnalyzer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressed != 2 {
+		t.Errorf("Suppressed = %d, want 2 (line-above and same-line directives)", res.Suppressed)
+	}
+	wants := []struct {
+		line     int
+		analyzer string
+		substr   string
+	}{
+		{4, "dummy", "call to bad"},
+		{8, "scopevet", "unused scopevet:ignore dummy directive"},
+		{10, "scopevet", `unknown analyzer "nosuch"`},
+		{11, "scopevet", "has no reason"},
+	}
+	if len(res.Diags) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(res.Diags), len(wants), res.Diags)
+	}
+	for i, w := range wants {
+		d := res.Diags[i]
+		if d.Pos.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) {
+			t.Errorf("finding %d = %s, want line %d analyzer %s containing %q", i, d, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestMalformedDirective(t *testing.T) {
+	src := `package p
+
+//scopevet:ignoredummy not even a directive shape
+func f() {}
+`
+	res, err := Run([]*Package{loadSrc(t, "t", src)}, []*Analyzer{dummyAnalyzer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 1 || !strings.Contains(res.Diags[0].Message, "malformed scopevet:ignore") {
+		t.Fatalf("want one malformed-directive finding, got %v", res.Diags)
+	}
+}
+
+func TestPackageFilter(t *testing.T) {
+	a := dummyAnalyzer()
+	a.Packages = []string{"repro/internal/exec"}
+	src := "package p\n\nfunc f() { bad() }\n"
+	in, out := loadSrc(t, "repro/internal/exec/sub", src), loadSrc(t, "repro/internal/executor", src)
+	res, err := Run([]*Package{in, out}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 1 {
+		t.Fatalf("want 1 finding (prefix match is path-segment-aware), got %v", res.Diags)
+	}
+	if res.Diags[0].Pos.Filename != "repro/internal/exec/sub.go" {
+		t.Errorf("finding came from %s, want the in-scope package", res.Diags[0].Pos.Filename)
+	}
+}
+
+func TestFindingsSortedDeterministically(t *testing.T) {
+	src := "package p\n\nfunc f() { bad(); bad() }\nfunc g() { bad() }\n"
+	pkg := loadSrc(t, "t", src)
+	// Two analyzers registered in both orders must produce identical
+	// output.
+	second := dummyAnalyzer()
+	second.Name = "aaa"
+	r1, err := Run([]*Package{pkg}, []*Analyzer{dummyAnalyzer(), second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run([]*Package{pkg}, []*Analyzer{second, dummyAnalyzer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Diags) != 6 {
+		t.Fatalf("want 6 findings (3 sites x 2 analyzers), got %d", len(r1.Diags))
+	}
+	for i := range r1.Diags {
+		if r1.Diags[i].String() != r2.Diags[i].String() {
+			t.Fatalf("ordering depends on registration order:\n%v\nvs\n%v", r1.Diags, r2.Diags)
+		}
+	}
+}
+
+func TestFinishHook(t *testing.T) {
+	a := dummyAnalyzer()
+	a.Finish = func(report func(Diagnostic)) {
+		report(Diagnostic{Analyzer: a.Name, Pos: token.Position{Filename: "(global)"}, Message: "finish ran"})
+	}
+	res, err := Run([]*Package{loadSrc(t, "t", "package p\n\nfunc f() {}\n")}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 1 || res.Diags[0].Message != "finish ran" {
+		t.Fatalf("finish hook findings missing: %v", res.Diags)
+	}
+}

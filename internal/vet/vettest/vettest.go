@@ -1,0 +1,141 @@
+// Package vettest runs a scopevet analyzer over a fixture package and
+// compares its findings against `// want "regexp"` comments, the
+// analysistest convention:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Every finding must match a want on its line and every want must be
+// matched by a finding. Fixtures live under testdata/src/<analyzer>/
+// (the go tool ignores testdata, so fixtures never enter the build)
+// and are typechecked from source; module-local imports resolve
+// because tests run with their working directory inside the module.
+package vettest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run analyzes the fixture package in dir with a (package filters do
+// not apply; fixtures are analyzed unconditionally) and reports any
+// mismatch against the fixture's want comments through t. Suppression
+// directives are honored, so fixtures can cover them.
+func Run(t *testing.T, dir string, a *vet.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	res, err := vet.Run([]*vet.Package{pkg}, []*vet.Analyzer{{
+		// Strip the package filter but keep the name so suppression
+		// directives in fixtures match.
+		Name: a.Name, Doc: a.Doc, Run: a.Run, Finish: a.Finish,
+	}})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg)
+	matchFindings(t, res.Diags, wants)
+}
+
+// loadFixture parses and typechecks every .go file directly in dir as
+// one package.
+func loadFixture(dir string) (*vet.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	path := "fixture/" + filepath.Base(dir)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &vet.Package{Path: path, Dir: dir, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// want is one expectation: a file, a line, and a message pattern.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, pkg *vet.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+					}
+					p := pkg.Fset.Position(c.Pos())
+					out = append(out, &want{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+func matchFindings(t *testing.T, diags []vet.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+}

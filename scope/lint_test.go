@@ -82,6 +82,75 @@ func TestPlanLintFlagsCorruptedPlan(t *testing.T) {
 	}
 }
 
+// TestPlanLintDisable checks reporting-level filtering through the
+// public API: the corrupted plan's P2 finding disappears when P2 is
+// disabled, and disabling an unrelated code leaves it in place.
+func TestPlanLintDisable(t *testing.T) {
+	p := optimizeS1Lint(t)
+	spools := plan.FindAll(p.res.Plan, relop.KindPhysSpool)
+	if len(spools) != 1 {
+		t.Fatalf("S1 plan has %d spools, want 1", len(spools))
+	}
+	sp := spools[0]
+	rogue := *sp
+	rogue.CtxKey = sp.CtxKey + "|rogue"
+	replaced := false
+	for _, n := range plan.Operators(p.res.Plan) {
+		for i, c := range n.Children {
+			if c == sp && !replaced {
+				n.Children[i] = &rogue
+				replaced = true
+			}
+		}
+	}
+	if !replaced {
+		t.Fatal("spool has no consumer to corrupt")
+	}
+	baseline := p.Lint()
+	if len(baseline) == 0 {
+		t.Fatal("corrupted plan should have findings")
+	}
+	for _, d := range p.Lint("P2") {
+		if d.Code == "P2" {
+			t.Errorf("Lint(\"P2\") still reports a P2 finding: %+v", d)
+		}
+	}
+	found := false
+	for _, d := range p.Lint("S1") {
+		if d.Code == "P2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("disabling an unrelated code dropped the P2 finding")
+	}
+}
+
+// TestPlanLintDisableUnknownCode pins that a typo'd code surfaces as a
+// synthetic S4 error rather than being silently accepted.
+func TestPlanLintDisableUnknownCode(t *testing.T) {
+	p := optimizeS1Lint(t)
+	ds := p.Lint("Q9")
+	found := false
+	for _, d := range ds {
+		if d.Code == "S4" && d.Severity == "error" && strings.Contains(d.Message, `"Q9"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`Lint("Q9") should yield a synthetic S4 error naming the code, got %v`, ds)
+	}
+}
+
+// TestPlanLintDisableValidationCode checks V codes are accepted by the
+// disable list (they are registered in internal/opt, not internal/lint).
+func TestPlanLintDisableValidationCode(t *testing.T) {
+	p := optimizeS1Lint(t)
+	if ds := p.Lint("V3"); len(ds) != 0 {
+		t.Errorf(`Lint("V3") on a clean plan = %v, want no findings`, ds)
+	}
+}
+
 func TestDiagnosticStringEmptyPos(t *testing.T) {
 	d := Diagnostic{Code: "P3", Severity: "error", Message: "m"}
 	if got := d.String(); got != "<plan>: error: m [P3]" {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/lint"
 	"repro/internal/logical"
 	"repro/internal/opt"
 	"repro/internal/plan"
@@ -346,20 +347,45 @@ func (d Diagnostic) String() string {
 // validation checks — and returns the findings, empty when clean.
 // Sharing bugs are silent cost regressions rather than wrong answers,
 // so Lint catches what Execute-based testing cannot.
-func (p *Plan) Lint() []Diagnostic {
+//
+// Codes passed as disable are dropped from the result — the
+// programmatic counterpart of scopelint's -disable flag. A code that
+// no catalog registers is reported as a synthetic S4 error instead of
+// being silently ignored, so a typo cannot quietly disable nothing.
+func (p *Plan) Lint(disable ...string) []Diagnostic {
 	ds := p.res.Lint
 	if ds == nil {
 		ds = opt.LintPlan(p.res, p.opts)
 	}
-	out := make([]Diagnostic, len(ds))
-	for i, d := range ds {
-		out[i] = Diagnostic{
+	known := map[string]bool{}
+	for _, c := range append(lint.Codes(), opt.ValidationCodes()...) {
+		known[c] = true
+	}
+	off := map[string]bool{}
+	var out []Diagnostic
+	for _, c := range disable {
+		if !known[c] {
+			out = append(out, Diagnostic{
+				Code:     "S4",
+				Analyzer: "ignore-directive",
+				Severity: lint.Error.String(),
+				Message:  fmt.Sprintf("Lint(disable): unknown diagnostic code %q", c),
+			})
+			continue
+		}
+		off[c] = true
+	}
+	for _, d := range ds {
+		if off[d.Code] {
+			continue
+		}
+		out = append(out, Diagnostic{
 			Code:     d.Code,
 			Analyzer: d.Analyzer,
 			Severity: d.Severity.String(),
 			Pos:      d.Pos,
 			Message:  d.Message,
-		}
+		})
 	}
 	return out
 }
