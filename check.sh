@@ -68,6 +68,16 @@ go test -race -count=1 ./internal/obs/ || fail "obs race tests failed"
 go test -race -count=1 -run 'RegistryMerge|SessionPublish' ./internal/exec/ ./internal/share/ ||
 	fail "registry merge race tests failed"
 
+# The shared session and the multi-tenant service are the load-bearing
+# concurrency surfaces for cross-query sharing: run the concurrent-Run
+# and concurrent-clients suites by name under the race detector so a
+# rename cannot silently drop the coverage.
+echo "== go test -race (share session + serve concurrency suites) =="
+go test -race -count=1 -run 'SessionConcurrent|SessionMissCount|CachePin' ./internal/share/ ||
+	fail "share concurrency race tests failed"
+go test -race -count=1 -run 'ServeConcurrent|ServeCrossTenant|FoldGroups|ServeBackpressure|ServeShutdown' ./internal/serve/ ||
+	fail "serve concurrency race tests failed"
+
 # Optimizer benchmark artifact: one generation pass must emit a
 # BENCH_opt.json that its own schema validator accepts.
 echo "== opt bench smoke (benchrepro -fig opt) =="
@@ -97,5 +107,15 @@ out=$(go run ./cmd/scoperun -session examples/session -machines 8 -workers 4) ||
 	fail "session smoke run failed"
 echo "$out"
 echo "$out" | grep -q 'hits=1' || fail "session smoke run produced no cache hits"
+
+# Service selftest: concurrent multi-tenant clients over one shared
+# session must produce results bit-identical to cold sequential runs,
+# with warm rounds served from the cross-client cache (scoped exits
+# nonzero on any mismatch).
+echo "== scoped smoke (scoped -selftest) =="
+out=$(go run ./cmd/scoped -selftest -machines 8 -workers 4) ||
+	fail "scoped selftest failed"
+echo "$out"
+echo "$out" | grep -q 'selftest ok' || fail "scoped selftest produced no ok line"
 
 echo "check.sh: all green"

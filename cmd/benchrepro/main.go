@@ -8,6 +8,7 @@
 //	benchrepro -fig exec       wall-clock vs simulated execution time
 //	benchrepro -fig opt        optimizer wall-clock + round-engine counters (BENCH_opt.json)
 //	benchrepro -fig analyze    estimated vs actual row accuracy (EXPLAIN ANALYZE sweep)
+//	benchrepro -fig serve      multi-tenant service concurrency sweep (BENCH_serve.json)
 //	benchrepro -fig all        everything
 package main
 
@@ -21,11 +22,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, opt, analyze, all")
+	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, opt, analyze, serve, all")
 	machines := cliflags.Machines(flag.CommandLine, 5)
 	workers := cliflags.WorkersList(flag.CommandLine, "1,4")
 	out := flag.String("out", "BENCH_opt.json", "output path for the -fig opt artifact")
 	iters := flag.Int("iters", 3, "optimize iterations per configuration for -fig opt (fastest wins)")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for the -fig serve artifact")
+	clients := flag.String("clients", "1,2,4,8,16", "client-concurrency levels for -fig serve")
+	rounds := flag.Int("rounds", 3, "submission rounds per client for -fig serve")
 	flag.Parse()
 	cfg := bench.DefaultConfig()
 
@@ -119,11 +123,32 @@ func main() {
 			fmt.Printf("%s: schema ok (%d rows)\n", *out, len(rep.Rows))
 			return nil
 		},
+		"serve": func() error {
+			levels, err := cliflags.ParseWorkersList(*clients)
+			if err != nil {
+				return err
+			}
+			rep, err := bench.ServeBench(levels, *rounds, *machines, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Service — concurrent multi-tenant clients over one shared session, %d machines, %d rounds\n",
+				*machines, rep.Rounds)
+			fmt.Print(bench.FormatServe(rep))
+			if err := bench.WriteServeJSON(rep, *serveOut); err != nil {
+				return err
+			}
+			if err := bench.ValidateServeJSON(*serveOut); err != nil {
+				return err
+			}
+			fmt.Printf("%s: schema ok (%d levels)\n", *serveOut, len(rep.Rows))
+			return nil
+		},
 	}
 
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "rounds", "budget", "baselines", "exec", "opt", "analyze"}
+		order = []string{"7", "8", "rounds", "budget", "baselines", "exec", "opt", "analyze", "serve"}
 	} else {
 		order = []string{*fig}
 	}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/serve"
+	"repro/internal/share"
+)
+
+// ServeSchema identifies the BENCH_serve.json layout; bump on any
+// incompatible change so downstream readers fail loudly.
+const ServeSchema = "scope-bench-serve/1"
+
+// ServeRow is one measured client-concurrency level: N concurrent
+// clients each submitting the paper's micro scripts for several
+// rounds through one scoped server.
+type ServeRow struct {
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// P50Us and P99Us are client-observed submit-to-response latency
+	// percentiles, in microseconds.
+	P50Us int64 `json:"p50_us"`
+	P99Us int64 `json:"p99_us"`
+	// WarmHitRate is the fraction of warm-phase requests (every round
+	// after each client's first) served at least one subexpression
+	// from the shared cache.
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	// CacheHits and CacheMisses aggregate the per-request reports.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Folded counts requests the batching scheduler folded behind an
+	// overlapping request instead of dispatching concurrently.
+	Folded int64 `json:"folded"`
+	// Identical reports that every response at this level was
+	// bit-identical to a cold sequential run of the same script.
+	Identical bool `json:"identical"`
+	// WallMs is the wall clock for the whole level.
+	WallMs int64 `json:"wall_ms"`
+}
+
+// ServeReport is the machine-readable service benchmark artifact.
+type ServeReport struct {
+	Schema   string     `json:"schema"`
+	Machines int        `json:"machines"`
+	Workers  int        `json:"workers"`
+	Rounds   int        `json:"rounds"`
+	WindowUs int64      `json:"window_us"`
+	Rows     []ServeRow `json:"rows"`
+}
+
+// serveScripts are the workload each client cycles through: the
+// paper's Fig. 6 micro scripts, which all share aggregation
+// subexpressions, so concurrent clients exercise cross-client CSE.
+func serveScripts() []*struct{ Name, Script string } {
+	return []*struct{ Name, Script string }{
+		{"S1", ScriptS1},
+		{"S2", ScriptS2},
+		{"S3", ScriptS3},
+		{"S4", ScriptS4},
+	}
+}
+
+// ServeBench measures the scoped service under increasing client
+// concurrency. Each level starts a fresh server (cold cache) over the
+// builtin micro dataset; N clients each submit `rounds` rounds of
+// their assigned micro script, and every response is checked
+// bit-identical against a cold sequential run of the same script on
+// an identically generated dataset.
+func ServeBench(levels []int, rounds, machines, workers int) (*ServeReport, error) {
+	if rounds < 2 {
+		rounds = 2 // at least one warm round per client
+	}
+	const window = 2 * time.Millisecond
+	scripts := serveScripts()
+
+	// Cold sequential references, shared across levels (the dataset
+	// generator is deterministic, so every level sees the same data).
+	refs := make([]map[string]*exec.Table, len(scripts))
+	for i, sc := range scripts {
+		w := Small("serve-ref-"+sc.Name, "")
+		sess, err := share.NewSession(share.Config{
+			Catalog: w.Cat, FS: w.FS, Machines: machines, Workers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sess.Run(sc.Script)
+		if err != nil {
+			return nil, fmt.Errorf("reference %s: %w", sc.Name, err)
+		}
+		refs[i] = rep.Outputs
+	}
+
+	rep := &ServeReport{
+		Schema:   ServeSchema,
+		Machines: machines,
+		Workers:  workers,
+		Rounds:   rounds,
+		WindowUs: window.Microseconds(),
+	}
+	for _, clients := range levels {
+		row, err := serveLevel(clients, rounds, machines, workers, window, scripts, refs)
+		if err != nil {
+			return nil, fmt.Errorf("%d clients: %w", clients, err)
+		}
+		rep.Rows = append(rep.Rows, *row)
+	}
+	return rep, nil
+}
+
+// serveLevel runs one client-concurrency level against a fresh server.
+func serveLevel(clients, rounds, machines, workers int, window time.Duration,
+	scripts []*struct{ Name, Script string }, refs []map[string]*exec.Table) (*ServeRow, error) {
+
+	w := Small("serve-bench", "")
+	srv, err := serve.New(serve.Config{
+		Catalog:  w.Cat,
+		FS:       w.FS,
+		Machines: machines,
+		Workers:  workers,
+		Window:   window,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type result struct {
+		script  int
+		warm    bool
+		latency time.Duration
+		rep     *share.RunReport
+		err     error
+	}
+	results := make([]result, clients*rounds)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			si := c % len(scripts)
+			for r := 0; r < rounds; r++ {
+				t0 := time.Now()
+				rr, err := srv.Submit(context.Background(),
+					fmt.Sprintf("tenant-%d", c), scripts[si].Script)
+				results[c*rounds+r] = result{
+					script: si, warm: r > 0,
+					latency: time.Since(t0), rep: rr, err: err,
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return nil, err
+	}
+
+	row := &ServeRow{Clients: clients, Requests: len(results), Identical: true,
+		WallMs: wall.Milliseconds()}
+	latencies := make([]time.Duration, 0, len(results))
+	warmRequests, warmHits := 0, 0
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		latencies = append(latencies, res.latency)
+		row.CacheHits += int64(res.rep.CacheHits)
+		row.CacheMisses += int64(res.rep.CacheMisses)
+		if res.warm {
+			warmRequests++
+			if res.rep.CacheHits > 0 {
+				warmHits++
+			}
+		}
+		want := refs[res.script]
+		if len(res.rep.Outputs) != len(want) {
+			row.Identical = false
+			continue
+		}
+		for p, wt := range want {
+			if gt := res.rep.Outputs[p]; gt == nil || !gt.Equal(wt) {
+				row.Identical = false
+			}
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row.P50Us = latencies[len(latencies)/2].Microseconds()
+	row.P99Us = latencies[len(latencies)*99/100].Microseconds()
+	if warmRequests > 0 {
+		row.WarmHitRate = float64(warmHits) / float64(warmRequests)
+	}
+	row.Folded = srv.Registry().Snapshot().Counters["serve.folded"]
+	return row, nil
+}
+
+// FormatServe renders the service benchmark as an aligned table.
+func FormatServe(rep *ServeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s %7s %7s %7s %10s\n",
+		"clients", "requests", "p50", "p99", "warm-hit", "hits", "misses", "folded", "identical")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-8d %9d %9s %9s %8.0f%% %7d %7d %7d %10v\n",
+			r.Clients, r.Requests,
+			time.Duration(r.P50Us)*time.Microsecond,
+			time.Duration(r.P99Us)*time.Microsecond,
+			r.WarmHitRate*100, r.CacheHits, r.CacheMisses, r.Folded, r.Identical)
+	}
+	return b.String()
+}
+
+// WriteServeJSON writes the report to path as indented JSON.
+func WriteServeJSON(rep *ServeReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateServeJSON re-reads an emitted BENCH_serve.json and checks
+// the schema invariants: at least three concurrency levels, ordered
+// percentiles, bit-identical results, and demonstrated cross-client
+// cache hits.
+func ValidateServeJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != ServeSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, ServeSchema)
+	}
+	if len(rep.Rows) < 3 {
+		return fmt.Errorf("%s: %d concurrency levels, want >= 3", path, len(rep.Rows))
+	}
+	var hits int64
+	for _, r := range rep.Rows {
+		switch {
+		case r.Clients <= 0 || r.Requests <= 0:
+			return fmt.Errorf("%s: %d clients / %d requests row", path, r.Clients, r.Requests)
+		case r.P50Us <= 0 || r.P99Us < r.P50Us:
+			return fmt.Errorf("%s: %d clients: percentiles p50=%dus p99=%dus", path, r.Clients, r.P50Us, r.P99Us)
+		case r.WarmHitRate < 0 || r.WarmHitRate > 1:
+			return fmt.Errorf("%s: %d clients: warm_hit_rate %g outside [0,1]", path, r.Clients, r.WarmHitRate)
+		case !r.Identical:
+			return fmt.Errorf("%s: %d clients: results not bit-identical to sequential", path, r.Clients)
+		}
+		hits += r.CacheHits
+	}
+	if hits == 0 {
+		return fmt.Errorf("%s: no cross-client cache hits at any level", path)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestServeBenchArtifact runs the service sweep at small concurrency
+// levels, writes the JSON artifact, and checks the schema validator
+// plus the properties the benchmark exists to demonstrate: every
+// level bit-identical to sequential, warm rounds served from the
+// shared cache, and cold work not repeated per client.
+func TestServeBenchArtifact(t *testing.T) {
+	rep, err := ServeBench([]int{1, 2, 4}, 2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := WriteServeJSON(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateServeJSON(path); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, r := range rep.Rows {
+		if !r.Identical {
+			t.Errorf("%d clients: results not bit-identical to sequential", r.Clients)
+		}
+		if r.WarmHitRate == 0 {
+			t.Errorf("%d clients: no warm round hit the shared cache", r.Clients)
+		}
+		// The distinct shared subexpressions in the S1–S4 mix bound the
+		// total misses; more clients must not mean proportionally more
+		// cold materializations.
+		if r.CacheMisses > 8 {
+			t.Errorf("%d clients: %d misses — cold work repeated per client", r.Clients, r.CacheMisses)
+		}
+	}
+}

@@ -42,11 +42,15 @@ type Metrics struct {
 // on the given cluster, using the same bandwidth parameters as the
 // cost model. It is a coarse lower bound (perfect overlap across
 // stages) used to check that the estimator ranks plans like the
-// metered execution does.
+// metered execution does. Cache traffic is charged at disk bandwidth:
+// the session cache's artifacts live in the same store as every other
+// file, and the cost model prices their reads via SpoolReadCost, so a
+// warm cache-served run must not simulate as free I/O.
 func (m Metrics) SimulatedSeconds(c cost.Cluster) float64 {
 	c = cost.NewModel(c).C
 	machines := float64(c.Machines)
-	disk := float64(m.DiskBytesRead+m.DiskBytesWritten) / c.DiskBytesPerSec / machines
+	diskBytes := m.DiskBytesRead + m.DiskBytesWritten + m.CacheBytesRead + m.CacheBytesWritten
+	disk := float64(diskBytes) / c.DiskBytesPerSec / machines
 	net := float64(m.NetBytes) / c.NetBytesPerSec / machines
 	cpu := float64(m.RowsProcessed) * c.RowCPU / machines
 	return disk + net + cpu

@@ -1,0 +1,35 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// TestSimulatedSecondsCountsCacheTraffic is the regression test for
+// the metering bug where cache-served runs simulated as free disk:
+// cache reads and writes move real bytes through the same store as
+// every other file, so they must be charged at disk bandwidth.
+func TestSimulatedSecondsCountsCacheTraffic(t *testing.T) {
+	c := cost.DefaultCluster()
+	disk := Metrics{DiskBytesRead: 1 << 20}
+	cacheRead := Metrics{CacheBytesRead: 1 << 20}
+	cacheWrite := Metrics{CacheBytesWritten: 1 << 20}
+
+	if got := cacheRead.SimulatedSeconds(c); got <= 0 {
+		t.Fatalf("cache-only run simulates as free: %g seconds", got)
+	}
+	if d, cr := disk.SimulatedSeconds(c), cacheRead.SimulatedSeconds(c); d != cr {
+		t.Errorf("cache reads priced %g, disk reads %g — same store, same bandwidth", cr, d)
+	}
+	if d, cw := disk.SimulatedSeconds(c), cacheWrite.SimulatedSeconds(c); d != cw {
+		t.Errorf("cache writes priced %g, disk reads %g — same store, same bandwidth", cw, d)
+	}
+
+	// Additivity: a run with both plan and cache traffic simulates as
+	// the sum of its parts.
+	both := Metrics{DiskBytesRead: 1 << 20, CacheBytesRead: 1 << 20}
+	if got, want := both.SimulatedSeconds(c), disk.SimulatedSeconds(c)*2; got != want {
+		t.Errorf("combined traffic simulates %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"hash/fnv"
+	"net/http"
+	"sort"
+
+	"repro/internal/exec"
+)
+
+// TenantHeader names the HTTP header carrying the submitting tenant.
+const TenantHeader = "X-Scope-Tenant"
+
+// RunResponse is the JSON body of a successful POST /run.
+type RunResponse struct {
+	Tenant string `json:"tenant,omitempty"`
+	// Cost is the optimizer's estimate for the chosen plan.
+	Cost float64 `json:"cost"`
+	// CacheHits / CacheMisses / Admitted / AdmittedBytes /
+	// QuotaRejected mirror the session's RunReport.
+	CacheHits     int   `json:"cache_hits"`
+	CacheMisses   int   `json:"cache_misses"`
+	Admitted      int   `json:"admitted"`
+	AdmittedBytes int64 `json:"admitted_bytes"`
+	QuotaRejected int   `json:"quota_rejected"`
+	// Outputs digests each OUTPUT table (FNV-64a over its canonical
+	// row rendering) so clients can verify results without shipping
+	// full tables through the service.
+	Outputs []OutputDigest `json:"outputs"`
+}
+
+// OutputDigest identifies one OUTPUT file's content.
+type OutputDigest struct {
+	Path   string `json:"path"`
+	Rows   int    `json:"rows"`
+	Digest uint64 `json:"digest"`
+}
+
+// errResponse is the JSON body of a failed request.
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /run     — body is the script text, X-Scope-Tenant tags it
+//	GET  /metrics — the registry snapshot, one "name value" per line
+//	GET  /healthz — 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: POST a script to /run"))
+		return
+	}
+	var script string
+	{
+		buf := make([]byte, 0, 1024)
+		tmp := make([]byte, 1024)
+		for {
+			n, err := r.Body.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		script = string(buf)
+	}
+	rep, err := s.Submit(r.Context(), r.Header.Get(TenantHeader), script)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	resp := RunResponse{
+		Tenant:        rep.Tenant,
+		Cost:          rep.Cost,
+		CacheHits:     rep.CacheHits,
+		CacheMisses:   rep.CacheMisses,
+		Admitted:      rep.Admitted,
+		AdmittedBytes: rep.AdmittedBytes,
+		QuotaRejected: rep.QuotaRejected,
+		Outputs:       digestOutputs(rep.Outputs),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: GET /metrics"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(s.reg.Snapshot().String()))
+}
+
+// statusFor maps service errors onto HTTP statuses: backpressure is
+// 429, shutdown 503, timeout/cancellation 504, parse errors 400, and
+// anything else 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case isParseErr(err):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// isParseErr reports whether err came from script compilation rather
+// than execution; those are the client's fault.
+func isParseErr(err error) bool {
+	var pe *ParseError
+	return errors.As(err, &pe)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errResponse{Error: err.Error()})
+}
+
+// digestOutputs renders each output table to its canonical row form
+// and hashes it, emitting digests in path order so responses are
+// byte-stable.
+func digestOutputs(outputs map[string]*exec.Table) []OutputDigest {
+	paths := make([]string, 0, len(outputs))
+	for p := range outputs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]OutputDigest, 0, len(paths))
+	for _, p := range paths {
+		t := outputs[p]
+		h := fnv.New64a()
+		for _, line := range t.Canonical() {
+			_, _ = h.Write([]byte(line))
+			_, _ = h.Write([]byte{'\n'})
+		}
+		out = append(out, OutputDigest{Path: p, Rows: len(t.Rows), Digest: h.Sum64()})
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+// Package serve is the multi-tenant query service: a long-running
+// server that accepts many concurrent scripts, fingerprints each
+// query tree on arrival, and runs them all through one shared,
+// concurrency-safe share.Session — so one client's scripts are served
+// from common subexpressions another client's scripts materialized.
+//
+// This extends the paper's Definition-1 fingerprints from intra-
+// script CSE to multi-query optimization across users, in the spirit
+// of shared cloud query execution ("Pay One, Get Hundreds for Free")
+// and dynamic folding of concurrent analytical queries (GraftDB):
+//
+//   - A batching-window scheduler collects arriving scripts for a
+//     short window and folds the ones whose still-uncovered
+//     fingerprint sets overlap into one sequential admission pass, so
+//     exactly one of them materializes each shared subexpression and
+//     the rest hit the cache instead of racing to rebuild it.
+//     Scripts with no uncovered overlap run fully concurrently.
+//   - Admission control bounds in-flight work: at most MaxInFlight
+//     folded groups execute at once, at most QueueDepth requests wait
+//     for dispatch (beyond it submissions fail fast with
+//     ErrOverloaded), and each run carries a per-request timeout
+//     through the session's context path.
+//   - Every run is tenant-tagged: admitted artifacts are charged to
+//     the submitting tenant, bounded by a per-tenant cache quota, and
+//     per-tenant hit/miss/byte counters are published through
+//     internal/obs.
+//   - Shutdown drains: queued and in-flight runs finish, new
+//     submissions fail with ErrShutdown.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/relop"
+	"repro/internal/share"
+	"repro/internal/stats"
+)
+
+// Errors the admission controller returns without running anything.
+var (
+	// ErrOverloaded reports backpressure: the dispatch queue is full.
+	ErrOverloaded = errors.New("serve: queue full, try again later")
+	// ErrShutdown reports a submission after Shutdown began.
+	ErrShutdown = errors.New("serve: server is shutting down")
+)
+
+// ParseError wraps a script compilation failure — the client's fault,
+// distinguished from execution errors for HTTP status mapping.
+type ParseError struct{ Err error }
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Config parameterizes a Server.
+type Config struct {
+	// Catalog and FS are the shared statistics catalog and file store
+	// every tenant's scripts compile and run against (required).
+	Catalog *stats.Catalog
+	FS      *exec.FileStore
+	// Machines is the execution partition count (required positive).
+	Machines int
+	// Workers bounds each run's execution worker pool (0 = per CPU).
+	Workers int
+	// CacheBytes bounds the shared result cache (0 = share default).
+	CacheBytes int64
+	// ExpectedReuse tunes the session admission formula (0 = 1).
+	ExpectedReuse float64
+	// Window is the batching window: arriving scripts are collected
+	// for this long, then folded and dispatched together. Zero
+	// dispatches each submission immediately (no cross-request
+	// folding; still admission-controlled).
+	Window time.Duration
+	// MaxInFlight bounds how many folded groups execute concurrently
+	// (0 = one per CPU).
+	MaxInFlight int
+	// QueueDepth bounds how many requests may await dispatch; past it
+	// Submit fails fast with ErrOverloaded (0 = DefaultQueueDepth).
+	QueueDepth int
+	// Timeout is the per-request execution timeout, enforced through
+	// the session's context path (0 = none).
+	Timeout time.Duration
+	// TenantCacheBytes caps each tenant's share of the result cache;
+	// admissions past it are discarded and counted (0 = unlimited).
+	TenantCacheBytes int64
+	// Obs receives the server's metrics (nil = a private registry).
+	Obs *obs.Registry
+}
+
+// DefaultQueueDepth is the dispatch-queue bound used when none is
+// configured.
+const DefaultQueueDepth = 256
+
+// Server is the multi-tenant query service over one shared session.
+type Server struct {
+	cfg  Config
+	sess *share.Session
+	reg  *obs.Registry
+	// sem bounds concurrently executing folded groups.
+	sem chan struct{}
+
+	mu      sync.Mutex
+	pending []*request  // guarded by mu
+	timer   *time.Timer // guarded by mu
+	closed  bool        // guarded by mu
+	// wg counts dispatched groups; Add happens under mu (before
+	// Shutdown's Wait can start), Wait runs after closed is set.
+	wg sync.WaitGroup
+}
+
+// request is one submitted script waiting for (or in) execution.
+type request struct {
+	tenant string
+	script string
+	// fps is the sorted, deduplicated identity set of the script's
+	// non-leaf subexpressions — the scheduler's folding key.
+	fps  []subexpr
+	ctx  context.Context
+	done chan struct{}
+	rep  *share.RunReport
+	err  error
+}
+
+// New validates cfg and returns a started server (no listener; pair
+// it with Handler for HTTP).
+func New(cfg Config) (*Server, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	sess, err := share.NewSession(share.Config{
+		Catalog:       cfg.Catalog,
+		FS:            cfg.FS,
+		Machines:      cfg.Machines,
+		Workers:       cfg.Workers,
+		CacheBytes:    cfg.CacheBytes,
+		ExpectedReuse: cfg.ExpectedReuse,
+		Obs:           cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	return &Server{
+		cfg:  cfg,
+		sess: sess,
+		reg:  cfg.Obs,
+		sem:  make(chan struct{}, cfg.MaxInFlight),
+	}, nil
+}
+
+// Session exposes the underlying shared session (tests, stats).
+func (s *Server) Session() *share.Session { return s.sess }
+
+// Registry exposes the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Submit runs one script on behalf of tenant and blocks until it
+// finishes, is rejected, or times out. Safe for concurrent use; this
+// is the line clients hold while the scheduler batches, folds, and
+// admission-controls their work.
+func (s *Server) Submit(ctx context.Context, tenant, script string) (*share.RunReport, error) {
+	m, err := logical.BuildSource(script, s.cfg.Catalog)
+	if err != nil {
+		s.reg.Counter("serve.parse_errors").Add(1)
+		return nil, &ParseError{Err: err}
+	}
+	req := &request{
+		tenant: tenant,
+		script: script,
+		fps:    fingerprintSet(m),
+		ctx:    ctx,
+		done:   make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.reg.Counter("serve.rejected").Add(1)
+		return nil, ErrOverloaded
+	}
+	s.pending = append(s.pending, req)
+	if s.cfg.Window <= 0 {
+		s.flushLocked()
+	} else if s.timer == nil {
+		s.timer = time.AfterFunc(s.cfg.Window, s.flush)
+	}
+	s.mu.Unlock()
+
+	<-req.done
+	return req.rep, req.err
+}
+
+// flush dispatches everything collected during the batching window.
+func (s *Server) flush() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// flushLocked folds the pending batch and dispatches its groups.
+// Caller holds s.mu; the WaitGroup Add under the same lock is what
+// keeps dispatch ordered before Shutdown's Wait.
+func (s *Server) flushLocked() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	batch := s.pending
+	s.pending = nil
+	if len(batch) == 0 {
+		return
+	}
+	groups := foldGroups(batch, s.sess.Cache())
+	s.reg.Counter("serve.batches").Add(1)
+	s.reg.Counter("serve.groups").Add(int64(len(groups)))
+	for _, g := range groups {
+		if len(g) > 1 {
+			s.reg.Counter("serve.folded").Add(int64(len(g) - 1))
+		}
+		s.wg.Add(1)
+		go s.runGroup(g)
+	}
+}
+
+// runGroup executes one folded group under the in-flight bound. The
+// group's requests run sequentially — that is the point of folding:
+// the first run materializes and admits the shared subexpressions,
+// the rest are served from the cache instead of racing to rebuild
+// them.
+func (s *Server) runGroup(g []*request) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	for _, req := range g {
+		s.runOne(req)
+	}
+}
+
+// runOne executes a single request through the shared session and
+// publishes its per-tenant accounting.
+func (s *Server) runOne(req *request) {
+	defer close(req.done)
+	ctx := req.ctx
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	req.rep, req.err = s.sess.RunContext(ctx, req.script, share.RunOpts{
+		Tenant:           req.tenant,
+		TenantCacheBytes: s.cfg.TenantCacheBytes,
+	})
+	s.reg.Counter("serve.requests").Add(1)
+	s.reg.Histogram("serve.latency_us").Observe(time.Since(start).Microseconds())
+	pfx := "serve.tenant." + req.tenant + "."
+	s.reg.Counter(pfx + "requests").Add(1)
+	if req.err != nil {
+		s.reg.Counter("serve.errors").Add(1)
+		s.reg.Counter(pfx + "errors").Add(1)
+		return
+	}
+	s.reg.Counter(pfx + "cache_hits").Add(int64(req.rep.CacheHits))
+	s.reg.Counter(pfx + "cache_misses").Add(int64(req.rep.CacheMisses))
+	s.reg.Counter(pfx + "admitted_bytes").Add(req.rep.AdmittedBytes)
+	s.reg.Counter(pfx + "quota_rejected").Add(int64(req.rep.QuotaRejected))
+	s.reg.Gauge(pfx + "cache_bytes").Set(s.sess.Cache().OwnerBytes(req.tenant))
+}
+
+// Shutdown stops accepting submissions, dispatches whatever the
+// batching window still holds, and waits for every in-flight run to
+// drain (or ctx to expire, whichever is first).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.flushLocked()
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown drain: %w", ctx.Err())
+	}
+}
+
+// subexpr identifies one shareable subexpression: its Definition-1
+// fingerprint plus the canonical signature that disambiguates the
+// fingerprint's kind-XOR collisions. Folding on the pair means two
+// scripts unite only when they contain the *same* expression, not
+// merely expressions built from the same operator kinds.
+type subexpr struct {
+	fp  uint64
+	sig string
+}
+
+// fingerprintSet collects the sorted, deduplicated subexpression
+// identities of a script's non-leaf memo groups. Leaf extracts are
+// excluded: a bare scan is never admitted as a cache artifact, so two
+// scripts that merely read the same file have nothing to fold over.
+func fingerprintSet(m *memo.Memo) []subexpr {
+	fps := core.Fingerprints(m)
+	sigs := core.CanonicalSignatures(m)
+	var out []subexpr
+	for _, g := range m.Groups() {
+		if len(g.Exprs) == 0 {
+			continue
+		}
+		if _, leaf := g.Exprs[0].Op.(*relop.Extract); leaf {
+			continue
+		}
+		out = append(out, subexpr{fp: fps[g.ID], sig: sigs[g.ID]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].sig != out[j].sig {
+			return out[i].sig < out[j].sig
+		}
+		return out[i].fp < out[j].fp
+	})
+	// Dedup in place.
+	n := 0
+	for i, se := range out {
+		if i == 0 || se != out[n-1] {
+			out[n] = se
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// foldGroups partitions a batch into folded groups: requests whose
+// *uncovered* subexpression sets overlap (shared expressions no valid
+// cache entry serves yet) are united and will run sequentially;
+// requests with nothing uncovered in common run concurrently.
+// Covered subexpressions don't fold — a cache hit is already free to
+// share concurrently. Group order and intra-group order follow
+// arrival order, so folding is deterministic for a given batch.
+func foldGroups(batch []*request, cache *share.Cache) [][]*request {
+	uncovered := make([][]subexpr, len(batch))
+	for i, req := range batch {
+		for _, se := range req.fps {
+			if !cache.HoldsSig(se.fp, se.sig) {
+				uncovered[i] = append(uncovered[i], se)
+			}
+		}
+	}
+	// Union-find over batch indexes.
+	parent := make([]int, len(batch))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < len(batch); i++ {
+		for j := i + 1; j < len(batch); j++ {
+			if find(i) != find(j) && overlaps(uncovered[i], uncovered[j]) {
+				parent[find(j)] = find(i)
+			}
+		}
+	}
+	// Gather components in arrival order.
+	index := map[int]int{}
+	var groups [][]*request
+	for i, req := range batch {
+		root := find(i)
+		gi, ok := index[root]
+		if !ok {
+			gi = len(groups)
+			index[root] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], req)
+	}
+	return groups
+}
+
+// overlaps reports whether two sorted subexpression sets intersect.
+func overlaps(a, b []subexpr) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i].sig < b[j].sig || (a[i].sig == b[j].sig && a[i].fp < b[j].fp):
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

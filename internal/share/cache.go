@@ -45,6 +45,10 @@ type entry struct {
 	bytes     int64
 	sources   []Source
 	lastUse   int64
+	// owner is the tenant whose run admitted the artifact ("" for
+	// untagged sessions); per-tenant byte accounting and quotas key
+	// on it.
+	owner string
 }
 
 // Stats summarizes cache state and activity.
@@ -74,6 +78,16 @@ type Cache struct {
 	bytes    int64             // guarded by mu
 	clock    int64             // guarded by mu
 	stats    Stats             // guarded by mu
+	// pins counts in-flight runs still planning against an artifact
+	// path; a pinned artifact outlives its entry (see orphans) so a
+	// concurrent eviction cannot yank a file out from under an
+	// execution that already planned a CacheScan over it.
+	pins map[string]int // guarded by mu
+	// orphans are artifact paths whose entries were dropped while
+	// pinned; the file is removed when the last pin releases.
+	orphans map[string]bool // guarded by mu
+	// ownerBytes is the current cached payload per admitting tenant.
+	ownerBytes map[string]int64 // guarded by mu
 }
 
 // DefaultCacheBytes is the cache-size bound used when none is given.
@@ -86,7 +100,13 @@ func NewCache(fs *exec.FileStore, cat *stats.Catalog, maxBytes int64) *Cache {
 	if maxBytes <= 0 {
 		maxBytes = DefaultCacheBytes
 	}
-	return &Cache{fs: fs, cat: cat, maxBytes: maxBytes, entries: map[string]*entry{}}
+	return &Cache{
+		fs: fs, cat: cat, maxBytes: maxBytes,
+		entries:    map[string]*entry{},
+		pins:       map[string]int{},
+		orphans:    map[string]bool{},
+		ownerBytes: map[string]int64{},
+	}
 }
 
 // schemaKey canonically renders a schema for key comparison.
@@ -116,8 +136,8 @@ func (c *Cache) valid(e *entry) bool {
 	return true
 }
 
-// dropLocked removes entry k, deleting its artifact. Caller holds
-// c.mu.
+// dropLocked removes entry k, deleting its artifact (deferred while
+// pinned). Caller holds c.mu.
 func (c *Cache) dropLocked(k string, invalidated bool) {
 	e, ok := c.entries[k]
 	if !ok {
@@ -125,7 +145,11 @@ func (c *Cache) dropLocked(k string, invalidated bool) {
 	}
 	delete(c.entries, k)
 	c.bytes -= e.bytes
-	c.fs.Remove(e.Path)
+	c.ownerBytes[e.owner] -= e.bytes
+	if c.ownerBytes[e.owner] <= 0 {
+		delete(c.ownerBytes, e.owner)
+	}
+	c.removeArtifactLocked(e.Path)
 	if invalidated {
 		c.stats.Invalidations++
 	} else {
@@ -133,10 +157,61 @@ func (c *Cache) dropLocked(k string, invalidated bool) {
 	}
 }
 
+// removeArtifactLocked deletes an artifact file, or parks it as an
+// orphan while in-flight runs still hold pins on it. Caller holds
+// c.mu.
+func (c *Cache) removeArtifactLocked(path string) {
+	if c.pins[path] > 0 {
+		c.orphans[path] = true
+		return
+	}
+	c.fs.Remove(path)
+}
+
+// Pin takes one reference on an artifact path: its file survives
+// eviction, invalidation, and replacement until Unpin. The session
+// pins every artifact the optimizer plans a CacheScan against (at
+// lookup time, under the cache lock, so there is no window between
+// the hit and the pin) and releases when the run finishes.
+func (c *Cache) Pin(path string) {
+	c.mu.Lock()
+	c.pins[path]++
+	c.mu.Unlock()
+}
+
+// Unpin releases one Pin reference; the last release of an orphaned
+// artifact removes its file.
+func (c *Cache) Unpin(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pins[path] <= 1 {
+		delete(c.pins, path)
+		if c.orphans[path] {
+			delete(c.orphans, path)
+			c.fs.Remove(path)
+		}
+		return
+	}
+	c.pins[path]--
+}
+
 // Lookup implements opt.ResultCache: it returns the valid cached
 // artifact matching (fp, sig, schema), dropping it first when a
 // source mutated. A hit refreshes the entry's LRU position.
 func (c *Cache) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEntry, bool) {
+	return c.lookup(fp, sig, schema, false)
+}
+
+// LookupPin is Lookup plus an atomic Pin on the hit's artifact path:
+// the pin is taken under the same critical section as the hit, so a
+// concurrent eviction can never remove the artifact between the
+// optimizer's decision and the run's CacheScan. Callers must Unpin
+// the returned Path when the run ends.
+func (c *Cache) LookupPin(fp uint64, sig string, schema relop.Schema) (opt.CacheEntry, bool) {
+	return c.lookup(fp, sig, schema, true)
+}
+
+func (c *Cache) lookup(fp uint64, sig string, schema relop.Schema, pin bool) (opt.CacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := cacheKey(fp, sig, schemaKey(schema))
@@ -150,6 +225,9 @@ func (c *Cache) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEnt
 	}
 	c.clock++
 	e.lastUse = c.clock
+	if pin {
+		c.pins[e.Path]++
+	}
 	return e.CacheEntry, true
 }
 
@@ -161,6 +239,28 @@ func (c *Cache) Holds(fp uint64) bool {
 	defer c.mu.Unlock()
 	for k, e := range c.entries {
 		if e.FP != fp {
+			continue
+		}
+		if !c.valid(e) {
+			c.dropLocked(k, true)
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// HoldsSig reports whether a valid entry exists for the exact
+// subexpression identity — fingerprint plus canonical signature —
+// regardless of schema key. Definition-1 fingerprints are coarse
+// (kind-XOR collides unrelated expressions), so the serve scheduler
+// uses this exact probe to decide which of a batch's subexpressions
+// the cache already covers.
+func (c *Cache) HoldsSig(fp uint64, sig string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.FP != fp || e.sig != sig {
 			continue
 		}
 		if !c.valid(e) {
@@ -188,10 +288,11 @@ func (c *Cache) Contains(fp uint64, sig string, schema relop.Schema) bool {
 	return true
 }
 
-// Put admits one materialized artifact, then evicts least-recently-
-// used entries until the cache fits its byte bound. Re-admitting an
-// existing key replaces the old entry (and artifact) first.
-func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source) {
+// Put admits one materialized artifact under the given owner tenant
+// ("" for untagged), then evicts least-recently-used entries until
+// the cache fits its byte bound. Re-admitting an existing key
+// replaces the old entry (and artifact) first.
+func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source, owner string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	sk := schemaKey(ce.Schema)
@@ -199,8 +300,12 @@ func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source
 	if old, ok := c.entries[k]; ok {
 		delete(c.entries, k)
 		c.bytes -= old.bytes
+		c.ownerBytes[old.owner] -= old.bytes
+		if c.ownerBytes[old.owner] <= 0 {
+			delete(c.ownerBytes, old.owner)
+		}
 		if old.Path != ce.Path {
-			c.fs.Remove(old.Path)
+			c.removeArtifactLocked(old.Path)
 		}
 	}
 	c.clock++
@@ -211,8 +316,10 @@ func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source
 		bytes:      bytes,
 		sources:    sources,
 		lastUse:    c.clock,
+		owner:      owner,
 	}
 	c.bytes += bytes
+	c.ownerBytes[owner] += bytes
 	c.stats.Insertions++
 	for c.bytes > c.maxBytes && len(c.entries) > 0 {
 		lru, min := "", int64(0)
@@ -238,6 +345,14 @@ func (c *Cache) SourcesByPath(path string) []Source {
 		}
 	}
 	return nil
+}
+
+// OwnerBytes returns the cached payload currently attributed to the
+// given admitting tenant — the quantity per-tenant quotas bound.
+func (c *Cache) OwnerBytes(owner string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ownerBytes[owner]
 }
 
 // Stats returns a snapshot of cache occupancy and lifecycle counters.

@@ -1,9 +1,11 @@
 package share
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/exec"
@@ -43,19 +45,28 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-// Session runs a sequence of scripts against one cluster, sharing
-// materialized common subexpressions across them through a Cache.
+// Session runs scripts against one cluster, sharing materialized
+// common subexpressions across them through a Cache. Run and
+// RunContext are safe for concurrent use: concurrent runs execute in
+// parallel against the shared cache, artifact paths are allocated
+// under the session mutex, and registry publication is serialized so
+// per-run deltas stay additive.
 type Session struct {
 	cfg   Config
 	cache *Cache
 	opts  opt.Options
-	seq   int
 	model cost.Model
+
+	mu  sync.Mutex
+	seq int // guarded by mu
 	// lastStats is the cache state as of the previous publish. The
 	// cache counts cumulatively over the session's lifetime, but the
 	// registry wants per-run increments (so a batch total is the sum
-	// of its runs); publishing the delta bridges the two.
-	lastStats Stats
+	// of its runs); publishing the delta bridges the two. Failed runs
+	// publish (and re-baseline) too — otherwise the next successful
+	// run's delta would absorb evictions and invalidations that
+	// happened during the failure.
+	lastStats Stats // guarded by mu
 }
 
 // NewSession validates cfg and returns a session with an empty cache.
@@ -89,6 +100,8 @@ func (s *Session) CacheStats() Stats { return s.cache.Stats() }
 
 // RunReport describes one script execution inside a session.
 type RunReport struct {
+	// Tenant is the tag the run was submitted under ("" untagged).
+	Tenant string
 	// Outputs holds every OUTPUT file the script produced, by path.
 	Outputs map[string]*exec.Table
 	// Metrics is the metered work of this script's execution alone.
@@ -98,14 +111,29 @@ type RunReport struct {
 	// CacheHits counts distinct CacheScan operators in the executed
 	// plan — subexpressions served from earlier scripts' results.
 	CacheHits int
-	// CacheMisses counts shared subexpressions this script
+	// CacheMisses counts distinct shared subexpressions this script
 	// materialized that were not in the cache (whether or not the
-	// admission formula then kept them).
+	// admission formula then kept them). Two spool references to one
+	// subexpression are one miss, not two.
 	CacheMisses int
 	// Admitted and AdmittedBytes describe the artifacts this run
 	// persisted into the cache.
 	Admitted      int
 	AdmittedBytes int64
+	// QuotaRejected counts artifacts that passed the admission test
+	// but were discarded because the tenant's cache quota was full.
+	QuotaRejected int
+}
+
+// RunOpts carries the per-run multi-tenancy parameters.
+type RunOpts struct {
+	// Tenant tags the run for cache accounting and quotas; admitted
+	// artifacts are charged to it ("" = untagged).
+	Tenant string
+	// TenantCacheBytes caps the total cached payload charged to
+	// Tenant; an admission that would exceed it is discarded and
+	// counted in RunReport.QuotaRejected (0 = unlimited).
+	TenantCacheBytes int64
 }
 
 // pending is one spool selected for persistence, committed into the
@@ -117,26 +145,77 @@ type pending struct {
 	path  string
 }
 
+// pinner is the per-run view of the session cache the optimizer sees:
+// every hit is pinned under the cache lock, so the artifact file is
+// guaranteed to still exist when the executor's CacheScan reads it,
+// even if a concurrent run evicts or replaces the entry in between.
+type pinner struct {
+	c *Cache
+
+	mu    sync.Mutex
+	paths []string // guarded by mu
+}
+
+func (p *pinner) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEntry, bool) {
+	ce, ok := p.c.LookupPin(fp, sig, schema)
+	if ok {
+		p.mu.Lock()
+		p.paths = append(p.paths, ce.Path)
+		p.mu.Unlock()
+	}
+	return ce, ok
+}
+
+func (p *pinner) Holds(fp uint64) bool { return p.c.Holds(fp) }
+
+// release drops every pin the run took, removing orphaned artifacts.
+func (p *pinner) release() {
+	p.mu.Lock()
+	paths := p.paths
+	p.paths = nil
+	p.mu.Unlock()
+	for _, path := range paths {
+		p.c.Unpin(path)
+	}
+}
+
 // Run compiles, optimizes, and executes one script. The optimizer
 // sees the session cache and may replace equivalent subexpressions
 // with CacheScans; on the way out, phase-2 spool materializations
 // passing the admission test are persisted for later scripts.
 func (s *Session) Run(src string) (*RunReport, error) {
+	return s.RunContext(context.Background(), src, RunOpts{})
+}
+
+// RunContext is Run with cancellation and multi-tenancy: the run
+// stops (and returns the cancellation cause) when ctx is canceled,
+// and admitted artifacts are charged against opts.Tenant's quota.
+// Safe for concurrent use with other RunContext calls on the same
+// session.
+func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*RunReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m, err := logical.BuildSource(src, s.cfg.Catalog)
 	if err != nil {
 		return nil, err
 	}
-	opts := s.opts
-	opts.Cache = s.cache
+	o := s.opts
+	pins := &pinner{c: s.cache}
+	o.Cache = pins
 	if s.cfg.Tracer != nil {
-		opts.Tracer = s.cfg.Tracer
+		o.Tracer = s.cfg.Tracer
 	}
-	res, err := opt.Optimize(m, opts)
+	res, err := opt.Optimize(m, o)
 	if err != nil {
 		return nil, err
 	}
+	// From here on the run has touched the cache (lookups refresh LRU
+	// positions and drop stale entries), so every exit path must both
+	// release the pins and publish the lifecycle delta.
+	defer pins.release()
 
-	rep := &RunReport{Cost: res.Cost}
+	rep := &RunReport{Tenant: opts.Tenant, Cost: res.Cost}
 	rep.CacheHits = len(plan.FindAll(res.Plan, relop.KindCacheScan))
 
 	persist, pend, misses := s.admit(res)
@@ -144,6 +223,7 @@ func (s *Session) Run(src string) (*RunReport, error) {
 
 	cl, err := exec.NewCluster(s.cfg.Machines, s.cfg.FS)
 	if err != nil {
+		s.publishFailure(res)
 		return nil, err
 	}
 	if s.cfg.Workers > 0 {
@@ -152,8 +232,9 @@ func (s *Session) Run(src string) (*RunReport, error) {
 	cl.Trace = s.cfg.Tracer
 	cl.Obs = s.cfg.Obs
 	cl.PersistSpools = persist
-	outs, err := cl.Run(res.Plan)
+	outs, err := cl.RunContext(ctx, res.Plan)
 	if err != nil {
+		s.publishFailure(res)
 		return nil, err
 	}
 	rep.Outputs = outs
@@ -161,10 +242,21 @@ func (s *Session) Run(src string) (*RunReport, error) {
 
 	// Commit: an artifact exists only if its spool actually
 	// materialized (broadcast spools and never-executed branches
-	// leave nothing behind).
+	// leave nothing behind). The commit and the publish share one
+	// critical section so concurrent runs' registry deltas never
+	// overlap.
+	s.mu.Lock()
 	for _, p := range pend {
 		t, ok := s.cfg.FS.Get(p.path)
 		if !ok {
+			continue
+		}
+		if opts.TenantCacheBytes > 0 &&
+			s.cache.OwnerBytes(opts.Tenant)+t.Bytes() > opts.TenantCacheBytes {
+			// Over quota: discard the materialized artifact instead of
+			// charging the tenant past its bound.
+			s.cfg.FS.Remove(p.path)
+			rep.QuotaRejected++
 			continue
 		}
 		s.cache.Put(opt.CacheEntry{
@@ -173,19 +265,30 @@ func (s *Session) Run(src string) (*RunReport, error) {
 			Part:   p.child.Dlvd.Part,
 			Order:  p.child.Dlvd.Order,
 			FP:     p.child.FP,
-		}, p.sig, t.Bytes(), s.collectSources(p.spool))
+		}, p.sig, t.Bytes(), s.collectSources(p.spool), opts.Tenant)
 		rep.Admitted++
 		rep.AdmittedBytes += t.Bytes()
 	}
-	s.publish(res, rep)
+	s.publishLocked(res, rep)
+	s.mu.Unlock()
 	return rep, nil
 }
 
-// publish folds one run's observability totals into cfg.Obs: the
-// optimizer's stats, the run-level sharing report, and the cache
-// lifecycle deltas since the previous publish. Execution metrics are
-// published by the cluster itself (cl.Obs). No-op without a registry.
-func (s *Session) publish(res *opt.Result, rep *RunReport) {
+// publishFailure publishes a failed run: the optimizer stats are real
+// search effort and the cache lifecycle delta must be re-baselined,
+// but no run-level sharing counters exist to report.
+func (s *Session) publishFailure(res *opt.Result) {
+	s.mu.Lock()
+	s.publishLocked(res, nil)
+	s.mu.Unlock()
+}
+
+// publishLocked folds one run's observability totals into cfg.Obs:
+// the optimizer's stats, the run-level sharing report (nil for failed
+// runs), and the cache lifecycle deltas since the previous publish.
+// Execution metrics are published by the cluster itself (cl.Obs).
+// No-op without a registry. Caller holds s.mu.
+func (s *Session) publishLocked(res *opt.Result, rep *RunReport) {
 	r := s.cfg.Obs
 	if r == nil {
 		return
@@ -193,10 +296,13 @@ func (s *Session) publish(res *opt.Result, rep *RunReport) {
 	res.Stats.Publish(r)
 	cur := s.cache.Stats()
 	snap := obs.NewSnapshot()
-	snap.Counters["share.cache_hits"] = int64(rep.CacheHits)
-	snap.Counters["share.cache_misses"] = int64(rep.CacheMisses)
-	snap.Counters["share.admitted"] = int64(rep.Admitted)
-	snap.Counters["share.admitted_bytes"] = rep.AdmittedBytes
+	if rep != nil {
+		snap.Counters["share.cache_hits"] = int64(rep.CacheHits)
+		snap.Counters["share.cache_misses"] = int64(rep.CacheMisses)
+		snap.Counters["share.admitted"] = int64(rep.Admitted)
+		snap.Counters["share.admitted_bytes"] = rep.AdmittedBytes
+		snap.Counters["share.quota_rejected"] = int64(rep.QuotaRejected)
+	}
 	snap.Counters["share.cache_insertions"] = cur.Insertions - s.lastStats.Insertions
 	snap.Counters["share.cache_evictions"] = cur.Evictions - s.lastStats.Evictions
 	snap.Counters["share.cache_invalidations"] = cur.Invalidations - s.lastStats.Invalidations
@@ -217,7 +323,13 @@ func (s *Session) publish(res *opt.Result, rep *RunReport) {
 // scanning the artifact under its recorded layout, and persist — the
 // write of the artifact — is priced like one such scan. Broadcast
 // spools are never admitted (their replicas are layout, not content).
+//
+// Misses count after the group|ctxkey dedup: a subexpression spooled
+// for several consumers is one missed sharing opportunity, not one
+// per spool reference.
 func (s *Session) admit(res *opt.Result) (map[string]string, []pending, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	persist := map[string]string{}
 	var pend []pending
 	misses := 0
@@ -230,14 +342,15 @@ func (s *Session) admit(res *opt.Result) (map[string]string, []pending, int) {
 		if child.FP == 0 || sig == "" {
 			continue
 		}
-		if s.cache.Contains(child.FP, sig, child.Schema) {
-			continue
-		}
-		misses++
 		key := fmt.Sprintf("%d|%s", sp.Group, sp.CtxKey)
 		if _, dup := persist[key]; dup {
 			continue
 		}
+		if s.cache.Contains(child.FP, sig, child.Schema) {
+			continue
+		}
+		misses++
+		persist[key] = "" // dedup marker; real path assigned below
 		build := plan.TreeCost(sp)
 		read := s.model.SpoolReadCost(child.Rel, child.Dlvd.Part)
 		if (build-read)*s.cfg.ExpectedReuse <= read {
@@ -247,6 +360,13 @@ func (s *Session) admit(res *opt.Result) (map[string]string, []pending, int) {
 		path := fmt.Sprintf("__cache/%016x-%d", child.FP, s.seq)
 		persist[key] = path
 		pend = append(pend, pending{spool: sp, child: child, sig: sig, path: path})
+	}
+	// Spools that were deduped or failed the admission test must not
+	// reach the executor's persist map.
+	for key, path := range persist {
+		if path == "" {
+			delete(persist, key)
+		}
 	}
 	return persist, pend, misses
 }

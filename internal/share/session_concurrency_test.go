@@ -1,0 +1,281 @@
+package share
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// scriptC recomputes the shared aggregation with a third consumer
+// set, so concurrent sessions mixing A, B, and C all contend on the
+// same cache key.
+const scriptC = `
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) as S FROM R0 GROUP BY A,B,C;
+R4 = SELECT B,Sum(S) as S4 FROM R GROUP BY B;
+OUTPUT R4 TO "c4.out" ORDER BY B;
+`
+
+// TestSessionMissCountDedup is the regression test for the admission
+// miss double-count: two spool references to one subexpression
+// (same group and context key) are one missed sharing opportunity.
+// The pre-fix code incremented the miss counter before the
+// group|ctxkey dedup, so a duplicated spool counted twice.
+func TestSessionMissCountDedup(t *testing.T) {
+	cat, fs := testEnv(t)
+	s := newTestSession(t, cat, fs, 0)
+
+	m, err := logical.BuildSource(scriptA, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := s.opts
+	res, err := opt.Optimize(m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spools := plan.FindAll(res.Plan, relop.KindPhysSpool)
+	if len(spools) == 0 {
+		t.Fatal("script A produced no spool")
+	}
+	_, _, base := s.admit(res)
+
+	// Graft a duplicate reference to the first spool (same pointer
+	// identity is deduped by FindAll's topo walk, so copy the node —
+	// same Group, same CtxKey, same child) onto the root sequence.
+	dup := *spools[0]
+	res.Plan.Children = append(res.Plan.Children, &dup)
+	_, _, misses := s.admit(res)
+	if misses != base {
+		t.Errorf("duplicated spool counted %d misses, want %d (one per distinct subexpression)", misses, base)
+	}
+}
+
+// TestSessionConcurrentRuns drives many concurrent Run calls with
+// overlapping scripts through one session and requires every result
+// to be bit-identical to a sequential run of the same script in a
+// fresh session. Pre-fix, concurrent runs raced on the artifact
+// sequence number, the publish baseline, and the cache commit; the
+// check.sh share race leg runs this under -race.
+func TestSessionConcurrentRuns(t *testing.T) {
+	scripts := []struct{ src, out string }{
+		{scriptA, "a1.out"},
+		{scriptB, "b3.out"},
+		{scriptC, "c4.out"},
+	}
+
+	// Sequential references: each script cold, in its own session.
+	refs := make([]*exec.Table, len(scripts))
+	for i, sc := range scripts {
+		cat, fs := testEnv(t)
+		rep, err := newTestSession(t, cat, fs, 2).Run(sc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = rep.Outputs[sc.out]
+	}
+
+	cat, fs := testEnv(t)
+	s := newTestSession(t, cat, fs, 2)
+	reg := obs.NewRegistry()
+	s.cfg.Obs = reg
+
+	// One sequential warm-up admits the shared aggregation, so every
+	// concurrent run below has a valid entry to hit — without it, all
+	// goroutines can be mid-run before any admission commits and the
+	// hit assertion would be a timing lottery.
+	warm, err := s.Run(scriptA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Admitted == 0 {
+		t.Fatalf("warm-up admitted nothing: %+v", warm)
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	reports := make([]*RunReport, rounds*len(scripts))
+	errs := make([]error, rounds*len(scripts))
+	for r := 0; r < rounds; r++ {
+		for i := range scripts {
+			wg.Add(1)
+			go func(slot, i int) {
+				defer wg.Done()
+				rep, err := s.RunContext(context.Background(), scripts[i].src,
+					RunOpts{Tenant: fmt.Sprintf("t%d", i)})
+				reports[slot], errs[slot] = rep, err
+			}(r*len(scripts)+i, i)
+		}
+	}
+	wg.Wait()
+
+	hits := 0
+	for slot, rep := range reports {
+		if errs[slot] != nil {
+			t.Fatalf("run %d: %v", slot, errs[slot])
+		}
+		i := slot % len(scripts)
+		sameRows(t, scripts[i].out, rep.Outputs[scripts[i].out], refs[i])
+		hits += rep.CacheHits
+	}
+	if hits == 0 {
+		t.Error("no concurrent run hit the shared cache")
+	}
+
+	// The published lifecycle deltas must sum to the cache's own
+	// cumulative counters — the additivity invariant the per-run
+	// publishes exist to preserve.
+	st := s.CacheStats()
+	snap := reg.Snapshot()
+	if got := snap.Counters["share.cache_insertions"]; got != st.Insertions {
+		t.Errorf("published insertions %d, cache counted %d", got, st.Insertions)
+	}
+	if got := snap.Counters["share.cache_evictions"]; got != st.Evictions {
+		t.Errorf("published evictions %d, cache counted %d", got, st.Evictions)
+	}
+	if got := snap.Counters["share.cache_invalidations"]; got != st.Invalidations {
+		t.Errorf("published invalidations %d, cache counted %d", got, st.Invalidations)
+	}
+}
+
+// TestSessionPublishAfterFailedRun: a run that fails during execution
+// must still publish the cache lifecycle delta (the optimizer's
+// lookups may have invalidated entries), so the next successful run's
+// delta reports only its own activity.
+func TestSessionPublishAfterFailedRun(t *testing.T) {
+	cat, fs := testEnv(t)
+	reg := obs.NewRegistry()
+	s, err := NewSession(Config{Catalog: cat, FS: fs, Machines: 8, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(scriptA); err != nil {
+		t.Fatal(err)
+	}
+
+	// New data: the admitted entry is now stale. The failing script
+	// still contains the shared subexpression, so its optimizer
+	// lookup drops the stale entry — an invalidation that happens
+	// during a run that then fails (missing.log has statistics but no
+	// physical file).
+	fs.Put("test.log", testTable(1000))
+	cat.Put("missing.log", &stats.TableStats{Rows: 10, Columns: map[string]stats.ColumnStats{
+		"A": {Distinct: 5, AvgBytes: 8},
+	}})
+	failing := scriptB + `
+M0 = EXTRACT A FROM "missing.log" USING LogExtractor;
+OUTPUT M0 TO "m.out";
+`
+	if _, err := s.Run(failing); err == nil {
+		t.Fatal("run over a missing input file should fail")
+	}
+
+	st := s.CacheStats()
+	if st.Invalidations == 0 {
+		t.Fatalf("failed run invalidated nothing: %+v", st)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["share.cache_invalidations"]; got != st.Invalidations {
+		t.Errorf("failed run published %d invalidations, cache counted %d (stale lastStats)",
+			got, st.Invalidations)
+	}
+}
+
+// TestSessionTenantQuota: an artifact passing the admission test is
+// still discarded when it would push the tenant past its cache quota,
+// and the discard is reported, not silently dropped.
+func TestSessionTenantQuota(t *testing.T) {
+	cat, fs := testEnv(t)
+	s := newTestSession(t, cat, fs, 0)
+	rep, err := s.RunContext(context.Background(), scriptA,
+		RunOpts{Tenant: "small", TenantCacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 0 || rep.QuotaRejected == 0 {
+		t.Fatalf("quota of 1 byte admitted %d, rejected %d", rep.Admitted, rep.QuotaRejected)
+	}
+	if got := s.Cache().OwnerBytes("small"); got != 0 {
+		t.Errorf("tenant charged %d bytes past its quota", got)
+	}
+
+	// An unconstrained tenant admits and is charged.
+	rep2, err := s.RunContext(context.Background(), scriptA, RunOpts{Tenant: "big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Admitted == 0 {
+		t.Fatalf("unconstrained tenant admitted nothing: %+v", rep2)
+	}
+	if got := s.Cache().OwnerBytes("big"); got != rep2.AdmittedBytes {
+		t.Errorf("tenant charged %d bytes, admitted %d", got, rep2.AdmittedBytes)
+	}
+}
+
+// TestSessionRunContextCancel: a canceled context stops the run and
+// surfaces the cancellation cause.
+func TestSessionRunContextCancel(t *testing.T) {
+	cat, fs := testEnv(t)
+	s := newTestSession(t, cat, fs, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, scriptA, RunOpts{}); err == nil {
+		t.Fatal("canceled context should fail the run")
+	}
+}
+
+// TestCachePinKeepsArtifact: a pinned artifact survives invalidation
+// of its entry until the last pin releases — the guarantee that lets
+// a concurrent run execute a CacheScan it planned before an eviction.
+func TestCachePinKeepsArtifact(t *testing.T) {
+	cat, fs := testEnv(t)
+	s := newTestSession(t, cat, fs, 0)
+	if _, err := s.Run(scriptA); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Cache()
+
+	// Find the admitted artifact via a pinning lookup on script B's
+	// shared subexpression.
+	m, err := logical.BuildSource(scriptB, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := &pinner{c: c}
+	o := s.opts
+	o.Cache = pins
+	res, err := opt.Optimize(m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans := plan.FindAll(res.Plan, relop.KindCacheScan)
+	if len(scans) == 0 {
+		t.Fatal("warm plan has no CacheScan")
+	}
+	path := scans[0].Op.(*relop.PhysCacheScan).Path
+	if _, ok := fs.Get(path); !ok {
+		t.Fatalf("artifact %q missing before invalidation", path)
+	}
+
+	// Invalidate the entry: the artifact must survive while pinned.
+	fs.Put("test.log", testTable(1000))
+	if c.Holds(scans[0].FP) {
+		t.Fatal("stale entry still valid after source mutation")
+	}
+	if _, ok := fs.Get(path); !ok {
+		t.Fatal("pinned artifact removed while a run still references it")
+	}
+	pins.release()
+	if _, ok := fs.Get(path); ok {
+		t.Fatal("orphaned artifact not removed after last unpin")
+	}
+}
