@@ -42,8 +42,8 @@ go build ./... || fail "build failed"
 echo "== go test =="
 go test ./... || fail "tests failed"
 
-echo "== go test -race (opt, core, memo, exec, share) =="
-go test -race ./internal/opt/ ./internal/core/ ./internal/memo/ ./internal/exec/ ./internal/share/ || fail "race tests failed"
+echo "== go test -race (opt, core, memo, exec, share, mqo) =="
+go test -race ./internal/opt/ ./internal/core/ ./internal/memo/ ./internal/exec/ ./internal/share/ ./internal/mqo/ || fail "race tests failed"
 
 # The parallel-executor suites are the load-bearing coverage for the
 # worker pool, single-flight spools, and concurrent Cluster.Run — run
@@ -78,6 +78,16 @@ go test -race -count=1 -run 'SessionConcurrent|SessionMissCount|CachePin' ./inte
 go test -race -count=1 -run 'ServeConcurrent|ServeCrossTenant|FoldGroups|ServeBackpressure|ServeShutdown' ./internal/serve/ ||
 	fail "serve concurrency race tests failed"
 
+# The workload-level MQO selector seeds its benefit heap concurrently
+# and must stay deterministic at any worker width; the serve batch mode
+# plans whole windows off the dispatch lock. Run both by name under the
+# race detector so a rename cannot silently drop the coverage.
+echo "== go test -race (mqo selection + batch suites) =="
+go test -race -count=1 -run 'SelectionDeterministicAcrossWorkers|SelectGreedyMatchesOracle|EnactBitIdentical' ./internal/mqo/ ||
+	fail "mqo selection race tests failed"
+go test -race -count=1 -run 'ServeMQOBatch' ./internal/serve/ ||
+	fail "serve MQO batch race test failed"
+
 # Optimizer benchmark artifact: one generation pass must emit a
 # BENCH_opt.json that its own schema validator accepts.
 echo "== opt bench smoke (benchrepro -fig opt) =="
@@ -107,6 +117,21 @@ out=$(go run ./cmd/scoperun -session examples/session -machines 8 -workers 4) ||
 	fail "session smoke run failed"
 echo "$out"
 echo "$out" | grep -q 'hits=1' || fail "session smoke run produced no cache hits"
+
+# Workload-level MQO over the same example scripts: the merged-DAG
+# selection must enact bit-identically to independent cold runs
+# (scopemqo exits nonzero on a mismatch) and its ablation artifact
+# must pass its own schema validator.
+echo "== mqo smoke (scopemqo -session examples/session) =="
+out=$(go run ./cmd/scopemqo -session examples/session -machines 8 -workers 4) ||
+	fail "mqo smoke run failed"
+echo "$out"
+echo "$out" | grep -q 'mqo ok' || fail "mqo smoke produced no ok line"
+echo "== mqo bench smoke (benchrepro -fig mqo) =="
+out=$(go run ./cmd/benchrepro -fig mqo -mqoout "$tmpdir/BENCH_mqo.json") ||
+	fail "mqo bench smoke run failed"
+echo "$out" | tail -1
+echo "$out" | grep -q 'schema ok' || fail "mqo bench smoke produced no schema-ok line"
 
 # Service selftest: concurrent multi-tenant clients over one shared
 # session must produce results bit-identical to cold sequential runs,

@@ -9,6 +9,7 @@
 //	benchrepro -fig opt        optimizer wall-clock + round-engine counters (BENCH_opt.json)
 //	benchrepro -fig analyze    estimated vs actual row accuracy (EXPLAIN ANALYZE sweep)
 //	benchrepro -fig serve      multi-tenant service concurrency sweep (BENCH_serve.json)
+//	benchrepro -fig mqo        workload-level MQO ablation: per-script greedy vs global selection (BENCH_mqo.json)
 //	benchrepro -fig all        everything
 package main
 
@@ -22,12 +23,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, opt, analyze, serve, all")
+	fig := flag.String("fig", "all", "which artifact: 7, 8, rounds, budget, baselines, exec, opt, analyze, serve, mqo, all")
 	machines := cliflags.Machines(flag.CommandLine, 5)
 	workers := cliflags.WorkersList(flag.CommandLine, "1,4")
 	out := flag.String("out", "BENCH_opt.json", "output path for the -fig opt artifact")
 	iters := flag.Int("iters", 3, "optimize iterations per configuration for -fig opt (fastest wins)")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for the -fig serve artifact")
+	mqoOut := flag.String("mqoout", "BENCH_mqo.json", "output path for the -fig mqo artifact")
 	clients := flag.String("clients", "1,2,4,8,16", "client-concurrency levels for -fig serve")
 	rounds := flag.Int("rounds", 3, "submission rounds per client for -fig serve")
 	flag.Parse()
@@ -144,11 +146,27 @@ func main() {
 			fmt.Printf("%s: schema ok (%d levels)\n", *serveOut, len(rep.Rows))
 			return nil
 		},
+		"mqo": func() error {
+			rep, err := bench.MQOBench(*machines, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("MQO ablation — per-script greedy vs global workload selection, %d machines\n", *machines)
+			fmt.Print(bench.FormatMQO(rep))
+			if err := bench.WriteMQOJSON(rep, *mqoOut); err != nil {
+				return err
+			}
+			if err := bench.ValidateMQOJSON(*mqoOut); err != nil {
+				return err
+			}
+			fmt.Printf("%s: schema ok (%d rows)\n", *mqoOut, len(rep.Rows))
+			return nil
+		},
 	}
 
 	var order []string
 	if *fig == "all" {
-		order = []string{"7", "8", "rounds", "budget", "baselines", "exec", "opt", "analyze", "serve"}
+		order = []string{"7", "8", "rounds", "budget", "baselines", "exec", "opt", "analyze", "serve", "mqo"}
 	} else {
 		order = []string{*fig}
 	}

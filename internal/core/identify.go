@@ -59,6 +59,31 @@ func wrapSpool(m *memo.Memo, g memo.GroupID, spoolOf map[memo.GroupID]memo.Group
 	return sp
 }
 
+// ForceSpool wraps a live, spoolable group in a shared Spool even
+// though Algorithm 1 found too few consumers to justify one. The
+// workload-level optimizer (internal/mqo) uses it to pin a
+// materialization whose extra consumers live in *other* scripts of the
+// batch: within this script's memo the group may have a single parent,
+// so garbageCollect would have elided (or never inserted) the spool.
+// It returns the new Spool group's id, or memo.NoGroup when g cannot
+// be wrapped (dead, not spoolable, or already funneled through a
+// Spool).
+func ForceSpool(m *memo.Memo, g memo.GroupID) memo.GroupID {
+	gr := m.Group(g)
+	if gr.Dead || !spoolable(gr) {
+		return memo.NoGroup
+	}
+	for _, p := range m.Parents(g) {
+		if m.Group(p).Exprs[0].Op.Kind() == relop.KindSpool {
+			// Already consumed through a spool; marking it shared is
+			// enough to guarantee the materialization exists.
+			m.Group(p).Shared = true
+			return p
+		}
+	}
+	return wrapSpool(m, g, map[memo.GroupID]memo.GroupID{})
+}
+
 // identifyExplicit is the routine IdentifyExplicitCommSubexpr: every
 // group directly referenced by more than one parent group gets a
 // shared Spool.

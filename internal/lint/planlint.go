@@ -36,6 +36,19 @@ type PlanConfig struct {
 	// cache holds a valid materialized result for a fingerprint. The
 	// rebuilt-cached-subexpression analyzer (P6) only applies then.
 	CacheHolds func(fp uint64) bool
+	// WorkloadCovered, when non-nil, reports whether a workload-level
+	// materialization set (the chosen set of an MQO selection) covers a
+	// fingerprint this plan was expected to consume via CacheScan. The
+	// rebuilt-workload-subexpression analyzer (P7) only applies then.
+	// Callers must exclude fingerprints the plan itself is designated
+	// to build — the builder legitimately computes its own artifact.
+	WorkloadCovered func(fp uint64) bool
+	// ForcedFPs marks subexpressions whose materialization was forced
+	// by a workload-level pin (opt.Options.ForceMaterialize): their
+	// spools may legitimately have a single in-plan consumer — the
+	// other consumers live in different scripts of the batch — so the
+	// P3 read-multiplicity check skips them.
+	ForcedFPs map[uint64]bool
 	// Rounds, when available, carries the phase-2 round traces that
 	// produced the plan so the cost-coherence analyzer (P3) can check
 	// the branch-and-bound bookkeeping: a pruned round's recorded cost
@@ -109,6 +122,9 @@ func PlanAnalyzers() []*PlanAnalyzer {
 		{Name: "rebuilt-cached-subexpression", Code: "P6",
 			Doc: "no subplan recomputes a subexpression whose materialized result the active session cache holds",
 			run: runRebuiltCached},
+		{Name: "rebuilt-workload-subexpression", Code: "P7",
+			Doc: "no subplan recomputes a subexpression the workload's chosen materialization set covers",
+			run: runRebuiltWorkload},
 	}
 }
 
@@ -274,7 +290,10 @@ func runCostCoherence(c *planCtx) {
 		}
 		return
 	}
-	if c.cfg.Consolidated && dag > tree*(1+eps) {
+	// A workload-forced materialization deliberately costs this plan
+	// more than recomputing (build + spool read for one consumer); the
+	// payoff lives in other scripts, so dominance only holds unforced.
+	if c.cfg.Consolidated && len(c.cfg.ForcedFPs) == 0 && dag > tree*(1+eps) {
 		c.addf(a, Error, c.root,
 			"DAG cost %.1f exceeds tree cost %.1f; a consolidated shared plan must never cost more than recomputing every consumer",
 			dag, tree)
@@ -314,6 +333,11 @@ func runCostCoherence(c *planCtx) {
 	}
 	for k, r := range reads {
 		if r < 2 {
+			// A workload-forced spool is built for consumers in *other*
+			// scripts of the batch; one in-plan read is legitimate.
+			if n := repr[k]; len(n.Children) == 1 && c.cfg.ForcedFPs[n.Children[0].FP] {
+				continue
+			}
 			c.addf(a, Error, repr[k],
 				"spool materialization of shared group G%d is read %g time(s) under DAG semantics; sharing requires at least two consumers",
 				repr[k].Group, r)
@@ -472,6 +496,36 @@ func runRebuiltCached(c *planCtx) {
 		if c.cfg.CacheHolds(n.FP) {
 			c.addf(a, Warning, n,
 				"subplan %q (fp=%x) is recomputed although the session cache holds its materialized result",
+				n.Op.Sig(), n.FP)
+		}
+	}
+}
+
+// runRebuiltWorkload is P7: when a workload-level MQO selection chose
+// a subexpression for materialization, an enacted per-script plan that
+// recomputes it from scratch defeats the global decision — the builder
+// paid the persist cost and this consumer ignores the artifact. It
+// generalizes P6 from "the session cache happens to hold it" to "the
+// workload's chosen set is supposed to cover it". Like P6 this is a
+// warning: the CacheScan candidate can lose legitimately when the
+// recorded layout needs expensive compensation. The spool funneling a
+// forced build of the subexpression itself is exempt via ForcedFPs
+// semantics at the caller (WorkloadCovered excludes the plan's own
+// build targets).
+func runRebuiltWorkload(c *planCtx) {
+	a := PlanAnalyzers()[6]
+	if c.cfg.WorkloadCovered == nil {
+		return
+	}
+	seen := map[uint64]bool{}
+	for _, n := range c.nodes { // topo order: parents first
+		if !computationRoot(n) || n.FP == 0 || seen[n.FP] {
+			continue
+		}
+		seen[n.FP] = true
+		if c.cfg.WorkloadCovered(n.FP) {
+			c.addf(a, Warning, n,
+				"subplan %q (fp=%x) is recomputed although the workload's chosen materialization set covers it",
 				n.Op.Sig(), n.FP)
 		}
 	}

@@ -1,0 +1,125 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/plan"
+	"repro/internal/relop"
+)
+
+// TestP7RebuiltWorkloadSubexpression: when the workload's chosen
+// materialization set covers a subexpression, an enacted plan that
+// recomputes it from scratch must warn — once per fingerprint.
+func TestP7RebuiltWorkloadSubexpression(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, _ := sharedSpool(t, res.Plan)
+	target := sp.Children[0]
+	if target.FP == 0 {
+		t.Fatal("spool child should carry a fingerprint")
+	}
+	cfg.WorkloadCovered = func(fp uint64) bool { return fp == target.FP }
+
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	found := 0
+	for _, d := range r.Diags {
+		if d.Code == "P7" {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Fatalf("P7 fired %d time(s), want exactly 1; findings:\n%s", found, r)
+	}
+}
+
+// TestP7SilentWithoutProbeOrMatch: no workload probe installed, or a
+// probe that covers nothing, must produce no P7 findings.
+func TestP7SilentWithoutProbeOrMatch(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	for _, d := range r.Diags {
+		if d.Code == "P7" {
+			t.Fatalf("P7 fired without a workload probe: %s", d)
+		}
+	}
+	cfg.WorkloadCovered = func(uint64) bool { return false }
+	r = lint.AnalyzePlan(res.Plan, cfg)
+	for _, d := range r.Diags {
+		if d.Code == "P7" {
+			t.Fatalf("P7 fired although the workload covers nothing: %s", d)
+		}
+	}
+}
+
+// TestP7SkipsCacheScans: a plan that reads the workload artifact
+// through a CacheScan honors the global decision — no finding.
+func TestP7SkipsCacheScans(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, _ := sharedSpool(t, res.Plan)
+	target := sp.Children[0]
+	sp.Children[0] = &plan.Node{
+		Op: &relop.PhysCacheScan{
+			Path:    "__mqo/x",
+			Columns: target.Schema,
+			Part:    target.Dlvd.Part,
+			Order:   target.Dlvd.Order,
+			FP:      target.FP,
+		},
+		Group:  target.Group,
+		CtxKey: target.CtxKey,
+		Schema: target.Schema,
+		Rel:    target.Rel,
+		Dlvd:   target.Dlvd,
+		FP:     target.FP,
+	}
+	cfg.WorkloadCovered = func(fp uint64) bool { return fp == target.FP }
+	// The mutation can upset other analyzers (cost coherence); only
+	// P7's behavior is under test.
+	r := lint.AnalyzePlan(res.Plan, cfg)
+	for _, d := range r.Diags {
+		if d.Code == "P7" {
+			t.Fatalf("P7 flagged a plan that reads the workload artifact: %s", d)
+		}
+	}
+}
+
+// TestP3ExemptsForcedSpools: a spool the workload forced onto a
+// single-consumer plan violates P3's read-multiplicity and DAG≤tree
+// expectations by design — the extra readers live in other scripts.
+// With the spool's input registered in ForcedFPs both checks stand
+// down; without it they fire as before.
+func TestP3ExemptsForcedSpools(t *testing.T) {
+	res, cfg := optimizeS1(t)
+	sp, parents := sharedSpool(t, res.Plan)
+	target := sp.Children[0]
+	// Detach the spool from all but its first consumer, leaving a
+	// single-read spool — the shape a forced materialization has in a
+	// builder script that consumes the subexpression once.
+	detached := false
+	for _, p := range parents {
+		for i, c := range p.Children {
+			if c == sp && detached {
+				p.Children[i] = target
+			} else if c == sp {
+				detached = true
+			}
+		}
+	}
+
+	p3 := func(cfg lint.PlanConfig) int {
+		n := 0
+		for _, d := range lint.AnalyzePlan(res.Plan, cfg).Diags {
+			if d.Code == "P3" {
+				n++
+			}
+		}
+		return n
+	}
+	if got := p3(cfg); got == 0 {
+		t.Fatal("single-read spool without ForcedFPs should trip P3")
+	}
+	cfg.ForcedFPs = map[uint64]bool{target.FP: true}
+	if got := p3(cfg); got != 0 {
+		t.Fatalf("forced spool still tripped P3 %d time(s)", got)
+	}
+}

@@ -1,0 +1,288 @@
+package mqo
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/props"
+	"repro/internal/relop"
+)
+
+// entryInfo is one hypothetical cached artifact during cost-only
+// evaluation: the CacheEntry a consumer's optimizer would see, plus
+// the cost-model quantities selection needs — what a consumer pays to
+// read it, what the builder pays to compute it, and its estimated
+// size.
+type entryInfo struct {
+	ce    opt.CacheEntry
+	sig   string
+	build float64
+	read  float64
+	bytes int64
+}
+
+// layout renders the entry for memoization keys: two evaluations of a
+// script against virtually identical caches must share one result.
+func (e entryInfo) layout() string {
+	return fmt.Sprintf("%s|%v|%v", e.ce.Path, e.ce.Part, e.ce.Order)
+}
+
+// virtualCache implements opt.ResultCache over a fixed entry set — no
+// files exist; the optimizer only needs paths, schemas, and layouts
+// to cost CacheScan alternatives.
+type virtualCache struct {
+	entries map[opt.ForceKey]entryInfo
+}
+
+func (v virtualCache) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEntry, bool) {
+	e, ok := v.entries[opt.ForceKey{FP: fp, Sig: sig}]
+	if !ok || !reflect.DeepEqual(e.ce.Schema, schema) {
+		return opt.CacheEntry{}, false
+	}
+	return e.ce, true
+}
+
+func (v virtualCache) Holds(fp uint64) bool {
+	for k := range v.entries {
+		if k.FP == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// scriptEval is the memoized outcome of optimizing one script against
+// one hypothetical cache state and forced-materialization set.
+type scriptEval struct {
+	cost float64
+	// spooled maps every distinct spooled subexpression of the chosen
+	// plan (natural and forced) to its materialization info — the
+	// builder-side view selection and the baseline simulation feed on.
+	spooled map[opt.ForceKey]entryInfo
+	err     error
+}
+
+// Evaluator prices hypothetical materialization sets for a DAG. It is
+// safe for concurrent use: evaluations of distinct (script, cache
+// state, forced set) triples run in parallel and are memoized, so the
+// greedy heap seeding, the oracle's subset sweep, and re-costing
+// after each commit all share work. Every evaluation builds a fresh
+// memo (optimization mutates it), so the DAG itself is never touched.
+type Evaluator struct {
+	dag   *DAG
+	opts  opt.Options
+	model cost.Model
+
+	mu    sync.Mutex
+	memo  map[string]*scriptEval // guarded by mu
+	evals int                    // guarded by mu
+}
+
+// NewEvaluator wraps a DAG with a cost evaluator using the given
+// optimizer options (cluster, rules, ablation toggles). CSE stays on
+// — forced materialization rides on it — and any session cache,
+// tracer, or lint setting is stripped: evaluation is hypothetical.
+func NewEvaluator(dag *DAG, opts opt.Options) *Evaluator {
+	opts.EnableCSE = true
+	opts.Cache = nil
+	opts.Tracer = nil
+	opts.Lint = false
+	opts.ForceMaterialize = nil
+	opts.WorkloadCovered = nil
+	return &Evaluator{
+		dag:   dag,
+		opts:  opts,
+		model: cost.NewModel(opts.Cluster),
+		memo:  map[string]*scriptEval{},
+	}
+}
+
+// Evals returns how many optimizer invocations the evaluator has run
+// (memoization cache misses) — the search-effort figure experiments
+// report.
+func (e *Evaluator) Evals() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+// SetCost is the workload cost of one materialization set.
+type SetCost struct {
+	// Total = sum of per-script plan costs + persist charges.
+	Total float64
+	// PerScript are the individual script plan costs in batch order.
+	PerScript []float64
+	// Persist is the total artifact-write charge, priced like one
+	// consumer read per artifact — mirroring the session's admission
+	// formula.
+	Persist float64
+	// Bytes is the estimated artifact payload of the set.
+	Bytes int64
+}
+
+// EvalSet prices the workload under a hypothetical materialization
+// set: scripts are evaluated in batch order; each selected group is
+// force-materialized by its builder (the earliest script containing
+// it) and offered as a virtual cache entry to every later script.
+// Returns an error when some selected group cannot be materialized by
+// its builder's plan (the selector treats that group as infeasible).
+func (e *Evaluator) EvalSet(set map[opt.ForceKey]bool) (*SetCost, error) {
+	chosen := e.chosenOrder(set)
+	entries := map[opt.ForceKey]entryInfo{}
+	out := &SetCost{PerScript: make([]float64, len(e.dag.Scripts))}
+	for i := range e.dag.Scripts {
+		var forced []opt.ForceKey
+		for _, g := range chosen {
+			if g.Builder() == i {
+				forced = append(forced, g.Key)
+			}
+		}
+		se := e.evalScript(i, forced, entries)
+		if se.err != nil {
+			return nil, se.err
+		}
+		out.PerScript[i] = se.cost
+		out.Total += se.cost
+		for _, k := range forced {
+			info, ok := se.spooled[k]
+			if !ok {
+				return nil, fmt.Errorf("mqo: script %d plan did not materialize %016x|%s",
+					i, k.FP, k.Sig)
+			}
+			entries[k] = info
+			out.Persist += info.read
+			out.Bytes += info.bytes
+		}
+	}
+	out.Total += out.Persist
+	return out, nil
+}
+
+// chosenOrder resolves a key set to its candidate groups in the DAG's
+// deterministic candidate order.
+func (e *Evaluator) chosenOrder(set map[opt.ForceKey]bool) []*MergedGroup {
+	var out []*MergedGroup
+	for _, g := range e.dag.Candidates {
+		if set[g.Key] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// evalScript optimizes script i against a hypothetical cache state,
+// force-materializing the given keys, and returns the memoized
+// outcome. forced must be in deterministic order; avail is read, not
+// retained.
+func (e *Evaluator) evalScript(i int, forced []opt.ForceKey, avail map[opt.ForceKey]entryInfo) *scriptEval {
+	key := evalKey(i, forced, avail)
+	e.mu.Lock()
+	if se, ok := e.memo[key]; ok {
+		e.mu.Unlock()
+		return se
+	}
+	e.mu.Unlock()
+
+	se := e.runScript(i, forced, avail)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// A concurrent evaluation may have raced us here; both computed
+	// the same pure function, so either result is fine.
+	if prior, ok := e.memo[key]; ok {
+		return prior
+	}
+	e.memo[key] = se
+	e.evals++
+	return se
+}
+
+func (e *Evaluator) runScript(i int, forced []opt.ForceKey, avail map[opt.ForceKey]entryInfo) *scriptEval {
+	m, err := logical.BuildSource(e.dag.Scripts[i].Src, e.dag.Cat)
+	if err != nil {
+		return &scriptEval{err: err}
+	}
+	o := e.opts
+	if len(forced) > 0 {
+		o.ForceMaterialize = map[opt.ForceKey]bool{}
+		for _, k := range forced {
+			o.ForceMaterialize[k] = true
+		}
+	}
+	if len(avail) > 0 {
+		vc := virtualCache{entries: make(map[opt.ForceKey]entryInfo, len(avail))}
+		for k, v := range avail {
+			vc.entries[k] = v
+		}
+		o.Cache = vc
+	}
+	res, err := opt.Optimize(m, o)
+	if err != nil {
+		return &scriptEval{err: err}
+	}
+	se := &scriptEval{cost: res.Cost, spooled: map[opt.ForceKey]entryInfo{}}
+	for _, sp := range plan.FindAll(res.Plan, relop.KindPhysSpool) {
+		child := sp.Children[0]
+		if child.Dlvd.Part.Kind == props.PartBroadcast {
+			continue
+		}
+		sig := res.Sigs[child.Group]
+		if child.FP == 0 || sig == "" {
+			continue
+		}
+		k := opt.ForceKey{FP: child.FP, Sig: sig}
+		if _, dup := se.spooled[k]; dup {
+			continue
+		}
+		se.spooled[k] = entryInfo{
+			ce: opt.CacheEntry{
+				// Deterministic virtual path: identity + builder.
+				Path:   fmt.Sprintf("__mqo/%016x-%d", child.FP, i),
+				Schema: child.Schema,
+				Part:   child.Dlvd.Part,
+				Order:  child.Dlvd.Order,
+				FP:     child.FP,
+			},
+			sig:   sig,
+			build: plan.TreeCost(sp),
+			read:  e.model.SpoolReadCost(child.Rel, child.Dlvd.Part),
+			bytes: child.Rel.Bytes(),
+		}
+	}
+	return se
+}
+
+// evalKey canonically renders an evaluation's inputs. Available
+// entries are keyed with their layouts: the same identity
+// materialized under different physical properties is a different
+// cache state.
+func evalKey(i int, forced []opt.ForceKey, avail map[opt.ForceKey]entryInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d", i)
+	b.WriteString("|F")
+	for _, k := range forced {
+		fmt.Fprintf(&b, ";%016x|%s", k.FP, k.Sig)
+	}
+	keys := make([]opt.ForceKey, 0, len(avail))
+	for k := range avail {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, c int) bool {
+		if keys[a].FP != keys[c].FP {
+			return keys[a].FP < keys[c].FP
+		}
+		return keys[a].Sig < keys[c].Sig
+	})
+	b.WriteString("|A")
+	for _, k := range keys {
+		fmt.Fprintf(&b, ";%016x|%s|%s", k.FP, k.Sig, avail[k].layout())
+	}
+	return b.String()
+}

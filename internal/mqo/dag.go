@@ -1,0 +1,160 @@
+// Package mqo implements workload-level multi-query optimization on
+// top of the paper's per-script CSE framework: a batch of scripts is
+// compiled into one merged AND-OR DAG by unioning the per-script
+// memos on subexpression identity (Definition-1 fingerprint plus
+// canonical signature), and a global materialization set is chosen
+// under a storage budget — each selected subexpression is built once
+// by its earliest script and read by every other consumer script,
+// even ones that use it only a single time and would never
+// materialize it under the session's local admission policy.
+//
+// Selection follows the greedy benefit/cost heuristic of Roy et al.
+// in its lazy "monotone sharing benefit" variant (Kathuria &
+// Sudarshan): candidate benefits are kept in a priority queue and
+// only the top is re-costed against the currently chosen set, which
+// is exact under the monotonicity assumption and a close
+// approximation otherwise. An exhaustive enumerator over all subsets
+// serves as the test oracle for small DAGs, and the session's own
+// per-script admission policy is simulated as the ablation baseline;
+// Select returns whichever of greedy and baseline is cheaper, so the
+// global choice never loses to local greedy under the same costing.
+//
+// Enactment reuses the existing sharing machinery end to end: chosen
+// keys are preadmitted into the session cache (owner "mqo"), builder
+// scripts force-materialize them through ordinary spools, and
+// consumer scripts pick the artifacts up as CacheScan offers — so an
+// enacted batch produces bit-identical results to independent runs.
+package mqo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/opt"
+	"repro/internal/relop"
+	"repro/internal/stats"
+)
+
+// Script is one named scope script of the workload batch.
+type Script struct {
+	Name string
+	Src  string
+}
+
+// MergedGroup is one node of the merged AND-OR DAG: a subexpression
+// identity together with the set of scripts that compute it. Scripts
+// is sorted; the first is the designated builder when the group is
+// selected for materialization.
+type MergedGroup struct {
+	Key opt.ForceKey
+	// Kind names the subexpression's root operator (diagnostics).
+	Kind string
+	// Scripts are the indices (into DAG.Scripts) of the scripts whose
+	// memos contain the subexpression, sorted ascending.
+	Scripts []int
+	// Schema and Rel are the subexpression's output schema and
+	// estimated statistics, taken from its first occurrence (identical
+	// across occurrences by construction — the identity hashes the
+	// whole logical subtree).
+	Schema relop.Schema
+	Rel    stats.Relation
+}
+
+// Builder is the script designated to materialize the group: its
+// earliest consumer, which runs first in batch order.
+func (g *MergedGroup) Builder() int { return g.Scripts[0] }
+
+// Bytes estimates the materialized artifact's size from the
+// subexpression's statistics — the quantity the storage budget bounds.
+func (g *MergedGroup) Bytes() int64 { return g.Rel.Bytes() }
+
+// DAG is the merged AND-OR DAG of a workload batch.
+type DAG struct {
+	Scripts []Script
+	Cat     *stats.Catalog
+	// Groups is the full union, keyed by subexpression identity.
+	Groups map[opt.ForceKey]*MergedGroup
+	// Candidates are the groups appearing in at least two scripts —
+	// the only ones whose materialization can beat per-script CSE,
+	// which already handles sharing within one script. Sorted by
+	// (fingerprint, signature) for deterministic selection.
+	Candidates []*MergedGroup
+}
+
+// BuildDAG compiles every script against cat and unions the resulting
+// memos on fingerprint + canonical signature. Extract leaves are
+// excluded (caching a raw scan shares no computation), as are
+// side-effecting and plumbing operators (Output, Sequence, Spool).
+//
+// Identity is computed after within-script CSE identification, not on
+// the raw memo: Algorithm 1's spool insertion changes the
+// fingerprints of every ancestor of a shared subexpression, and the
+// session cache keys artifacts by those post-identification values —
+// a DAG keyed on raw fingerprints would select groups whose artifacts
+// no consumer lookup can ever match.
+func BuildDAG(scripts []Script, cat *stats.Catalog) (*DAG, error) {
+	if len(scripts) == 0 {
+		return nil, fmt.Errorf("mqo: empty workload")
+	}
+	d := &DAG{Scripts: scripts, Cat: cat, Groups: map[opt.ForceKey]*MergedGroup{}}
+	for i, sc := range scripts {
+		m, err := logical.BuildSource(sc.Src, cat)
+		if err != nil {
+			return nil, fmt.Errorf("mqo: script %q: %w", sc.Name, err)
+		}
+		core.IdentifyCommonSubexpressions(m)
+		fps := core.Fingerprints(m)
+		sigs := core.CanonicalSignatures(m)
+		seen := map[opt.ForceKey]bool{}
+		for _, g := range m.Groups() {
+			if !mergeable(g) {
+				continue
+			}
+			key := opt.ForceKey{FP: fps[g.ID], Sig: sigs[g.ID]}
+			if key.FP == 0 || key.Sig == "" || seen[key] {
+				continue
+			}
+			seen[key] = true
+			mg, ok := d.Groups[key]
+			if !ok {
+				mg = &MergedGroup{
+					Key:    key,
+					Kind:   g.Exprs[0].Op.Kind().String(),
+					Schema: g.Props.Schema,
+					Rel:    g.Props.Rel,
+				}
+				d.Groups[key] = mg
+			}
+			mg.Scripts = append(mg.Scripts, i)
+		}
+	}
+	for _, mg := range d.Groups {
+		if len(mg.Scripts) >= 2 {
+			d.Candidates = append(d.Candidates, mg)
+		}
+	}
+	sort.Slice(d.Candidates, func(i, j int) bool {
+		a, b := d.Candidates[i].Key, d.Candidates[j].Key
+		if a.FP != b.FP {
+			return a.FP < b.FP
+		}
+		return a.Sig < b.Sig
+	})
+	return d, nil
+}
+
+// mergeable reports whether a memo group is a sharing candidate:
+// a real computation, not a leaf scan or plumbing.
+func mergeable(g *memo.Group) bool {
+	if g.Dead || len(g.Exprs) == 0 {
+		return false
+	}
+	switch g.Exprs[0].Op.Kind() {
+	case relop.KindExtract, relop.KindSpool, relop.KindOutput, relop.KindSequence:
+		return false
+	}
+	return true
+}

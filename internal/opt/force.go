@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/plan"
+	"repro/internal/relop"
+)
+
+// ForceKey identifies one subexpression across scripts: the
+// Definition-1 fingerprint plus the canonical signature that
+// disambiguates the fingerprint's kind-XOR collisions. It is the key
+// both for forced materializations (Options.ForceMaterialize) and for
+// the per-subexpression costs Result.SubexprCosts exposes.
+type ForceKey struct {
+	FP  uint64
+	Sig string
+}
+
+// forceMaterializations wraps every live group matching a
+// ForceMaterialize key in a shared Spool, so the chosen plan
+// materializes it even when this script consumes it only once (the
+// extra consumers live in other scripts of a workload batch). Runs
+// after Algorithm 1 — whose garbage collection elides single-consumer
+// spools — and before the final fingerprint pass, because spool
+// insertion changes ancestor fingerprints. Returns how many groups
+// were newly funneled through a spool.
+func (o *Optimizer) forceMaterializations() int {
+	fps := core.Fingerprints(o.m)
+	sigs := core.CanonicalSignatures(o.m)
+	var ids []memo.GroupID
+	for _, g := range o.m.Groups() {
+		if o.opts.ForceMaterialize[ForceKey{FP: fps[g.ID], Sig: sigs[g.ID]}] {
+			ids = append(ids, g.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	forced := 0
+	for _, id := range ids {
+		if core.ForceSpool(o.m, id) != memo.NoGroup {
+			forced++
+		}
+	}
+	return forced
+}
+
+// forcedFPs returns the fingerprint set of the forced
+// materializations, for the lint analyzers: a forced spool may
+// legitimately have a single consumer in this plan, which the P3
+// read-multiplicity check would otherwise flag.
+func (o *Optimizer) forcedFPs() map[uint64]bool {
+	if len(o.opts.ForceMaterialize) == 0 {
+		return nil
+	}
+	out := map[uint64]bool{}
+	for k := range o.opts.ForceMaterialize {
+		out[k.FP] = true
+	}
+	return out
+}
+
+// SubexprCosts returns, for every distinct subexpression computed by
+// the chosen plan, the tree cost of the subplan that computes it —
+// the "build" side of the admission formula, keyed by fingerprint +
+// canonical signature. Enforcers above the computation are included
+// (the topmost node carrying the fingerprint wins); CacheScans,
+// spools, and terminal operators are excluded, since they read or
+// route a result rather than compute it. Workload-level selection
+// (internal/mqo) seeds its benefit heap from these.
+func (r *Result) SubexprCosts() map[ForceKey]float64 {
+	out := map[ForceKey]float64{}
+	if r.Plan == nil {
+		return out
+	}
+	for _, n := range plan.Operators(r.Plan) { // topo order: parents first
+		switch n.Op.(type) {
+		case *relop.PhysCacheScan, *relop.PhysSpool, *relop.PhysOutput, *relop.PhysSequence:
+			continue
+		}
+		if n.FP == 0 {
+			continue
+		}
+		sig := r.Sigs[n.Group]
+		if sig == "" {
+			continue
+		}
+		k := ForceKey{FP: n.FP, Sig: sig}
+		if _, seen := out[k]; !seen {
+			out[k] = plan.TreeCost(n)
+		}
+	}
+	return out
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/logical"
 	"repro/internal/memo"
+	"repro/internal/mqo"
 	"repro/internal/obs"
 	"repro/internal/relop"
 	"repro/internal/share"
@@ -93,6 +94,16 @@ type Config struct {
 	// TenantCacheBytes caps each tenant's share of the result cache;
 	// admissions past it are discarded and counted (0 = unlimited).
 	TenantCacheBytes int64
+	// MQO switches the batching window to workload-level planning:
+	// each batch is merged into one AND-OR DAG and a global
+	// materialization set is chosen (internal/mqo) and preadmitted
+	// before the batch dispatches, so cross-script subexpressions the
+	// local admission formula would reject still materialize when the
+	// workload as a whole profits.
+	MQO bool
+	// MQOBudget bounds the chosen set's estimated artifact bytes
+	// (0 = unlimited). Only meaningful with MQO.
+	MQOBudget int64
 	// Obs receives the server's metrics (nil = a private registry).
 	Obs *obs.Registry
 }
@@ -229,6 +240,21 @@ func (s *Server) flushLocked() {
 	if len(batch) == 0 {
 		return
 	}
+	if s.cfg.MQO {
+		// Workload planning runs optimizer evaluations; move it off
+		// the lock. The batch's own wg slot keeps Shutdown's Wait from
+		// completing before the group Adds inside dispatchMQO happen.
+		s.wg.Add(1)
+		go s.dispatchMQO(batch)
+		return
+	}
+	s.dispatchGroups(batch)
+}
+
+// dispatchGroups folds a batch and launches its groups. Called with
+// s.mu held (plain mode) or from a wg-counted goroutine (MQO mode) —
+// either ordering keeps every Add ahead of Shutdown's Wait.
+func (s *Server) dispatchGroups(batch []*request) {
 	groups := foldGroups(batch, s.sess.Cache())
 	s.reg.Counter("serve.batches").Add(1)
 	s.reg.Counter("serve.groups").Add(int64(len(groups)))
@@ -239,6 +265,37 @@ func (s *Server) flushLocked() {
 		s.wg.Add(1)
 		go s.runGroup(g)
 	}
+}
+
+// dispatchMQO plans a batch as one workload before dispatching it:
+// the scripts' memos merge into an AND-OR DAG, a global
+// materialization set is selected under the configured budget, and
+// the chosen keys are preadmitted — builder runs force-materialize
+// them (owner share.MQOOwner, outside tenant quotas) and every other
+// consumer reads the artifacts from the cache. Folding then groups
+// the scripts that share uncovered subexpressions so exactly one run
+// builds each artifact. Planning failures degrade to plain dispatch:
+// the batch still runs, just without a workload-level set.
+func (s *Server) dispatchMQO(batch []*request) {
+	defer s.wg.Done()
+	s.reg.Counter("serve.mqo_batches").Add(1)
+	scripts := make([]mqo.Script, len(batch))
+	for i, req := range batch {
+		scripts[i] = mqo.Script{Name: fmt.Sprintf("q%d", i), Src: req.script}
+	}
+	if dag, err := mqo.BuildDAG(scripts, s.cfg.Catalog); err == nil && len(dag.Candidates) > 0 {
+		ev := mqo.NewEvaluator(dag, s.sess.Options())
+		sel, err := mqo.Select(ev, mqo.Config{
+			Budget:        s.cfg.MQOBudget,
+			ExpectedReuse: s.cfg.ExpectedReuse,
+		})
+		if err == nil && len(sel.Keys) > 0 {
+			s.sess.Preadmit(sel.Keys)
+			s.reg.Counter("serve.mqo_chosen").Add(int64(len(sel.Keys)))
+			s.reg.Counter("serve.mqo_chosen_bytes").Add(sel.Bytes)
+		}
+	}
+	s.dispatchGroups(batch)
 }
 
 // runGroup executes one folded group under the in-flight bound. The

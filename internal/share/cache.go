@@ -49,6 +49,15 @@ type entry struct {
 	// untagged sessions); per-tenant byte accounting and quotas key
 	// on it.
 	owner string
+	// hits counts runs that planned against this entry (one per run,
+	// not per optimizer lookup — the session dedupes). Together with
+	// build and read — the admission formula's sides recorded at Put —
+	// it drives benefit-aware eviction: evicting a frequently hit,
+	// expensive-to-rebuild artifact loses hits×(build−read) of future
+	// savings per byte freed.
+	hits  int64
+	build float64
+	read  float64
 }
 
 // Stats summarizes cache state and activity.
@@ -62,6 +71,14 @@ type Stats struct {
 	Insertions    int64
 	Evictions     int64
 	Invalidations int64
+	// Hits counts run-level uses of cached entries (each run counts a
+	// planned-against entry once).
+	Hits int64
+	// ReuseTracked is the number of distinct subexpression identities
+	// with recorded demand history (hits + admission-time misses); the
+	// admission formula feeds on it in place of the static
+	// ExpectedReuse scalar.
+	ReuseTracked int
 }
 
 // Cache is a fingerprint-keyed store of materialized results. It
@@ -88,6 +105,12 @@ type Cache struct {
 	orphans map[string]bool // guarded by mu
 	// ownerBytes is the current cached payload per admitting tenant.
 	ownerBytes map[string]int64 // guarded by mu
+	// demand is the observed per-subexpression reuse history, keyed by
+	// fingerprint|signature: one count per run that either planned
+	// against the entry (a hit) or materialized the subexpression anew
+	// (an admission-time miss). It outlives evictions — history is
+	// about the subexpression, not the artifact.
+	demand map[string]int64 // guarded by mu
 }
 
 // DefaultCacheBytes is the cache-size bound used when none is given.
@@ -106,7 +129,59 @@ func NewCache(fs *exec.FileStore, cat *stats.Catalog, maxBytes int64) *Cache {
 		pins:       map[string]int{},
 		orphans:    map[string]bool{},
 		ownerBytes: map[string]int64{},
+		demand:     map[string]int64{},
 	}
+}
+
+// demandKey identifies a subexpression for reuse history: fingerprint
+// plus canonical signature, schema-independent.
+func demandKey(fp uint64, sig string) string {
+	return fmt.Sprintf("%016x|%s", fp, sig)
+}
+
+// NoteUse records that one run planned against the entry for (fp,
+// sig, schema): it bumps the entry's hit count and the
+// subexpression's demand history. Sessions call it once per run per
+// distinct entry (the optimizer may look an entry up many times while
+// exploring contexts; those repeats are not independent reuses).
+func (c *Cache) NoteUse(fp uint64, sig string, schema relop.Schema) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[cacheKey(fp, sig, schemaKey(schema))]; ok {
+		e.hits++
+		c.stats.Hits++
+	}
+	c.demand[demandKey(fp, sig)]++
+}
+
+// NoteDemand records that one run needed the subexpression but found
+// no cached artifact (an admission-time miss). Misses count toward
+// reuse history exactly like hits: both are evidence a future script
+// will want the result.
+func (c *Cache) NoteDemand(fp uint64, sig string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.demand[demandKey(fp, sig)]++
+}
+
+// ObservedReuse returns how many past runs demanded the subexpression
+// (hits plus admission-time misses). Zero means no history — the
+// session falls back to its configured ExpectedReuse scalar.
+func (c *Cache) ObservedReuse(fp uint64, sig string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.demand[demandKey(fp, sig)]
+}
+
+// Hits returns the run-level hit count of the entry for (fp, sig,
+// schema), or 0 when absent.
+func (c *Cache) Hits(fp uint64, sig string, schema relop.Schema) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[cacheKey(fp, sig, schemaKey(schema))]; ok {
+		return e.hits
+	}
+	return 0
 }
 
 // schemaKey canonically renders a schema for key comparison.
@@ -289,15 +364,19 @@ func (c *Cache) Contains(fp uint64, sig string, schema relop.Schema) bool {
 }
 
 // Put admits one materialized artifact under the given owner tenant
-// ("" for untagged), then evicts least-recently-used entries until
-// the cache fits its byte bound. Re-admitting an existing key
-// replaces the old entry (and artifact) first.
-func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source, owner string) {
+// ("" for untagged), recording the admission formula's build and read
+// costs for benefit-aware eviction, then evicts lowest-benefit
+// entries until the cache fits its byte bound. Re-admitting an
+// existing key replaces the old entry (and artifact) first but keeps
+// its hit count — the subexpression's popularity survives a refresh.
+func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source, owner string, build, read float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	sk := schemaKey(ce.Schema)
 	k := cacheKey(ce.FP, sig, sk)
+	var hits int64
 	if old, ok := c.entries[k]; ok {
+		hits = old.hits
 		delete(c.entries, k)
 		c.bytes -= old.bytes
 		c.ownerBytes[old.owner] -= old.bytes
@@ -317,19 +396,56 @@ func (c *Cache) Put(ce opt.CacheEntry, sig string, bytes int64, sources []Source
 		sources:    sources,
 		lastUse:    c.clock,
 		owner:      owner,
+		hits:       hits,
+		build:      build,
+		read:       read,
 	}
 	c.bytes += bytes
 	c.ownerBytes[owner] += bytes
 	c.stats.Insertions++
 	for c.bytes > c.maxBytes && len(c.entries) > 0 {
-		lru, min := "", int64(0)
-		for ek, e := range c.entries {
-			if lru == "" || e.lastUse < min {
-				lru, min = ek, e.lastUse
-			}
-		}
-		c.dropLocked(lru, false)
+		c.dropLocked(c.victimLocked(), false)
 	}
+}
+
+// benefitScore is the eviction weight of an entry: the modeled future
+// savings per byte of keeping it — hits × (build − read) normalized
+// by artifact size. A never-hit entry counts as one presumed future
+// use (admission already judged it worth persisting), so a freshly
+// admitted artifact is not instantly dumped from a cache full of
+// proven entries; entries whose rebuild is no dearer than reading the
+// artifact score zero and go first. Caller holds c.mu.
+func benefitScore(e *entry) float64 {
+	saving := e.build - e.read
+	if saving < 0 {
+		saving = 0
+	}
+	b := e.bytes
+	if b < 1 {
+		b = 1
+	}
+	h := e.hits
+	if h < 1 {
+		h = 1
+	}
+	return float64(h) * saving / float64(b)
+}
+
+// victimLocked picks the eviction victim: the lowest benefit score,
+// ties broken least-recently-used — pure LRU degrades gracefully when
+// no entry has demonstrated value yet. Caller holds c.mu and
+// guarantees the cache is non-empty.
+func (c *Cache) victimLocked() string {
+	victim := ""
+	var vScore float64
+	var vUse int64
+	for ek, e := range c.entries {
+		s := benefitScore(e)
+		if victim == "" || s < vScore || (s == vScore && e.lastUse < vUse) {
+			victim, vScore, vUse = ek, s, e.lastUse
+		}
+	}
+	return victim
 }
 
 // SourcesByPath returns the recorded sources of the entry whose
@@ -362,5 +478,6 @@ func (c *Cache) Stats() Stats {
 	s := c.stats
 	s.Entries = len(c.entries)
 	s.Bytes = c.bytes
+	s.ReuseTracked = len(c.demand)
 	return s
 }

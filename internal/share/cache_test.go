@@ -42,7 +42,7 @@ func entryFor(fs *exec.FileStore, cat *stats.Catalog, fp uint64, path string, ro
 func TestCacheLookupMatchesAllThreeKeys(t *testing.T) {
 	c, fs, cat := cacheFixture(0)
 	ce, src := entryFor(fs, cat, 42, "__cache/a", 3)
-	c.Put(ce, "sig-a", 100, src, "")
+	c.Put(ce, "sig-a", 100, src, "", 0, 0)
 
 	if _, ok := c.Lookup(42, "sig-a", ce.Schema); !ok {
 		t.Error("exact key should hit")
@@ -70,7 +70,7 @@ func TestCacheLookupMatchesAllThreeKeys(t *testing.T) {
 func TestCacheInvalidationOnVersionAndEpoch(t *testing.T) {
 	c, fs, cat := cacheFixture(0)
 	ce, src := entryFor(fs, cat, 1, "__cache/v", 3)
-	c.Put(ce, "s", 10, src, "")
+	c.Put(ce, "s", 10, src, "", 0, 0)
 
 	artifact(fs, "src.log", 1) // bump the source's content version
 	if _, ok := c.Lookup(1, "s", ce.Schema); ok {
@@ -84,7 +84,7 @@ func TestCacheInvalidationOnVersionAndEpoch(t *testing.T) {
 	}
 
 	ce2, src2 := entryFor(fs, cat, 2, "__cache/e", 3)
-	c.Put(ce2, "s", 10, src2, "")
+	c.Put(ce2, "s", 10, src2, "", 0, 0)
 	cat.Put("src.log", &stats.TableStats{Rows: 1}) // bump the stats epoch
 	if c.Holds(2) {
 		t.Error("entry must be invalid after its source's stats epoch changed")
@@ -95,7 +95,7 @@ func TestCacheEvictionBySize(t *testing.T) {
 	c, fs, cat := cacheFixture(250)
 	for i := 0; i < 3; i++ {
 		ce, src := entryFor(fs, cat, uint64(i+1), fmt.Sprintf("__cache/%d", i), 3)
-		c.Put(ce, "s", 100, src, "")
+		c.Put(ce, "s", 100, src, "", 0, 0)
 	}
 	st := c.Stats()
 	if st.Bytes > 250 {
@@ -119,15 +119,15 @@ func TestCacheEvictionBySize(t *testing.T) {
 func TestCacheLRURefreshOnLookup(t *testing.T) {
 	c, fs, cat := cacheFixture(250)
 	ce1, src1 := entryFor(fs, cat, 1, "__cache/1", 3)
-	c.Put(ce1, "s", 100, src1, "")
+	c.Put(ce1, "s", 100, src1, "", 0, 0)
 	ce2, src2 := entryFor(fs, cat, 2, "__cache/2", 3)
-	c.Put(ce2, "s", 100, src2, "")
+	c.Put(ce2, "s", 100, src2, "", 0, 0)
 	// Touch entry 1 so entry 2 becomes the eviction victim.
 	if _, ok := c.Lookup(1, "s", ce1.Schema); !ok {
 		t.Fatal("entry 1 should hit")
 	}
 	ce3, src3 := entryFor(fs, cat, 3, "__cache/3", 3)
-	c.Put(ce3, "s", 100, src3, "")
+	c.Put(ce3, "s", 100, src3, "", 0, 0)
 	if !c.Holds(1) || c.Holds(2) {
 		t.Errorf("LRU order ignored the refresh: holds1=%v holds2=%v", c.Holds(1), c.Holds(2))
 	}
@@ -146,7 +146,7 @@ func TestCacheConcurrency(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				fp := uint64(w*50 + i)
 				ce, src := entryFor(fs, cat, fp, fmt.Sprintf("__cache/c%d-%d", w, i), 2)
-				c.Put(ce, "s", 50, src, "")
+				c.Put(ce, "s", 50, src, "", 0, 0)
 				c.Lookup(fp, "s", schema)
 				c.Holds(fp)
 				c.Contains(fp, "s", schema)

@@ -14,6 +14,7 @@ import "repro/internal/obs"
 // Snapshot converts the cache stats to a unified metrics snapshot.
 func (s Stats) Snapshot() obs.Snapshot {
 	out := obs.NewSnapshot()
+	out.Counters["share.cache_lookup_hits"] = s.Hits
 	out.Counters["share.cache_insertions"] = s.Insertions
 	out.Counters["share.cache_evictions"] = s.Evictions
 	out.Counters["share.cache_invalidations"] = s.Invalidations

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/lint"
 	"repro/internal/logical"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -30,8 +31,12 @@ type Config struct {
 	Workers int
 	// CacheBytes bounds the result cache (0 = DefaultCacheBytes).
 	CacheBytes int64
-	// ExpectedReuse is the admission formula's estimate of how many
-	// future scripts will reuse an admitted artifact (0 = 1).
+	// ExpectedReuse is the admission formula's fallback estimate of
+	// how many future scripts will reuse an admitted artifact (0 = 1).
+	// It only applies to subexpressions with no observed reuse
+	// history; once the cache has seen demand for a subexpression
+	// (hits or admission-time misses), the observed count replaces the
+	// scalar.
 	ExpectedReuse float64
 	// Opt overrides the optimizer configuration (nil = defaults with
 	// CSE on). The session always installs its own cache.
@@ -59,6 +64,13 @@ type Session struct {
 
 	mu  sync.Mutex
 	seq int // guarded by mu
+	// preadmit is the workload-level materialization set a multi-query
+	// optimizer chose for this session: spools matching a key bypass
+	// the cost-based admission formula and are persisted under
+	// MQOOwner, and runs force-materialize any key the cache does not
+	// hold yet (so the batch's designated builder produces the
+	// artifact even when it consumes the subexpression only once).
+	preadmit map[opt.ForceKey]bool // guarded by mu
 	// lastStats is the cache state as of the previous publish. The
 	// cache counts cumulatively over the session's lifetime, but the
 	// registry wants per-run increments (so a batch total is the sum
@@ -92,8 +104,63 @@ func NewSession(cfg Config) (*Session, error) {
 	}, nil
 }
 
+// MQOOwner is the cache owner tag for artifacts pre-admitted by the
+// workload-level multi-query optimizer. They are workload decisions,
+// not any single tenant's, so they bypass per-tenant quotas.
+const MQOOwner = "mqo"
+
 // Cache exposes the session's result cache (e.g. for lint probes).
 func (s *Session) Cache() *Cache { return s.cache }
+
+// Options returns the optimizer configuration the session runs under
+// — what a workload-level planner must cost against for its estimates
+// to match enactment.
+func (s *Session) Options() opt.Options { return s.opts }
+
+// Preadmit installs a workload-level materialization set (chosen by
+// internal/mqo): subsequent runs force-materialize any listed
+// subexpression the cache does not yet hold, and the admission
+// formula is bypassed for it — the selection already paid for the
+// persist in its global cost. Keys accumulate across calls; safe for
+// concurrent use.
+func (s *Session) Preadmit(keys []opt.ForceKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.preadmit == nil {
+		s.preadmit = map[opt.ForceKey]bool{}
+	}
+	for _, k := range keys {
+		s.preadmit[k] = true
+	}
+}
+
+// forcedKeys returns the preadmitted subexpressions the cache does
+// not hold yet — the ones this run must force-materialize if it
+// computes them.
+func (s *Session) forcedKeys() map[opt.ForceKey]bool {
+	s.mu.Lock()
+	keys := make([]opt.ForceKey, 0, len(s.preadmit))
+	for k := range s.preadmit {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].FP != keys[j].FP {
+			return keys[i].FP < keys[j].FP
+		}
+		return keys[i].Sig < keys[j].Sig
+	})
+	var forced map[opt.ForceKey]bool
+	for _, k := range keys {
+		if !s.cache.HoldsSig(k.FP, k.Sig) {
+			if forced == nil {
+				forced = map[opt.ForceKey]bool{}
+			}
+			forced[k] = true
+		}
+	}
+	return forced
+}
 
 // CacheStats returns a snapshot of the session cache.
 func (s *Session) CacheStats() Stats { return s.cache.Stats() }
@@ -123,6 +190,11 @@ type RunReport struct {
 	// QuotaRejected counts artifacts that passed the admission test
 	// but were discarded because the tenant's cache quota was full.
 	QuotaRejected int
+	// Lint holds the optimizer's plan-analyzer findings when the
+	// session options enable linting (nil otherwise). MQO enactment
+	// surfaces P7 findings — an enacted plan rebuilding a
+	// workload-covered subexpression — through it.
+	Lint []lint.Diagnostic
 }
 
 // RunOpts carries the per-run multi-tenancy parameters.
@@ -134,6 +206,11 @@ type RunOpts struct {
 	// Tenant; an admission that would exceed it is discarded and
 	// counted in RunReport.QuotaRejected (0 = unlimited).
 	TenantCacheBytes int64
+	// WorkloadCovered, when non-nil, tells the P7 lint analyzer which
+	// fingerprints the workload's chosen materialization set covers
+	// for this run (excluding the ones this run is designated to
+	// build). Only consulted when the session options enable linting.
+	WorkloadCovered func(fp uint64) bool
 }
 
 // pending is one spool selected for persistence, committed into the
@@ -143,6 +220,12 @@ type pending struct {
 	child *plan.Node
 	sig   string
 	path  string
+	// owner is the tenant charged for the artifact (MQOOwner for
+	// preadmitted materializations), and build/read are the admission
+	// formula's sides, recorded for benefit-aware eviction.
+	owner string
+	build float64
+	read  float64
 }
 
 // pinner is the per-run view of the session cache the optimizer sees:
@@ -153,7 +236,8 @@ type pinner struct {
 	c *Cache
 
 	mu    sync.Mutex
-	paths []string // guarded by mu
+	paths []string        // guarded by mu
+	seen  map[string]bool // guarded by mu
 }
 
 func (p *pinner) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEntry, bool) {
@@ -161,7 +245,21 @@ func (p *pinner) Lookup(fp uint64, sig string, schema relop.Schema) (opt.CacheEn
 	if ok {
 		p.mu.Lock()
 		p.paths = append(p.paths, ce.Path)
+		// One use per distinct subexpression per run: the optimizer may
+		// probe the same entry from several alternatives, but the reuse
+		// history should count scripts, not search-space visits.
+		key := demandKey(fp, sig)
+		first := !p.seen[key]
+		if first {
+			if p.seen == nil {
+				p.seen = map[string]bool{}
+			}
+			p.seen[key] = true
+		}
 		p.mu.Unlock()
+		if first {
+			p.c.NoteUse(fp, sig, schema)
+		}
 	}
 	return ce, ok
 }
@@ -203,6 +301,8 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 	o := s.opts
 	pins := &pinner{c: s.cache}
 	o.Cache = pins
+	o.ForceMaterialize = s.forcedKeys()
+	o.WorkloadCovered = opts.WorkloadCovered
 	if s.cfg.Tracer != nil {
 		o.Tracer = s.cfg.Tracer
 	}
@@ -215,10 +315,10 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 	// release the pins and publish the lifecycle delta.
 	defer pins.release()
 
-	rep := &RunReport{Tenant: opts.Tenant, Cost: res.Cost}
+	rep := &RunReport{Tenant: opts.Tenant, Cost: res.Cost, Lint: res.Lint}
 	rep.CacheHits = len(plan.FindAll(res.Plan, relop.KindCacheScan))
 
-	persist, pend, misses := s.admit(res)
+	persist, pend, misses := s.admit(res, opts.Tenant)
 	rep.CacheMisses = misses
 
 	cl, err := exec.NewCluster(s.cfg.Machines, s.cfg.FS)
@@ -251,7 +351,9 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 		if !ok {
 			continue
 		}
-		if opts.TenantCacheBytes > 0 &&
+		// Workload-level (MQO) artifacts are batch decisions, not any
+		// single tenant's, so they bypass the submitting tenant's quota.
+		if p.owner == opts.Tenant && opts.TenantCacheBytes > 0 &&
 			s.cache.OwnerBytes(opts.Tenant)+t.Bytes() > opts.TenantCacheBytes {
 			// Over quota: discard the materialized artifact instead of
 			// charging the tenant past its bound.
@@ -265,7 +367,7 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 			Part:   p.child.Dlvd.Part,
 			Order:  p.child.Dlvd.Order,
 			FP:     p.child.FP,
-		}, p.sig, t.Bytes(), s.collectSources(p.spool), opts.Tenant)
+		}, p.sig, t.Bytes(), s.collectSources(p.spool), p.owner, p.build, p.read)
 		rep.Admitted++
 		rep.AdmittedBytes += t.Bytes()
 	}
@@ -303,6 +405,7 @@ func (s *Session) publishLocked(res *opt.Result, rep *RunReport) {
 		snap.Counters["share.admitted_bytes"] = rep.AdmittedBytes
 		snap.Counters["share.quota_rejected"] = int64(rep.QuotaRejected)
 	}
+	snap.Counters["share.cache_lookup_hits"] = cur.Hits - s.lastStats.Hits
 	snap.Counters["share.cache_insertions"] = cur.Insertions - s.lastStats.Insertions
 	snap.Counters["share.cache_evictions"] = cur.Evictions - s.lastStats.Evictions
 	snap.Counters["share.cache_invalidations"] = cur.Invalidations - s.lastStats.Invalidations
@@ -316,18 +419,25 @@ func (s *Session) publishLocked(res *opt.Result, rep *RunReport) {
 // in the chosen plan and returns the PersistSpools map for the
 // cluster plus the pending cache commits. A spool is admitted when
 //
-//	(build − read) × ExpectedReuse > persist
+//	(build − read) × reuse > persist
 //
 // where build is the tree cost of computing and materializing the
 // subexpression once, read is the modeled cost of a future consumer
 // scanning the artifact under its recorded layout, and persist — the
-// write of the artifact — is priced like one such scan. Broadcast
-// spools are never admitted (their replicas are layout, not content).
+// write of the artifact — is priced like one such scan. The reuse
+// estimate is the observed demand history for the subexpression
+// (lookup hits plus admission-time misses from earlier runs) when any
+// exists, and Config.ExpectedReuse otherwise. Preadmitted (MQO)
+// subexpressions bypass the formula entirely: the workload-level
+// selection already paid for the persist in its global cost, and the
+// artifact is owned by MQOOwner rather than the submitting tenant.
+// Broadcast spools are never admitted (their replicas are layout, not
+// content).
 //
 // Misses count after the group|ctxkey dedup: a subexpression spooled
 // for several consumers is one missed sharing opportunity, not one
 // per spool reference.
-func (s *Session) admit(res *opt.Result) (map[string]string, []pending, int) {
+func (s *Session) admit(res *opt.Result, tenant string) (map[string]string, []pending, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	persist := map[string]string{}
@@ -353,13 +463,27 @@ func (s *Session) admit(res *opt.Result) (map[string]string, []pending, int) {
 		persist[key] = "" // dedup marker; real path assigned below
 		build := plan.TreeCost(sp)
 		read := s.model.SpoolReadCost(child.Rel, child.Dlvd.Part)
-		if (build-read)*s.cfg.ExpectedReuse <= read {
+		// Read the history before recording this run's demand, so the
+		// estimate counts prior runs only — a subexpression seen for the
+		// first time still falls back to the configured scalar.
+		reuse := float64(s.cache.ObservedReuse(child.FP, sig))
+		s.cache.NoteDemand(child.FP, sig)
+		if reuse <= 0 {
+			reuse = s.cfg.ExpectedReuse
+		}
+		owner := tenant
+		if s.preadmit[opt.ForceKey{FP: child.FP, Sig: sig}] {
+			owner = MQOOwner
+		} else if (build-read)*reuse <= read {
 			continue
 		}
 		s.seq++
 		path := fmt.Sprintf("__cache/%016x-%d", child.FP, s.seq)
 		persist[key] = path
-		pend = append(pend, pending{spool: sp, child: child, sig: sig, path: path})
+		pend = append(pend, pending{
+			spool: sp, child: child, sig: sig, path: path,
+			owner: owner, build: build, read: read,
+		})
 	}
 	// Spools that were deduped or failed the admission test must not
 	// reach the executor's persist map.
