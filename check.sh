@@ -88,6 +88,26 @@ go test -race -count=1 -run 'SelectionDeterministicAcrossWorkers|SelectGreedyMat
 go test -race -count=1 -run 'ServeMQOBatch' ./internal/serve/ ||
 	fail "serve MQO batch race test failed"
 
+# The vectorized engine's load-bearing coverage: kernel-vs-scalar
+# differentials, spill accounting, and the row-vs-vector engine
+# differentials (including forced-spill runs) — by name, under the
+# race detector, so a rename cannot silently drop them.
+echo "== go test -race (vector engine + spill suites) =="
+go test -race -count=1 -run 'Vector|Spill|EngineDiff' ./internal/exec/ ||
+	fail "vector/spill race tests failed"
+
+# Vectorized-executor benchmark artifact: a reduced-scale generation
+# pass must produce a BENCH_vec.json accepted by its own schema
+# validator, with every kernel bit-identical between engines and
+# every budgeted spill cell bounded by its budget.
+echo "== vec bench smoke (benchrepro -fig vec) =="
+tmpdirvec=$(mktemp -d)
+out=$(go run ./cmd/benchrepro -fig vec -vecrows 20000 -veciters 1 -vecout "$tmpdirvec/BENCH_vec.json") ||
+	{ rm -rf "$tmpdirvec"; fail "vec bench smoke run failed"; }
+rm -rf "$tmpdirvec"
+echo "$out" | tail -1
+echo "$out" | grep -q 'schema ok' || fail "vec bench smoke produced no schema-ok line"
+
 # Optimizer benchmark artifact: one generation pass must emit a
 # BENCH_opt.json that its own schema validator accepts.
 echo "== opt bench smoke (benchrepro -fig opt) =="

@@ -10,6 +10,11 @@
 // -machines is the simulated cluster size (partition count) and
 // -workers the real worker-pool width executing partition tasks;
 // metered work and results are identical at every worker count.
+// -engine selects the vectorized columnar engine (default) or the
+// row-at-a-time oracle — results and meters are bit-identical —
+// and -membudget bounds each partition task's working set in bytes
+// (the vector engine spills through the metered FileStore, the row
+// engine fails fast).
 //
 // Observability:
 //
@@ -55,6 +60,8 @@ import (
 func main() {
 	script := flag.String("script", "s1", "builtin workload: s1 s2 s3 s4 fig5")
 	cluster := cliflags.ClusterFlags(flag.CommandLine, 8, runtime.GOMAXPROCS(0))
+	engine := cliflags.Engine(flag.CommandLine, exec.EngineVector)
+	memBudget := cliflags.MemBudget(flag.CommandLine)
 	lintOut := cliflags.Lint(flag.CommandLine)
 	traceOut := cliflags.Trace(flag.CommandLine)
 	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: print each executed plan annotated with estimated vs actual rows and bytes")
@@ -65,6 +72,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scoperun: %v\n", err)
 		os.Exit(2)
 	}
+	if err := cliflags.ValidateEngine(*engine); err != nil {
+		fmt.Fprintf(os.Stderr, "scoperun: %v\n", err)
+		os.Exit(2)
+	}
 
 	var tracer *obs.Tracer
 	if *traceOut != "" {
@@ -72,7 +83,7 @@ func main() {
 	}
 
 	if *sessionDir != "" {
-		runSession(*sessionDir, cluster.Machines, cluster.Workers, tracer)
+		runSession(*sessionDir, cluster.Machines, cluster.Workers, *engine, *memBudget, tracer)
 		writeTrace(tracer, *traceOut)
 		return
 	}
@@ -108,6 +119,8 @@ func main() {
 		cl, err := exec.NewCluster(cluster.Machines, w.FS)
 		exitOn(err)
 		cl.Workers = cluster.Workers
+		cl.Engine = *engine
+		cl.MemBudget = *memBudget
 		cl.Trace = tracer
 		start := time.Now()
 		var got map[string]*exec.Table
@@ -131,7 +144,10 @@ func main() {
 			m.RowsProcessed, m.Exchanges, m.SpoolMaterializations,
 			m.SimulatedSeconds(simCluster), wall.Round(time.Microsecond), ok)
 		if *analyze {
-			fmt.Printf("\n== %s EXPLAIN ANALYZE ==\n%s\n", strings.TrimSpace(label), exec.NewAnalysis(res.Plan, actuals, 0))
+			an := exec.NewAnalysis(res.Plan, actuals, 0)
+			an.Engine = *engine
+			an.MemBudget = *memBudget
+			fmt.Printf("\n== %s EXPLAIN ANALYZE ==\n%s\n", strings.TrimSpace(label), an)
 		}
 		if !ok {
 			os.Exit(1)
@@ -167,7 +183,7 @@ func writeTrace(tr *obs.Tracer, path string) {
 // script is also executed cache-disabled against an identical cold
 // dataset; the difference in metered disk+net bytes is what sharing
 // saved, and the outputs of the two runs must agree bit for bit.
-func runSession(dir string, machines, workers int, tracer *obs.Tracer) {
+func runSession(dir string, machines, workers int, engine string, memBudget int64, tracer *obs.Tracer) {
 	entries, err := os.ReadDir(dir)
 	exitOn(err)
 	var names []string
@@ -189,6 +205,7 @@ func runSession(dir string, machines, workers int, tracer *obs.Tracer) {
 	reg := obs.NewRegistry()
 	sess, err := share.NewSession(share.Config{
 		Catalog: warm.Cat, FS: warm.FS, Machines: machines, Workers: workers,
+		Engine: engine, MemBudget: memBudget,
 		Tracer: tracer, Obs: reg,
 	})
 	exitOn(err)
@@ -208,6 +225,8 @@ func runSession(dir string, machines, workers int, tracer *obs.Tracer) {
 		cl, err := exec.NewCluster(machines, cold.FS)
 		exitOn(err)
 		cl.Workers = workers
+		cl.Engine = engine
+		cl.MemBudget = memBudget
 		want, err := cl.Run(res.Plan)
 		exitOn(err)
 		cm := cl.Metrics()

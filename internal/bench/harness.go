@@ -49,6 +49,11 @@ type Config struct {
 	// Tracer, when non-nil, receives optimizer spans from every
 	// RunOne. The span tree is deterministic at any OptWorkers width.
 	Tracer *obs.Tracer
+	// Engine selects the execution engine for experiments that run
+	// plans ("" = cluster default) and MemBudget their per-partition
+	// working-set bound in bytes (0 = unbounded). See exec.Cluster.
+	Engine    string
+	MemBudget int64
 }
 
 // DefaultConfig returns the configuration the experiments use.

@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/rules"
+)
+
+// VecSchema identifies the BENCH_vec.json layout; bump on any
+// incompatible change so downstream readers fail loudly.
+const VecSchema = "scope-bench-vec/1"
+
+// vecKernelScripts are the four kernel pipelines of the vectorized
+// executor ablation. Each one drives its headline operator with the
+// full input and funnels into a tiny aggregate tail, so the measured
+// wall clock is the kernel under test, not the cost of materializing
+// a million output rows (which both engines pay identically at the
+// row boundary).
+//
+// The generated table profile is K (near-unique join/sort key), G
+// (1024-way group key), W (4-way reduce key for the tails), V
+// (measure).
+var vecKernelScripts = []struct{ Kernel, Script string }{
+	{"scan", `
+R0 = EXTRACT K,G,W,V FROM "test.log" USING LogExtractor;
+R = SELECT W, (K+G)*(K+G) as X, K*3-G as Y, V+K as Z FROM R0;
+S = SELECT W, Sum(X) as SX, Sum(Y) as SY, Sum(Z) as SZ FROM R GROUP BY W;
+OUTPUT S TO "o1";
+`},
+	{"filter", `
+R0 = EXTRACT K,G,W,V FROM "test.log" USING LogExtractor;
+R = SELECT W, V FROM R0 WHERE (K+G)*(K+G) > 1000000 AND K+G < 100000000 AND G != 512;
+S = SELECT W, Sum(V) as SV FROM R GROUP BY W;
+OUTPUT S TO "o1";
+`},
+	{"agg", `
+R0 = EXTRACT K,G,W,V FROM "test.log" USING LogExtractor;
+R = SELECT G, Sum(V) as SV, Count() as N FROM R0 GROUP BY G;
+OUTPUT R TO "o1";
+`},
+	{"join", `
+R0 = EXTRACT K,G,V FROM "test.log" USING LogExtractor;
+T0 = EXTRACT K,W FROM "test2.log" USING LogExtractor;
+J = SELECT W, V FROM R0, T0 WHERE R0.K = T0.K;
+S = SELECT W, Sum(V) as SV, Count() as N FROM J GROUP BY W;
+OUTPUT S TO "o1";
+`},
+}
+
+// vecSpillScripts are the spill-ablation pipelines: the three
+// budget-governed operators (hash aggregation, hash join build, sort
+// buffer), each swept across memory budgets.
+var vecSpillScripts = []struct{ Kernel, Script string }{
+	{"agg", `
+R0 = EXTRACT K,G,W,V FROM "test.log" USING LogExtractor;
+R = SELECT G, Sum(V) as SV FROM R0 GROUP BY G;
+OUTPUT R TO "o1";
+`},
+	{"join", `
+R0 = EXTRACT K,G,V FROM "test.log" USING LogExtractor;
+T0 = EXTRACT K,W FROM "test2.log" USING LogExtractor;
+J = SELECT W, V FROM R0, T0 WHERE R0.K = T0.K;
+S = SELECT W, Sum(V) as SV FROM J GROUP BY W;
+OUTPUT S TO "o1";
+`},
+	{"sort", `
+R0 = EXTRACT K,G,V FROM "test.log" USING LogExtractor;
+R = SELECT G, Sum(V) as SV FROM R0 GROUP BY G;
+OUTPUT R TO "o1" ORDER BY SV, G;
+`},
+}
+
+// VecKernelRow is one row-vs-vector throughput cell: best-of-iters
+// wall clock per engine on the same optimized plan and warm file
+// store, with the vector run required bit-identical to the row run.
+type VecKernelRow struct {
+	Kernel     string  `json:"kernel"`
+	Rows       int64   `json:"rows"`
+	OutputRows int     `json:"output_rows"`
+	RowSeconds float64 `json:"row_seconds"`
+	VecSeconds float64 `json:"vec_seconds"`
+	Speedup    float64 `json:"speedup"`
+	// CSEHits counts vector-side scalar evaluations served from the
+	// per-batch CSE memo.
+	CSEHits int64 `json:"cse_hits"`
+	// Identical: outputs (values and order), Core metrics, all equal.
+	Identical bool `json:"identical"`
+}
+
+// VecSpillRow is one cell of the spill ablation: the same kernel under
+// a memory budget must complete by spilling, stay bit-identical, and
+// keep its resident operator scratch within the budget.
+type VecSpillRow struct {
+	Kernel            string  `json:"kernel"`
+	BudgetBytes       int64   `json:"budget_bytes"`
+	Spills            int64   `json:"spills"`
+	SpillBytesWritten int64   `json:"spill_bytes_written"`
+	SpillBytesRead    int64   `json:"spill_bytes_read"`
+	PeakResidentBytes int64   `json:"peak_resident_bytes"`
+	Seconds           float64 `json:"seconds"`
+	Identical         bool    `json:"identical"`
+}
+
+// VecReport is the machine-readable vectorized-executor artifact.
+type VecReport struct {
+	Schema   string         `json:"schema"`
+	Rows     int64          `json:"rows"`
+	Machines int            `json:"machines"`
+	Iters    int            `json:"iters"`
+	Kernels  []VecKernelRow `json:"kernels"`
+	Spill    []VecSpillRow  `json:"spill"`
+}
+
+// vecColumns is the generated table profile for the kernel pipelines.
+func vecColumns(rows int64) []datagen.ColumnSpec {
+	return []datagen.ColumnSpec{
+		{Name: "K", Distinct: rows},
+		{Name: "G", Distinct: 1024},
+		{Name: "W", Distinct: 4},
+		{Name: "V", Distinct: 1 << 30},
+	}
+}
+
+// VecWorkload generates the kernel pipelines' input tables: test.log
+// and test2.log with the K/G/W/V profile at the given row count. The
+// exec kernel microbenchmarks share it.
+func VecWorkload(rows int64) *datagen.Workload {
+	return datagen.SmallWorkloadCols("vec", "", rows, 1, 7, vecColumns(rows))
+}
+
+// vecPlan optimizes one kernel script against the shared environment.
+func vecPlan(env *datagen.Workload, script string) (*opt.Result, error) {
+	opts := opt.DefaultOptions()
+	opts.EnableCSE = true
+	opts.Rules = rules.SCOPEProfile()
+	m, err := logical.BuildSource(script, env.Cat)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(m, opts)
+}
+
+// vecRun executes one plan once and times it.
+func vecRun(env *datagen.Workload, res *opt.Result, engine string, machines int, budget int64) (map[string]*exec.Table, exec.Metrics, float64, error) {
+	cl, err := exec.NewCluster(machines, env.FS)
+	if err != nil {
+		return nil, exec.Metrics{}, 0, err
+	}
+	cl.Engine = engine
+	cl.MemBudget = budget
+	start := time.Now()
+	got, err := cl.Run(res.Plan)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return nil, exec.Metrics{}, 0, err
+	}
+	return got, cl.Metrics(), wall, nil
+}
+
+// vecIdentical applies the engine bit-identity contract: same output
+// tables with the same row order and strictly equal values, and the
+// same Core metered totals.
+func vecIdentical(rowOut, vecOut map[string]*exec.Table, rowM, vecM exec.Metrics) bool {
+	if len(rowOut) != len(vecOut) || rowM.Core() != vecM.Core() {
+		return false
+	}
+	for path, rt := range rowOut {
+		vt := vecOut[path]
+		if vt == nil || len(vt.Rows) != len(rt.Rows) {
+			return false
+		}
+		for i := range rt.Rows {
+			if len(vt.Rows[i]) != len(rt.Rows[i]) {
+				return false
+			}
+			for j := range rt.Rows[i] {
+				if vt.Rows[i][j] != rt.Rows[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// VecBench measures the vectorized executor against the row engine:
+// per-kernel throughput on identical plans, then the spill ablation
+// sweeping each budget-governed operator across memory budgets.
+func VecBench(rows int64, iters, machines int) (*VecReport, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	rep := &VecReport{Schema: VecSchema, Rows: rows, Machines: machines, Iters: iters}
+	env := VecWorkload(rows)
+
+	for _, k := range vecKernelScripts {
+		res, err := vecPlan(env, k.Script)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Kernel, err)
+		}
+		// Warm the scan cache so neither engine pays the cold read.
+		if _, _, _, err := vecRun(env, res, exec.EngineRow, machines, 0); err != nil {
+			return nil, fmt.Errorf("%s warmup: %w", k.Kernel, err)
+		}
+		row := VecKernelRow{Kernel: k.Kernel, Rows: rows}
+		var rowOut, vecOut map[string]*exec.Table
+		var rowM, vecM exec.Metrics
+		for i := 0; i < iters; i++ {
+			out, m, wall, err := vecRun(env, res, exec.EngineRow, machines, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s row: %w", k.Kernel, err)
+			}
+			if i == 0 || wall < row.RowSeconds {
+				row.RowSeconds = wall
+			}
+			rowOut, rowM = out, m
+		}
+		for i := 0; i < iters; i++ {
+			out, m, wall, err := vecRun(env, res, exec.EngineVector, machines, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s vector: %w", k.Kernel, err)
+			}
+			if i == 0 || wall < row.VecSeconds {
+				row.VecSeconds = wall
+			}
+			vecOut, vecM = out, m
+		}
+		for _, t := range vecOut {
+			row.OutputRows += len(t.Rows)
+		}
+		row.CSEHits = vecM.ScalarCSEHits
+		row.Identical = vecIdentical(rowOut, vecOut, rowM, vecM)
+		if row.VecSeconds > 0 {
+			row.Speedup = row.RowSeconds / row.VecSeconds
+		}
+		rep.Kernels = append(rep.Kernels, row)
+	}
+
+	// Spill ablation: per-partition working bytes shrink with the
+	// machine count, so budgets derive from the per-machine share.
+	work := rows / int64(machines) * 4 * 8
+	for _, k := range vecSpillScripts {
+		res, err := vecPlan(env, k.Script)
+		if err != nil {
+			return nil, fmt.Errorf("spill %s: %w", k.Kernel, err)
+		}
+		refOut, refM, _, err := vecRun(env, res, exec.EngineRow, machines, 0)
+		if err != nil {
+			return nil, fmt.Errorf("spill %s reference: %w", k.Kernel, err)
+		}
+		for _, budget := range []int64{0, work / 2, work / 8} {
+			out, m, wall, err := vecRun(env, res, exec.EngineVector, machines, budget)
+			if err != nil {
+				return nil, fmt.Errorf("spill %s budget=%d: %w", k.Kernel, budget, err)
+			}
+			rep.Spill = append(rep.Spill, VecSpillRow{
+				Kernel:            k.Kernel,
+				BudgetBytes:       budget,
+				Spills:            int64(m.Spills),
+				SpillBytesWritten: m.SpillBytesWritten,
+				SpillBytesRead:    m.SpillBytesRead,
+				PeakResidentBytes: m.PeakResidentBytes,
+				Seconds:           wall,
+				Identical:         vecIdentical(refOut, out, refM, m),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// FormatVec renders the report as aligned tables.
+func FormatVec(rep *VecReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %12s %8s %10s %9s\n",
+		"kernel", "rows", "outrows", "row(s)", "vec(s)", "speedup", "cse-hits", "identical")
+	for _, r := range rep.Kernels {
+		fmt.Fprintf(&b, "%-8s %10d %10d %12.6f %12.6f %8.2f %10d %9v\n",
+			r.Kernel, r.Rows, r.OutputRows, r.RowSeconds, r.VecSeconds, r.Speedup, r.CSEHits, r.Identical)
+	}
+	fmt.Fprintf(&b, "\n%-8s %12s %8s %12s %12s %10s %10s %9s\n",
+		"kernel", "budget", "spills", "written", "read", "peak", "sec", "identical")
+	for _, r := range rep.Spill {
+		budget := "unlimited"
+		if r.BudgetBytes > 0 {
+			budget = fmt.Sprintf("%d", r.BudgetBytes)
+		}
+		fmt.Fprintf(&b, "%-8s %12s %8d %12d %12d %10d %10.6f %9v\n",
+			r.Kernel, budget, r.Spills, r.SpillBytesWritten, r.SpillBytesRead,
+			r.PeakResidentBytes, r.Seconds, r.Identical)
+	}
+	return b.String()
+}
+
+// WriteVecJSON writes the report to path as indented JSON.
+func WriteVecJSON(rep *VecReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// vecSpeedupFloor is the throughput bar the vectorized engine must
+// clear over the row engine on every kernel, enforced only at full
+// benchmark scale (small smoke runs are noise-dominated).
+const (
+	vecSpeedupFloor = 5.0
+	vecFullScale    = 1_000_000
+)
+
+// ValidateVecJSON re-reads an emitted BENCH_vec.json and checks the
+// artifact's invariants: all four kernels present and bit-identical;
+// at full scale every kernel at least vecSpeedupFloor× faster
+// vectorized; and every budgeted spill cell actually spilled, read
+// back every byte written, and kept resident scratch within budget.
+func ValidateVecJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep VecReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != VecSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, VecSchema)
+	}
+	kernels := map[string]bool{}
+	for _, r := range rep.Kernels {
+		kernels[r.Kernel] = true
+		if r.Rows != rep.Rows {
+			return fmt.Errorf("%s: kernel %s ran %d rows, report says %d", path, r.Kernel, r.Rows, rep.Rows)
+		}
+		if !r.Identical {
+			return fmt.Errorf("%s: kernel %s: vector run not bit-identical to row engine", path, r.Kernel)
+		}
+		if r.OutputRows == 0 {
+			return fmt.Errorf("%s: kernel %s produced no output", path, r.Kernel)
+		}
+		if rep.Rows >= vecFullScale && r.Speedup < vecSpeedupFloor {
+			return fmt.Errorf("%s: kernel %s speedup %.2f below the %.0fx floor at %d rows",
+				path, r.Kernel, r.Speedup, vecSpeedupFloor, rep.Rows)
+		}
+	}
+	for _, k := range []string{"scan", "filter", "agg", "join"} {
+		if !kernels[k] {
+			return fmt.Errorf("%s: kernel %q missing", path, k)
+		}
+	}
+	levels := map[string]int{}
+	for _, r := range rep.Spill {
+		levels[r.Kernel]++
+		if !r.Identical {
+			return fmt.Errorf("%s: spill %s budget=%d: not bit-identical to the row engine",
+				path, r.Kernel, r.BudgetBytes)
+		}
+		if r.BudgetBytes == 0 {
+			// Unbudgeted runs never spill; their peak reports the
+			// natural in-memory working set the budgets then bound.
+			if r.Spills != 0 || r.SpillBytesWritten != 0 {
+				return fmt.Errorf("%s: spill %s: unbudgeted run spilled (%d spills, %d bytes)",
+					path, r.Kernel, r.Spills, r.SpillBytesWritten)
+			}
+			continue
+		}
+		switch {
+		case r.Spills == 0:
+			return fmt.Errorf("%s: spill %s budget=%d: did not spill", path, r.Kernel, r.BudgetBytes)
+		case r.SpillBytesRead != r.SpillBytesWritten || r.SpillBytesWritten == 0:
+			return fmt.Errorf("%s: spill %s budget=%d: wrote %d bytes, read %d",
+				path, r.Kernel, r.BudgetBytes, r.SpillBytesWritten, r.SpillBytesRead)
+		case r.PeakResidentBytes == 0 || r.PeakResidentBytes > r.BudgetBytes:
+			return fmt.Errorf("%s: spill %s budget=%d: peak resident %d outside (0, budget]",
+				path, r.Kernel, r.BudgetBytes, r.PeakResidentBytes)
+		}
+	}
+	for _, k := range []string{"agg", "join", "sort"} {
+		if levels[k] < 3 {
+			return fmt.Errorf("%s: spill kernel %q has %d budget levels, want >= 3", path, k, levels[k])
+		}
+	}
+	return nil
+}

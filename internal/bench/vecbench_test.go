@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestVecBenchArtifact runs the vectorized-executor ablation at smoke
+// scale and pushes the result through the emit/validate round trip:
+// every kernel must be bit-identical between engines, every budgeted
+// spill cell must actually spill with resident scratch within budget,
+// and the JSON artifact must satisfy its own schema validator. (The
+// 5x speedup floor is enforced only at full scale — small runs here
+// are dominated by fixed costs.)
+func TestVecBenchArtifact(t *testing.T) {
+	rep, err := VecBench(4_000, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Kernels); got != 4 {
+		t.Fatalf("kernels = %d, want 4", got)
+	}
+	for _, r := range rep.Kernels {
+		if !r.Identical {
+			t.Errorf("kernel %s: vector run not bit-identical", r.Kernel)
+		}
+	}
+	var hits int64
+	for _, r := range rep.Kernels {
+		hits += r.CSEHits
+	}
+	if hits == 0 {
+		t.Error("no kernel recorded scalar CSE memo hits — shared (K+G) should hit")
+	}
+	for _, r := range rep.Spill {
+		if r.BudgetBytes > 0 && r.Spills == 0 {
+			t.Errorf("spill %s budget=%d: did not spill", r.Kernel, r.BudgetBytes)
+		}
+		if r.BudgetBytes > 0 && r.PeakResidentBytes > r.BudgetBytes {
+			t.Errorf("spill %s budget=%d: peak resident %d over budget",
+				r.Kernel, r.BudgetBytes, r.PeakResidentBytes)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_vec.json")
+	if err := WriteVecJSON(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateVecJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}

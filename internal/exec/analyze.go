@@ -54,6 +54,13 @@ type Analysis struct {
 	// Threshold is the q-error above which a node is flagged as
 	// mis-estimated.
 	Threshold float64
+	// Engine and MemBudget record the execution configuration the
+	// actuals were collected under. When Engine is non-empty the
+	// rendered analysis leads with an "engine=... membudget=..."
+	// header, so an EXPLAIN ANALYZE readout names the engine that
+	// produced it.
+	Engine    string
+	MemBudget int64
 }
 
 // NewAnalysis pairs a plan with the actuals recorded by RunAnalyzed.
@@ -166,6 +173,9 @@ func (a *Analysis) Misestimates() []*plan.Node {
 // summary.
 func (a *Analysis) String() string {
 	var b strings.Builder
+	if a.Engine != "" {
+		fmt.Fprintf(&b, "engine=%s membudget=%d\n", a.Engine, a.MemBudget)
+	}
 	seen := map[string]bool{}
 	var walk func(n *plan.Node, prefix string, last, top bool)
 	walk = func(n *plan.Node, prefix string, last, top bool) {

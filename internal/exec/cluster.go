@@ -36,6 +36,43 @@ type Metrics struct {
 	// CacheBytesWritten counts spool bytes persisted into the session
 	// cache (admission writes piggybacked on spool materialization).
 	CacheBytesWritten int64
+	// BatchesProcessed counts columnar batches processed by vector
+	// kernels (zero under the row engine).
+	BatchesProcessed int64
+	// ScalarCSEHits counts per-row evaluations served from the batch
+	// expression memo instead of recomputed: each hit is one shared
+	// subexpression reference over one row.
+	ScalarCSEHits int64
+	// Spills counts operator working sets that exceeded the memory
+	// budget and went through the spill protocol; SpillBytesWritten /
+	// SpillBytesRead meter the scratch traffic through the FileStore.
+	// Spill traffic is metered apart from DiskBytesRead/Written so
+	// budget ablations can isolate it, but SimulatedSeconds charges
+	// it at disk bandwidth like any other file I/O.
+	Spills            int
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	// PeakResidentBytes is the largest per-operator working set any
+	// single partition task held in memory (hash tables, sort
+	// buffers, join builds). Shards merge it by maximum, so it is a
+	// high-water mark, not a sum, and stays identical at any worker
+	// width. The spill tests assert it never exceeds the budget.
+	PeakResidentBytes int64
+}
+
+// Core returns the engine-independent view of the metrics: the
+// vector-only counters (batches, scalar-CSE hits, spill traffic,
+// resident peak) zeroed out. The differential engine tests compare
+// Core views, since the row oracle can never spill or batch while
+// everything the cost model prices must still match exactly.
+func (m Metrics) Core() Metrics {
+	m.BatchesProcessed = 0
+	m.ScalarCSEHits = 0
+	m.Spills = 0
+	m.SpillBytesWritten = 0
+	m.SpillBytesRead = 0
+	m.PeakResidentBytes = 0
+	return m
 }
 
 // SimulatedSeconds converts the metered work into wall-clock seconds
@@ -49,7 +86,8 @@ type Metrics struct {
 func (m Metrics) SimulatedSeconds(c cost.Cluster) float64 {
 	c = cost.NewModel(c).C
 	machines := float64(c.Machines)
-	diskBytes := m.DiskBytesRead + m.DiskBytesWritten + m.CacheBytesRead + m.CacheBytesWritten
+	diskBytes := m.DiskBytesRead + m.DiskBytesWritten + m.CacheBytesRead + m.CacheBytesWritten +
+		m.SpillBytesRead + m.SpillBytesWritten
 	disk := float64(diskBytes) / c.DiskBytesPerSec / machines
 	net := float64(m.NetBytes) / c.NetBytesPerSec / machines
 	cpu := float64(m.RowsProcessed) * c.RowCPU / machines
@@ -69,12 +107,43 @@ func (m *Metrics) add(o Metrics) {
 	m.CacheReads += o.CacheReads
 	m.CacheBytesRead += o.CacheBytesRead
 	m.CacheBytesWritten += o.CacheBytesWritten
+	m.BatchesProcessed += o.BatchesProcessed
+	m.ScalarCSEHits += o.ScalarCSEHits
+	m.Spills += o.Spills
+	m.SpillBytesWritten += o.SpillBytesWritten
+	m.SpillBytesRead += o.SpillBytesRead
+	// High-water mark, not a flow: merging shards takes the maximum
+	// so the value is the largest single working set anywhere.
+	if o.PeakResidentBytes > m.PeakResidentBytes {
+		m.PeakResidentBytes = o.PeakResidentBytes
+	}
 }
+
+// Engine names for Cluster.Engine.
+const (
+	// EngineRow is the row-at-a-time reference engine.
+	EngineRow = "row"
+	// EngineVector is the typed columnar batch engine.
+	EngineVector = "vector"
+)
 
 // Cluster is the simulated shared-nothing cluster.
 type Cluster struct {
 	// Machines is the number of simulated machines (partitions).
 	Machines int
+	// Engine selects the execution engine: EngineVector runs the
+	// typed columnar kernels, EngineRow (or "", the zero value) the
+	// row-at-a-time reference path. Both produce bit-identical
+	// results, Core metrics, and trace trees at any worker width;
+	// the row engine is the differential-testing oracle.
+	Engine string
+	// MemBudget bounds, in bytes, the working set one partition task
+	// may hold in memory (hash-aggregation tables, join builds, sort
+	// buffers). 0 means unlimited. Under the vector engine an
+	// operator that would exceed the budget spills scratch runs
+	// through the metered FileStore and completes; the row engine
+	// has no spill path and fails with ErrMemBudget instead.
+	MemBudget int64
 	// Workers bounds how many partition tasks execute concurrently
 	// during a Run; <= 0 means runtime.GOMAXPROCS(0). One worker
 	// reproduces fully serial execution. Every worker meters into its
@@ -105,6 +174,27 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	metrics Metrics // guarded by mu; Run calls may be concurrent
+	runSeq  int64   // guarded by mu; distinguishes spill scratch paths across runs
+}
+
+// checkEngine validates the engine selector before a run.
+func (c *Cluster) checkEngine() error {
+	switch c.Engine {
+	case "", EngineRow, EngineVector:
+		return nil
+	}
+	return fmt.Errorf("exec: unknown engine %q (want %q or %q)", c.Engine, EngineVector, EngineRow)
+}
+
+// nextRunSeq hands out the per-cluster run sequence number used to
+// keep concurrent runs' spill scratch paths disjoint. Deterministic:
+// it only varies with run admission order, and spill paths never
+// outlive their operator.
+func (c *Cluster) nextRunSeq() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runSeq++
+	return c.runSeq
 }
 
 // NewCluster returns a cluster with the given machine count over fs.
@@ -152,10 +242,14 @@ func (c *Cluster) addMetrics(m Metrics) {
 }
 
 // pdata is a partitioned intermediate result: one row slice per
-// machine.
+// machine (row engine) or one columnar batch per machine (vector
+// engine; vparts non-nil, parts nil). The accounting views below are
+// representation-independent, so metering is identical across
+// engines.
 type pdata struct {
 	schema relop.Schema
 	parts  [][]relop.Row
+	vparts []*colData
 	// broadcast marks replicated data: every partition holds a full
 	// copy. Operators that merge partitions (Output, Repartition)
 	// must read a single copy, and aggregations must never consume
@@ -167,11 +261,34 @@ func newPData(schema relop.Schema, machines int) *pdata {
 	return &pdata{schema: schema, parts: make([][]relop.Row, machines)}
 }
 
+func newVData(schema relop.Schema, machines int) *pdata {
+	return &pdata{schema: schema, vparts: make([]*colData, machines)}
+}
+
+// partRows returns the visible row count of one partition.
+func (p *pdata) partRows(m int) int64 {
+	if p.vparts != nil {
+		if c := p.vparts[m]; c != nil {
+			return int64(c.rows())
+		}
+		return 0
+	}
+	return int64(len(p.parts[m]))
+}
+
+// nparts returns the partition count.
+func (p *pdata) nparts() int {
+	if p.vparts != nil {
+		return len(p.vparts)
+	}
+	return len(p.parts)
+}
+
 // rows returns the total row count.
 func (p *pdata) rows() int64 {
 	var n int64
-	for _, part := range p.parts {
-		n += int64(len(part))
+	for m := 0; m < p.nparts(); m++ {
+		n += p.partRows(m)
 	}
 	return n
 }
@@ -189,14 +306,28 @@ func (p *pdata) bytes() int64 {
 // against the relation's logical size.
 func (p *pdata) logicalBytes() int64 {
 	if p.broadcast {
-		return int64(len(p.parts[0])) * int64(len(p.schema)) * 8
+		return p.partRows(0) * int64(len(p.schema)) * 8
 	}
 	return p.bytes()
 }
 
 // gather concatenates all partitions (deterministically, by machine
-// index); broadcast data yields its single logical copy.
+// index); broadcast data yields its single logical copy. Columnar
+// partitions materialize to rows here — the row/column boundary for
+// Output and spool persistence.
 func (p *pdata) gather() []relop.Row {
+	if p.vparts != nil {
+		if p.broadcast {
+			return p.vparts[0].materialize()
+		}
+		var out []relop.Row
+		for _, c := range p.vparts {
+			if c != nil {
+				out = append(out, c.materialize()...)
+			}
+		}
+		return out
+	}
 	if p.broadcast {
 		return p.parts[0]
 	}

@@ -1,0 +1,174 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/obs"
+	"repro/internal/opt"
+	"repro/internal/rules"
+)
+
+// The vector engine's correctness contract: against the row engine it
+// must be bit-identical — same output tables (values AND order), same
+// Core metered totals, same deterministic trace tree — on every plan,
+// at any worker width, and even when a memory budget forces it to
+// spill. These tests enforce the contract differentially over the
+// builtin evaluation scripts and the fuzz corpus.
+
+// runEngineDiff executes one plan on a fresh traced cluster.
+func runEngineDiff(t *testing.T, w *datagen.Workload, root any, engine string, workers int, budget int64) (map[string]*exec.Table, exec.Metrics, string) {
+	t.Helper()
+	res := root.(*opt.Result)
+	cl := testClusterFS(t, 5, w.FS)
+	cl.Workers = workers
+	cl.Engine = engine
+	cl.MemBudget = budget
+	cl.Trace = obs.NewTracer()
+	got, err := cl.Run(res.Plan)
+	if err != nil {
+		t.Fatalf("engine=%s workers=%d budget=%d: %v", engine, workers, budget, err)
+	}
+	return got, cl.Metrics(), cl.Trace.TreeString()
+}
+
+// diffEngines optimizes the workload and checks row/vector identity
+// at 1 and 8 workers.
+func diffEngines(t *testing.T, w *datagen.Workload, cse bool, profile rules.Config) {
+	t.Helper()
+	opts := opt.DefaultOptions()
+	opts.EnableCSE = cse
+	opts.Rules = profile
+	m, err := logical.BuildSource(w.Script, w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowOut, rowM, rowTrace := runEngineDiff(t, w, res, exec.EngineRow, 1, 0)
+	for _, workers := range []int{1, 8} {
+		vecOut, vecM, vecTrace := runEngineDiff(t, w, res, exec.EngineVector, workers, 0)
+		compareEngineRuns(t, w.Name, workers, rowOut, vecOut, rowM, vecM, rowTrace, vecTrace)
+	}
+}
+
+func compareEngineRuns(t *testing.T, name string, workers int, rowOut, vecOut map[string]*exec.Table, rowM, vecM exec.Metrics, rowTrace, vecTrace string) {
+	t.Helper()
+	if len(vecOut) != len(rowOut) {
+		t.Fatalf("%s workers=%d: vector produced %d outputs, row %d", name, workers, len(vecOut), len(rowOut))
+	}
+	for path, rt := range rowOut {
+		vt := vecOut[path]
+		if vt == nil {
+			t.Fatalf("%s workers=%d: vector missing output %q", name, workers, path)
+		}
+		// Exact equality, not canonicalized: the engines must agree on
+		// row order too.
+		if len(vt.Rows) != len(rt.Rows) {
+			t.Fatalf("%s workers=%d: %q has %d rows, row engine %d", name, workers, path, len(vt.Rows), len(rt.Rows))
+		}
+		for i := range rt.Rows {
+			if len(vt.Rows[i]) != len(rt.Rows[i]) {
+				t.Fatalf("%s workers=%d: %q row %d width differs", name, workers, path, i)
+			}
+			for j := range rt.Rows[i] {
+				// Strict struct equality, not Compare: int 2 and float
+				// 2.0 must not pass for each other.
+				if vt.Rows[i][j] != rt.Rows[i][j] {
+					t.Fatalf("%s workers=%d: %q row %d = %v, row engine %v", name, workers, path, i, vt.Rows[i], rt.Rows[i])
+				}
+			}
+		}
+	}
+	if vecM.Core() != rowM.Core() {
+		t.Errorf("%s workers=%d: vector core metrics %+v differ from row %+v", name, workers, vecM.Core(), rowM.Core())
+	}
+	if vecTrace != rowTrace {
+		t.Errorf("%s workers=%d: vector trace tree differs from row engine\nvector:\n%s\nrow:\n%s", name, workers, vecTrace, rowTrace)
+	}
+}
+
+// TestEngineDiffWorkloads runs the S1–S4 and Fig5 scripts under both
+// optimization modes on both engines.
+func TestEngineDiffWorkloads(t *testing.T) {
+	for _, w := range builtinWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, cse := range []bool{false, true} {
+				diffEngines(t, w, cse, rules.SCOPEProfile())
+			}
+		})
+	}
+}
+
+// TestEngineDiffFuzz sweeps the exec fuzz corpus differentially:
+// random scripts, both optimization modes, row versus vector.
+func TestEngineDiffFuzz(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		w := datagen.RandomWorkload(seed, 8+int(seed%7))
+		for _, cse := range []bool{false, true} {
+			opts := opt.DefaultOptions()
+			opts.EnableCSE = cse
+			m, err := logical.BuildSource(w.Script, w.Cat)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := opt.Optimize(m, opts)
+			if err != nil {
+				t.Fatalf("seed %d cse=%v: %v", seed, cse, err)
+			}
+			rowOut, rowM, rowTrace := runEngineDiff(t, w, res, exec.EngineRow, 1, 0)
+			for _, workers := range []int{1, 8} {
+				vecOut, vecM, vecTrace := runEngineDiff(t, w, res, exec.EngineVector, workers, 0)
+				compareEngineRuns(t, w.Script, workers, rowOut, vecOut, rowM, vecM, rowTrace, vecTrace)
+			}
+		}
+	}
+}
+
+// TestEngineDiffForcedSpill reruns the builtin workloads with a tiny
+// memory budget, so every sort buffer, aggregation table, and join
+// build spills. Spilled execution must still be bit-identical to the
+// unbudgeted row engine — spilling may only add spill-side metrics,
+// which Core() excludes.
+func TestEngineDiffForcedSpill(t *testing.T) {
+	const budget = 512 // bytes per partition task: everything spills
+	for _, w := range builtinWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, cse := range []bool{false, true} {
+				opts := opt.DefaultOptions()
+				opts.EnableCSE = cse
+				opts.Rules = rules.SCOPEProfile()
+				m, err := logical.BuildSource(w.Script, w.Cat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := opt.Optimize(m, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rowOut, rowM, rowTrace := runEngineDiff(t, w, res, exec.EngineRow, 1, 0)
+				for _, workers := range []int{1, 8} {
+					vecOut, vecM, vecTrace := runEngineDiff(t, w, res, exec.EngineVector, workers, budget)
+					compareEngineRuns(t, w.Name, workers, rowOut, vecOut, rowM, vecM, rowTrace, vecTrace)
+					if vecM.Spills == 0 {
+						t.Errorf("cse=%v workers=%d: %d-byte budget forced no spills", cse, workers, budget)
+					}
+					if vecM.PeakResidentBytes > budget {
+						t.Errorf("cse=%v workers=%d: peak resident %d exceeds budget %d",
+							cse, workers, vecM.PeakResidentBytes, budget)
+					}
+				}
+			}
+		})
+	}
+}

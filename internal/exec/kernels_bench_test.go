@@ -1,0 +1,94 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/rules"
+)
+
+// Committed microbenchmarks for the row-vs-vector kernel comparison:
+//
+//	go test -bench 'Row|Vec' -benchtime 3x ./internal/exec/
+//
+// Each benchmark runs one kernel pipeline end to end on a warm file
+// store. The full-scale numbers live in BENCH_vec.json (benchrepro
+// -fig vec); these exist so a single kernel can be profiled in
+// isolation with -cpuprofile.
+
+const benchKernelRows = 100_000
+
+func benchScript(kernel string) string {
+	switch kernel {
+	case "scan":
+		return `
+R0 = EXTRACT K,G,W,V FROM "test.log" USING LogExtractor;
+R = SELECT W, (K+G)*(K+G) as X, K*3-G as Y, V+K as Z FROM R0;
+S = SELECT W, Sum(X) as SX, Sum(Y) as SY, Sum(Z) as SZ FROM R GROUP BY W;
+OUTPUT S TO "o1";
+`
+	case "filter":
+		return `
+R0 = EXTRACT K,G,W,V FROM "test.log" USING LogExtractor;
+R = SELECT W, V FROM R0 WHERE (K+G)*(K+G) > 1000000 AND K+G < 100000000 AND G != 512;
+S = SELECT W, Sum(V) as SV FROM R GROUP BY W;
+OUTPUT S TO "o1";
+`
+	case "agg":
+		return `
+R0 = EXTRACT K,G,W,V FROM "test.log" USING LogExtractor;
+R = SELECT G, Sum(V) as SV, Count() as N FROM R0 GROUP BY G;
+OUTPUT R TO "o1";
+`
+	default: // join
+		return `
+R0 = EXTRACT K,G,V FROM "test.log" USING LogExtractor;
+T0 = EXTRACT K,W FROM "test2.log" USING LogExtractor;
+J = SELECT W, V FROM R0, T0 WHERE R0.K = T0.K;
+S = SELECT W, Sum(V) as SV, Count() as N FROM J GROUP BY W;
+OUTPUT S TO "o1";
+`
+	}
+}
+
+func benchKernel(b *testing.B, kernel, engine string) {
+	w := bench.VecWorkload(benchKernelRows)
+	m, err := logical.BuildSource(benchScript(kernel), w.Cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := opt.DefaultOptions()
+	opts.EnableCSE = true
+	opts.Rules = rules.SCOPEProfile()
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		cl, err := exec.NewCluster(5, w.FS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.Engine = engine
+		if _, err := cl.Run(res.Plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the scan cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkRowScan(b *testing.B)   { benchKernel(b, "scan", exec.EngineRow) }
+func BenchmarkVecScan(b *testing.B)   { benchKernel(b, "scan", exec.EngineVector) }
+func BenchmarkRowFilter(b *testing.B) { benchKernel(b, "filter", exec.EngineRow) }
+func BenchmarkVecFilter(b *testing.B) { benchKernel(b, "filter", exec.EngineVector) }
+func BenchmarkRowAgg(b *testing.B)    { benchKernel(b, "agg", exec.EngineRow) }
+func BenchmarkVecAgg(b *testing.B)    { benchKernel(b, "agg", exec.EngineVector) }
+func BenchmarkRowJoin(b *testing.B)   { benchKernel(b, "join", exec.EngineRow) }
+func BenchmarkVecJoin(b *testing.B)   { benchKernel(b, "join", exec.EngineVector) }

@@ -25,6 +25,14 @@ func (m Metrics) Snapshot() obs.Snapshot {
 	out.Counters["exec.cache_reads"] = int64(m.CacheReads)
 	out.Counters["exec.cache_bytes_read"] = m.CacheBytesRead
 	out.Counters["exec.cache_bytes_written"] = m.CacheBytesWritten
+	out.Counters["exec.batches"] = m.BatchesProcessed
+	out.Counters["exec.scalar_cse_hits"] = m.ScalarCSEHits
+	out.Counters["exec.spills"] = int64(m.Spills)
+	out.Counters["exec.spill_bytes_read"] = m.SpillBytesRead
+	out.Counters["exec.spill_bytes_written"] = m.SpillBytesWritten
+	// PeakResidentBytes stays out of the snapshot: Record sums
+	// counters across runs, but peaks merge by max, so folding the
+	// peak into an additive registry would misreport it.
 	return out
 }
 

@@ -33,6 +33,9 @@ func (c *Cluster) Run(root *plan.Node) (map[string]*Table, error) {
 // RunContext is Run with cancellation: when ctx is canceled the run
 // stops scheduling work and returns the cancellation cause.
 func (c *Cluster) RunContext(ctx context.Context, root *plan.Node) (map[string]*Table, error) {
+	if err := c.checkEngine(); err != nil {
+		return nil, err
+	}
 	r, finish := c.newRunner(ctx)
 	defer finish()
 	if _, err := r.exec(root, r.span); err != nil {
@@ -59,6 +62,14 @@ type runner struct {
 	// materialization parents to.
 	tr   *obs.Tracer
 	span obs.Span
+	// vec selects the vectorized kernels (kernels.go) over the row
+	// operators; budget is the per-machine scratch budget under which
+	// the vector engine spills (spill.go) and the row engine fails
+	// with ErrMemBudget. runID names this run's spill namespace.
+	vec    bool
+	budget int64
+	runID  int64
+	spillN int // guarded by mu; per-run spill namespace counter
 
 	mu      sync.Mutex
 	coord   Metrics                // guarded by mu; operator-granular metering outside the pool
@@ -91,6 +102,9 @@ func (c *Cluster) newRunner(ctx context.Context) (*runner, func()) {
 		slots:   make(chan int, workers),
 		shards:  make([]Metrics, workers),
 		tr:      c.Trace,
+		vec:     c.Engine == EngineVector,
+		budget:  c.MemBudget,
+		runID:   c.nextRunSeq(),
 		spools:  map[string]*spoolEntry{},
 		outputs: map[string]*Table{},
 	}
@@ -379,6 +393,9 @@ func (r *runner) spool(n *plan.Node, sp obs.Span) (*pdata, error) {
 }
 
 func (r *runner) apply(n *plan.Node, ins []*pdata, sp obs.Span) (*pdata, error) {
+	if r.vec {
+		return r.applyVec(n, ins, sp)
+	}
 	switch op := n.Op.(type) {
 	case *relop.PhysExtract:
 		return r.extract(op, sp)
@@ -574,6 +591,9 @@ func (r *runner) sortOp(op *relop.Sort, in *pdata, sp obs.Span) (*pdata, error) 
 	out := newPData(in.schema, r.c.Machines)
 	out.broadcast = in.broadcast
 	if err := r.forEach(sp, "part", len(in.parts), func(m int, _ *Metrics) error {
+		if err := r.rowBudget("sort", m, int64(len(in.parts[m]))*int64(len(in.schema))*8); err != nil {
+			return err
+		}
 		cp := make([]relop.Row, len(in.parts[m]))
 		copy(cp, in.parts[m])
 		if err := sortRows(cp, in.schema, op.Order); err != nil {
@@ -585,6 +605,17 @@ func (r *runner) sortOp(op *relop.Sort, in *pdata, sp obs.Span) (*pdata, error) 
 		return nil, err
 	}
 	return out, nil
+}
+
+// rowBudget enforces the memory budget on the row engine, which has
+// no spill path: an operator whose scratch would exceed the budget
+// fails with ErrMemBudget where the vector engine would spill.
+func (r *runner) rowBudget(op string, m int, bytes int64) error {
+	if r.budget > 0 && bytes > r.budget {
+		return fmt.Errorf("exec: %s on machine %d needs %d bytes, over the %d-byte memory budget (row engine cannot spill): %w",
+			op, m, bytes, r.budget, ErrMemBudget)
+	}
+	return nil
 }
 
 func (r *runner) repartition(op *relop.Repartition, in *pdata, sp obs.Span) (*pdata, error) {
@@ -639,6 +670,9 @@ func (r *runner) repartition(op *relop.Repartition, in *pdata, sp obs.Span) (*pd
 		// Merge receive: each machine merges the sorted streams it
 		// received; sorting achieves the same deterministic result.
 		if err := r.forEach(sp, "merge", len(out.parts), func(m int, _ *Metrics) error {
+			if err := r.rowBudget("merge", m, int64(len(out.parts[m]))*int64(len(in.schema))*8); err != nil {
+				return err
+			}
 			cp := make([]relop.Row, len(out.parts[m]))
 			copy(cp, out.parts[m])
 			if err := sortRows(cp, in.schema, op.MergeOrder); err != nil {
@@ -711,6 +745,11 @@ func (r *runner) aggregate(keys []string, aggs []relop.Aggregate, phase relop.Ag
 	partKeys := make([][]string, len(in.parts))
 	if err := r.forEach(sp, "part", len(in.parts), func(m int, _ *Metrics) error {
 		part := in.parts[m]
+		if !stream {
+			if err := r.rowBudget("hash aggregation", m, int64(len(part))*int64(len(keys)+len(aggs))*8); err != nil {
+				return err
+			}
+		}
 		groups := map[string][]*relop.AggState{}
 		var order []string
 		keyRows := map[string]relop.Row{}
@@ -794,6 +833,9 @@ func (r *runner) join(lKeys, rKeys []string, l, rIn *pdata, schema relop.Schema,
 	}
 	out := newPData(schema, r.c.Machines)
 	if err := r.forEach(sp, "part", r.c.Machines, func(m int, _ *Metrics) error {
+		if err := r.rowBudget("join build", m, int64(len(rIn.parts[m]))*int64(len(rIn.schema))*8); err != nil {
+			return err
+		}
 		build := map[string][]relop.Row{}
 		for _, row := range rIn.parts[m] {
 			k := keyOf(row, rIdx)
@@ -884,6 +926,9 @@ func rangeDest(order props.Ordering, schema relop.Schema, src [][]relop.Row, mac
 // once. Wrap the result in NewAnalysis for estimate-accuracy
 // reporting.
 func (c *Cluster) RunAnalyzed(root *plan.Node) (map[string]*Table, map[*plan.Node]NodeActual, error) {
+	if err := c.checkEngine(); err != nil {
+		return nil, nil, err
+	}
 	r, finish := c.newRunner(context.Background())
 	defer finish()
 	r.actuals = map[*plan.Node]NodeActual{}

@@ -33,3 +33,32 @@ func TestSimulatedSecondsCountsCacheTraffic(t *testing.T) {
 		t.Errorf("combined traffic simulates %g, want %g", got, want)
 	}
 }
+
+// TestSimulatedSecondsCountsSpillTraffic mirrors the cache-traffic
+// regression test for the spill path: scratch written and re-read by
+// spilling operators moves through the same store as every other
+// file, so it must be charged at disk bandwidth, not simulate as free
+// memory shuffling.
+func TestSimulatedSecondsCountsSpillTraffic(t *testing.T) {
+	c := cost.DefaultCluster()
+	disk := Metrics{DiskBytesRead: 1 << 20}
+	spillRead := Metrics{SpillBytesRead: 1 << 20}
+	spillWrite := Metrics{SpillBytesWritten: 1 << 20}
+
+	if got := spillRead.SimulatedSeconds(c); got <= 0 {
+		t.Fatalf("spill-only run simulates as free: %g seconds", got)
+	}
+	if d, sr := disk.SimulatedSeconds(c), spillRead.SimulatedSeconds(c); d != sr {
+		t.Errorf("spill reads priced %g, disk reads %g — same store, same bandwidth", sr, d)
+	}
+	if d, sw := disk.SimulatedSeconds(c), spillWrite.SimulatedSeconds(c); d != sw {
+		t.Errorf("spill writes priced %g, disk reads %g — same store, same bandwidth", sw, d)
+	}
+
+	// Additivity with plan traffic: spill bytes join the same disk
+	// pool, so the mix prices exactly like 3 MiB of plan reads.
+	both := Metrics{DiskBytesRead: 1 << 20, SpillBytesRead: 1 << 20, SpillBytesWritten: 1 << 20}
+	if got, want := both.SimulatedSeconds(c), (Metrics{DiskBytesRead: 3 << 20}).SimulatedSeconds(c); got != want {
+		t.Errorf("combined traffic simulates %g, want %g", got, want)
+	}
+}

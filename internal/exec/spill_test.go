@@ -1,0 +1,139 @@
+package exec_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/opt"
+	"repro/internal/rules"
+)
+
+// optimizeWorkload builds and optimizes one builtin workload.
+func optimizeSpillPlan(t *testing.T, name, script string, cse bool) (*opt.Result, *exec.FileStore) {
+	t.Helper()
+	w := bench.Small(name, script)
+	opts := opt.DefaultOptions()
+	opts.EnableCSE = cse
+	opts.Rules = rules.SCOPEProfile()
+	m, err := logical.BuildSource(w.Script, w.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, w.FS
+}
+
+// TestSpillMeteringAndCleanup forces the S1 plan to spill and checks
+// the spill ledger: spill events and bytes are metered, every byte
+// written is read back exactly once, the scratch high-water mark
+// respects the budget, and no spill scratch survives in the
+// FileStore after the run.
+func TestSpillMeteringAndCleanup(t *testing.T) {
+	const budget = 512
+	res, fs := optimizeSpillPlan(t, "S1", bench.ScriptS1, true)
+	cl := testClusterFS(t, 5, fs)
+	cl.Engine = exec.EngineVector
+	cl.MemBudget = budget
+	if _, err := cl.Run(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	m := cl.Metrics()
+	if m.Spills == 0 {
+		t.Fatal("tiny budget forced no spills")
+	}
+	if m.SpillBytesWritten == 0 {
+		t.Error("spills metered no bytes written")
+	}
+	if m.SpillBytesRead != m.SpillBytesWritten {
+		t.Errorf("spill bytes read %d != written %d: scratch must be read back exactly once",
+			m.SpillBytesRead, m.SpillBytesWritten)
+	}
+	if m.PeakResidentBytes == 0 || m.PeakResidentBytes > budget {
+		t.Errorf("peak resident scratch %d, want within (0, %d]", m.PeakResidentBytes, budget)
+	}
+	for _, p := range fs.Paths() {
+		if strings.HasPrefix(p, "tmp/spill/") {
+			t.Errorf("spill scratch %q leaked into the FileStore", p)
+		}
+	}
+}
+
+// TestSpillChargedAtDiskBandwidth: a spilling run must simulate
+// slower than the same plan in memory — spill traffic moves through
+// the store at disk bandwidth, it is not free.
+func TestSpillChargedAtDiskBandwidth(t *testing.T) {
+	res, fs := optimizeSpillPlan(t, "S2", bench.ScriptS2, true)
+	clock := cost.DefaultCluster()
+
+	inMem := testClusterFS(t, 5, fs)
+	inMem.Engine = exec.EngineVector
+	if _, err := inMem.Run(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	spilling := testClusterFS(t, 5, fs)
+	spilling.Engine = exec.EngineVector
+	spilling.MemBudget = 512
+	if _, err := spilling.Run(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	free, paid := inMem.Metrics().SimulatedSeconds(clock), spilling.Metrics().SimulatedSeconds(clock)
+	if spilling.Metrics().Spills == 0 {
+		t.Fatal("budgeted run did not spill")
+	}
+	if paid <= free {
+		t.Errorf("spilling run simulates %.9fs, in-memory %.9fs — spill I/O must cost time", paid, free)
+	}
+}
+
+// TestRowEngineFailsFastUnderBudget: the row engine has no spill path
+// — under a budget its memory-hungry operators must fail with
+// ErrMemBudget rather than silently exceed it.
+func TestRowEngineFailsFastUnderBudget(t *testing.T) {
+	res, fs := optimizeSpillPlan(t, "S1", bench.ScriptS1, false)
+	cl := testClusterFS(t, 5, fs)
+	cl.Engine = exec.EngineRow
+	cl.MemBudget = 512
+	_, err := cl.Run(res.Plan)
+	if err == nil {
+		t.Fatal("row engine ran a working set far over budget without error")
+	}
+	if !errors.Is(err, exec.ErrMemBudget) {
+		t.Fatalf("error %v, want ErrMemBudget", err)
+	}
+}
+
+// TestSpillDisabledWithoutBudget: with no budget nothing spills and
+// no spill-side metrics appear, on either engine.
+func TestSpillDisabledWithoutBudget(t *testing.T) {
+	for _, engine := range []string{exec.EngineRow, exec.EngineVector} {
+		res, fs := optimizeSpillPlan(t, "S3", bench.ScriptS3, true)
+		cl := testClusterFS(t, 5, fs)
+		cl.Engine = engine
+		if _, err := cl.Run(res.Plan); err != nil {
+			t.Fatal(err)
+		}
+		m := cl.Metrics()
+		if m.Spills != 0 || m.SpillBytesWritten != 0 || m.SpillBytesRead != 0 {
+			t.Errorf("engine=%s: unbudgeted run metered spills: %+v", engine, m)
+		}
+	}
+}
+
+// TestUnknownEngineRejected: a typo'd engine name must fail up front,
+// not fall back to either engine.
+func TestUnknownEngineRejected(t *testing.T) {
+	res, fs := optimizeSpillPlan(t, "S4", bench.ScriptS4, false)
+	cl := testClusterFS(t, 5, fs)
+	cl.Engine = "columnar"
+	if _, err := cl.Run(res.Plan); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("engine %q: err = %v, want unknown-engine error", cl.Engine, err)
+	}
+}

@@ -1,0 +1,374 @@
+package exec
+
+import (
+	"repro/internal/relop"
+)
+
+// Vector is one typed column of a columnar batch. Exactly one backing
+// slice is non-nil; ints, floats, and strs mirror the three relop
+// value kinds, bools holds comparison results (rendered as 0/1 ints
+// at the row boundary), and vals is the fallback for columns that mix
+// kinds. A constant vector (cons) stores a single element logically
+// repeated n times.
+type Vector struct {
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	vals   []relop.Value
+	cons   bool
+	n      int
+}
+
+// ix maps a logical position to the backing index.
+func (v *Vector) ix(i int32) int32 {
+	if v.cons {
+		return 0
+	}
+	return i
+}
+
+// At materializes the value at position i.
+func (v *Vector) At(i int32) relop.Value {
+	j := v.ix(i)
+	switch {
+	case v.ints != nil:
+		return relop.IntVal(v.ints[j])
+	case v.floats != nil:
+		return relop.FloatVal(v.floats[j])
+	case v.strs != nil:
+		return relop.StringVal(v.strs[j])
+	case v.bools != nil:
+		if v.bools[j] {
+			return relop.IntVal(1)
+		}
+		return relop.IntVal(0)
+	default:
+		return v.vals[j]
+	}
+}
+
+// constVector builds a length-n constant vector holding v.
+func constVector(v relop.Value, n int) *Vector {
+	vec := &Vector{cons: true, n: n}
+	switch v.Kind {
+	case relop.TInt:
+		vec.ints = []int64{v.I}
+	case relop.TFloat:
+		vec.floats = []float64{v.F}
+	case relop.TString:
+		vec.strs = []string{v.S}
+	default:
+		vec.vals = []relop.Value{v}
+	}
+	return vec
+}
+
+// gather returns a dense copy of the vector restricted to the given
+// physical positions, in order, preserving the backing type.
+func (v *Vector) gather(sel []int32) *Vector {
+	n := len(sel)
+	if v.cons {
+		cp := *v
+		cp.n = n
+		return &cp
+	}
+	out := &Vector{n: n}
+	switch {
+	case v.ints != nil:
+		xs := make([]int64, n)
+		for k, i := range sel {
+			xs[k] = v.ints[i]
+		}
+		out.ints = xs
+	case v.floats != nil:
+		xs := make([]float64, n)
+		for k, i := range sel {
+			xs[k] = v.floats[i]
+		}
+		out.floats = xs
+	case v.strs != nil:
+		xs := make([]string, n)
+		for k, i := range sel {
+			xs[k] = v.strs[i]
+		}
+		out.strs = xs
+	case v.bools != nil:
+		xs := make([]bool, n)
+		for k, i := range sel {
+			xs[k] = v.bools[i]
+		}
+		out.bools = xs
+	default:
+		xs := make([]relop.Value, n)
+		for k, i := range sel {
+			xs[k] = v.vals[i]
+		}
+		out.vals = xs
+	}
+	return out
+}
+
+// vecBuilder accumulates values into a vector, keeping the backing
+// typed as long as every value shares one kind and degrading to the
+// generic vals backing on the first mismatch.
+type vecBuilder struct {
+	ints   []int64
+	floats []float64
+	strs   []string
+	vals   []relop.Value
+	kind   relop.Type
+	n      int
+}
+
+func (b *vecBuilder) add(v relop.Value) {
+	if b.vals == nil {
+		if b.n == 0 {
+			b.kind = v.Kind
+		}
+		if v.Kind != b.kind {
+			b.degrade()
+		}
+	}
+	if b.vals != nil {
+		b.vals = append(b.vals, v)
+		b.n++
+		return
+	}
+	switch b.kind {
+	case relop.TInt:
+		b.ints = append(b.ints, v.I)
+	case relop.TFloat:
+		b.floats = append(b.floats, v.F)
+	default:
+		b.strs = append(b.strs, v.S)
+	}
+	b.n++
+}
+
+// degrade rewrites the typed backing accumulated so far into vals.
+func (b *vecBuilder) degrade() {
+	vals := make([]relop.Value, 0, b.n+1)
+	switch b.kind {
+	case relop.TInt:
+		for _, x := range b.ints {
+			vals = append(vals, relop.IntVal(x))
+		}
+		b.ints = nil
+	case relop.TFloat:
+		for _, x := range b.floats {
+			vals = append(vals, relop.FloatVal(x))
+		}
+		b.floats = nil
+	default:
+		for _, s := range b.strs {
+			vals = append(vals, relop.StringVal(s))
+		}
+		b.strs = nil
+	}
+	b.vals = vals
+}
+
+// vec finalizes the builder. An empty builder yields an empty int
+// vector so every column stays classifiable.
+func (b *vecBuilder) vec() *Vector {
+	out := &Vector{n: b.n}
+	switch {
+	case b.vals != nil:
+		out.vals = b.vals
+	case b.n == 0:
+		out.ints = []int64{}
+	case b.kind == relop.TInt:
+		out.ints = b.ints
+	case b.kind == relop.TFloat:
+		out.floats = b.floats
+	default:
+		out.strs = b.strs
+	}
+	return out
+}
+
+// colData is one partition of a columnar intermediate: one vector per
+// schema column, all of physical length n, plus an optional selection
+// vector listing the visible row positions in order. A nil selection
+// means every row is visible. Filters emit selections over shared
+// column vectors (no copying); operators that want dense input
+// compact first.
+type colData struct {
+	cols []*Vector
+	n    int
+	sel  []int32
+}
+
+// rows returns the visible row count.
+func (c *colData) rows() int {
+	if c.sel != nil {
+		return len(c.sel)
+	}
+	return c.n
+}
+
+// positions returns the visible physical positions in order. The
+// result must not be mutated (it may alias c.sel).
+func (c *colData) positions() []int32 {
+	if c.sel != nil {
+		return c.sel
+	}
+	all := make([]int32, c.n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return all
+}
+
+// compact gathers the selection away, returning a dense batch (c
+// itself when already dense).
+func (c *colData) compact() *colData {
+	if c.sel == nil {
+		return c
+	}
+	cols := make([]*Vector, len(c.cols))
+	for j, v := range c.cols {
+		cols[j] = v.gather(c.sel)
+	}
+	return &colData{cols: cols, n: len(c.sel)}
+}
+
+// rowAt materializes the row at physical position pos.
+func (c *colData) rowAt(pos int32) relop.Row {
+	r := make(relop.Row, len(c.cols))
+	for j, v := range c.cols {
+		r[j] = v.At(pos)
+	}
+	return r
+}
+
+// materialize converts the visible rows to row format, in order.
+func (c *colData) materialize() []relop.Row {
+	out := make([]relop.Row, 0, c.rows())
+	if c.sel != nil {
+		for _, i := range c.sel {
+			out = append(out, c.rowAt(i))
+		}
+		return out
+	}
+	for i := int32(0); int(i) < c.n; i++ {
+		out = append(out, c.rowAt(i))
+	}
+	return out
+}
+
+// colsFromRows builds a dense batch of the given width from rows.
+func colsFromRows(width int, rows []relop.Row) *colData {
+	bs := make([]vecBuilder, width)
+	for _, row := range rows {
+		for j := 0; j < width; j++ {
+			bs[j].add(row[j])
+		}
+	}
+	cols := make([]*Vector, width)
+	for j := range cols {
+		cols[j] = bs[j].vec()
+	}
+	return &colData{cols: cols, n: len(rows)}
+}
+
+// emptyCols returns a zero-row dense batch of the given width.
+func emptyCols(width int) *colData { return colsFromRows(width, nil) }
+
+// sameClass reports whether two vectors share a directly appendable
+// backing (same typed slice kind, neither constant).
+func sameClass(a, b *Vector) bool {
+	if a.cons || b.cons {
+		return false
+	}
+	return (a.ints != nil) == (b.ints != nil) &&
+		(a.floats != nil) == (b.floats != nil) &&
+		(a.strs != nil) == (b.strs != nil) &&
+		(a.bools != nil) == (b.bools != nil) &&
+		(a.vals != nil) == (b.vals != nil)
+}
+
+// concatVecs concatenates vectors column-wise. Uniformly backed
+// inputs copy slices directly; mixed inputs rebuild through a
+// builder (bools render as ints there, matching At).
+func concatVecs(vs []*Vector, total int) *Vector {
+	uniform := true
+	for _, v := range vs[1:] {
+		if !sameClass(vs[0], v) {
+			uniform = false
+			break
+		}
+	}
+	if uniform && len(vs) > 0 && !vs[0].cons {
+		out := &Vector{n: total}
+		switch {
+		case vs[0].ints != nil:
+			xs := make([]int64, 0, total)
+			for _, v := range vs {
+				xs = append(xs, v.ints...)
+			}
+			out.ints = xs
+		case vs[0].floats != nil:
+			xs := make([]float64, 0, total)
+			for _, v := range vs {
+				xs = append(xs, v.floats...)
+			}
+			out.floats = xs
+		case vs[0].strs != nil:
+			xs := make([]string, 0, total)
+			for _, v := range vs {
+				xs = append(xs, v.strs...)
+			}
+			out.strs = xs
+		case vs[0].bools != nil:
+			xs := make([]bool, 0, total)
+			for _, v := range vs {
+				xs = append(xs, v.bools...)
+			}
+			out.bools = xs
+		default:
+			xs := make([]relop.Value, 0, total)
+			for _, v := range vs {
+				xs = append(xs, v.vals...)
+			}
+			out.vals = xs
+		}
+		return out
+	}
+	var b vecBuilder
+	for _, v := range vs {
+		for i := int32(0); int(i) < v.n; i++ {
+			b.add(v.At(i))
+		}
+	}
+	return b.vec()
+}
+
+// concatCols concatenates dense batches (callers compact first).
+// Zero-row inputs do not constrain the output's backing types.
+func concatCols(width int, parts []*colData) *colData {
+	var nonEmpty []*colData
+	total := 0
+	for _, p := range parts {
+		if p != nil && p.n > 0 {
+			nonEmpty = append(nonEmpty, p)
+			total += p.n
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return emptyCols(width)
+	}
+	if len(nonEmpty) == 1 {
+		return nonEmpty[0]
+	}
+	cols := make([]*Vector, width)
+	vs := make([]*Vector, len(nonEmpty))
+	for j := 0; j < width; j++ {
+		for i, p := range nonEmpty {
+			vs[i] = p.cols[j]
+		}
+		cols[j] = concatVecs(vs, total)
+	}
+	return &colData{cols: cols, n: total}
+}

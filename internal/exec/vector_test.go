@@ -1,0 +1,310 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relop"
+)
+
+// The vectorized kernels promise EvalScalar's exact semantics, batch
+// at a time. These unit tests pin that contract down at the kernel
+// level, below the differential engine tests: every operator over
+// every backing-type pairing must agree with the reference row
+// evaluator value-for-value (strict struct equality — int 2 is not
+// float 2.0), and the CSE memo, guarded short-circuiting, and filter
+// selection must reproduce the row engine's quirks.
+
+var vectorOps = []relop.BinKind{
+	relop.OpAdd, relop.OpSub, relop.OpMul, relop.OpDiv,
+	relop.OpEq, relop.OpNe, relop.OpLt, relop.OpLe, relop.OpGt, relop.OpGe,
+	relop.OpAnd, relop.OpOr,
+}
+
+// crossRows builds the cross product of two value sets as two-column
+// rows, so each batch exercises one backing-type pairing densely.
+func crossRows(as, bs []relop.Value) []relop.Row {
+	var rows []relop.Row
+	for _, a := range as {
+		for _, b := range bs {
+			rows = append(rows, relop.Row{a, b})
+		}
+	}
+	return rows
+}
+
+// checkVecAgainstScalar evaluates expr over the batch with the
+// vectorized program and row-at-a-time with EvalScalar, and requires
+// identical values or identical errors.
+func checkVecAgainstScalar(t *testing.T, label string, schema relop.Schema, rows []relop.Row, expr relop.Scalar) {
+	t.Helper()
+	p, err := compileProg([]relop.Scalar{expr}, schema)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	out, vecErr := newVecEval(p, colsFromRows(len(schema), rows)).root(0)
+
+	want := make([]relop.Value, len(rows))
+	var rowErr error
+	for i, row := range rows {
+		want[i], rowErr = relop.EvalScalar(expr, row, schema)
+		if rowErr != nil {
+			break
+		}
+	}
+	if (vecErr != nil) != (rowErr != nil) {
+		t.Fatalf("%s: vector err %v, scalar err %v", label, vecErr, rowErr)
+	}
+	if vecErr != nil {
+		if vecErr.Error() != rowErr.Error() {
+			t.Fatalf("%s: vector err %q, scalar err %q", label, vecErr, rowErr)
+		}
+		return
+	}
+	for i := range rows {
+		if got := out.At(int32(i)); got != want[i] {
+			t.Fatalf("%s: row %v = %#v, scalar reference %#v", label, rows[i], got, want[i])
+		}
+	}
+}
+
+// TestVectorBinKernelsMatchScalar sweeps every binary operator over
+// every pairing of typed column backings (int, float, string, and the
+// mixed-kind vals fallback), comparing each position against
+// EvalScalar. Division by zero is included: the batch must fail with
+// the reference evaluator's exact error.
+func TestVectorBinKernelsMatchScalar(t *testing.T) {
+	ints := []relop.Value{relop.IntVal(0), relop.IntVal(2), relop.IntVal(-1), relop.IntVal(7)}
+	floats := []relop.Value{relop.FloatVal(0), relop.FloatVal(2.5), relop.FloatVal(-1.5)}
+	strs := []relop.Value{relop.StringVal(""), relop.StringVal("a"), relop.StringVal("b")}
+	mixed := []relop.Value{relop.IntVal(3), relop.FloatVal(3), relop.StringVal("3"), relop.IntVal(0)}
+	sets := map[string][]relop.Value{"int": ints, "float": floats, "str": strs, "mixed": mixed}
+	types := map[string]relop.Type{"int": relop.TInt, "float": relop.TFloat, "str": relop.TString, "mixed": relop.TInt}
+
+	for lname, lvals := range sets {
+		for rname, rvals := range sets {
+			schema := relop.Schema{{Name: "a", Type: types[lname]}, {Name: "b", Type: types[rname]}}
+			rows := crossRows(lvals, rvals)
+			for _, op := range vectorOps {
+				label := lname + " " + op.String() + " " + rname
+				checkVecAgainstScalar(t, label, schema, rows,
+					relop.Bin(op, relop.Col("a"), relop.Col("b")))
+			}
+		}
+	}
+}
+
+// TestVectorConstAndNestedExprs covers constant operands (constant
+// vectors take distinct stride-0 fast paths) and nested trees.
+func TestVectorConstAndNestedExprs(t *testing.T) {
+	schema := relop.Schema{{Name: "a", Type: relop.TInt}, {Name: "b", Type: relop.TFloat}}
+	rows := crossRows(
+		[]relop.Value{relop.IntVal(0), relop.IntVal(5), relop.IntVal(-3)},
+		[]relop.Value{relop.FloatVal(0.5), relop.FloatVal(-2), relop.FloatVal(4)},
+	)
+	consts := []relop.Value{relop.IntVal(2), relop.FloatVal(0.5), relop.StringVal("k")}
+	for _, op := range vectorOps {
+		for _, c := range consts {
+			checkVecAgainstScalar(t, "a "+op.String()+" const", schema, rows,
+				relop.Bin(op, relop.Col("a"), relop.Lit(c)))
+			checkVecAgainstScalar(t, "const "+op.String()+" b", schema, rows,
+				relop.Bin(op, relop.Lit(c), relop.Col("b")))
+		}
+	}
+	// (a+b)*(a-2) > b  — nested arithmetic under a comparison.
+	nested := relop.Bin(relop.OpGt,
+		relop.Bin(relop.OpMul,
+			relop.Bin(relop.OpAdd, relop.Col("a"), relop.Col("b")),
+			relop.Bin(relop.OpSub, relop.Col("a"), relop.Lit(relop.IntVal(2)))),
+		relop.Col("b"))
+	checkVecAgainstScalar(t, "nested", schema, rows, nested)
+}
+
+// TestVectorCSEMemoHits: a shared subexpression evaluates once per
+// batch; every further reference is served from the memo and counts
+// one hit per selected row. Leaf references (columns, constants) are
+// free in both engines and must not count.
+func TestVectorCSEMemoHits(t *testing.T) {
+	schema := relop.Schema{{Name: "a", Type: relop.TInt}, {Name: "b", Type: relop.TInt}}
+	var rows []relop.Row
+	for i := 0; i < 10; i++ {
+		rows = append(rows, relop.Row{relop.IntVal(int64(i)), relop.IntVal(int64(i % 3))})
+	}
+	sum := relop.Bin(relop.OpAdd, relop.Col("a"), relop.Col("b"))
+	exprs := []relop.Scalar{
+		relop.Bin(relop.OpMul, sum, sum),            // second (a+b) hits the memo
+		relop.Bin(relop.OpSub, sum, relop.Col("a")), // third hit; bare col ref is free
+	}
+	p, err := compileProg(exprs, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := newVecEval(p, colsFromRows(2, rows))
+	for i := range exprs {
+		if _, err := ev.root(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := int64(2 * len(rows)); ev.hits != want {
+		t.Errorf("memo hits = %d, want %d (two shared (a+b) references over %d rows)", ev.hits, want, len(rows))
+	}
+
+	// Column-only sharing earns nothing: a+a reuses the leaf a.
+	p2, err := compileProg([]relop.Scalar{relop.Bin(relop.OpAdd, relop.Col("a"), relop.Col("a"))}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2 := newVecEval(p2, colsFromRows(2, rows))
+	if _, err := ev2.root(0); err != nil {
+		t.Fatal(err)
+	}
+	if ev2.hits != 0 {
+		t.Errorf("leaf-only reuse counted %d memo hits, want 0", ev2.hits)
+	}
+}
+
+// TestVectorGuardedShortCircuit: in (b != 0) AND (a/b > 0), the row
+// engine never evaluates the division on rows where the integer guard
+// is false. The batch evaluator must restrict the right operand to
+// the surviving sub-selection — eagerly evaluating the whole column
+// would hit division by zero on rows the row engine skips.
+func TestVectorGuardedShortCircuit(t *testing.T) {
+	schema := relop.Schema{{Name: "a", Type: relop.TInt}, {Name: "b", Type: relop.TInt}}
+	rows := []relop.Row{
+		{relop.IntVal(6), relop.IntVal(2)},
+		{relop.IntVal(6), relop.IntVal(0)}, // guarded: division must not run
+		{relop.IntVal(-6), relop.IntVal(3)},
+		{relop.IntVal(0), relop.IntVal(0)}, // guarded
+	}
+	guard := relop.Bin(relop.OpNe, relop.Col("b"), relop.Lit(relop.IntVal(0)))
+	div := relop.Bin(relop.OpGt,
+		relop.Bin(relop.OpDiv, relop.Col("a"), relop.Col("b")),
+		relop.Lit(relop.IntVal(0)))
+	checkVecAgainstScalar(t, "guarded AND", schema, rows, relop.Bin(relop.OpAnd, guard, div))
+
+	// The OR dual: (b = 0) OR (a/b > 0) short-circuits on b = 0.
+	zero := relop.Bin(relop.OpEq, relop.Col("b"), relop.Lit(relop.IntVal(0)))
+	checkVecAgainstScalar(t, "guarded OR", schema, rows, relop.Bin(relop.OpOr, zero, div))
+
+	// Unguarded, the same division must fail — and with the reference
+	// evaluator's error.
+	checkVecAgainstScalar(t, "unguarded div", schema, rows, div)
+}
+
+// TestVectorSelFromPredStrictness: the filter keeps a row only for an
+// integer nonzero predicate value. Floats and strings are truthy to
+// AND/OR but must never pass a filter, exactly like the row engine.
+func TestVectorSelFromPredStrictness(t *testing.T) {
+	all := func(n int) []int32 {
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = int32(i)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		v    *Vector
+		want []int32
+	}{
+		{"ints", &Vector{ints: []int64{0, 5, -2, 0}, n: 4}, []int32{1, 2}},
+		{"bools", &Vector{bools: []bool{true, false, true}, n: 3}, []int32{0, 2}},
+		{"floats never pass", &Vector{floats: []float64{0, 1.5, -3}, n: 3}, nil},
+		{"strings never pass", &Vector{strs: []string{"", "x", "y"}, n: 3}, nil},
+		{"vals int-strict", &Vector{vals: []relop.Value{
+			relop.IntVal(3), relop.FloatVal(3), relop.StringVal("x"), relop.IntVal(0),
+		}, n: 4}, []int32{0}},
+		{"const nonzero", constVector(relop.IntVal(1), 3), []int32{0, 1, 2}},
+		{"const zero", constVector(relop.IntVal(0), 3), nil},
+	}
+	for _, tc := range cases {
+		got := selFromPred(tc.v, all(tc.v.n))
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: sel = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: sel = %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestVectorBuilderDegrade: a builder stays typed while one kind
+// flows in, degrades losslessly to the generic backing on the first
+// mismatch, and an empty builder still yields a classifiable vector.
+func TestVectorBuilderDegrade(t *testing.T) {
+	var b vecBuilder
+	in := []relop.Value{relop.IntVal(1), relop.IntVal(2), relop.FloatVal(2.5), relop.StringVal("x")}
+	for _, v := range in {
+		b.add(v)
+	}
+	v := b.vec()
+	if v.vals == nil {
+		t.Fatal("mixed-kind builder kept a typed backing")
+	}
+	for i, want := range in {
+		if got := v.At(int32(i)); got != want {
+			t.Errorf("position %d = %#v, want %#v", i, got, want)
+		}
+	}
+
+	var typed vecBuilder
+	typed.add(relop.IntVal(4))
+	typed.add(relop.IntVal(5))
+	if tv := typed.vec(); tv.ints == nil {
+		t.Error("uniform int builder degraded")
+	}
+	var empty vecBuilder
+	if ev := empty.vec(); ev.ints == nil || ev.n != 0 {
+		t.Errorf("empty builder yielded %+v, want empty int vector", empty.vec())
+	}
+}
+
+// TestVectorGatherConcat: gather preserves backing type and constant
+// compression; concatenation over mismatched backings rebuilds
+// through a builder with bools rendered as 0/1 ints, matching At.
+func TestVectorGatherConcat(t *testing.T) {
+	c := constVector(relop.StringVal("k"), 5)
+	g := c.gather([]int32{4, 0, 2})
+	if !g.cons || g.n != 3 || g.At(1) != relop.StringVal("k") {
+		t.Errorf("const gather = %+v", g)
+	}
+	v := &Vector{ints: []int64{10, 11, 12, 13}, n: 4}
+	gv := v.gather([]int32{3, 1})
+	if gv.ints == nil || gv.n != 2 || gv.At(0) != relop.IntVal(13) || gv.At(1) != relop.IntVal(11) {
+		t.Errorf("int gather = %+v", gv)
+	}
+
+	a := &colData{cols: []*Vector{{bools: []bool{true, false}, n: 2}}, n: 2}
+	b := &colData{cols: []*Vector{{ints: []int64{7}, n: 1}}, n: 1}
+	cat := concatCols(1, []*colData{a, b, emptyCols(1)})
+	if cat.n != 3 {
+		t.Fatalf("concat rows = %d, want 3", cat.n)
+	}
+	want := []relop.Value{relop.IntVal(1), relop.IntVal(0), relop.IntVal(7)}
+	for i, w := range want {
+		if got := cat.cols[0].At(int32(i)); got != w {
+			t.Errorf("concat[%d] = %#v, want %#v", i, got, w)
+		}
+	}
+	if e := concatCols(2, nil); e.n != 0 || len(e.cols) != 2 {
+		t.Errorf("empty concat = %+v", e)
+	}
+}
+
+// TestVectorCompileProgUnknownColumn: compilation surfaces the same
+// unknown-column error text as EvalScalar.
+func TestVectorCompileProgUnknownColumn(t *testing.T) {
+	schema := relop.Schema{{Name: "a", Type: relop.TInt}}
+	_, err := compileProg([]relop.Scalar{relop.Col("zz")}, schema)
+	if err == nil || !strings.Contains(err.Error(), `column "zz" not in schema`) {
+		t.Fatalf("err = %v, want unknown-column error", err)
+	}
+	_, refErr := relop.EvalScalar(relop.Col("zz"), relop.Row{relop.IntVal(1)}, schema)
+	if refErr == nil || err.Error() != refErr.Error() {
+		t.Fatalf("compile err %q, reference err %q — texts must match", err, refErr)
+	}
+}

@@ -128,6 +128,26 @@ func (s *AggState) Add(v Value) {
 	s.sum += v.AsFloat()
 }
 
+// AddInt folds one integer exactly like Add(IntVal(x)) without the
+// Value boxing: when every value a state sees is an int, min and max
+// are always TInt, so their Compare is a plain int compare.
+func (s *AggState) AddInt(x int64) {
+	s.n++
+	if !s.any {
+		v := IntVal(x)
+		s.min, s.max = v, v
+		s.any = true
+	} else {
+		if x < s.min.I {
+			s.min = IntVal(x)
+		}
+		if x > s.max.I {
+			s.max = IntVal(x)
+		}
+	}
+	s.sum += float64(x)
+}
+
 // Result returns the aggregate value accumulated so far.
 func (s *AggState) Result() Value {
 	switch s.fn {

@@ -1,0 +1,94 @@
+package relop
+
+import "testing"
+
+// TestBuildExprDAGDedup: structurally identical subexpressions across
+// an expression list intern to one node, with Refs counting every
+// reference and children appearing strictly before parents.
+func TestBuildExprDAGDedup(t *testing.T) {
+	sum := Bin(OpAdd, Col("a"), Col("b"))
+	d := BuildExprDAG([]Scalar{
+		Bin(OpMul, sum, sum),
+		Bin(OpGt, Bin(OpAdd, Col("a"), Col("b")), Lit(IntVal(100))), // distinct tree, same structure
+	})
+	if len(d.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(d.Roots))
+	}
+	// Distinct nodes: a, b, (a+b), (a+b)*(a+b), 100, (a+b)>100.
+	if len(d.Nodes) != 6 {
+		t.Fatalf("nodes = %d, want 6: %+v", len(d.Nodes), d.Nodes)
+	}
+	byStr := map[string]ExprDAGNode{}
+	for i, n := range d.Nodes {
+		if n.L >= i || n.R >= i {
+			t.Errorf("node %d references child after itself (L=%d R=%d)", i, n.L, n.R)
+		}
+		byStr[n.Expr.String()] = n
+	}
+	if n := byStr["(a + b)"]; n.Refs != 3 {
+		t.Errorf("(a + b) Refs = %d, want 3 (two in the product, one under the comparison)", n.Refs)
+	}
+	if n := byStr["a"]; n.Refs != 1 {
+		t.Errorf("leaf a Refs = %d, want 1 (referenced only by the shared (a + b))", n.Refs)
+	}
+	if n := byStr["((a + b) * (a + b))"]; n.Refs != 1 {
+		t.Errorf("product Refs = %d, want 1", n.Refs)
+	}
+}
+
+// TestBuildExprDAGUnguarded: a node is unguarded iff some reference
+// chain from a root avoids every AND/OR right-operand edge. A
+// division reachable only as an AND's right operand must stay
+// guarded even when another guarded context also references it.
+func TestBuildExprDAGUnguarded(t *testing.T) {
+	div := Bin(OpDiv, Col("a"), Col("b"))
+	guard := Bin(OpNe, Col("b"), Lit(IntVal(0)))
+	d := BuildExprDAG([]Scalar{
+		Bin(OpAnd, guard, div),
+		Bin(OpOr, guard, div),
+	})
+	unguarded := map[string]bool{}
+	for _, n := range d.Nodes {
+		unguarded[n.Expr.String()] = n.Unguarded
+	}
+	if unguarded["(a / b)"] {
+		t.Error("division referenced only as AND/OR right operands marked unguarded")
+	}
+	if !unguarded["(b != 0)"] || !unguarded["b"] {
+		t.Error("guard expression and its columns must be unguarded (left operands always evaluate)")
+	}
+	// The division's own operand a is reachable only through the
+	// guarded division.
+	if unguarded["a"] {
+		t.Error("column reachable only under a guarded node marked unguarded")
+	}
+
+	// One unguarded reference anywhere lifts the guard.
+	d2 := BuildExprDAG([]Scalar{Bin(OpAnd, guard, div), div})
+	for _, n := range d2.Nodes {
+		if n.Expr.String() == "(a / b)" && !n.Unguarded {
+			t.Error("division also referenced as a root must be unguarded")
+		}
+	}
+}
+
+// TestSharedEvals counts the per-row interior evaluations CSE saves,
+// weighting each saved reference by its whole collapsed subtree.
+func TestSharedEvals(t *testing.T) {
+	sum := Bin(OpAdd, Col("a"), Col("b"))
+	if got := BuildExprDAG([]Scalar{sum}).SharedEvals(); got != 0 {
+		t.Errorf("single tree saves %d, want 0", got)
+	}
+	// (a+b)*(a+b): one extra reference to a 3-node subtree.
+	if got := BuildExprDAG([]Scalar{Bin(OpMul, sum, sum)}).SharedEvals(); got != 3 {
+		t.Errorf("squared sum saves %d, want 3", got)
+	}
+	// Shared across roots counts the same way.
+	if got := BuildExprDAG([]Scalar{sum, sum}).SharedEvals(); got != 3 {
+		t.Errorf("repeated root saves %d, want 3", got)
+	}
+	// Leaf sharing saves nothing.
+	if got := BuildExprDAG([]Scalar{Bin(OpAdd, Col("a"), Col("a"))}).SharedEvals(); got != 0 {
+		t.Errorf("leaf sharing saves %d, want 0", got)
+	}
+}

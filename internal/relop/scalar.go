@@ -184,6 +184,13 @@ func EvalScalar(expr Scalar, row Row, s Schema) (Value, error) {
 	}
 }
 
+// EvalBin applies a binary operator to two already-evaluated operands
+// with EvalScalar's exact promotion and comparison semantics (but no
+// short-circuiting — both operands are given). The vectorized kernels
+// use it as the per-position fallback when a column pair has no typed
+// fast path, so both engines share one definition of the arithmetic.
+func EvalBin(op BinKind, l, r Value) (Value, error) { return evalBin(op, l, r) }
+
 func evalBin(op BinKind, l, r Value) (Value, error) {
 	boolVal := func(b bool) Value {
 		if b {
@@ -230,6 +237,12 @@ func evalBin(op BinKind, l, r Value) (Value, error) {
 		return Value{}, fmt.Errorf("unknown binary op %v", op)
 	}
 }
+
+// Truthy reports the boolean interpretation of a value — nonzero
+// numbers and nonempty strings — as used by AND/OR evaluation. Note
+// that the executor's filter is stricter: it keeps a row only when
+// the predicate value is an *integer* nonzero.
+func Truthy(v Value) bool { return truthy(v) }
 
 func truthy(v Value) bool {
 	switch v.Kind {

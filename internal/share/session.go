@@ -48,6 +48,11 @@ type Config struct {
 	// optimizer's stats, the execution totals, and the session's
 	// sharing counters. Safe to share across concurrent sessions.
 	Obs *obs.Registry
+	// Engine selects the execution engine for every run ("" = the
+	// cluster default) and MemBudget its per-partition working-set
+	// bound in bytes (0 = unbounded). See exec.Cluster.
+	Engine    string
+	MemBudget int64
 }
 
 // Session runs scripts against one cluster, sharing materialized
@@ -329,6 +334,8 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 	if s.cfg.Workers > 0 {
 		cl.Workers = s.cfg.Workers
 	}
+	cl.Engine = s.cfg.Engine
+	cl.MemBudget = s.cfg.MemBudget
 	cl.Trace = s.cfg.Tracer
 	cl.Obs = s.cfg.Obs
 	cl.PersistSpools = persist
