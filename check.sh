@@ -61,10 +61,11 @@ go test -race -count=1 -run 'ParallelRound|Equivalence|BudgetExpiry' ./internal/
 	fail "parallel phase-2 race tests failed"
 
 # The observability layer is lock-light shared state by design
-# (atomic metrics registry, one-mutex tracer) — always race-test it,
-# plus the registry merge invariants that back batch reporting.
-echo "== go test -race (obs + registry merge suites) =="
-go test -race -count=1 ./internal/obs/ || fail "obs race tests failed"
+# (atomic metrics registry, one-mutex tracer, one-mutex event log) —
+# always race-test it, plus the registry merge invariants that back
+# batch reporting.
+echo "== go test -race (obs + eventlog + registry merge suites) =="
+go test -race -count=1 ./internal/obs/ ./internal/obs/eventlog/ || fail "obs race tests failed"
 go test -race -count=1 -run 'RegistryMerge|SessionPublish' ./internal/exec/ ./internal/share/ ||
 	fail "registry merge race tests failed"
 
@@ -87,6 +88,15 @@ go test -race -count=1 -run 'SelectionDeterministicAcrossWorkers|SelectGreedyMat
 	fail "mqo selection race tests failed"
 go test -race -count=1 -run 'ServeMQOBatch' ./internal/serve/ ||
 	fail "serve MQO batch race test failed"
+
+# The query event log is written from every request goroutine and read
+# by the flight recorder, the sink, and the introspection endpoints:
+# run the eventlog suites by name under the race detector (ring bound,
+# well-formed JSON under concurrency, counter additivity, byte-equal
+# canonical streams across worker widths).
+echo "== go test -race (serve event log suites) =="
+go test -race -count=1 -run 'EventLog' ./internal/serve/ ||
+	fail "serve event log race tests failed"
 
 # The vectorized engine's load-bearing coverage: kernel-vs-scalar
 # differentials, spill accounting, and the row-vs-vector engine
@@ -162,5 +172,14 @@ out=$(go run ./cmd/scoped -selftest -machines 8 -workers 4) ||
 	fail "scoped selftest failed"
 echo "$out"
 echo "$out" | grep -q 'selftest ok' || fail "scoped selftest produced no ok line"
+
+# Event-log replay: scopestat must recompute the committed 20-event
+# fixture's sharing statistics exactly (the offline half of the
+# additivity invariant the serve tests pin live).
+echo "== scopestat replay smoke (scopestat -replay) =="
+out=$(go run ./cmd/scopestat -replay cmd/scopestat/testdata/events.jsonl) ||
+	fail "scopestat replay failed"
+echo "$out" | head -1
+echo "$out" | grep -q '^events=20 errors=0 ' || fail "scopestat replay totals diverge from the fixture"
 
 echo "check.sh: all green"

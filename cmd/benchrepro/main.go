@@ -38,6 +38,8 @@ func main() {
 	vecIters := flag.Int("veciters", 2, "runs per engine per kernel for -fig vec (fastest wins)")
 	clients := flag.String("clients", "1,2,4,8,16", "client-concurrency levels for -fig serve")
 	rounds := flag.Int("rounds", 3, "submission rounds per client for -fig serve")
+	serveEvents := flag.String("serveevents", "",
+		"also write the last serve level's query event log (JSONL, replayable with scopestat -replay) to this path")
 	flag.Parse()
 	if err := cliflags.ValidateEngine(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrepro:", err)
@@ -159,6 +161,13 @@ func main() {
 				return err
 			}
 			fmt.Printf("%s: schema ok (%d levels)\n", *serveOut, len(rep.Rows))
+			if *serveEvents != "" {
+				if err := os.WriteFile(*serveEvents, rep.EventsJSONL, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("%s: %d event bytes (scopestat -replay %s)\n",
+					*serveEvents, len(rep.EventsJSONL), *serveEvents)
+			}
 			return nil
 		},
 		"mqo": func() error {

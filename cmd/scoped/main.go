@@ -51,6 +51,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cliflags"
 	"repro/internal/exec"
+	"repro/internal/obs/eventlog"
 	"repro/internal/serve"
 	"repro/internal/share"
 )
@@ -65,6 +66,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request execution timeout (0 = none)")
 	tenantQuota := flag.Int64("tenant-quota", 0, "per-tenant cache byte quota (0 = unlimited)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "shared result-cache capacity in bytes (0 = session default)")
+	events := flag.String("events", "",
+		"export the full query event log (JSONL) to this file on shutdown")
+	eventCap := flag.Int("event-cap", 0,
+		"flight-recorder ring capacity (0 = eventlog default)")
+	analyze := flag.Bool("analyze", false,
+		"run every request under EXPLAIN ANALYZE and record q-error in its event")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	selftest := flag.Bool("selftest", false,
 		"start on a loopback listener, drive concurrent clients, verify results, and exit")
 	flag.Parse()
@@ -75,7 +83,7 @@ func main() {
 	}
 
 	w := bench.Small("scoped", "")
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Catalog:          w.Cat,
 		FS:               w.FS,
 		Machines:         cluster.Machines,
@@ -86,7 +94,19 @@ func main() {
 		QueueDepth:       *queue,
 		Timeout:          *timeout,
 		TenantCacheBytes: *tenantQuota,
-	})
+		EventCap:         *eventCap,
+		Analyze:          *analyze,
+		Pprof:            *pprofFlag,
+		// Failed requests dump the flight recorder to stderr so the
+		// events leading up to a failure survive in the service log.
+		FailureDump: os.Stderr,
+	}
+	if *events != "" {
+		// The sink buffers the full history through the metered
+		// FileStore; shutdown exports it to the host file.
+		cfg.EventSinkPath = "/sys/events.jsonl"
+	}
+	srv, err := serve.New(cfg)
 	exitOn(err)
 
 	if *selftest {
@@ -114,6 +134,11 @@ func main() {
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
 	exitOn(srv.Shutdown(ctx))
+	if *events != "" {
+		srv.FlushEvents()
+		exitOn(os.WriteFile(*events, srv.EventLog().SinkJSONL(), 0o644))
+		fmt.Printf("scoped: event log written to %s (%d events)\n", *events, srv.EventLog().Len())
+	}
 	fmt.Println("scoped: drained")
 }
 
@@ -214,9 +239,40 @@ func runSelftest(srv *serve.Server, machines, workers int) {
 	_ = httpSrv.Shutdown(ctx)
 	exitOn(srv.Shutdown(ctx))
 
+	// The event log must hold exactly one event per submitted script
+	// (the concurrent clients plus the HTTP smoke run), each with
+	// output digests matching the cold sequential references.
+	events := srv.EventLog().Events()
+	if len(events) != clients+1 {
+		fail("event log holds %d events, want %d (one per submitted script)", len(events), clients+1)
+	}
+	scriptIdx := map[string]int{}
+	for i, sc := range selftestScripts {
+		scriptIdx[eventlog.ScriptID(sc.script)] = i
+	}
+	for _, ev := range events {
+		if ev.Error != "" {
+			fail("event %s records an error: %s", ev.ID, ev.Error)
+		}
+		i, ok := scriptIdx[ev.Script]
+		if !ok {
+			fail("event %s names unknown script digest %s", ev.ID, ev.Script)
+		}
+		want := eventlog.DigestOutputs(refs[i])
+		if len(ev.Outputs) != len(want) {
+			fail("event %s (%s): %d outputs, want %d", ev.ID, selftestScripts[i].name, len(ev.Outputs), len(want))
+		}
+		for j := range want {
+			if ev.Outputs[j] != want[j] {
+				fail("event %s (%s): output %d digest %+v, want %+v (event stream diverges from cold run)",
+					ev.ID, selftestScripts[i].name, j, ev.Outputs[j], want[j])
+			}
+		}
+	}
+
 	snap := srv.Registry().Snapshot()
-	fmt.Printf("selftest: %d concurrent clients bit-identical to sequential; warm hits=%d folded=%d batches=%d\n",
-		clients, hits, snap.Counters["serve.folded"], snap.Counters["serve.batches"])
+	fmt.Printf("selftest: %d concurrent clients bit-identical to sequential; warm hits=%d folded=%d batches=%d events=%d\n",
+		clients, hits, snap.Counters["serve.folded"], snap.Counters["serve.batches"], len(events))
 	fmt.Println("selftest ok")
 }
 

@@ -5,12 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/obs/eventlog"
 	"repro/internal/serve"
 	"repro/internal/share"
 )
@@ -54,6 +55,12 @@ type ServeReport struct {
 	Rounds   int        `json:"rounds"`
 	WindowUs int64      `json:"window_us"`
 	Rows     []ServeRow `json:"rows"`
+	// EventsJSONL is the last level's full query event log (verbatim,
+	// timestamps included) — replayable with `scopestat -replay` to
+	// recompute the row's hit/miss/fold counts from per-request records
+	// alone. Not part of the JSON artifact; benchrepro writes it to a
+	// side file on request.
+	EventsJSONL []byte `json:"-"`
 }
 
 // serveScripts are the workload each client cycles through: the
@@ -107,18 +114,22 @@ func ServeBench(levels []int, rounds, machines, workers int) (*ServeReport, erro
 		WindowUs: window.Microseconds(),
 	}
 	for _, clients := range levels {
-		row, err := serveLevel(clients, rounds, machines, workers, window, scripts, refs)
+		row, events, err := serveLevel(clients, rounds, machines, workers, window, scripts, refs)
 		if err != nil {
 			return nil, fmt.Errorf("%d clients: %w", clients, err)
 		}
 		rep.Rows = append(rep.Rows, *row)
+		rep.EventsJSONL = events
 	}
 	return rep, nil
 }
 
-// serveLevel runs one client-concurrency level against a fresh server.
+// serveLevel runs one client-concurrency level against a fresh
+// server, event log enabled. It returns the row plus the level's full
+// event stream as JSONL, already cross-checked against the row's
+// per-response totals.
 func serveLevel(clients, rounds, machines, workers int, window time.Duration,
-	scripts []*struct{ Name, Script string }, refs []map[string]*exec.Table) (*ServeRow, error) {
+	scripts []*struct{ Name, Script string }, refs []map[string]*exec.Table) (*ServeRow, []byte, error) {
 
 	w := Small("serve-bench", "")
 	srv, err := serve.New(serve.Config{
@@ -127,9 +138,12 @@ func serveLevel(clients, rounds, machines, workers int, window time.Duration,
 		Machines: machines,
 		Workers:  workers,
 		Window:   window,
+		// The ring must hold the level's whole run so the event stream
+		// can be replayed against the row totals.
+		EventCap: clients * rounds,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	type result struct {
@@ -161,18 +175,18 @@ func serveLevel(clients, rounds, machines, workers int, window time.Duration,
 	wg.Wait()
 	wall := time.Since(start)
 	if err := srv.Shutdown(context.Background()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	row := &ServeRow{Clients: clients, Requests: len(results), Identical: true,
 		WallMs: wall.Milliseconds()}
-	latencies := make([]time.Duration, 0, len(results))
+	var latencies obs.Histogram
 	warmRequests, warmHits := 0, 0
 	for _, res := range results {
 		if res.err != nil {
-			return nil, res.err
+			return nil, nil, res.err
 		}
-		latencies = append(latencies, res.latency)
+		latencies.Observe(res.latency.Microseconds())
 		row.CacheHits += int64(res.rep.CacheHits)
 		row.CacheMisses += int64(res.rep.CacheMisses)
 		if res.warm {
@@ -192,14 +206,25 @@ func serveLevel(clients, rounds, machines, workers int, window time.Duration,
 			}
 		}
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	row.P50Us = latencies[len(latencies)/2].Microseconds()
-	row.P99Us = latencies[len(latencies)*99/100].Microseconds()
+	row.P50Us = int64(latencies.Quantile(0.50))
+	row.P99Us = int64(latencies.Quantile(0.99))
 	if warmRequests > 0 {
 		row.WarmHitRate = float64(warmHits) / float64(warmRequests)
 	}
 	row.Folded = srv.Registry().Snapshot().Counters["serve.folded"]
-	return row, nil
+
+	// The event stream must reproduce the row's totals exactly — the
+	// same invariant `scopestat -replay` relies on offline.
+	events := srv.EventLog().Events()
+	sum := eventlog.Summarize(events)
+	if sum.Events != len(results) || sum.CacheHits != row.CacheHits ||
+		sum.CacheMisses != row.CacheMisses || sum.Folded != row.Folded {
+		return nil, nil, fmt.Errorf(
+			"event log diverges from responses: events=%d hits=%d misses=%d folded=%d, rows say %d/%d/%d/%d",
+			sum.Events, sum.CacheHits, sum.CacheMisses, sum.Folded,
+			len(results), row.CacheHits, row.CacheMisses, row.Folded)
+	}
+	return row, eventlog.JSONL(events), nil
 }
 
 // FormatServe renders the service benchmark as an aligned table.

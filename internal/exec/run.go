@@ -926,10 +926,16 @@ func rangeDest(order props.Ordering, schema relop.Schema, src [][]relop.Row, mac
 // once. Wrap the result in NewAnalysis for estimate-accuracy
 // reporting.
 func (c *Cluster) RunAnalyzed(root *plan.Node) (map[string]*Table, map[*plan.Node]NodeActual, error) {
+	return c.RunAnalyzedContext(context.Background(), root)
+}
+
+// RunAnalyzedContext is RunAnalyzed with cancellation, for callers
+// (the service) that execute analyzed plans under a request context.
+func (c *Cluster) RunAnalyzedContext(ctx context.Context, root *plan.Node) (map[string]*Table, map[*plan.Node]NodeActual, error) {
 	if err := c.checkEngine(); err != nil {
 		return nil, nil, err
 	}
-	r, finish := c.newRunner(context.Background())
+	r, finish := c.newRunner(ctx)
 	defer finish()
 	r.actuals = map[*plan.Node]NodeActual{}
 	if _, err := r.exec(root, r.span); err != nil {

@@ -1,0 +1,546 @@
+// Package eventlog is the service-grade query event log: one
+// structured JSON event per request, capturing what the sharing
+// machinery actually did — which subexpressions were covered by the
+// cache, which the batching window folded, what the workload
+// optimizer chose, what was admitted, evicted, or spilled — so the
+// sharing policy can be audited from its own telemetry, the way the
+// paper's production-log study audits SCOPE's.
+//
+// The log is two views over one Submit stream:
+//
+//   - A bounded in-memory ring (the flight recorder): always on,
+//     race-safe, capacity-bounded, dumpable as JSONL when a request
+//     fails so the events leading up to the failure are preserved.
+//   - An optional JSONL sink written through the metered
+//     exec.FileStore (never package os — the scopevet rawio analyzer
+//     enforces it), holding the full event history for offline
+//     replay (`scopestat -replay`).
+//
+// Events are deterministic modulo timing: IDs derive from tenant and
+// script identity plus a per-identity occurrence counter — like the
+// span IDs of the parent obs package, never from goroutine
+// scheduling — and CanonicalJSONL zeroes the two wall-clock fields
+// (time_us, latency_us), so the width-determinism regression can
+// byte-compare event streams produced at different worker-pool
+// widths. The clock is read in exactly one place (nowMicros), the
+// only eventlog entry on the scopevet nondet allowlist.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/relop"
+)
+
+// DefaultCap is the flight-recorder ring capacity used when none is
+// configured.
+const DefaultCap = 256
+
+// Output identifies one OUTPUT table a request produced: path, row
+// count, and the FNV-64a digest of its canonical row rendering
+// (rendered as fixed-width hex so the JSON stays integer-precision
+// safe for any consumer).
+type Output struct {
+	Path   string `json:"path"`
+	Rows   int    `json:"rows"`
+	Digest string `json:"digest"`
+}
+
+// Event is one request's structured record. Field order is the JSONL
+// column order (encoding/json preserves struct order), so streams are
+// byte-comparable once the timing fields are zeroed.
+type Event struct {
+	// Seq is the log-assigned submission index (1-based).
+	Seq int64 `json:"seq"`
+	// ID is the deterministic event identity: fnv64a over
+	// tenant+script digest, plus the per-identity occurrence count —
+	// the same derivation discipline as span IDs (content, never
+	// scheduling).
+	ID string `json:"id"`
+	// TimeUs is the wall-clock submission time in microseconds since
+	// the Unix epoch — the event's only nondeterministic field besides
+	// LatencyUs; CanonicalJSONL zeroes both.
+	TimeUs int64 `json:"time_us"`
+	// Tenant and Script identify who ran what; Script is the FNV-64a
+	// digest of the script source.
+	Tenant string `json:"tenant"`
+	Script string `json:"script"`
+	// Engine names the execution engine the request ran under ("" =
+	// the cluster default).
+	Engine string `json:"engine,omitempty"`
+	// Covered and Uncovered are the script's shareable subexpression
+	// identities (fingerprint.signature-digest) split by whether a
+	// valid cache artifact already served them when the batching
+	// window dispatched the request.
+	Covered   []string `json:"covered,omitempty"`
+	Uncovered []string `json:"uncovered,omitempty"`
+	// Folded reports the batching-window decision: true when this
+	// request ran sequentially behind an overlapping group leader
+	// instead of dispatching concurrently. GroupSize is the folded
+	// group's total size (1 = dispatched alone).
+	Folded    bool `json:"folded"`
+	GroupSize int  `json:"group_size"`
+	// MQOChosen counts the workload-level materialization keys the
+	// multi-query optimizer preadmitted for this request's batch (0
+	// when MQO is off or chose nothing).
+	MQOChosen int `json:"mqo_chosen,omitempty"`
+	// Cache actions: hits (planned CacheScans, each of which pinned
+	// its artifact for the run), misses (shared subexpressions
+	// materialized anew), admissions with their payload bytes,
+	// quota-rejected admissions, and evictions triggered by this
+	// run's admissions.
+	CacheHits     int   `json:"cache_hits"`
+	CacheMisses   int   `json:"cache_misses"`
+	Admitted      int   `json:"admitted"`
+	AdmittedBytes int64 `json:"admitted_bytes"`
+	QuotaRejected int   `json:"quota_rejected"`
+	Evicted       int   `json:"evicted"`
+	// Spills counts operator working sets that exceeded the memory
+	// budget during this request's execution.
+	Spills int `json:"spills"`
+	// QErrMax is the worst row-estimate q-error across the executed
+	// plan (0 when the service runs without EXPLAIN ANALYZE).
+	QErrMax float64 `json:"qerr_max,omitempty"`
+	// LatencyUs is the submit-to-response latency in microseconds —
+	// timing, so zeroed alongside TimeUs in canonical streams.
+	LatencyUs int64 `json:"latency_us"`
+	// Error is the failure message for requests that did not produce
+	// outputs ("" on success).
+	Error string `json:"error,omitempty"`
+	// Outputs digests every OUTPUT table of a successful request.
+	Outputs []Output `json:"outputs,omitempty"`
+}
+
+// ScriptID digests script source text into the event identity form.
+func ScriptID(src string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(src))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// SubexprID renders one shareable subexpression identity: the
+// Definition-1 fingerprint plus an FNV-32a digest of the canonical
+// signature (signatures can be long; events carry the fixed-width
+// digest).
+func SubexprID(fp uint64, sig string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(sig))
+	return fmt.Sprintf("%016x.%08x", fp, h.Sum32())
+}
+
+// DigestTable hashes a table's canonical row rendering with FNV-64a —
+// the same digest the service's HTTP responses carry, so clients and
+// events agree on output identity.
+func DigestTable(t *exec.Table) uint64 {
+	h := fnv.New64a()
+	for _, line := range t.Canonical() {
+		_, _ = h.Write([]byte(line))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// DigestOutputs digests every output table in path order.
+func DigestOutputs(outputs map[string]*exec.Table) []Output {
+	paths := make([]string, 0, len(outputs))
+	for p := range outputs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]Output, 0, len(paths))
+	for _, p := range paths {
+		t := outputs[p]
+		out = append(out, Output{Path: p, Rows: len(t.Rows), Digest: fmt.Sprintf("%016x", DigestTable(t))})
+	}
+	return out
+}
+
+// maxSinkEvents bounds the JSONL sink buffer; past it the oldest half
+// is discarded (and counted in SinkDropped) so an unattended server
+// cannot grow without bound.
+const maxSinkEvents = 1 << 18
+
+// Log is the query event log: a bounded flight-recorder ring plus an
+// optional FileStore JSONL sink. All methods are safe for concurrent
+// use and are no-ops on a nil *Log, following the obs convention that
+// disabled must be free.
+type Log struct {
+	capacity int
+
+	mu   sync.Mutex
+	ring []Event          // guarded by mu; oldest first, len <= capacity
+	seq  int64            // guarded by mu
+	occ  map[string]int64 // guarded by mu; per tenant|script occurrence count
+	// sink state: lines buffers every event's JSON until Flush writes
+	// the whole history through the metered FileStore as one table.
+	fs          *exec.FileStore // guarded by mu
+	path        string          // guarded by mu
+	lines       []string        // guarded by mu
+	sinkDropped int64           // guarded by mu
+}
+
+// New returns a log whose flight recorder keeps the last capacity
+// events (<= 0 uses DefaultCap).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Log{capacity: capacity, occ: map[string]int64{}}
+}
+
+// Cap returns the flight-recorder capacity.
+func (l *Log) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return l.capacity
+}
+
+// AttachSink directs the full event history (not just the ring) to a
+// JSONL file stored under path in the metered FileStore. The file is
+// written by Flush; events arriving past the sink bound drop oldest
+// first.
+func (l *Log) AttachSink(fs *exec.FileStore, path string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.fs, l.path = fs, path
+	l.mu.Unlock()
+}
+
+// nowMicros reads the wall clock for event timestamps. It is the only
+// clock read in the package and the only eventlog entry on the
+// scopevet nondet allowlist; canonical streams zero the field.
+func nowMicros() int64 {
+	return time.Now().UnixMicro()
+}
+
+// Submit assigns the event its sequence number, deterministic ID, and
+// timestamp, then records it in the flight recorder (and the sink
+// buffer when attached). The completed event is returned.
+func (l *Log) Submit(ev Event) Event {
+	if l == nil {
+		return ev
+	}
+	ev.TimeUs = nowMicros()
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	key := ev.Tenant + "|" + ev.Script
+	l.occ[key]++
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	ev.ID = fmt.Sprintf("%016x-%d", h.Sum64(), l.occ[key])
+	if len(l.ring) == l.capacity {
+		copy(l.ring, l.ring[1:])
+		l.ring[len(l.ring)-1] = ev
+	} else {
+		l.ring = append(l.ring, ev)
+	}
+	if l.fs != nil {
+		if len(l.lines) == maxSinkEvents {
+			n := copy(l.lines, l.lines[maxSinkEvents/2:])
+			l.lines = l.lines[:n]
+			l.sinkDropped += maxSinkEvents - int64(n)
+		}
+		l.lines = append(l.lines, marshalEvent(ev))
+	}
+	l.mu.Unlock()
+	return ev
+}
+
+// marshalEvent renders one event as its JSON line. Event is a plain
+// struct of encodable fields, so the error path is unreachable; a
+// marshal failure would surface as a visibly broken line, not a
+// silent drop.
+func marshalEvent(ev Event) string {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Sprintf(`{"seq":%d,"error":%q}`, ev.Seq, "eventlog: marshal: "+err.Error())
+	}
+	return string(b)
+}
+
+// Len returns how many events have ever been submitted (the ring
+// keeps only the most recent Cap of them).
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.seq)
+}
+
+// SinkDropped reports how many events fell off the bounded sink
+// buffer before a Flush captured them.
+func (l *Log) SinkDropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinkDropped
+}
+
+// Events returns a copy of the flight-recorder ring, oldest first.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.ring...)
+}
+
+// Recent returns up to n ring events (0 = all), oldest first,
+// filtered by tenant when tenant is non-empty.
+func (l *Log) Recent(tenant string, n int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	ring := append([]Event(nil), l.ring...)
+	l.mu.Unlock()
+	if tenant != "" {
+		kept := ring[:0]
+		for _, ev := range ring {
+			if ev.Tenant == tenant {
+				kept = append(kept, ev)
+			}
+		}
+		ring = kept
+	}
+	if n > 0 && len(ring) > n {
+		ring = ring[len(ring)-n:]
+	}
+	return ring
+}
+
+// Flush writes the buffered sink history through the metered
+// FileStore as a one-column JSONL table (each row holds one event
+// line; the table's bytes are what eviction and disk meters account).
+// No-op when no sink is attached.
+func (l *Log) Flush() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	fs, path := l.fs, l.path
+	lines := append([]string(nil), l.lines...)
+	l.mu.Unlock()
+	if fs == nil {
+		return
+	}
+	t := &exec.Table{Schema: relop.Schema{{Name: "event", Type: relop.TString}}}
+	for _, line := range lines {
+		t.Rows = append(t.Rows, relop.Row{relop.StringVal(line)})
+	}
+	fs.Put(path, t)
+}
+
+// SinkJSONL returns the flushed sink file's content as JSONL bytes
+// (nil when no sink was attached or Flush never ran). CLIs use it to
+// export the history to a host file — outside the metered simulator,
+// where raw IO is allowed.
+func (l *Log) SinkJSONL() []byte {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	fs, path := l.fs, l.path
+	l.mu.Unlock()
+	if fs == nil {
+		return nil
+	}
+	t, ok := fs.Get(path)
+	if !ok {
+		return nil
+	}
+	var b strings.Builder
+	for _, row := range t.Rows {
+		b.WriteString(row[0].S)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// DumpRecent writes the last n ring events (0 = all) as JSONL — the
+// flight-recorder dump the service emits when a request fails or a
+// worker panics.
+func (l *Log) DumpRecent(w io.Writer, n int) {
+	if l == nil || w == nil {
+		return
+	}
+	for _, ev := range l.Recent("", n) {
+		fmt.Fprintln(w, marshalEvent(ev))
+	}
+}
+
+// Canonical returns the event with its timing fields zeroed —
+// everything left is a pure function of the workload and the sharing
+// state, which is what the width-determinism regression compares.
+func Canonical(ev Event) Event {
+	ev.TimeUs = 0
+	ev.LatencyUs = 0
+	return ev
+}
+
+// CanonicalJSONL renders events as JSONL with timing zeroed. Streams
+// of the same workload are byte-identical at any worker-pool width.
+func CanonicalJSONL(events []Event) []byte {
+	var b strings.Builder
+	for _, ev := range events {
+		b.WriteString(marshalEvent(Canonical(ev)))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// JSONL renders events verbatim (timestamps included).
+func JSONL(events []Event) []byte {
+	var b strings.Builder
+	for _, ev := range events {
+		b.WriteString(marshalEvent(ev))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// ReadJSONL parses an event stream (one JSON event per line; blank
+// lines skipped). A malformed line fails the whole read — a replay
+// over a corrupt log should say so, not silently skip records.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("eventlog: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary is the aggregate view of an event stream — the same
+// sharing statistics the service's registry counts live, recomputed
+// offline from the log (the paper's log-analysis methodology applied
+// to our own telemetry).
+type Summary struct {
+	Events        int
+	Errors        int
+	CacheHits     int64
+	CacheMisses   int64
+	Folded        int64
+	Admitted      int64
+	AdmittedBytes int64
+	QuotaRejected int64
+	Evicted       int64
+	Spills        int64
+	MQOChosen     int64
+	QErrMax       float64
+	// P50Us / P99Us are latency quantiles interpolated from a
+	// power-of-two histogram over the recorded latencies — the same
+	// estimator the serve bench reports.
+	P50Us int64
+	P99Us int64
+	// TenantRequests counts events per tenant.
+	TenantRequests map[string]int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 with no lookups.
+func (s Summary) HitRatio() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// FoldRate returns the fraction of events the batching window folded
+// behind a group leader.
+func (s Summary) FoldRate() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.Folded) / float64(s.Events)
+}
+
+// Summarize recomputes the sharing statistics of an event stream.
+func Summarize(events []Event) Summary {
+	s := Summary{TenantRequests: map[string]int64{}}
+	var lat obs.Histogram
+	for _, ev := range events {
+		s.Events++
+		if ev.Error != "" {
+			s.Errors++
+		}
+		s.CacheHits += int64(ev.CacheHits)
+		s.CacheMisses += int64(ev.CacheMisses)
+		if ev.Folded {
+			s.Folded++
+		}
+		s.Admitted += int64(ev.Admitted)
+		s.AdmittedBytes += ev.AdmittedBytes
+		s.QuotaRejected += int64(ev.QuotaRejected)
+		s.Evicted += int64(ev.Evicted)
+		s.Spills += int64(ev.Spills)
+		s.MQOChosen += int64(ev.MQOChosen)
+		if ev.QErrMax > s.QErrMax {
+			s.QErrMax = ev.QErrMax
+		}
+		s.TenantRequests[ev.Tenant]++
+		lat.Observe(ev.LatencyUs)
+	}
+	s.P50Us = int64(lat.Quantile(0.50))
+	s.P99Us = int64(lat.Quantile(0.99))
+	return s
+}
+
+// String renders the summary as the stable two-line replay report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d errors=%d hits=%d misses=%d folded=%d admitted=%d admitted_bytes=%d quota_rejected=%d evicted=%d spills=%d mqo_chosen=%d\n",
+		s.Events, s.Errors, s.CacheHits, s.CacheMisses, s.Folded,
+		s.Admitted, s.AdmittedBytes, s.QuotaRejected, s.Evicted, s.Spills, s.MQOChosen)
+	fmt.Fprintf(&b, "hit_ratio=%.1f%% fold_rate=%.1f%% qerr_max=%.2f p50=%s p99=%s\n",
+		s.HitRatio()*100, s.FoldRate()*100, s.QErrMax,
+		time.Duration(s.P50Us)*time.Microsecond,
+		time.Duration(s.P99Us)*time.Microsecond)
+	tenants := make([]string, 0, len(s.TenantRequests))
+	for t := range s.TenantRequests {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for i, t := range tenants {
+		if i == 0 {
+			b.WriteString("tenants:")
+		}
+		fmt.Fprintf(&b, " %s=%d", t, s.TenantRequests[t])
+	}
+	if len(tenants) > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,345 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/relop"
+)
+
+func TestRingBounded(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Submit(Event{Tenant: "a", Script: ScriptID(fmt.Sprintf("q%d", i))})
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want capacity 4", len(evs))
+	}
+	if l.Len() != 10 {
+		t.Errorf("Len() = %d, want 10 total submissions", l.Len())
+	}
+	// Oldest first: the survivors are submissions 7..10.
+	for i, ev := range evs {
+		if want := int64(7 + i); ev.Seq != want {
+			t.Errorf("ring[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	mk := func() []Event {
+		l := New(16)
+		var out []Event
+		out = append(out, l.Submit(Event{Tenant: "a", Script: ScriptID("s1")}))
+		out = append(out, l.Submit(Event{Tenant: "b", Script: ScriptID("s1")}))
+		out = append(out, l.Submit(Event{Tenant: "a", Script: ScriptID("s1")}))
+		out = append(out, l.Submit(Event{Tenant: "a", Script: ScriptID("s2")}))
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Errorf("event %d: ID %q differs across identical runs (%q)", i, a[i].ID, b[i].ID)
+		}
+	}
+	// Same identity resubmitted gets a new occurrence suffix, distinct
+	// identities distinct prefixes.
+	if a[0].ID == a[2].ID {
+		t.Errorf("repeat submission reused ID %q; want a new occurrence", a[0].ID)
+	}
+	if !strings.HasSuffix(a[0].ID, "-1") || !strings.HasSuffix(a[2].ID, "-2") {
+		t.Errorf("occurrence suffixes wrong: %q then %q", a[0].ID, a[2].ID)
+	}
+	if a[0].ID[:16] == a[1].ID[:16] || a[0].ID[:16] == a[3].ID[:16] {
+		t.Errorf("distinct identities share an ID prefix: %q %q %q", a[0].ID, a[1].ID, a[3].ID)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := New(8)
+	l.Submit(Event{
+		Tenant: "a", Script: ScriptID("s1"), Engine: "vec",
+		Covered: []string{SubexprID(7, "sig")}, Uncovered: []string{SubexprID(9, "other")},
+		Folded: true, GroupSize: 3, MQOChosen: 2,
+		CacheHits: 1, CacheMisses: 2, Admitted: 2, AdmittedBytes: 640,
+		QuotaRejected: 1, Evicted: 1, Spills: 4, QErrMax: 2.5,
+		Outputs: []Output{{Path: "/out/a", Rows: 10, Digest: "00deadbeef000000"}},
+	})
+	l.Submit(Event{Tenant: "b", Script: ScriptID("s2"), Error: "boom", GroupSize: 1})
+	evs := l.Events()
+	got, err := ReadJSONL(bytes.NewReader(JSONL(evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip returned %d events, want 2", len(got))
+	}
+	wantJSON := JSONL(evs)
+	gotJSON := JSONL(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("round trip changed the stream:\n%s\nvs\n%s", wantJSON, gotJSON)
+	}
+}
+
+func TestReadJSONLMalformed(t *testing.T) {
+	in := `{"seq":1,"tenant":"a"}` + "\n\nnot json\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed line did not fail the read")
+	} else if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not name the offending line", err)
+	}
+}
+
+func TestCanonicalZeroesTiming(t *testing.T) {
+	l := New(8)
+	ev := l.Submit(Event{Tenant: "a", Script: ScriptID("s1"), LatencyUs: 1234})
+	if ev.TimeUs == 0 {
+		t.Fatal("Submit did not stamp TimeUs")
+	}
+	c := Canonical(ev)
+	if c.TimeUs != 0 || c.LatencyUs != 0 {
+		t.Errorf("Canonical left timing: time_us=%d latency_us=%d", c.TimeUs, c.LatencyUs)
+	}
+	if c.Seq != ev.Seq || c.ID != ev.ID || c.Tenant != ev.Tenant {
+		t.Error("Canonical changed non-timing fields")
+	}
+	jl := string(CanonicalJSONL(l.Events()))
+	if !strings.Contains(jl, `"time_us":0`) || !strings.Contains(jl, `"latency_us":0`) {
+		t.Errorf("CanonicalJSONL kept timing: %s", jl)
+	}
+}
+
+func TestRecentFilter(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 6; i++ {
+		tenant := "a"
+		if i%2 == 1 {
+			tenant = "b"
+		}
+		l.Submit(Event{Tenant: tenant, Script: ScriptID(fmt.Sprintf("s%d", i))})
+	}
+	got := l.Recent("b", 2)
+	if len(got) != 2 {
+		t.Fatalf("Recent(b,2) returned %d events", len(got))
+	}
+	for _, ev := range got {
+		if ev.Tenant != "b" {
+			t.Errorf("tenant filter leaked event for %q", ev.Tenant)
+		}
+	}
+	if got[0].Seq != 4 || got[1].Seq != 6 {
+		t.Errorf("Recent returned seqs %d,%d, want the newest matches 4,6", got[0].Seq, got[1].Seq)
+	}
+	if n := len(l.Recent("", 0)); n != 6 {
+		t.Errorf("Recent(\"\",0) returned %d events, want all 6", n)
+	}
+}
+
+func TestSinkFlushThroughFileStore(t *testing.T) {
+	fs := exec.NewFileStore()
+	l := New(2) // ring smaller than history: sink must keep everything
+	l.AttachSink(fs, "/sys/events.jsonl")
+	for i := 0; i < 5; i++ {
+		l.Submit(Event{Tenant: "a", Script: ScriptID(fmt.Sprintf("s%d", i))})
+	}
+	l.Flush()
+	tab, ok := fs.Get("/sys/events.jsonl")
+	if !ok {
+		t.Fatal("Flush did not write the sink table")
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("sink holds %d rows, want full history of 5", len(tab.Rows))
+	}
+	evs, err := ReadJSONL(bytes.NewReader(l.SinkJSONL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 || evs[0].Seq != 1 || evs[4].Seq != 5 {
+		t.Fatalf("SinkJSONL round trip wrong: %d events", len(evs))
+	}
+}
+
+func TestDumpRecent(t *testing.T) {
+	l := New(8)
+	l.Submit(Event{Tenant: "a", Script: ScriptID("s1"), Error: "boom"})
+	var b bytes.Buffer
+	l.DumpRecent(&b, 0)
+	var ev Event
+	if err := json.Unmarshal(b.Bytes(), &ev); err != nil {
+		t.Fatalf("dump line is not JSON: %v", err)
+	}
+	if ev.Error != "boom" {
+		t.Errorf("dump lost the error field: %+v", ev)
+	}
+}
+
+func TestDigestOutputsSorted(t *testing.T) {
+	tab := &exec.Table{Schema: relop.Schema{{Name: "x", Type: relop.TInt}}}
+	tab.Rows = append(tab.Rows, relop.Row{relop.IntVal(1)}, relop.Row{relop.IntVal(2)})
+	outs := DigestOutputs(map[string]*exec.Table{"/out/b": tab, "/out/a": tab})
+	if len(outs) != 2 || outs[0].Path != "/out/a" || outs[1].Path != "/out/b" {
+		t.Fatalf("outputs not in path order: %+v", outs)
+	}
+	if outs[0].Digest != outs[1].Digest || outs[0].Rows != 2 {
+		t.Errorf("same table digested differently: %+v", outs)
+	}
+	if len(outs[0].Digest) != 16 {
+		t.Errorf("digest %q is not fixed-width hex", outs[0].Digest)
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	ev := l.Submit(Event{Tenant: "a"})
+	if ev.Seq != 0 {
+		t.Error("nil Submit assigned a sequence")
+	}
+	if l.Len() != 0 || l.Cap() != 0 || l.Events() != nil || l.Recent("", 1) != nil ||
+		l.SinkJSONL() != nil || l.SinkDropped() != 0 {
+		t.Error("nil log accessors not zero")
+	}
+	l.AttachSink(nil, "")
+	l.Flush()
+	l.DumpRecent(nil, 0)
+}
+
+// TestSummarize checks the offline recompute against hand-built
+// events — the replay side of the additivity invariant.
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Tenant: "a", CacheHits: 2, CacheMisses: 1, Folded: true, Admitted: 1,
+			AdmittedBytes: 100, Evicted: 1, Spills: 2, MQOChosen: 1, QErrMax: 3, LatencyUs: 100},
+		{Tenant: "b", CacheHits: 1, CacheMisses: 0, QuotaRejected: 2, QErrMax: 5, LatencyUs: 200},
+		{Tenant: "a", Error: "boom", LatencyUs: 400},
+	}
+	s := Summarize(events)
+	if s.Events != 3 || s.Errors != 1 || s.CacheHits != 3 || s.CacheMisses != 1 ||
+		s.Folded != 1 || s.Admitted != 1 || s.AdmittedBytes != 100 ||
+		s.QuotaRejected != 2 || s.Evicted != 1 || s.Spills != 2 || s.MQOChosen != 1 {
+		t.Errorf("summary totals wrong: %+v", s)
+	}
+	if s.QErrMax != 5 {
+		t.Errorf("QErrMax = %g, want the stream max 5", s.QErrMax)
+	}
+	if s.TenantRequests["a"] != 2 || s.TenantRequests["b"] != 1 {
+		t.Errorf("tenant counts wrong: %v", s.TenantRequests)
+	}
+	if got := s.HitRatio(); got != 0.75 {
+		t.Errorf("HitRatio = %g, want 0.75", got)
+	}
+	if s.P50Us <= 0 || s.P99Us < s.P50Us {
+		t.Errorf("latency quantiles wrong: p50=%d p99=%d", s.P50Us, s.P99Us)
+	}
+	out := s.String()
+	if !strings.HasPrefix(out, "events=3 errors=1 hits=3 misses=1 folded=1 admitted=1 ") {
+		t.Errorf("report prefix wrong: %q", out)
+	}
+	if !strings.Contains(out, "tenants: a=2 b=1") {
+		t.Errorf("report lacks sorted tenant counts: %q", out)
+	}
+}
+
+// TestConcurrentSubmit hammers Submit from many goroutines (run under
+// -race by check.sh): the ring never exceeds capacity, every event is
+// well-formed JSON, sequence numbers are unique, and summed event
+// fields equal the per-goroutine totals (additivity invariant).
+func TestConcurrentSubmit(t *testing.T) {
+	const workers, perWorker = 8, 200
+	l := New(64)
+	fs := exec.NewFileStore()
+	l.AttachSink(fs, "/sys/events.jsonl")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Submit(Event{
+					Tenant:    fmt.Sprintf("t%d", w),
+					Script:    ScriptID(fmt.Sprintf("s%d", i%4)),
+					CacheHits: 1, CacheMisses: 2, AdmittedBytes: 10,
+				})
+				if i%16 == 0 {
+					l.Events()
+					l.Recent("", 4)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(l.Events()); got > l.Cap() {
+		t.Fatalf("ring grew to %d, capacity %d", got, l.Cap())
+	}
+	if l.Len() != workers*perWorker {
+		t.Fatalf("Len() = %d, want %d", l.Len(), workers*perWorker)
+	}
+	l.Flush()
+	evs, err := ReadJSONL(bytes.NewReader(l.SinkJSONL()))
+	if err != nil {
+		t.Fatalf("sink stream malformed: %v", err)
+	}
+	if len(evs) != workers*perWorker {
+		t.Fatalf("sink holds %d events, want %d", len(evs), workers*perWorker)
+	}
+	seqs := map[int64]bool{}
+	for _, ev := range evs {
+		if ev.Seq <= 0 || seqs[ev.Seq] {
+			t.Fatalf("duplicate or missing seq %d", ev.Seq)
+		}
+		seqs[ev.Seq] = true
+	}
+	s := Summarize(evs)
+	wantTotal := int64(workers * perWorker)
+	if s.CacheHits != wantTotal || s.CacheMisses != 2*wantTotal || s.AdmittedBytes != 10*wantTotal {
+		t.Errorf("summed fields diverge from submissions: %+v", s)
+	}
+}
+
+func TestSinkBounded(t *testing.T) {
+	fs := exec.NewFileStore()
+	l := New(4)
+	l.AttachSink(fs, "/sys/events.jsonl")
+	l.mu.Lock()
+	// Pre-fill the sink buffer to the bound so the next Submit trips
+	// the oldest-half drop without 2^18 real submissions.
+	for i := 0; i < maxSinkEvents; i++ {
+		l.lines = append(l.lines, `{"seq":0}`)
+	}
+	l.mu.Unlock()
+	l.Submit(Event{Tenant: "a", Script: ScriptID("s")})
+	if got := l.SinkDropped(); got != maxSinkEvents/2 {
+		t.Errorf("SinkDropped = %d, want %d", got, maxSinkEvents/2)
+	}
+	l.mu.Lock()
+	n := len(l.lines)
+	l.mu.Unlock()
+	if n != maxSinkEvents/2+1 {
+		t.Errorf("sink buffer holds %d lines, want %d", n, maxSinkEvents/2+1)
+	}
+}
+
+// BenchmarkSubmit prices one event end to end (struct fill already
+// done by the caller): marshal + ring append under the mutex. The
+// serve overhead claim (EXPERIMENTS E25) divides this by the serve
+// bench's per-request latency.
+func BenchmarkSubmit(b *testing.B) {
+	l := New(256)
+	ev := Event{
+		Tenant: "bench", Script: ScriptID("script"), Engine: "vector",
+		Covered:   []string{SubexprID(1, "a"), SubexprID(3, "b")},
+		Uncovered: []string{SubexprID(5, "c")},
+		CacheHits: 2, CacheMisses: 1, Admitted: 1, AdmittedBytes: 64000,
+		LatencyUs: 17000,
+		Outputs:   []Output{{Path: "/out/a", Digest: "00000000deadbeef", Rows: 4}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Submit(ev)
+	}
+}

@@ -1,0 +1,186 @@
+// Prometheus text exposition (format version 0.0.4) over a registry
+// snapshot. The registry's flat metric names map onto Prometheus
+// conventions in one place:
+//
+//   - dots become underscores and every name gains a namespace prefix
+//     ("serve.requests" → "scope_serve_requests"),
+//   - the per-tenant name pattern "<sys>.tenant.<tenant>.<field>"
+//     becomes one metric per field with a tenant label
+//     ("serve.tenant.a.requests" → scope_serve_tenant_requests{tenant="a"}),
+//   - power-of-two histograms render as cumulative _bucket series
+//     (le = the bucket's inclusive upper bound) plus _sum and _count.
+//
+// Output is deterministic: one # TYPE line per metric family, families
+// sorted by name, samples sorted by label value within a family.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4"
+
+// promSample is one rendered sample: a label suffix (possibly empty)
+// and a formatted value.
+type promSample struct {
+	labels string
+	value  string
+}
+
+// promFamily collects the samples sharing one metric name.
+type promFamily struct {
+	name    string
+	kind    string // "counter", "gauge", "histogram"
+	samples []promSample
+}
+
+// promName maps a registry metric name onto (metric name, label
+// suffix): the "<sys>.tenant.<tenant>.<field>" pattern folds the
+// tenant segment into a label; everything else is a plain rename. A
+// tenant containing dots keeps them — the field is the last segment.
+func promName(namespace, name string) (string, string) {
+	if i := strings.Index(name, ".tenant."); i >= 0 {
+		rest := name[i+len(".tenant."):]
+		if j := strings.LastIndex(rest, "."); j > 0 {
+			metric := sanitizeMetric(namespace + "_" + name[:i] + "_tenant_" + rest[j+1:])
+			return metric, fmt.Sprintf("{tenant=%q}", rest[:j])
+		}
+	}
+	return sanitizeMetric(namespace + "_" + name), ""
+}
+
+// sanitizeMetric rewrites a name into the Prometheus metric charset
+// [a-zA-Z0-9_:]; anything else becomes an underscore.
+func sanitizeMetric(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns m's keys in sorted order, so family assembly
+// never depends on map iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promFamilies buckets one metric kind's entries into families.
+func promFamilies(namespace, kind string, m map[string]int64, fams map[string]*promFamily) {
+	for _, name := range sortedKeys(m) {
+		metric, labels := promName(namespace, name)
+		f := fams[metric]
+		if f == nil {
+			f = &promFamily{name: metric, kind: kind}
+			fams[metric] = f
+		}
+		f.samples = append(f.samples, promSample{labels: labels, value: fmt.Sprintf("%d", m[name])})
+	}
+}
+
+// bucketUpper returns bucket i's inclusive upper bound: bucket 0
+// holds v <= 0, bucket i>0 holds values needing i significant bits,
+// i.e. v <= 2^i - 1.
+func bucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(i)) - 1
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format under the given namespace prefix.
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	if namespace == "" {
+		namespace = "scope"
+	}
+	fams := map[string]*promFamily{}
+	promFamilies(namespace, "counter", s.Counters, fams)
+	promFamilies(namespace, "gauge", s.Gauges, fams)
+	for _, name := range sortedKeys(s.Hists) {
+		metric, labels := promName(namespace, name)
+		f := fams[metric]
+		if f == nil {
+			f = &promFamily{name: metric, kind: "histogram"}
+			fams[metric] = f
+		}
+		f.samples = append(f.samples, histSamples(metric, labels, s.Hists[name])...)
+	}
+	for _, name := range sortedKeys(fams) {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, sm := range f.samples {
+			line := f.name + sm.labels
+			if f.kind == "histogram" {
+				// Histogram sample labels already embed the full series
+				// name (metric_bucket{le=...}, metric_sum, metric_count).
+				line = sm.labels
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", line, sm.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// histSamples renders one histogram's cumulative bucket, sum, and
+// count series. Each sample's labels field holds the full series name
+// (histogram series append _bucket/_sum/_count to the family name, so
+// the family name alone cannot prefix them). The labels argument
+// carries a pre-rendered label suffix (e.g. a tenant) merged into
+// each series.
+func histSamples(metric, labels string, h HistValue) []promSample {
+	idxs := make([]int, 0, len(h.Buckets))
+	for i := range h.Buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]promSample, 0, len(idxs)+3)
+	cum := int64(0)
+	for _, i := range idxs {
+		cum += h.Buckets[i]
+		out = append(out, promSample{
+			labels: metric + "_bucket" + mergeLE(labels, fmt.Sprintf("%d", bucketUpper(i))),
+			value:  fmt.Sprintf("%d", cum),
+		})
+	}
+	return append(out,
+		promSample{labels: metric + "_bucket" + mergeLE(labels, "+Inf"), value: fmt.Sprintf("%d", h.Count)},
+		promSample{labels: metric + "_sum" + labels, value: fmt.Sprintf("%d", h.Sum)},
+		promSample{labels: metric + "_count" + labels, value: fmt.Sprintf("%d", h.Count)},
+	)
+}
+
+// mergeLE merges an le label into an existing label suffix.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return strings.TrimSuffix(labels, "}") + fmt.Sprintf(",le=%q}", le)
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition shape end to end: type
+// lines, namespace/sanitization, tenant-label folding, and histogram
+// bucket/sum/count series with cumulative counts.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(42)
+	r.Counter("serve.tenant.alice.cache_hits").Add(7)
+	r.Counter("serve.tenant.bob.cache_hits").Add(3)
+	r.Gauge("share.cache_bytes").Set(1024)
+	h := r.Histogram("serve.latency_us")
+	h.Observe(1) // bucket 1 (le 1)
+	h.Observe(3) // bucket 2 (le 3)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b, "scope"); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE scope_serve_latency_us histogram
+scope_serve_latency_us_bucket{le="1"} 1
+scope_serve_latency_us_bucket{le="3"} 3
+scope_serve_latency_us_bucket{le="+Inf"} 3
+scope_serve_latency_us_sum 7
+scope_serve_latency_us_count 3
+# TYPE scope_serve_requests counter
+scope_serve_requests 42
+# TYPE scope_serve_tenant_cache_hits counter
+scope_serve_tenant_cache_hits{tenant="alice"} 7
+scope_serve_tenant_cache_hits{tenant="bob"} 3
+# TYPE scope_share_cache_bytes gauge
+scope_share_cache_bytes 1024
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic renders the same snapshot twice
+// and requires byte-identical output (map iteration must never leak
+// into the stream).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"b.two", "a.one", "c.three", "serve.tenant.x.requests", "serve.tenant.y.requests"} {
+		r.Counter(name).Add(1)
+	}
+	r.Histogram("h.one").Observe(100)
+	r.Histogram("h.two").Observe(5)
+	snap := r.Snapshot()
+	var b1, b2 strings.Builder
+	if err := snap.WritePrometheus(&b1, "scope"); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&b2, "scope"); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("nondeterministic exposition:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+// TestPromNameSanitize covers the charset rewrite and the dotted
+// tenant edge (the field is the last segment; dots inside the tenant
+// survive into the label).
+func TestPromNameSanitize(t *testing.T) {
+	cases := []struct {
+		in, metric, labels string
+	}{
+		{"serve.requests", "scope_serve_requests", ""},
+		{"serve.tenant.a.requests", "scope_serve_tenant_requests", `{tenant="a"}`},
+		{"serve.tenant.a.b.requests", "scope_serve_tenant_requests", `{tenant="a.b"}`},
+		{"weird-name/1", "scope_weird_name_1", ""},
+	}
+	for _, c := range cases {
+		metric, labels := promName("scope", c.in)
+		if metric != c.metric || labels != c.labels {
+			t.Errorf("promName(%q) = %q %q, want %q %q", c.in, metric, labels, c.metric, c.labels)
+		}
+	}
+}
+
+// TestHistogramQuantile checks the interpolated quantiles against a
+// known distribution: the exact percentile must fall inside the
+// chosen bucket, and the interpolation must land within the
+// power-of-two error bound.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		p     float64
+		exact float64
+	}{
+		{0.50, 500},
+		{0.90, 900},
+		{0.99, 990},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.p)
+		if got < c.exact/2 || got > c.exact*2 {
+			t.Errorf("Quantile(%g) = %g, want within 2x of %g", c.p, got, c.exact)
+		}
+	}
+	// Monotone in p.
+	last := -1.0
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		q := h.Quantile(p)
+		if q < last {
+			t.Errorf("Quantile(%g) = %g < previous %g; quantiles must be monotone", p, q, last)
+		}
+		last = q
+	}
+	// The top quantile never exceeds the recorded maximum.
+	if q := h.Quantile(1); q > 1000 {
+		t.Errorf("Quantile(1) = %g exceeds the observed max 1000", q)
+	}
+}
+
+// TestHistogramQuantileInterpolation pins the arithmetic on a small
+// hand-computed case: 4 observations of 8..11 all land in bucket 4
+// (values 8..15); with Max=11 recorded the bucket is clamped to
+// [8,11], so p=0.5 interpolates to 8 + 3*(2/4) = 9.5.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{8, 9, 10, 11} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 9.5 {
+		t.Errorf("Quantile(0.5) = %g, want 9.5", got)
+	}
+	if got := h.Quantile(1); got != 11 {
+		t.Errorf("Quantile(1) = %g, want 11 (clamped to max)", got)
+	}
+}
+
+// TestHistogramQuantileEdges covers the degenerate inputs.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	var nilHist *Histogram
+	if got := nilHist.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %g, want 0", got)
+	}
+	var one Histogram
+	one.Observe(42)
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		q := one.Quantile(p)
+		if q < 32 || q > 42 {
+			t.Errorf("single-observation Quantile(%g) = %g, want inside bucket [32,42]", p, q)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -97,6 +98,87 @@ func bucketOf(v int64) int {
 		return 0
 	}
 	return bits.Len64(uint64(v))
+}
+
+// value snapshots the histogram into a HistValue.
+func (h *Histogram) value() HistValue {
+	hv := HistValue{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Max:     h.max.Load(),
+		Buckets: map[int]int64{},
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			hv.Buckets[i] = n
+		}
+	}
+	return hv
+}
+
+// Quantile returns the p-quantile (p in [0,1]) of the recorded
+// distribution, linearly interpolated inside the power-of-two bucket
+// the quantile rank lands in. See HistValue.Quantile.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.value().Quantile(p)
+}
+
+// Quantile estimates the p-quantile of the observations a HistValue
+// summarizes. The rank p×count is located in the cumulative bucket
+// counts and interpolated linearly across the landing bucket's value
+// range [2^(i-1), 2^i − 1] (bucket 0 is exactly 0). Power-of-two
+// buckets bound the estimate's relative error by the bucket width —
+// within a factor of two, and much closer for distributions that
+// spread across a bucket. The estimate is clamped by the recorded
+// maximum, so a top-bucket quantile never exceeds an actually
+// observed value. p outside [0,1] is clamped.
+func (v HistValue) Quantile(p float64) float64 {
+	if v.Count <= 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(v.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	idxs := make([]int, 0, len(v.Buckets))
+	for i := range v.Buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	cum := int64(0)
+	for _, i := range idxs {
+		n := v.Buckets[i]
+		if float64(cum)+float64(n) >= rank {
+			lo, hi := bucketBounds(i)
+			if hi > float64(v.Max) && float64(v.Max) >= lo {
+				hi = float64(v.Max)
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return float64(v.Max)
+}
+
+// bucketBounds returns bucket i's inclusive value range: bucket 0
+// holds v <= 0 (rendered as exactly 0 — the metered quantities are
+// non-negative), bucket i>0 holds [2^(i-1), 2^i − 1].
+func bucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = math.Ldexp(1, i-1)
+	return lo, 2*lo - 1
 }
 
 func maxInt64(a, b int64) int64 {
@@ -218,18 +300,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hv := HistValue{
-			Count:   h.count.Load(),
-			Sum:     h.sum.Load(),
-			Max:     h.max.Load(),
-			Buckets: map[int]int64{},
-		}
-		for i := range h.buckets {
-			if n := h.buckets[i].Load(); n != 0 {
-				hv.Buckets[i] = n
-			}
-		}
-		s.Hists[name] = hv
+		s.Hists[name] = h.value()
 	}
 	return s
 }

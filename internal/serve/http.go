@@ -6,9 +6,12 @@ import (
 	"errors"
 	"hash/fnv"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // TenantHeader names the HTTP header carrying the submitting tenant.
@@ -46,17 +49,35 @@ type errResponse struct {
 
 // Handler returns the service's HTTP mux:
 //
-//	POST /run     — body is the script text, X-Scope-Tenant tags it
-//	GET  /metrics — the registry snapshot, one "name value" per line
-//	GET  /healthz — 200 ok
+//	POST /run      — body is the script text, X-Scope-Tenant tags it
+//	GET  /metrics  — Prometheus text exposition (0.0.4); the legacy
+//	                 human-readable snapshot under ?format=snapshot
+//	GET  /events   — recent flight-recorder events as JSON
+//	                 (?tenant= filters, ?n= bounds the count)
+//	GET  /cache    — result-cache introspection: entries with benefit
+//	                 scores, per-owner bytes, pinned artifacts
+//	GET  /mqo/last — the last workload-planned window's choice
+//	GET  /healthz  — 200 ok
+//
+// With Config.Pprof, net/http/pprof mounts under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/cache", s.handleCache)
+	mux.HandleFunc("/mqo/last", s.handleMQOLast)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -102,8 +123,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: GET /metrics"))
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte(s.reg.Snapshot().String()))
+	if r.URL.Query().Get("format") == "snapshot" {
+		// Legacy human-readable snapshot, kept for scripts that grep it.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.reg.Snapshot().String()))
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = s.reg.Snapshot().WritePrometheus(w, "scope")
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: GET /events"))
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("serve: n must be a non-negative integer"))
+			return
+		}
+		n = v
+	}
+	events := s.events.Recent(r.URL.Query().Get("tenant"), n)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(events)
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: GET /cache"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.sess.Cache().Describe())
+}
+
+func (s *Server) handleMQOLast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: GET /mqo/last"))
+		return
+	}
+	rec := s.LastMQO()
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, errors.New("serve: no MQO window has run"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rec)
 }
 
 // statusFor maps service errors onto HTTP statuses: backpressure is

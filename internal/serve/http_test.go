@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/share"
 )
 
@@ -80,23 +81,43 @@ func TestServeHTTP(t *testing.T) {
 		t.Errorf("garbage script: status %d, want 400", resp.StatusCode)
 	}
 
-	// The metrics endpoint exposes the tenant counters.
-	mresp, err := srv.Client().Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var sb strings.Builder
-	buf := make([]byte, 4096)
-	for {
-		n, err := mresp.Body.Read(buf)
-		sb.Write(buf[:n])
+	// The metrics endpoint serves Prometheus text exposition by
+	// default, with the tenant counters folded into labels...
+	get := func(path string) (string, string) {
+		mresp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
-			break
+			t.Fatal(err)
 		}
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := mresp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		mresp.Body.Close()
+		return sb.String(), mresp.Header.Get("Content-Type")
 	}
-	mresp.Body.Close()
-	if !strings.Contains(sb.String(), "serve.tenant.bob.cache_hits") {
-		t.Error("metrics endpoint missing tenant counters")
+	body, ctype := get("/metrics")
+	if ctype != obs.PromContentType {
+		t.Errorf("metrics content type %q, want %q", ctype, obs.PromContentType)
+	}
+	if !strings.Contains(body, `scope_serve_tenant_cache_hits{tenant="bob"}`) {
+		t.Errorf("prometheus exposition missing tenant series:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE scope_serve_latency_us histogram") ||
+		!strings.Contains(body, `scope_serve_latency_us_bucket{le="+Inf"}`) {
+		t.Errorf("prometheus exposition missing histogram series:\n%s", body)
+	}
+	// ...and keeps the legacy snapshot under ?format=snapshot.
+	body, ctype = get("/metrics?format=snapshot")
+	if !strings.HasPrefix(ctype, "text/plain") || strings.Contains(ctype, "version=") {
+		t.Errorf("snapshot content type %q, want plain text", ctype)
+	}
+	if !strings.Contains(body, "serve.tenant.bob.cache_hits") {
+		t.Error("legacy snapshot missing tenant counters")
 	}
 
 	// Health and shutdown.

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/mqo"
 	"repro/internal/obs"
+	"repro/internal/obs/eventlog"
 	"repro/internal/relop"
 	"repro/internal/share"
 	"repro/internal/stats"
@@ -106,6 +108,27 @@ type Config struct {
 	MQOBudget int64
 	// Obs receives the server's metrics (nil = a private registry).
 	Obs *obs.Registry
+	// EventCap sizes the flight-recorder ring of the query event log
+	// (0 = eventlog.DefaultCap). The log itself is always on: every
+	// request produces one structured event.
+	EventCap int
+	// EventSinkPath, when non-empty, keeps the full event history (not
+	// just the ring) buffered for a JSONL table at this FileStore path;
+	// FlushEvents writes it through the metered store.
+	EventSinkPath string
+	// Analyze runs every request under EXPLAIN ANALYZE instrumentation
+	// and records the plan's worst row-estimate q-error in its event.
+	Analyze bool
+	// FailureDump, when non-nil, receives a flight-recorder JSONL dump
+	// whenever a request fails or a worker panics — the events leading
+	// up to the failure, ending with the failing one.
+	FailureDump io.Writer
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the Handler.
+	Pprof bool
+	// Engine selects the execution engine for every run ("" = cluster
+	// default) and MemBudget its per-partition working-set bound.
+	Engine    string
+	MemBudget int64
 }
 
 // DefaultQueueDepth is the dispatch-queue bound used when none is
@@ -114,16 +137,21 @@ const DefaultQueueDepth = 256
 
 // Server is the multi-tenant query service over one shared session.
 type Server struct {
-	cfg  Config
-	sess *share.Session
-	reg  *obs.Registry
+	cfg    Config
+	sess   *share.Session
+	reg    *obs.Registry
+	events *eventlog.Log
 	// sem bounds concurrently executing folded groups.
 	sem chan struct{}
+	// dumpMu serializes flight-recorder dumps to cfg.FailureDump so
+	// concurrent failures don't interleave JSONL lines.
+	dumpMu sync.Mutex
 
 	mu      sync.Mutex
 	pending []*request  // guarded by mu
 	timer   *time.Timer // guarded by mu
 	closed  bool        // guarded by mu
+	lastMQO *MQORecord  // guarded by mu
 	// wg counts dispatched groups; Add happens under mu (before
 	// Shutdown's Wait can start), Wait runs after closed is set.
 	wg sync.WaitGroup
@@ -140,6 +168,34 @@ type request struct {
 	done chan struct{}
 	rep  *share.RunReport
 	err  error
+	// Event-log facts recorded along the dispatch path: the covered /
+	// uncovered subexpression split observed at fold time, the folding
+	// decision, and the window's MQO choice count. Written before the
+	// request's goroutine starts, read by runOne — no lock needed.
+	covered   []string
+	uncovered []string
+	folded    bool
+	groupSize int
+	mqoChosen int
+}
+
+// MQORecord is the introspection record of the last batching window
+// that ran workload-level planning — what GET /mqo/last returns.
+type MQORecord struct {
+	// Batch is how many scripts the window planned together.
+	Batch  int    `json:"batch"`
+	Method string `json:"method,omitempty"`
+	// Keys are the chosen materialization identities in event-log
+	// subexpression form (fingerprint.signature-digest).
+	Keys []string `json:"keys,omitempty"`
+	// Base / Total are the workload costs without and with the chosen
+	// set; Bytes its estimated artifact payload under Budget.
+	Base   float64 `json:"base"`
+	Total  float64 `json:"total"`
+	Bytes  int64   `json:"bytes"`
+	Budget int64   `json:"budget,omitempty"`
+	// Evals counts optimizer invocations the selection spent.
+	Evals int `json:"evals"`
 }
 
 // New validates cfg and returns a started server (no listener; pair
@@ -156,6 +212,9 @@ func New(cfg Config) (*Server, error) {
 		CacheBytes:    cfg.CacheBytes,
 		ExpectedReuse: cfg.ExpectedReuse,
 		Obs:           cfg.Obs,
+		Engine:        cfg.Engine,
+		MemBudget:     cfg.MemBudget,
+		Analyze:       cfg.Analyze,
 	})
 	if err != nil {
 		return nil, err
@@ -166,11 +225,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	events := eventlog.New(cfg.EventCap)
+	if cfg.EventSinkPath != "" {
+		events.AttachSink(cfg.FS, cfg.EventSinkPath)
+	}
 	return &Server{
-		cfg:  cfg,
-		sess: sess,
-		reg:  cfg.Obs,
-		sem:  make(chan struct{}, cfg.MaxInFlight),
+		cfg:    cfg,
+		sess:   sess,
+		reg:    cfg.Obs,
+		events: events,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
 	}, nil
 }
 
@@ -179,6 +243,26 @@ func (s *Server) Session() *share.Session { return s.sess }
 
 // Registry exposes the server's metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// EventLog exposes the query event log (flight recorder + sink).
+func (s *Server) EventLog() *eventlog.Log { return s.events }
+
+// FlushEvents writes the buffered event history through the metered
+// FileStore (no-op without Config.EventSinkPath).
+func (s *Server) FlushEvents() { s.events.Flush() }
+
+// LastMQO returns the record of the last workload-planned window, or
+// nil when no MQO window has run.
+func (s *Server) LastMQO() *MQORecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastMQO == nil {
+		return nil
+	}
+	rec := *s.lastMQO
+	rec.Keys = append([]string(nil), s.lastMQO.Keys...)
+	return &rec
+}
 
 // Submit runs one script on behalf of tenant and blocks until it
 // finishes, is rejected, or times out. Safe for concurrent use; this
@@ -262,6 +346,12 @@ func (s *Server) dispatchGroups(batch []*request) {
 		if len(g) > 1 {
 			s.reg.Counter("serve.folded").Add(int64(len(g) - 1))
 		}
+		// Record the folding decision for the event log: the group
+		// leader dispatched, everyone behind it folded.
+		for i, req := range g {
+			req.folded = i > 0
+			req.groupSize = len(g)
+		}
 		s.wg.Add(1)
 		go s.runGroup(g)
 	}
@@ -289,6 +379,26 @@ func (s *Server) dispatchMQO(batch []*request) {
 			Budget:        s.cfg.MQOBudget,
 			ExpectedReuse: s.cfg.ExpectedReuse,
 		})
+		if err == nil {
+			rec := &MQORecord{
+				Batch:  len(batch),
+				Method: sel.Method,
+				Base:   sel.Base,
+				Total:  sel.Total,
+				Bytes:  sel.Bytes,
+				Budget: sel.Budget,
+				Evals:  sel.Evals,
+			}
+			for _, k := range sel.Keys {
+				rec.Keys = append(rec.Keys, eventlog.SubexprID(k.FP, k.Sig))
+			}
+			s.mu.Lock()
+			s.lastMQO = rec
+			s.mu.Unlock()
+			for _, req := range batch {
+				req.mqoChosen = len(sel.Keys)
+			}
+		}
 		if err == nil && len(sel.Keys) > 0 {
 			s.sess.Preadmit(sel.Keys)
 			s.reg.Counter("serve.mqo_chosen").Add(int64(len(sel.Keys)))
@@ -312,8 +422,10 @@ func (s *Server) runGroup(g []*request) {
 	}
 }
 
-// runOne executes a single request through the shared session and
-// publishes its per-tenant accounting.
+// runOne executes a single request through the shared session,
+// publishes its per-tenant accounting, and records its event. A panic
+// in the session or executor is caught here — it becomes the
+// request's error and a flight-recorder dump, not a dead server.
 func (s *Server) runOne(req *request) {
 	defer close(req.done)
 	ctx := req.ctx
@@ -323,17 +435,27 @@ func (s *Server) runOne(req *request) {
 		defer cancel()
 	}
 	start := time.Now()
-	req.rep, req.err = s.sess.RunContext(ctx, req.script, share.RunOpts{
-		Tenant:           req.tenant,
-		TenantCacheBytes: s.cfg.TenantCacheBytes,
-	})
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				req.rep, req.err = nil, fmt.Errorf("serve: run panicked: %v", r)
+				s.reg.Counter("serve.panics").Add(1)
+			}
+		}()
+		req.rep, req.err = s.sess.RunContext(ctx, req.script, share.RunOpts{
+			Tenant:           req.tenant,
+			TenantCacheBytes: s.cfg.TenantCacheBytes,
+		})
+	}()
+	latency := time.Since(start).Microseconds()
 	s.reg.Counter("serve.requests").Add(1)
-	s.reg.Histogram("serve.latency_us").Observe(time.Since(start).Microseconds())
+	s.reg.Histogram("serve.latency_us").Observe(latency)
 	pfx := "serve.tenant." + req.tenant + "."
 	s.reg.Counter(pfx + "requests").Add(1)
 	if req.err != nil {
 		s.reg.Counter("serve.errors").Add(1)
 		s.reg.Counter(pfx + "errors").Add(1)
+		s.recordEvent(req, latency)
 		return
 	}
 	s.reg.Counter(pfx + "cache_hits").Add(int64(req.rep.CacheHits))
@@ -341,6 +463,44 @@ func (s *Server) runOne(req *request) {
 	s.reg.Counter(pfx + "admitted_bytes").Add(req.rep.AdmittedBytes)
 	s.reg.Counter(pfx + "quota_rejected").Add(int64(req.rep.QuotaRejected))
 	s.reg.Gauge(pfx + "cache_bytes").Set(s.sess.Cache().OwnerBytes(req.tenant))
+	s.recordEvent(req, latency)
+}
+
+// recordEvent submits the request's structured event to the query
+// event log and, on failure, dumps the flight recorder so the events
+// leading up to the failure (ending with it) are preserved.
+func (s *Server) recordEvent(req *request, latencyUs int64) {
+	ev := eventlog.Event{
+		Tenant:    req.tenant,
+		Script:    eventlog.ScriptID(req.script),
+		Engine:    s.cfg.Engine,
+		Covered:   req.covered,
+		Uncovered: req.uncovered,
+		Folded:    req.folded,
+		GroupSize: req.groupSize,
+		MQOChosen: req.mqoChosen,
+		LatencyUs: latencyUs,
+	}
+	if req.err != nil {
+		ev.Error = req.err.Error()
+	} else {
+		ev.CacheHits = req.rep.CacheHits
+		ev.CacheMisses = req.rep.CacheMisses
+		ev.Admitted = req.rep.Admitted
+		ev.AdmittedBytes = req.rep.AdmittedBytes
+		ev.QuotaRejected = req.rep.QuotaRejected
+		ev.Evicted = req.rep.Evicted
+		ev.Spills = req.rep.Metrics.Spills
+		ev.QErrMax = req.rep.MaxQ
+		ev.Outputs = eventlog.DigestOutputs(req.rep.Outputs)
+	}
+	s.events.Submit(ev)
+	if req.err != nil && s.cfg.FailureDump != nil {
+		s.dumpMu.Lock()
+		fmt.Fprintf(s.cfg.FailureDump, "# flight recorder: request for tenant %q failed: %v\n", req.tenant, req.err)
+		s.events.DumpRecent(s.cfg.FailureDump, 0)
+		s.dumpMu.Unlock()
+	}
 }
 
 // Shutdown stops accepting submissions, dispatches whatever the
@@ -420,8 +580,11 @@ func foldGroups(batch []*request, cache *share.Cache) [][]*request {
 	uncovered := make([][]subexpr, len(batch))
 	for i, req := range batch {
 		for _, se := range req.fps {
-			if !cache.HoldsSig(se.fp, se.sig) {
+			if cache.HoldsSig(se.fp, se.sig) {
+				req.covered = append(req.covered, eventlog.SubexprID(se.fp, se.sig))
+			} else {
 				uncovered[i] = append(uncovered[i], se)
+				req.uncovered = append(req.uncovered, eventlog.SubexprID(se.fp, se.sig))
 			}
 		}
 	}

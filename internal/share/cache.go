@@ -17,6 +17,8 @@ package share
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 
 	"repro/internal/exec"
@@ -469,6 +471,86 @@ func (c *Cache) OwnerBytes(owner string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ownerBytes[owner]
+}
+
+// EntryInfo is the introspection view of one cache entry — what the
+// service's GET /cache endpoint reports per artifact. FP and
+// SigDigest render the identity the way event-log subexpression IDs
+// do, so an operator can join /cache rows against event streams.
+type EntryInfo struct {
+	// FP is the Definition-1 fingerprint in fixed-width hex;
+	// SigDigest digests the canonical signature (signatures can be
+	// arbitrarily long).
+	FP        string `json:"fp"`
+	SigDigest string `json:"sig_digest"`
+	Path      string `json:"path"`
+	Owner     string `json:"owner,omitempty"`
+	Bytes     int64  `json:"bytes"`
+	Hits      int64  `json:"hits"`
+	// Benefit is the eviction weight: hits × (build − read) per byte.
+	Benefit float64 `json:"benefit"`
+	// Pinned reports whether an in-flight run holds the artifact open.
+	Pinned bool `json:"pinned"`
+}
+
+// View is a point-in-time introspection snapshot of the cache: every
+// entry with its benefit score, per-owner byte totals, and the paths
+// still pinned by in-flight runs.
+type View struct {
+	Stats      Stats            `json:"stats"`
+	Entries    []EntryInfo      `json:"entries,omitempty"`
+	OwnerBytes map[string]int64 `json:"owner_bytes,omitempty"`
+	Pinned     []string         `json:"pinned,omitempty"`
+	Orphans    []string         `json:"orphans,omitempty"`
+}
+
+// Describe returns the introspection view, deterministically ordered:
+// entries by artifact path, pin and orphan paths sorted.
+func (c *Cache) Describe() View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := View{Stats: c.stats}
+	v.Stats.Entries = len(c.entries)
+	v.Stats.Bytes = c.bytes
+	v.Stats.ReuseTracked = len(c.demand)
+	for _, e := range c.entries {
+		v.Entries = append(v.Entries, EntryInfo{
+			FP:        fmt.Sprintf("%016x", e.FP),
+			SigDigest: sigDigest(e.sig),
+			Path:      e.Path,
+			Owner:     e.owner,
+			Bytes:     e.bytes,
+			Hits:      e.hits,
+			Benefit:   benefitScore(e),
+			Pinned:    c.pins[e.Path] > 0,
+		})
+	}
+	sort.Slice(v.Entries, func(i, j int) bool { return v.Entries[i].Path < v.Entries[j].Path })
+	if len(c.ownerBytes) > 0 {
+		v.OwnerBytes = map[string]int64{}
+		for o, b := range c.ownerBytes {
+			v.OwnerBytes[o] = b
+		}
+	}
+	for p, n := range c.pins {
+		if n > 0 {
+			v.Pinned = append(v.Pinned, p)
+		}
+	}
+	sort.Strings(v.Pinned)
+	for p := range c.orphans {
+		v.Orphans = append(v.Orphans, p)
+	}
+	sort.Strings(v.Orphans)
+	return v
+}
+
+// sigDigest hashes a canonical signature into the fixed-width hex
+// form event-log subexpression IDs carry.
+func sigDigest(sig string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(sig))
+	return fmt.Sprintf("%08x", h.Sum32())
 }
 
 // Stats returns a snapshot of cache occupancy and lifecycle counters.

@@ -53,6 +53,11 @@ type Config struct {
 	// bound in bytes (0 = unbounded). See exec.Cluster.
 	Engine    string
 	MemBudget int64
+	// Analyze runs every plan under EXPLAIN ANALYZE instrumentation
+	// and reports the worst row-estimate q-error in RunReport.MaxQ —
+	// the estimate-quality signal the service's event log records per
+	// request.
+	Analyze bool
 }
 
 // Session runs scripts against one cluster, sharing materialized
@@ -195,6 +200,15 @@ type RunReport struct {
 	// QuotaRejected counts artifacts that passed the admission test
 	// but were discarded because the tenant's cache quota was full.
 	QuotaRejected int
+	// Evicted counts cache entries this run's admissions pushed out.
+	// Evictions happen only inside Put, and every Put happens in the
+	// commit critical section, so summing Evicted over a session's
+	// runs reproduces the cache's eviction counter exactly — the
+	// additivity invariant the event log leans on.
+	Evicted int
+	// MaxQ is the worst row-estimate q-error across the executed plan
+	// (0 unless Config.Analyze is set).
+	MaxQ float64
 	// Lint holds the optimizer's plan-analyzer findings when the
 	// session options enable linting (nil otherwise). MQO enactment
 	// surfaces P7 findings — an enacted plan rebuilding a
@@ -339,7 +353,16 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 	cl.Trace = s.cfg.Tracer
 	cl.Obs = s.cfg.Obs
 	cl.PersistSpools = persist
-	outs, err := cl.RunContext(ctx, res.Plan)
+	var outs map[string]*exec.Table
+	if s.cfg.Analyze {
+		var actuals map[*plan.Node]exec.NodeActual
+		outs, actuals, err = cl.RunAnalyzedContext(ctx, res.Plan)
+		if err == nil {
+			rep.MaxQ = exec.NewAnalysis(res.Plan, actuals, 0).Summary().MaxQ
+		}
+	} else {
+		outs, err = cl.RunContext(ctx, res.Plan)
+	}
 	if err != nil {
 		s.publishFailure(res)
 		return nil, err
@@ -353,6 +376,7 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 	// critical section so concurrent runs' registry deltas never
 	// overlap.
 	s.mu.Lock()
+	evictionsBefore := s.cache.Stats().Evictions
 	for _, p := range pend {
 		t, ok := s.cfg.FS.Get(p.path)
 		if !ok {
@@ -378,6 +402,7 @@ func (s *Session) RunContext(ctx context.Context, src string, opts RunOpts) (*Ru
 		rep.Admitted++
 		rep.AdmittedBytes += t.Bytes()
 	}
+	rep.Evicted = int(s.cache.Stats().Evictions - evictionsBefore)
 	s.publishLocked(res, rep)
 	s.mu.Unlock()
 	return rep, nil

@@ -31,6 +31,10 @@ func DefaultNondetAllow() []string {
 		"repro/internal/obs.NewTracer",
 		"repro/internal/obs.Tracer.Start",
 		"repro/internal/obs.Span.End",
+		// Event timestamps: the sole clock read of the query event log.
+		// Canonical() zeroes the field before any byte comparison, so
+		// event streams stay deterministic modulo this timestamp.
+		"repro/internal/obs/eventlog.nowMicros",
 		// Optimizer wall-clock: the phase-2 time budget and the
 		// reported optimization duration.
 		"repro/internal/opt.Optimizer.Run",

@@ -11,17 +11,20 @@ var rawIOFuncs = map[string]bool{
 	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
 }
 
-// RawIO returns the rawio analyzer: inside the execution substrate
-// and the cross-query cache, every byte read or written must flow
-// through exec.FileStore so the disk meters (and the cost model they
-// calibrate) stay truthful. Direct os file IO there is either a
-// metering leak or an accidental dependency on the real host file
-// system inside the deterministic simulator.
+// RawIO returns the rawio analyzer: inside the execution substrate,
+// the cross-query cache, and the query event log, every byte read or
+// written must flow through exec.FileStore so the disk meters (and
+// the cost model they calibrate) stay truthful. Direct os file IO
+// there is either a metering leak or an accidental dependency on the
+// real host file system inside the deterministic simulator. (The
+// eventlog sink persists its JSONL history as a FileStore table;
+// exporting it to a host file is the caller's job — cmd/scoped does
+// it at shutdown, outside the audited packages.)
 func RawIO() *Analyzer {
 	a := &Analyzer{
 		Name:     "rawio",
-		Doc:      "exec and share must do file IO through the metered FileStore, not package os",
-		Packages: []string{"repro/internal/exec", "repro/internal/share"},
+		Doc:      "exec, share, and obs/eventlog must do file IO through the metered FileStore, not package os",
+		Packages: []string{"repro/internal/exec", "repro/internal/share", "repro/internal/obs/eventlog"},
 	}
 	a.Run = func(pass *Pass) error {
 		for _, f := range pass.Files {

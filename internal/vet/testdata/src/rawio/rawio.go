@@ -57,3 +57,39 @@ func suppressedReadFile(path string) ([]byte, error) {
 	//scopevet:ignore rawio fixture exercising the suppression path
 	return os.ReadFile(path)
 }
+
+// The cases below model the query event log writer: the sink must
+// persist its JSONL history through the metered store, not by
+// appending to a host file.
+
+// flagSinkAppend is the forbidden shape — an event sink that opens a
+// host file to append serialized events.
+func flagSinkAppend(path string, line []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644) // want `os.OpenFile bypasses the metered FileStore`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
+}
+
+// flagSinkTruncate is the forbidden shape for sink rotation.
+func flagSinkTruncate(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create bypasses the metered FileStore`
+}
+
+// okSinkStore is the sanctioned shape: buffer lines in memory and
+// flush them through a metered store interface.
+type okSinkStore struct {
+	lines []string
+	put   func(path string, rows []string) error
+}
+
+func (s *okSinkStore) submit(line string) {
+	s.lines = append(s.lines, line)
+}
+
+func (s *okSinkStore) flush(path string) error {
+	return s.put(path, s.lines)
+}
